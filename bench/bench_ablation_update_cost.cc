@@ -1,0 +1,59 @@
+// Ablation: update-side cost — PDT vs VDT application throughput and
+// checkpoint cost. The paper's claim is that PDTs allow "quick on-line
+// updates"; this quantifies the write path that Figures 16-19 exercise
+// implicitly: SK-addressed insert/delete/modify throughput against both
+// delta structures, plus the cost of folding the delta back into a fresh
+// stable image (checkpoint).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace pdtstore {
+namespace bench {
+namespace {
+
+void BM_UpdateApply(benchmark::State& state) {
+  const bool use_pdt = state.range(0) == 0;
+  const uint64_t rows = static_cast<uint64_t>(state.range(1));
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.backend = use_pdt ? DeltaBackend::kPdt : DeltaBackend::kVdt;
+  auto updates = MakeUpdates(spec, 2000, 31);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto table = BuildSynthetic(spec);
+    state.ResumeTiming();
+    ApplyUpdates(table.get(), updates);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+  state.SetLabel(use_pdt ? "PDT" : "VDT");
+}
+BENCHMARK(BM_UpdateApply)
+    ->ArgsProduct({{0, 1}, {100000, 500000}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Checkpoint(benchmark::State& state) {
+  const bool use_pdt = state.range(0) == 0;
+  SyntheticSpec spec;
+  spec.rows = static_cast<uint64_t>(state.range(1));
+  spec.backend = use_pdt ? DeltaBackend::kPdt : DeltaBackend::kVdt;
+  auto updates = MakeUpdates(spec, spec.rows / 100, 37);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto table = BuildSynthetic(spec);
+    ApplyUpdates(table.get(), updates);
+    state.ResumeTiming();
+    Status st = table->Checkpoint();
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetLabel(use_pdt ? "PDT" : "VDT");
+}
+BENCHMARK(BM_Checkpoint)
+    ->ArgsProduct({{0, 1}, {100000, 500000}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace pdtstore
+
+BENCHMARK_MAIN();

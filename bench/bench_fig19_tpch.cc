@@ -1,0 +1,195 @@
+// Figure 19 reproduction: TPC-H under an update load — no-updates vs
+// VDT-based vs PDT-based query processing.
+//
+// The paper runs the 22 TPC-H queries on (a) a clean bulk-loaded database
+// and (b) a database updated by the two official refresh streams
+// (~0.1% of lineitem and orders), with value-based (VDT) and positional
+// (PDT) difference merging, on two platforms:
+//   plots 1-2: server,      compressed storage, cold: time + I/O volume
+//   plots 3-5: workstation, uncompressed,      cold + hot time + I/O.
+//
+// Substitutions (DESIGN.md): SF is laptop-scale; "cold" I/O is simulated
+// by evicting the decoded-chunk cache and counting encoded bytes read,
+// charged at a configurable disk bandwidth; "hot" runs reuse the cache.
+// The claims that must reproduce: VDT reads more (it must scan the sort
+// key columns), VDT adds visible merge CPU, and PDT stays within noise
+// of the no-updates runs.
+//
+// Usage: bench_fig19_tpch [--sf=0.05] [--config=both|compressed|uncompressed]
+//                         [--fraction=0.001] [--bandwidth-mb=150]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "bench_util.h"
+#include "db/database.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/update_stream.h"
+
+namespace pdtstore {
+namespace bench {
+namespace {
+
+using tpch::GenOptions;
+using tpch::QueryResult;
+using tpch::RunTpchQuery;
+using tpch::TpchTables;
+
+struct Scenario {
+  const char* name;
+  std::unique_ptr<Database> db;
+  TpchTables tables;
+};
+
+struct QueryMeasurement {
+  double cold_cpu_ms = 0;
+  double cold_total_ms = 0;  // cpu + simulated I/O transfer time
+  double hot_ms = 0;
+  double io_mb = 0;
+  QueryResult result;
+};
+
+Scenario BuildScenario(const char* name, const GenOptions& gen,
+                       DeltaBackend backend, bool compression,
+                       const std::vector<tpch::UpdateStream>* streams) {
+  Scenario s;
+  s.name = name;
+  s.db = std::make_unique<Database>();
+  TableOptions opts;
+  opts.backend = backend;
+  opts.store.compression = compression;
+  auto tables = tpch::GenerateInto(s.db.get(), gen, opts);
+  if (!tables.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 tables.status().ToString().c_str());
+    std::abort();
+  }
+  s.tables = *tables;
+  if (streams != nullptr) {
+    for (const auto& stream : *streams) {
+      Status st = tpch::ApplyUpdateStream(stream, &s.tables);
+      if (!st.ok()) {
+        std::fprintf(stderr, "update stream failed: %s\n",
+                     st.ToString().c_str());
+        std::abort();
+      }
+    }
+  }
+  return s;
+}
+
+QueryMeasurement MeasureQuery(Scenario* s, int q, double bandwidth_mb) {
+  QueryMeasurement m;
+  // Cold: empty decoded cache, count bytes pulled from the chunk store.
+  s->db->DropCaches();
+  s->db->ResetIoStats();
+  Stopwatch sw;
+  auto cold = RunTpchQuery(q, s->tables);
+  m.cold_cpu_ms = sw.ElapsedMillis();
+  if (!cold.ok()) {
+    std::fprintf(stderr, "q%d failed: %s\n", q,
+                 cold.status().ToString().c_str());
+    std::abort();
+  }
+  m.result = *cold;
+  m.io_mb = static_cast<double>(s->db->io_stats().bytes_read) / 1e6;
+  m.cold_total_ms = m.cold_cpu_ms + m.io_mb / bandwidth_mb * 1e3;
+  // Hot: run again against the warm cache.
+  sw.Reset();
+  auto hot = RunTpchQuery(q, s->tables);
+  m.hot_ms = sw.ElapsedMillis();
+  (void)hot;
+  return m;
+}
+
+void RunConfig(const char* label, bool compression, const GenOptions& gen,
+               double fraction, double bandwidth_mb) {
+  std::printf("=== Fig. 19 [%s storage] SF=%.3f, %s ===\n", label,
+              gen.scale_factor,
+              compression ? "plots 1-2 analogue" : "plots 3-5 analogue");
+  auto streams_or = tpch::MakeUpdateStreams(gen, 2, fraction);
+  if (!streams_or.ok()) {
+    std::fprintf(stderr, "streams failed\n");
+    std::abort();
+  }
+  Scenario clean = BuildScenario("no-updates", gen, DeltaBackend::kPdt,
+                                 compression, nullptr);
+  Scenario vdt = BuildScenario("VDT", gen, DeltaBackend::kVdt, compression,
+                               &*streams_or);
+  Scenario pdt = BuildScenario("PDT", gen, DeltaBackend::kPdt, compression,
+                               &*streams_or);
+  std::printf(
+      "%-4s | %9s %9s %9s | %8s %8s %8s | %8s %8s %8s | %7s %7s %7s | %s\n",
+      "q", "cold_clean", "cold_vdt", "cold_pdt", "hot_cln", "hot_vdt",
+      "hot_pdt", "io_clean", "io_vdt", "io_pdt", "nCold", "nHot", "nIO",
+      "check");
+  std::printf("%-4s | %9s %9s %9s (ms, incl. simulated disk) | (ms) | (MB) "
+              "| (normalized to VDT)\n",
+              "", "", "", "");
+  double sum_ratio_cold = 0, sum_ratio_io = 0;
+  int counted = 0;
+  for (int q = 1; q <= 22; ++q) {
+    QueryMeasurement mc = MeasureQuery(&clean, q, bandwidth_mb);
+    QueryMeasurement mv = MeasureQuery(&vdt, q, bandwidth_mb);
+    QueryMeasurement mp = MeasureQuery(&pdt, q, bandwidth_mb);
+    bool agree =
+        mv.result.rows == mp.result.rows &&
+        std::abs(mv.result.checksum - mp.result.checksum) <=
+            1e-6 * (1.0 + std::abs(mv.result.checksum));
+    std::printf(
+        "%-4d | %9.2f %9.2f %9.2f | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f "
+        "| %7.2f %7.2f %7.2f | %s\n",
+        q, mc.cold_total_ms, mv.cold_total_ms, mp.cold_total_ms, mc.hot_ms,
+        mv.hot_ms, mp.hot_ms, mc.io_mb, mv.io_mb, mp.io_mb,
+        mv.cold_total_ms > 0 ? mp.cold_total_ms / mv.cold_total_ms : 0,
+        mv.hot_ms > 0 ? mp.hot_ms / mv.hot_ms : 0,
+        mv.io_mb > 0 ? mp.io_mb / mv.io_mb : 0,
+        agree ? "ok" : "MISMATCH");
+    if (tpch::QueryTouchesUpdatedTables(q) && mv.cold_total_ms > 0 &&
+        mv.io_mb > 0) {
+      sum_ratio_cold += mp.cold_total_ms / mv.cold_total_ms;
+      sum_ratio_io += mp.io_mb / mv.io_mb;
+      ++counted;
+    }
+  }
+  if (counted > 0) {
+    std::printf(
+        "mean over updated-table queries: PDT/VDT cold time %.2f, "
+        "PDT/VDT I/O %.2f (both expected < 1)\n\n",
+        sum_ratio_cold / counted, sum_ratio_io / counted);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pdtstore
+
+int main(int argc, char** argv) {
+  using namespace pdtstore::bench;
+  pdtstore::tpch::GenOptions gen;
+  gen.scale_factor =
+      std::strtod(FlagValue(argc, argv, "sf", "0.05").c_str(), nullptr);
+  double fraction = std::strtod(
+      FlagValue(argc, argv, "fraction", "0.001").c_str(), nullptr);
+  double bandwidth = std::strtod(
+      FlagValue(argc, argv, "bandwidth-mb", "150").c_str(), nullptr);
+  std::string config = FlagValue(argc, argv, "config", "both");
+  std::printf(
+      "=== Figure 19: TPC-H with updates — no-updates vs VDT vs PDT ===\n"
+      "(update streams: 2 x %.2f%% of orders+lineitem; disk model "
+      "%.0f MB/s)\n\n",
+      fraction * 100, bandwidth);
+  if (config == "both" || config == "uncompressed") {
+    RunConfig("uncompressed/workstation", false, gen, fraction, bandwidth);
+  }
+  if (config == "both" || config == "compressed") {
+    RunConfig("compressed/server", true, gen, fraction, bandwidth);
+  }
+  std::printf(
+      "Expectation (paper): io_vdt > io_pdt ~= io_clean (VDT must read "
+      "sort-key columns; gap larger uncompressed); hot_vdt suffers merge "
+      "CPU; PDT within noise of no-updates. Queries 2, 11, 16 touch no "
+      "updated table.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "columnstore/batch.h"
+
+namespace pdtstore {
+
+Batch Batch::ForSchema(const Schema& schema,
+                       const std::vector<ColumnId>& projection) {
+  Batch b;
+  if (projection.empty()) {
+    b.column_ids_.resize(schema.num_columns());
+    for (ColumnId i = 0; i < schema.num_columns(); ++i) {
+      b.column_ids_[i] = i;
+      b.columns_.emplace_back(schema.column(i).type);
+    }
+  } else {
+    b.column_ids_ = projection;
+    for (ColumnId cid : projection) {
+      b.columns_.emplace_back(schema.column(cid).type);
+    }
+  }
+  return b;
+}
+
+int Batch::IndexOfColumn(ColumnId cid) const {
+  for (size_t i = 0; i < column_ids_.size(); ++i) {
+    if (column_ids_[i] == cid) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Batch::Clear() {
+  for (auto& c : columns_) c.Clear();
+}
+
+Tuple Batch::RowAsTuple(size_t i) const {
+  Tuple t;
+  t.reserve(columns_.size());
+  for (const auto& c : columns_) t.push_back(c.GetValue(i));
+  return t;
+}
+
+void Batch::AppendRow(const Batch& other, size_t i) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendFrom(other.columns_[c], i);
+  }
+}
+
+StatusOr<std::vector<Tuple>> CollectRows(BatchSource* source,
+                                         size_t batch_size) {
+  std::vector<Tuple> rows;
+  Batch batch;
+  while (true) {
+    PDT_ASSIGN_OR_RETURN(bool more, source->Next(&batch, batch_size));
+    if (!more) break;
+    for (size_t i = 0; i < batch.num_rows(); ++i) {
+      rows.push_back(batch.RowAsTuple(i));
+    }
+  }
+  return rows;
+}
+
+}  // namespace pdtstore

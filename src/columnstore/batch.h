@@ -1,0 +1,84 @@
+// Batch: the unit of block-oriented (vectorized) processing — a horizontal
+// slice of aligned columns, as in X100-style engines the paper builds on.
+#ifndef PDTSTORE_COLUMNSTORE_BATCH_H_
+#define PDTSTORE_COLUMNSTORE_BATCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "columnstore/column_vector.h"
+#include "columnstore/schema.h"
+#include "util/status.h"
+
+namespace pdtstore {
+
+/// Default number of rows per batch; a few cache pages of values, the
+/// sweet spot for vectorized processing.
+constexpr size_t kDefaultBatchSize = 1024;
+
+/// A block of rows: aligned typed column vectors plus the RID of the first
+/// row. Operators hand Batches down the pipeline.
+class Batch {
+ public:
+  Batch() = default;
+
+  /// Creates an empty batch with one vector per schema column (only the
+  /// columns listed in `projection`; empty projection = all).
+  static Batch ForSchema(const Schema& schema,
+                         const std::vector<ColumnId>& projection = {});
+
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  ColumnVector& column(size_t i) { return columns_[i]; }
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+
+  std::vector<ColumnVector>& columns() { return columns_; }
+  const std::vector<ColumnVector>& columns() const { return columns_; }
+
+  /// RID of row 0; row i has RID start_rid + i.
+  Rid start_rid() const { return start_rid_; }
+  void set_start_rid(Rid rid) { start_rid_ = rid; }
+
+  /// The table-schema column ids this batch's vectors correspond to.
+  const std::vector<ColumnId>& column_ids() const { return column_ids_; }
+  void set_column_ids(std::vector<ColumnId> ids) {
+    column_ids_ = std::move(ids);
+  }
+
+  /// Position of table column `cid` within this batch, or -1.
+  int IndexOfColumn(ColumnId cid) const;
+
+  void Clear();
+
+  /// Materializes row `i` as a Tuple (batch-local column order).
+  Tuple RowAsTuple(size_t i) const;
+
+  /// Appends row `i` of `other` (same layout).
+  void AppendRow(const Batch& other, size_t i);
+
+ private:
+  std::vector<ColumnVector> columns_;
+  std::vector<ColumnId> column_ids_;
+  Rid start_rid_ = 0;
+};
+
+/// Pull-based block-oriented stream of Batches: the engine's operator
+/// interface ("next() returns a block of tuples rather than just one",
+/// Sec. 3.1). Implemented by scans, merges and executor operators.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  /// Fills `*out` (replaced) with up to `max_rows` rows. Returns true if
+  /// any rows were produced, false at end of stream.
+  virtual StatusOr<bool> Next(Batch* out, size_t max_rows) = 0;
+};
+
+/// Drains a source into row tuples (tests / examples; O(n) memory).
+StatusOr<std::vector<Tuple>> CollectRows(BatchSource* source,
+                                         size_t batch_size = kDefaultBatchSize);
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_COLUMNSTORE_BATCH_H_

@@ -1,0 +1,154 @@
+#include "columnstore/column_vector.h"
+
+#include <cassert>
+
+namespace pdtstore {
+
+size_t ColumnVector::size() const {
+  switch (type_) {
+    case TypeId::kInt64:
+      return ints_.size();
+    case TypeId::kDouble:
+      return doubles_.size();
+    case TypeId::kString:
+      return strings_.size();
+  }
+  return 0;
+}
+
+void ColumnVector::Clear() {
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (type_) {
+    case TypeId::kInt64:
+      ints_.reserve(n);
+      break;
+    case TypeId::kDouble:
+      doubles_.reserve(n);
+      break;
+    case TypeId::kString:
+      strings_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::Append(const Value& v) {
+  assert(v.type() == type_);
+  switch (type_) {
+    case TypeId::kInt64:
+      ints_.push_back(v.AsInt64());
+      break;
+    case TypeId::kDouble:
+      doubles_.push_back(v.AsDouble());
+      break;
+    case TypeId::kString:
+      strings_.push_back(v.AsString());
+      break;
+  }
+}
+
+void ColumnVector::AppendRun(const Value& v, size_t count) {
+  for (size_t i = 0; i < count; ++i) Append(v);
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& other, size_t i) {
+  assert(other.type_ == type_);
+  switch (type_) {
+    case TypeId::kInt64:
+      ints_.push_back(other.ints_[i]);
+      break;
+    case TypeId::kDouble:
+      doubles_.push_back(other.doubles_[i]);
+      break;
+    case TypeId::kString:
+      strings_.push_back(other.strings_[i]);
+      break;
+  }
+}
+
+void ColumnVector::AppendRange(const ColumnVector& other, size_t begin,
+                               size_t end) {
+  assert(other.type_ == type_);
+  switch (type_) {
+    case TypeId::kInt64:
+      ints_.insert(ints_.end(), other.ints_.begin() + begin,
+                   other.ints_.begin() + end);
+      break;
+    case TypeId::kDouble:
+      doubles_.insert(doubles_.end(), other.doubles_.begin() + begin,
+                      other.doubles_.begin() + end);
+      break;
+    case TypeId::kString:
+      strings_.insert(strings_.end(), other.strings_.begin() + begin,
+                      other.strings_.begin() + end);
+      break;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  switch (type_) {
+    case TypeId::kInt64:
+      return Value(ints_[i]);
+    case TypeId::kDouble:
+      return Value(doubles_[i]);
+    case TypeId::kString:
+      return Value(strings_[i]);
+  }
+  return Value();
+}
+
+void ColumnVector::SetValue(size_t i, const Value& v) {
+  assert(v.type() == type_);
+  switch (type_) {
+    case TypeId::kInt64:
+      ints_[i] = v.AsInt64();
+      break;
+    case TypeId::kDouble:
+      doubles_[i] = v.AsDouble();
+      break;
+    case TypeId::kString:
+      strings_[i] = v.AsString();
+      break;
+  }
+}
+
+int ColumnVector::CompareAt(size_t i, const ColumnVector& other,
+                            size_t j) const {
+  assert(other.type_ == type_);
+  switch (type_) {
+    case TypeId::kInt64: {
+      int64_t a = ints_[i], b = other.ints_[j];
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case TypeId::kDouble: {
+      double a = doubles_[i], b = other.doubles_[j];
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case TypeId::kString: {
+      int c = strings_[i].compare(other.strings_[j]);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+size_t ColumnVector::ByteSize() const {
+  switch (type_) {
+    case TypeId::kInt64:
+      return ints_.size() * 8;
+    case TypeId::kDouble:
+      return doubles_.size() * 8;
+    case TypeId::kString: {
+      size_t total = strings_.size() * sizeof(std::string);
+      for (const auto& s : strings_) total += s.capacity();
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace pdtstore

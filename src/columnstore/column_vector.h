@@ -1,0 +1,67 @@
+// Typed, densely packed column of values. This is the in-memory unit of
+// vectorized execution (a column of a Batch), of decoded storage chunks,
+// and of the PDT value space tables.
+#ifndef PDTSTORE_COLUMNSTORE_COLUMN_VECTOR_H_
+#define PDTSTORE_COLUMNSTORE_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnstore/types.h"
+#include "columnstore/value.h"
+
+namespace pdtstore {
+
+/// A typed growable column. Exactly one of the three backing vectors is
+/// in use, selected by type(). Typed accessors are the hot path; the
+/// Value-based API is for boundaries and tests.
+class ColumnVector {
+ public:
+  ColumnVector() : type_(TypeId::kInt64) {}
+  explicit ColumnVector(TypeId type) : type_(type) {}
+
+  TypeId type() const { return type_; }
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  void Clear();
+  void Reserve(size_t n);
+
+  /// Appends a dynamically typed value; type must match.
+  void Append(const Value& v);
+  /// Appends a run of the same value `count` times.
+  void AppendRun(const Value& v, size_t count);
+  /// Appends element `i` of `other` (same type).
+  void AppendFrom(const ColumnVector& other, size_t i);
+  /// Appends elements [begin, end) of `other` (same type).
+  void AppendRange(const ColumnVector& other, size_t begin, size_t end);
+
+  Value GetValue(size_t i) const;
+  void SetValue(size_t i, const Value& v);
+
+  /// Three-way comparison of element i with element j of `other`.
+  int CompareAt(size_t i, const ColumnVector& other, size_t j) const;
+
+  // Typed hot-path accessors. Caller must respect type().
+  std::vector<int64_t>& ints() { return ints_; }
+  const std::vector<int64_t>& ints() const { return ints_; }
+  std::vector<double>& doubles() { return doubles_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  std::vector<std::string>& strings() { return strings_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  /// Approximate heap footprint in bytes (used for buffer-pool sizing and
+  /// I/O accounting of uncompressed data).
+  size_t ByteSize() const;
+
+ private:
+  TypeId type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_COLUMNSTORE_COLUMN_VECTOR_H_

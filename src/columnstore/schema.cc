@@ -1,0 +1,104 @@
+#include "columnstore/schema.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace pdtstore {
+
+Schema::Schema(std::vector<ColumnDef> columns, std::vector<ColumnId> sort_key)
+    : columns_(std::move(columns)), sort_key_(std::move(sort_key)) {}
+
+StatusOr<Schema> Schema::Make(std::vector<ColumnDef> columns,
+                              std::vector<ColumnId> sort_key) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema needs at least one column");
+  }
+  if (sort_key.empty()) {
+    return Status::InvalidArgument("ordered tables need a sort key");
+  }
+  std::unordered_set<std::string> names;
+  for (const auto& c : columns) {
+    if (!names.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + c.name);
+    }
+  }
+  std::unordered_set<ColumnId> sk;
+  for (ColumnId i : sort_key) {
+    if (i >= columns.size()) {
+      return Status::InvalidArgument("sort key column index out of range");
+    }
+    if (!sk.insert(i).second) {
+      return Status::InvalidArgument("duplicate sort key column");
+    }
+  }
+  return Schema(std::move(columns), std::move(sort_key));
+}
+
+StatusOr<ColumnId> Schema::ColumnIndex(const std::string& name) const {
+  for (ColumnId i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+bool Schema::IsSortKeyColumn(ColumnId i) const {
+  for (ColumnId k : sort_key_) {
+    if (k == i) return true;
+  }
+  return false;
+}
+
+std::vector<Value> Schema::ExtractSortKey(const Tuple& tuple) const {
+  std::vector<Value> key;
+  key.reserve(sort_key_.size());
+  for (ColumnId k : sort_key_) key.push_back(tuple[k]);
+  return key;
+}
+
+int Schema::CompareSortKey(const Tuple& a, const Tuple& b) const {
+  for (ColumnId k : sort_key_) {
+    int c = a[k].Compare(b[k]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+int Schema::CompareTupleToKey(const Tuple& tuple,
+                              const std::vector<Value>& key) const {
+  for (size_t i = 0; i < sort_key_.size() && i < key.size(); ++i) {
+    int c = tuple[sort_key_[i]].Compare(key[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+Status Schema::ValidateTuple(const Tuple& tuple) const {
+  if (tuple.size() != columns_.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "tuple arity %zu does not match schema arity %zu", tuple.size(),
+        columns_.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(StringPrintf(
+          "column %zu (%s): expected %s got %s", i, columns_[i].name.c_str(),
+          TypeIdToString(columns_[i].type), TypeIdToString(tuple[i].type())));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    cols.push_back(c.name + ":" + TypeIdToString(c.type));
+  }
+  std::vector<std::string> sk;
+  sk.reserve(sort_key_.size());
+  for (ColumnId k : sort_key_) sk.push_back(columns_[k].name);
+  return Join(cols, ", ") + " | SK(" + Join(sk, ", ") + ")";
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,70 @@
+// Table schema: named, typed columns plus a sort key (SK) — an ordered
+// prefix-comparable attribute sequence that is also a key of the table,
+// exactly as the paper defines ordered columnar tables (Sec. 2).
+#ifndef PDTSTORE_COLUMNSTORE_SCHEMA_H_
+#define PDTSTORE_COLUMNSTORE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "columnstore/types.h"
+#include "columnstore/value.h"
+#include "util/status.h"
+
+namespace pdtstore {
+
+/// One column: a name and a scalar type.
+struct ColumnDef {
+  std::string name;
+  TypeId type;
+};
+
+/// Schema of an ordered table. `sort_key` lists the column indexes forming
+/// the SK, in significance order. The SK is assumed unique (it is "a
+/// sequence of attributes that defines a sort order, while also being a
+/// key" — Sec. 2).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<ColumnDef> columns, std::vector<ColumnId> sort_key);
+
+  /// Validates and constructs: distinct column names, sort key indexes in
+  /// range, non-empty sort key.
+  static StatusOr<Schema> Make(std::vector<ColumnDef> columns,
+                               std::vector<ColumnId> sort_key);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(ColumnId i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  const std::vector<ColumnId>& sort_key() const { return sort_key_; }
+
+  /// Index of the named column, or kNotFound.
+  StatusOr<ColumnId> ColumnIndex(const std::string& name) const;
+
+  /// True if column `i` is part of the sort key.
+  bool IsSortKeyColumn(ColumnId i) const;
+
+  /// Extracts the SK values of a full tuple, in sort-key order.
+  std::vector<Value> ExtractSortKey(const Tuple& tuple) const;
+
+  /// Compares two full tuples on the sort key.
+  int CompareSortKey(const Tuple& a, const Tuple& b) const;
+
+  /// Compares a full tuple against already-extracted SK values.
+  int CompareTupleToKey(const Tuple& tuple,
+                        const std::vector<Value>& key) const;
+
+  /// Checks a tuple: arity and per-column type match.
+  Status ValidateTuple(const Tuple& tuple) const;
+
+  /// Debug rendering: "name:TYPE, ... | SK(name, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::vector<ColumnId> sort_key_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_COLUMNSTORE_SCHEMA_H_

@@ -1,0 +1,29 @@
+#include "columnstore/types.h"
+
+namespace pdtstore {
+
+const char* TypeIdToString(TypeId t) {
+  switch (t) {
+    case TypeId::kInt64:
+      return "INT64";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+size_t TypeFixedWidth(TypeId t) {
+  switch (t) {
+    case TypeId::kInt64:
+      return 8;
+    case TypeId::kDouble:
+      return 8;
+    case TypeId::kString:
+      return 16;  // average payload estimate for accounting only
+  }
+  return 8;
+}
+
+}  // namespace pdtstore

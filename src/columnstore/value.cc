@@ -1,0 +1,63 @@
+#include "columnstore/value.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace pdtstore {
+
+int Value::Compare(const Value& other) const {
+  assert(type() == other.type() && "comparing values of different types");
+  switch (type()) {
+    case TypeId::kInt64: {
+      int64_t a = AsInt64(), b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case TypeId::kDouble: {
+      double a = AsDouble(), b = other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case TypeId::kString: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeId::kInt64:
+      return std::to_string(AsInt64());
+    case TypeId::kDouble:
+      return StringPrintf("%g", AsDouble());
+    case TypeId::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+size_t Value::ByteSize() const {
+  return type() == TypeId::kString ? AsString().size() + 8 : 8;
+}
+
+int CompareTuples(const std::vector<Value>& a, const std::vector<Value>& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return a.size() < b.size() ? -1 : (a.size() > b.size() ? 1 : 0);
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pdtstore

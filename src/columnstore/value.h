@@ -1,0 +1,69 @@
+// Dynamically-typed scalar Value and row Tuple, used at API boundaries
+// (updates, tests, examples). The hot scan/merge paths use typed
+// ColumnVector storage instead.
+#ifndef PDTSTORE_COLUMNSTORE_VALUE_H_
+#define PDTSTORE_COLUMNSTORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "columnstore/types.h"
+
+namespace pdtstore {
+
+/// A scalar value of one of the supported types.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}                   // NOLINT
+  Value(int v) : v_(static_cast<int64_t>(v)) {}  // NOLINT
+  Value(double v) : v_(v) {}                    // NOLINT
+  Value(std::string v) : v_(std::move(v)) {}    // NOLINT
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT
+
+  TypeId type() const {
+    switch (v_.index()) {
+      case 0:
+        return TypeId::kInt64;
+      case 1:
+        return TypeId::kDouble;
+      default:
+        return TypeId::kString;
+    }
+  }
+
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Three-way comparison; values must have the same type.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Debug rendering (strings quoted).
+  std::string ToString() const;
+
+  /// Approximate serialized size in bytes (for memory accounting).
+  size_t ByteSize() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+/// A full row: one Value per schema column.
+using Tuple = std::vector<Value>;
+
+/// Lexicographic comparison of two equally-typed value sequences.
+int CompareTuples(const std::vector<Value>& a, const std::vector<Value>& b);
+
+/// Debug rendering of a tuple: "(a, b, c)".
+std::string TupleToString(const Tuple& t);
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_COLUMNSTORE_VALUE_H_

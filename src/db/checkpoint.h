@@ -1,0 +1,31 @@
+// Checkpoint policy (Sec. 2, "Checkpointing"): detect when the delta
+// exceeds a threshold and rebuild the stable image. The policy is
+// deliberately the paper's "simplest one"; the mechanism lives in
+// Table::Checkpoint().
+#ifndef PDTSTORE_DB_CHECKPOINT_H_
+#define PDTSTORE_DB_CHECKPOINT_H_
+
+#include "db/table.h"
+
+namespace pdtstore {
+
+/// Threshold-based checkpoint trigger.
+struct CheckpointPolicy {
+  /// Checkpoint when the delta's heap footprint exceeds this (0 = never).
+  size_t max_delta_bytes = 64 << 20;
+  /// ...or when it buffers this many updates (0 = never).
+  size_t max_delta_updates = 1 << 20;
+  /// ...or when the delta exceeds this fraction of the stable row count
+  /// (0 = disabled).
+  double max_delta_fraction = 0.0;
+};
+
+/// True if `table`'s delta has outgrown the policy.
+bool ShouldCheckpoint(const Table& table, const CheckpointPolicy& policy);
+
+/// Checkpoints if the policy says so; returns whether it did.
+StatusOr<bool> MaybeCheckpoint(Table* table, const CheckpointPolicy& policy);
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_DB_CHECKPOINT_H_

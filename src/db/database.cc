@@ -1,0 +1,45 @@
+#include "db/database.h"
+
+namespace pdtstore {
+
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      pool_(std::make_shared<BufferPool>(options.buffer_pool_bytes)) {}
+
+StatusOr<Table*> Database::CreateTable(const std::string& name,
+                                       std::shared_ptr<const Schema> schema) {
+  return CreateTable(name, std::move(schema), options_.table_defaults);
+}
+
+StatusOr<Table*> Database::CreateTable(const std::string& name,
+                                       std::shared_ptr<const Schema> schema,
+                                       TableOptions options) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  auto table =
+      std::make_unique<Table>(name, std::move(schema), options, pool_);
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+StatusOr<Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table " + name);
+  return it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) return Status::NotFound("no table " + name);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, unused] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,57 @@
+// Database: a catalog of updatable tables sharing one buffer pool, plus
+// global I/O accounting used by the benchmarks' cold/hot protocol.
+#ifndef PDTSTORE_DB_DATABASE_H_
+#define PDTSTORE_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "db/table.h"
+
+namespace pdtstore {
+
+/// Database-wide configuration.
+struct DatabaseOptions {
+  /// Decoded-chunk cache capacity; 0 = unbounded.
+  size_t buffer_pool_bytes = 0;
+  /// Defaults applied to tables created without explicit options.
+  TableOptions table_defaults;
+};
+
+/// A small embedded column-store database.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  /// Creates an (unloaded) table; fails on duplicate name.
+  StatusOr<Table*> CreateTable(const std::string& name,
+                               std::shared_ptr<const Schema> schema);
+  StatusOr<Table*> CreateTable(const std::string& name,
+                               std::shared_ptr<const Schema> schema,
+                               TableOptions options);
+
+  /// Looks a table up by name.
+  StatusOr<Table*> GetTable(const std::string& name) const;
+
+  /// Drops a table.
+  Status DropTable(const std::string& name);
+
+  BufferPool* buffer_pool() const { return pool_.get(); }
+  const IoStats& io_stats() const { return pool_->stats(); }
+  void ResetIoStats() { pool_->mutable_stats()->Reset(); }
+  /// Empties the decoded-chunk cache: the next scans run "cold".
+  void DropCaches() { pool_->EvictAll(); }
+
+  const DatabaseOptions& options() const { return options_; }
+  std::vector<std::string> TableNames() const;
+
+ private:
+  DatabaseOptions options_;
+  std::shared_ptr<BufferPool> pool_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_DB_DATABASE_H_

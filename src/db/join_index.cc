@@ -1,0 +1,78 @@
+#include "db/join_index.h"
+
+namespace pdtstore {
+
+StatusOr<Sid> JoinIndex::ResolveDimSid(const Value& key) const {
+  // Binary search the dimension's stable image on its (single-column)
+  // sort key.
+  const ColumnStore& store = dim_->store();
+  ColumnId key_col = dim_->schema().sort_key()[0];
+  Sid lo = 0, hi = store.num_rows();
+  while (lo < hi) {
+    Sid mid = lo + (hi - lo) / 2;
+    PDT_ASSIGN_OR_RETURN(Value v, store.GetValue(key_col, mid));
+    if (v.Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= store.num_rows()) return Status::NotFound("dangling FK");
+  PDT_ASSIGN_OR_RETURN(Value v, store.GetValue(key_col, lo));
+  if (v.Compare(key) != 0) return Status::NotFound("dangling FK");
+  return lo;
+}
+
+StatusOr<JoinIndex> JoinIndex::Build(const Table* fact, const Table* dim,
+                                     ColumnId fk_col) {
+  if (dim->schema().sort_key().size() != 1) {
+    return Status::InvalidArgument(
+        "join index needs a single-column dimension key");
+  }
+  JoinIndex index(fact, dim, fk_col);
+  const ColumnStore& fstore = fact->store();
+  index.dim_sids_.reserve(fstore.num_rows());
+  for (size_t ci = 0; ci < fstore.num_chunks(); ++ci) {
+    PDT_ASSIGN_OR_RETURN(auto fk, fstore.FetchChunk(fk_col, ci));
+    for (size_t i = 0; i < fk->size(); ++i) {
+      PDT_ASSIGN_OR_RETURN(Sid dim_sid,
+                           index.ResolveDimSid(fk->GetValue(i)));
+      index.dim_sids_.push_back(dim_sid);
+    }
+  }
+  return index;
+}
+
+StatusOr<Rid> JoinIndex::DimRidForFactRid(Rid fact_rid) const {
+  const Pdt* fact_pdt = fact_->pdt();
+  if (fact_pdt == nullptr) {
+    return Status::InvalidArgument("join index requires PDT tables");
+  }
+  Sid dim_sid;
+  Pdt::RidLookup lk = fact_pdt->LookupRid(fact_rid);
+  if (lk.is_insert) {
+    // Post-build insert: resolve by value once, memoize by offset.
+    auto it = insert_cache_.find(lk.insert_offset);
+    if (it != insert_cache_.end()) {
+      dim_sid = it->second;
+    } else {
+      Value key =
+          fact_pdt->value_space().GetInsertColumn(lk.insert_offset, fk_col_);
+      PDT_ASSIGN_OR_RETURN(dim_sid, ResolveDimSid(key));
+      insert_cache_.emplace(lk.insert_offset, dim_sid);
+    }
+  } else {
+    if (lk.sid >= dim_sids_.size()) {
+      return Status::OutOfRange("fact rid beyond stable image");
+    }
+    dim_sid = dim_sids_[lk.sid];
+  }
+  // SID -> current RID through the dimension's PDT.
+  Pdt::SidLookup dim_lk = dim_->pdt()->SidToRid(dim_sid);
+  if (dim_lk.deleted) {
+    return Status::NotFound("dimension tuple deleted");
+  }
+  return dim_lk.rid;
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,66 @@
+// Join index maintained under PDT updates — the paper's first "future
+// work" item ("keeping join indices up-to-date with PDTs", Sec. 6).
+//
+// A join index materializes, for every fact-table row, the position of
+// its dimension-table match, so foreign-key joins become positional
+// lookups instead of value joins. The problem under updates is that
+// positions shift; the PDT's stable/current position split solves it:
+//
+//   * The index itself is stored in the *SID domain* of both tables
+//     (fact SID -> dim SID), which updates never disturb — exactly the
+//     property that keeps sparse indexes "stale but valid" (Sec. 2).
+//   * At lookup time the two PDTs translate: fact RID -> fact SID
+//     (LookupRid), then dim SID -> dim RID (SidToRid).
+//   * Fact tuples inserted after the build have no stable SID; they are
+//     resolved once by value against the dimension and memoized in a
+//     small delta map keyed by insert-space offset.
+//
+// The index stays valid until either table is checkpointed (SIDs are
+// renumbered then); rebuild it alongside, like any derived structure.
+#ifndef PDTSTORE_DB_JOIN_INDEX_H_
+#define PDTSTORE_DB_JOIN_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "db/table.h"
+
+namespace pdtstore {
+
+/// A positional FK join index from a fact table onto a dimension table
+/// with a single-column sort key.
+class JoinIndex {
+ public:
+  /// Builds from the *stable* images: for every stable fact row, the
+  /// SID of the dimension row whose sort key equals the fact's `fk_col`
+  /// value. Fails if a stable fact row dangles.
+  static StatusOr<JoinIndex> Build(const Table* fact, const Table* dim,
+                                   ColumnId fk_col);
+
+  /// Current dimension RID joined to the fact tuple at `fact_rid`.
+  /// NotFound if the dimension row was deleted (dangling) or the fact
+  /// insert's key has no dimension match.
+  StatusOr<Rid> DimRidForFactRid(Rid fact_rid) const;
+
+  /// Number of memoized post-build fact inserts.
+  size_t delta_entries() const { return insert_cache_.size(); }
+  size_t stable_entries() const { return dim_sids_.size(); }
+
+ private:
+  JoinIndex(const Table* fact, const Table* dim, ColumnId fk_col)
+      : fact_(fact), dim_(dim), fk_col_(fk_col) {}
+
+  // Value-based resolution of a key to a dim SID (build + insert path).
+  StatusOr<Sid> ResolveDimSid(const Value& key) const;
+
+  const Table* fact_;
+  const Table* dim_;
+  ColumnId fk_col_;
+  std::vector<Sid> dim_sids_;  // indexed by fact SID
+  // Fact inserts resolved lazily: insert-space offset -> dim SID.
+  mutable std::unordered_map<uint64_t, Sid> insert_cache_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_DB_JOIN_INDEX_H_

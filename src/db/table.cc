@@ -1,0 +1,283 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pdtstore {
+
+Table::Table(std::string name, std::shared_ptr<const Schema> schema,
+             TableOptions options, std::shared_ptr<BufferPool> pool)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      options_(options),
+      pool_(pool ? std::move(pool) : std::make_shared<BufferPool>()) {
+  store_ = std::make_unique<ColumnStore>(*schema_, options_.store, pool_);
+  if (options_.backend == DeltaBackend::kPdt) {
+    pdt_ = std::make_unique<Pdt>(schema_, options_.pdt);
+  } else {
+    vdt_ = std::make_unique<Vdt>(schema_);
+  }
+}
+
+Status Table::Load(const std::vector<Tuple>& rows) {
+  if (loaded_) return Status::InvalidArgument("table already loaded");
+  PDT_RETURN_NOT_OK(store_->BulkLoad(rows));
+  PDT_ASSIGN_OR_RETURN(sparse_index_, SparseIndex::Build(*store_));
+  loaded_ = true;
+  return Status::OK();
+}
+
+Status Table::LoadColumns(std::vector<ColumnVector> columns) {
+  if (loaded_) return Status::InvalidArgument("table already loaded");
+  PDT_RETURN_NOT_OK(store_->BulkLoadColumns(std::move(columns)));
+  PDT_ASSIGN_OR_RETURN(sparse_index_, SparseIndex::Build(*store_));
+  loaded_ = true;
+  return Status::OK();
+}
+
+uint64_t Table::RowCount() const {
+  int64_t delta = pdt_ ? pdt_->TotalDelta() : vdt_->TotalDelta();
+  return static_cast<uint64_t>(static_cast<int64_t>(store_->num_rows()) +
+                               delta);
+}
+
+// ---------------------------------------------------------------------
+// Merged-image access (PDT).
+// ---------------------------------------------------------------------
+
+StatusOr<Tuple> Table::GetMergedTuple(Rid rid) const {
+  if (!pdt_) return Status::InvalidArgument("positional access needs PDT");
+  if (rid >= RowCount()) return Status::OutOfRange("rid out of range");
+  Pdt::RidLookup lookup = pdt_->LookupRid(rid);
+  if (lookup.is_insert) {
+    return pdt_->value_space().GetInsertTuple(lookup.insert_offset);
+  }
+  PDT_ASSIGN_OR_RETURN(Tuple t, store_->GetTuple(lookup.sid));
+  for (auto [col, off] : lookup.mods) {
+    t[col] = pdt_->value_space().GetModifyValue(col, off);
+  }
+  return t;
+}
+
+StatusOr<std::vector<Value>> Table::MergedSortKey(Rid rid) const {
+  if (!pdt_) return Status::InvalidArgument("positional access needs PDT");
+  Pdt::RidLookup lookup = pdt_->LookupRid(rid);
+  if (lookup.is_insert) {
+    return pdt_->value_space().GetInsertSortKey(lookup.insert_offset);
+  }
+  // SK columns are never modified in place (SK modifies are delete +
+  // insert), so the stable key is authoritative.
+  return store_->GetSortKey(lookup.sid);
+}
+
+StatusOr<Rid> Table::UpperBoundRid(const std::vector<Value>& key) const {
+  Rid lo = 0, hi = RowCount();
+  while (lo < hi) {
+    Rid mid = lo + (hi - lo) / 2;
+    PDT_ASSIGN_OR_RETURN(auto mid_key, MergedSortKey(mid));
+    // Compare on the shorter prefix; ties resolve upward (upper bound).
+    int cmp = 0;
+    for (size_t i = 0; i < mid_key.size() && i < key.size(); ++i) {
+      cmp = mid_key[i].Compare(key[i]);
+      if (cmp != 0) break;
+    }
+    if (cmp <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+StatusOr<Rid> Table::FindRidByKey(const std::vector<Value>& key) const {
+  PDT_ASSIGN_OR_RETURN(Rid ub, UpperBoundRid(key));
+  if (ub == 0) return Status::NotFound("key not found");
+  PDT_ASSIGN_OR_RETURN(auto prev_key, MergedSortKey(ub - 1));
+  if (CompareTuples(prev_key, key) != 0) {
+    return Status::NotFound("key not found");
+  }
+  return ub - 1;
+}
+
+StatusOr<bool> Table::ContainsKey(const std::vector<Value>& key) const {
+  if (pdt_) {
+    auto rid = FindRidByKey(key);
+    if (rid.ok()) return true;
+    if (rid.status().code() == StatusCode::kNotFound) return false;
+    return rid.status();
+  }
+  if (vdt_->FindInsert(key) != nullptr) return true;
+  if (vdt_->IsDeleted(key)) return false;
+  return StableHasKey(key);
+}
+
+// ---------------------------------------------------------------------
+// Stable-image search helpers.
+// ---------------------------------------------------------------------
+
+StatusOr<Sid> Table::StableLowerBound(const std::vector<Value>& key) const {
+  Sid lo = 0, hi = store_->num_rows();
+  while (lo < hi) {
+    Sid mid = lo + (hi - lo) / 2;
+    PDT_ASSIGN_OR_RETURN(auto mid_key, store_->GetSortKey(mid));
+    if (CompareTuples(mid_key, key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+StatusOr<bool> Table::StableHasKey(const std::vector<Value>& key) const {
+  PDT_ASSIGN_OR_RETURN(Sid lb, StableLowerBound(key));
+  if (lb >= store_->num_rows()) return false;
+  PDT_ASSIGN_OR_RETURN(auto lb_key, store_->GetSortKey(lb));
+  return CompareTuples(lb_key, key) == 0;
+}
+
+StatusOr<Tuple> Table::GetTupleByKey(const std::vector<Value>& key) const {
+  if (pdt_) {
+    PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
+    return GetMergedTuple(rid);
+  }
+  if (const Tuple* t = vdt_->FindInsert(key)) return *t;
+  if (vdt_->IsDeleted(key)) return Status::NotFound("key deleted");
+  PDT_ASSIGN_OR_RETURN(Sid lb, StableLowerBound(key));
+  if (lb >= store_->num_rows()) return Status::NotFound("key not found");
+  PDT_ASSIGN_OR_RETURN(auto lb_key, store_->GetSortKey(lb));
+  if (CompareTuples(lb_key, key) != 0) {
+    return Status::NotFound("key not found");
+  }
+  return store_->GetTuple(lb);
+}
+
+// ---------------------------------------------------------------------
+// Updates.
+// ---------------------------------------------------------------------
+
+Status Table::Insert(const Tuple& tuple) {
+  PDT_RETURN_NOT_OK(schema_->ValidateTuple(tuple));
+  std::vector<Value> key = schema_->ExtractSortKey(tuple);
+  PDT_ASSIGN_OR_RETURN(bool exists, ContainsKey(key));
+  if (exists) {
+    return Status::AlreadyExists("duplicate sort key on insert");
+  }
+  if (pdt_) {
+    // The paper's positioning query: min RID whose tuple has a larger SK,
+    // then Algorithm 6 to respect ghost order.
+    PDT_ASSIGN_OR_RETURN(Rid rid, UpperBoundRid(key));
+    Sid sid = pdt_->SKRidToSid(key, rid);
+    return pdt_->AddInsert(sid, rid, tuple);
+  }
+  return vdt_->AddInsert(tuple);
+}
+
+Status Table::DeleteAt(Rid rid) {
+  if (!pdt_) return Status::InvalidArgument("positional delete needs PDT");
+  if (rid >= RowCount()) return Status::OutOfRange("rid out of range");
+  PDT_ASSIGN_OR_RETURN(auto key, MergedSortKey(rid));
+  return pdt_->AddDelete(rid, key);
+}
+
+Status Table::ModifyAt(Rid rid, ColumnId col, const Value& v) {
+  if (!pdt_) return Status::InvalidArgument("positional modify needs PDT");
+  if (rid >= RowCount()) return Status::OutOfRange("rid out of range");
+  if (schema_->IsSortKeyColumn(col)) {
+    // SK modify = delete + insert (Sec. 2.1).
+    PDT_ASSIGN_OR_RETURN(Tuple t, GetMergedTuple(rid));
+    PDT_RETURN_NOT_OK(DeleteAt(rid));
+    t[col] = v;
+    return Insert(t);
+  }
+  return pdt_->AddModify(rid, col, v);
+}
+
+Status Table::DeleteByKey(const std::vector<Value>& key) {
+  if (pdt_) {
+    PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
+    return pdt_->AddDelete(rid, key);
+  }
+  PDT_ASSIGN_OR_RETURN(bool exists, ContainsKey(key));
+  if (!exists) return Status::NotFound("key not found");
+  PDT_ASSIGN_OR_RETURN(bool stable, StableHasKey(key));
+  return vdt_->AddDelete(key, stable);
+}
+
+Status Table::ModifyByKey(const std::vector<Value>& key, ColumnId col,
+                          const Value& v) {
+  if (pdt_) {
+    PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
+    return ModifyAt(rid, col, v);
+  }
+  PDT_ASSIGN_OR_RETURN(Tuple t, GetTupleByKey(key));
+  PDT_ASSIGN_OR_RETURN(bool stable, StableHasKey(key));
+  if (schema_->IsSortKeyColumn(col)) {
+    PDT_RETURN_NOT_OK(vdt_->AddDelete(key, stable));
+    t[col] = v;
+    return vdt_->AddInsert(t);
+  }
+  t[col] = v;
+  return vdt_->AddModify(t, stable);
+}
+
+// ---------------------------------------------------------------------
+// Scan.
+// ---------------------------------------------------------------------
+
+std::unique_ptr<BatchSource> Table::Scan(std::vector<ColumnId> projection,
+                                         const KeyBounds* bounds) const {
+  std::vector<SidRange> ranges;
+  if (bounds != nullptr) {
+    ranges = sparse_index_.LookupRange(bounds->lo, bounds->hi);
+  }
+  if (pdt_) {
+    return MakeMergeScan(*store_, {pdt_.get()}, std::move(projection),
+                         std::move(ranges));
+  }
+  return std::make_unique<VdtMergeScan>(store_.get(), vdt_.get(),
+                                        std::move(projection),
+                                        std::move(ranges),
+                                        bounds ? *bounds : KeyBounds{});
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint.
+// ---------------------------------------------------------------------
+
+Status Table::Checkpoint() {
+  // Materialize the merged image column-wise...
+  std::vector<ColumnId> all_cols(schema_->num_columns());
+  for (ColumnId i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  auto scan = Scan(all_cols);
+  std::vector<ColumnVector> cols;
+  cols.reserve(all_cols.size());
+  for (ColumnId c = 0; c < all_cols.size(); ++c) {
+    cols.emplace_back(schema_->column(c).type);
+  }
+  Batch batch;
+  while (true) {
+    PDT_ASSIGN_OR_RETURN(bool more, scan->Next(&batch, kDefaultBatchSize));
+    if (!more) break;
+    for (size_t c = 0; c < cols.size(); ++c) {
+      cols[c].AppendRange(batch.column(c), 0, batch.num_rows());
+    }
+  }
+  // ...swap in a fresh stable image and reset the delta. The old store's
+  // chunks fall out of the buffer pool lazily (their keys are unique).
+  auto fresh = std::make_unique<ColumnStore>(*schema_, options_.store, pool_);
+  PDT_RETURN_NOT_OK(fresh->BulkLoadColumns(std::move(cols)));
+  store_ = std::move(fresh);
+  PDT_ASSIGN_OR_RETURN(sparse_index_, SparseIndex::Build(*store_));
+  if (pdt_) pdt_->Clear();
+  if (vdt_) vdt_->Clear();
+  return Status::OK();
+}
+
+size_t Table::DeltaMemoryBytes() const {
+  return pdt_ ? pdt_->MemoryBytes() : vdt_->MemoryBytes();
+}
+
+}  // namespace pdtstore

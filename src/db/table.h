@@ -1,0 +1,142 @@
+// Updatable ordered table: immutable stable ColumnStore + sparse index +
+// a differential structure (PDT or VDT, selectable per table so the two
+// schemes can be compared head-to-head), plus the SK-addressed update
+// logic the paper describes around Algorithms 3-6 (insert positioning via
+// merged binary search + SKRidToSid; SK-column modifies as delete+insert)
+// and checkpointing (Sec. 2, "Checkpointing").
+#ifndef PDTSTORE_DB_TABLE_H_
+#define PDTSTORE_DB_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "columnstore/batch.h"
+#include "pdt/merge_scan.h"
+#include "pdt/pdt.h"
+#include "storage/column_store.h"
+#include "storage/sparse_index.h"
+#include "vdt/vdt.h"
+#include "vdt/vdt_merge_scan.h"
+
+namespace pdtstore {
+
+/// Which differential scheme buffers this table's updates.
+enum class DeltaBackend { kPdt, kVdt };
+
+/// Per-table configuration.
+struct TableOptions {
+  DeltaBackend backend = DeltaBackend::kPdt;
+  ColumnStoreOptions store;
+  PdtOptions pdt;
+};
+
+/// An updatable, SK-ordered columnar table.
+class Table {
+ public:
+  Table(std::string name, std::shared_ptr<const Schema> schema,
+        TableOptions options, std::shared_ptr<BufferPool> pool = nullptr);
+
+  /// Bulk-loads the stable image (SK-ordered rows) and builds the sparse
+  /// index. Callable once, before any update.
+  Status Load(const std::vector<Tuple>& rows);
+  /// Column-wise bulk load (fast path for generators).
+  Status LoadColumns(std::vector<ColumnVector> columns);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return *schema_; }
+  std::shared_ptr<const Schema> shared_schema() const { return schema_; }
+  const TableOptions& options() const { return options_; }
+  const ColumnStore& store() const { return *store_; }
+  const SparseIndex& sparse_index() const { return sparse_index_; }
+  BufferPool* buffer_pool() const { return pool_.get(); }
+  Pdt* pdt() { return pdt_.get(); }
+  const Pdt* pdt() const { return pdt_.get(); }
+  Vdt* vdt() { return vdt_.get(); }
+  const Vdt* vdt() const { return vdt_.get(); }
+
+  /// Visible (merged) row count.
+  uint64_t RowCount() const;
+
+  // ------------------------------------------------------------------
+  // SK-addressed updates (work on both backends).
+  // ------------------------------------------------------------------
+
+  /// Inserts a full tuple; fails with AlreadyExists on a duplicate SK.
+  Status Insert(const Tuple& tuple);
+  /// Deletes the tuple with the given SK.
+  Status DeleteByKey(const std::vector<Value>& key);
+  /// Sets one column of the tuple with the given SK. Modifying an SK
+  /// column is executed as delete + insert (Sec. 2.1).
+  Status ModifyByKey(const std::vector<Value>& key, ColumnId col,
+                     const Value& v);
+
+  // ------------------------------------------------------------------
+  // Positional updates (PDT backend only — the VDT has no positions,
+  // which is precisely the architectural difference under study).
+  // ------------------------------------------------------------------
+
+  Status DeleteAt(Rid rid);
+  Status ModifyAt(Rid rid, ColumnId col, const Value& v);
+
+  // ------------------------------------------------------------------
+  // Merged-image access (PDT backend).
+  // ------------------------------------------------------------------
+
+  /// Full merged tuple at `rid`.
+  StatusOr<Tuple> GetMergedTuple(Rid rid) const;
+  /// SK of the merged tuple at `rid`.
+  StatusOr<std::vector<Value>> MergedSortKey(Rid rid) const;
+  /// First RID whose SK is > `key` (row count if none).
+  StatusOr<Rid> UpperBoundRid(const std::vector<Value>& key) const;
+  /// Locates an exact SK. Returns NotFound if absent.
+  StatusOr<Rid> FindRidByKey(const std::vector<Value>& key) const;
+  /// True if the key is visible in the merged image (both backends).
+  StatusOr<bool> ContainsKey(const std::vector<Value>& key) const;
+
+  // ------------------------------------------------------------------
+  // Scans.
+  // ------------------------------------------------------------------
+
+  /// Merging scan of `projection`; `bounds` (optional, inclusive SK
+  /// prefix range) restricts it through the sparse index. The PDT path
+  /// scans exactly `projection`; the VDT path additionally reads all SK
+  /// columns — the paper's core I/O asymmetry.
+  std::unique_ptr<BatchSource> Scan(std::vector<ColumnId> projection,
+                                    const KeyBounds* bounds = nullptr) const;
+
+  // ------------------------------------------------------------------
+  // Maintenance.
+  // ------------------------------------------------------------------
+
+  /// Rebuilds the stable image from the merged state, resets the delta
+  /// and re-derives the sparse index ("create a new image of the table
+  /// with all updates applied", Sec. 2).
+  Status Checkpoint();
+
+  /// Heap footprint of the differential structure.
+  size_t DeltaMemoryBytes() const;
+
+ private:
+  // First stable SID with SK >= key (binary search over stable storage).
+  StatusOr<Sid> StableLowerBound(const std::vector<Value>& key) const;
+  // True if the *stable* image contains this exact key.
+  StatusOr<bool> StableHasKey(const std::vector<Value>& key) const;
+  // Current full tuple by key (either backend).
+  StatusOr<Tuple> GetTupleByKey(const std::vector<Value>& key) const;
+
+  std::string name_;
+  std::shared_ptr<const Schema> schema_;
+  TableOptions options_;
+  std::shared_ptr<BufferPool> pool_;
+  std::unique_ptr<ColumnStore> store_;
+  SparseIndex sparse_index_;
+  std::unique_ptr<Pdt> pdt_;
+  std::unique_ptr<Vdt> vdt_;
+  bool loaded_ = false;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_DB_TABLE_H_

@@ -1,0 +1,69 @@
+#include "exec/filter.h"
+
+namespace pdtstore {
+
+StatusOr<bool> FilterNode::Next(Batch* out, size_t max_rows) {
+  Batch in;
+  while (true) {
+    PDT_ASSIGN_OR_RETURN(bool more, input_->Next(&in, max_rows));
+    if (!more) return false;
+    std::vector<uint8_t> keep(in.num_rows(), 0);
+    predicate_(in, &keep);
+    // Compact survivors.
+    *out = Batch();
+    out->set_column_ids(in.column_ids());
+    out->set_start_rid(in.start_rid());
+    for (size_t c = 0; c < in.num_columns(); ++c) {
+      out->columns().emplace_back(in.column(c).type());
+    }
+    for (size_t i = 0; i < in.num_rows(); ++i) {
+      if (keep[i]) out->AppendRow(in, i);
+    }
+    if (out->num_rows() > 0) return true;
+    // Entirely filtered out: pull the next input batch.
+  }
+}
+
+VecPredicate Int64Between(size_t idx, int64_t lo, int64_t hi) {
+  return [idx, lo, hi](const Batch& b, std::vector<uint8_t>* keep) {
+    const auto& v = b.column(idx).ints();
+    for (size_t i = 0; i < v.size(); ++i) {
+      (*keep)[i] = (v[i] >= lo && v[i] <= hi) ? 1 : 0;
+    }
+  };
+}
+
+VecPredicate DoubleInRange(size_t idx, double lo, double hi) {
+  return [idx, lo, hi](const Batch& b, std::vector<uint8_t>* keep) {
+    const auto& v = b.column(idx).doubles();
+    for (size_t i = 0; i < v.size(); ++i) {
+      (*keep)[i] = (v[i] >= lo && v[i] < hi) ? 1 : 0;
+    }
+  };
+}
+
+VecPredicate StringEquals(size_t idx, std::string s) {
+  return [idx, s = std::move(s)](const Batch& b,
+                                 std::vector<uint8_t>* keep) {
+    const auto& v = b.column(idx).strings();
+    for (size_t i = 0; i < v.size(); ++i) {
+      (*keep)[i] = (v[i] == s) ? 1 : 0;
+    }
+  };
+}
+
+VecPredicate And(std::vector<VecPredicate> preds) {
+  return [preds = std::move(preds)](const Batch& b,
+                                    std::vector<uint8_t>* keep) {
+    std::vector<uint8_t> acc(b.num_rows(), 1);
+    std::vector<uint8_t> tmp;
+    for (const auto& p : preds) {
+      tmp.assign(b.num_rows(), 0);
+      p(b, &tmp);
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] &= tmp[i];
+    }
+    *keep = std::move(acc);
+  };
+}
+
+}  // namespace pdtstore

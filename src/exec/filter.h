@@ -1,0 +1,45 @@
+// FilterNode: vectorized selection. The predicate marks surviving rows of
+// a whole batch at once; survivors are compacted into the output batch.
+#ifndef PDTSTORE_EXEC_FILTER_H_
+#define PDTSTORE_EXEC_FILTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "columnstore/batch.h"
+
+namespace pdtstore {
+
+/// Vector-at-a-time predicate: set keep[i] for surviving rows. `keep`
+/// arrives sized to the batch and zero-initialized.
+using VecPredicate =
+    std::function<void(const Batch&, std::vector<uint8_t>* keep)>;
+
+/// Selection operator.
+class FilterNode : public BatchSource {
+ public:
+  FilterNode(std::unique_ptr<BatchSource> input, VecPredicate predicate)
+      : input_(std::move(input)), predicate_(std::move(predicate)) {}
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override;
+
+ private:
+  std::unique_ptr<BatchSource> input_;
+  VecPredicate predicate_;
+};
+
+// --- predicate helpers (composable building blocks for query kernels) ---
+
+/// col(idx) within [lo, hi] (inclusive; int64 columns).
+VecPredicate Int64Between(size_t idx, int64_t lo, int64_t hi);
+/// col(idx) within [lo, hi) (double columns).
+VecPredicate DoubleInRange(size_t idx, double lo, double hi);
+/// col(idx) == s (string columns).
+VecPredicate StringEquals(size_t idx, std::string s);
+/// Conjunction of predicates.
+VecPredicate And(std::vector<VecPredicate> preds);
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_EXEC_FILTER_H_

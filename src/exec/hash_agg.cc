@@ -1,0 +1,189 @@
+#include "exec/hash_agg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "exec/operator.h"
+
+namespace pdtstore {
+
+namespace {
+
+// Serializes a group key into a flat byte string (hashable map key).
+void EncodeGroupKey(const Batch& b, size_t row,
+                    const std::vector<size_t>& cols, std::string* out) {
+  out->clear();
+  for (size_t c : cols) {
+    const ColumnVector& col = b.column(c);
+    switch (col.type()) {
+      case TypeId::kInt64: {
+        int64_t v = col.ints()[row];
+        out->append(reinterpret_cast<const char*>(&v), 8);
+        break;
+      }
+      case TypeId::kDouble: {
+        double v = col.doubles()[row];
+        out->append(reinterpret_cast<const char*>(&v), 8);
+        break;
+      }
+      case TypeId::kString: {
+        const std::string& s = col.strings()[row];
+        uint32_t len = static_cast<uint32_t>(s.size());
+        out->append(reinterpret_cast<const char*>(&len), 4);
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+// Numeric view of a cell (int64 promoted to double).
+double NumericAt(const ColumnVector& col, size_t row) {
+  return col.type() == TypeId::kInt64
+             ? static_cast<double>(col.ints()[row])
+             : col.doubles()[row];
+}
+
+struct GroupState {
+  size_t first_row;  // index into key material
+  std::vector<double> sums;
+  std::vector<double> mins;
+  std::vector<double> maxs;
+  int64_t count = 0;
+};
+
+}  // namespace
+
+Status HashAggNode::BuildResult() {
+  std::unordered_map<std::string, GroupState> groups;
+  // Materialized copies of the group-key columns (one value per group).
+  std::vector<ColumnVector> key_cols;
+  bool key_cols_init = false;
+
+  Batch in;
+  std::string key;
+  while (true) {
+    PDT_ASSIGN_OR_RETURN(bool more, input_->Next(&in, kDefaultBatchSize));
+    if (!more) break;
+    if (!key_cols_init) {
+      for (size_t c : group_by_) {
+        key_cols.emplace_back(in.column(c).type());
+      }
+      key_cols_init = true;
+    }
+    for (size_t row = 0; row < in.num_rows(); ++row) {
+      EncodeGroupKey(in, row, group_by_, &key);
+      auto [it, inserted] = groups.try_emplace(key);
+      GroupState& g = it->second;
+      if (inserted) {
+        g.first_row = key_cols.empty() ? 0 : key_cols[0].size();
+        for (size_t c = 0; c < group_by_.size(); ++c) {
+          key_cols[c].AppendFrom(in.column(group_by_[c]), row);
+        }
+        g.sums.assign(aggs_.size(), 0.0);
+        g.mins.assign(aggs_.size(), std::numeric_limits<double>::infinity());
+        g.maxs.assign(aggs_.size(),
+                      -std::numeric_limits<double>::infinity());
+      }
+      ++g.count;
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        if (aggs_[a].kind == AggKind::kCount) continue;
+        double v = NumericAt(in.column(aggs_[a].input_idx), row);
+        g.sums[a] += v;
+        g.mins[a] = std::min(g.mins[a], v);
+        g.maxs[a] = std::max(g.maxs[a], v);
+      }
+    }
+  }
+
+  // Assemble the result batch: key columns then aggregates.
+  result_ = Batch();
+  std::vector<ColumnId> ids;
+  for (size_t c = 0; c < group_by_.size(); ++c) {
+    ids.push_back(static_cast<ColumnId>(c));
+    result_.columns().push_back(key_cols.empty() ? ColumnVector()
+                                                 : key_cols[c]);
+  }
+  std::vector<ColumnVector> agg_cols;
+  for (const AggSpec& a : aggs_) {
+    agg_cols.emplace_back(a.kind == AggKind::kCount ? TypeId::kInt64
+                                                    : TypeId::kDouble);
+  }
+  // Emit groups ordered by first appearance (stable across runs).
+  std::vector<const GroupState*> ordered(groups.size());
+  {
+    size_t i = 0;
+    std::vector<std::pair<size_t, const GroupState*>> tmp;
+    tmp.reserve(groups.size());
+    for (const auto& [k, g] : groups) tmp.emplace_back(g.first_row, &g);
+    std::sort(tmp.begin(), tmp.end());
+    for (const auto& [pos, g] : tmp) ordered[i++] = g;
+  }
+  // Key columns are already in first-appearance order only if group_by_
+  // is non-empty; reorder them to match `ordered`.
+  if (!group_by_.empty() && key_cols_init) {
+    std::vector<ColumnVector> reordered;
+    for (size_t c = 0; c < group_by_.size(); ++c) {
+      ColumnVector col(key_cols[c].type());
+      for (const GroupState* g : ordered) {
+        col.AppendFrom(key_cols[c], g->first_row);
+      }
+      reordered.push_back(std::move(col));
+    }
+    for (size_t c = 0; c < group_by_.size(); ++c) {
+      result_.column(c) = std::move(reordered[c]);
+    }
+  }
+  for (const GroupState* g : ordered) {
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      switch (aggs_[a].kind) {
+        case AggKind::kSum:
+          agg_cols[a].doubles().push_back(g->sums[a]);
+          break;
+        case AggKind::kCount:
+          agg_cols[a].ints().push_back(g->count);
+          break;
+        case AggKind::kMin:
+          agg_cols[a].doubles().push_back(g->mins[a]);
+          break;
+        case AggKind::kMax:
+          agg_cols[a].doubles().push_back(g->maxs[a]);
+          break;
+        case AggKind::kAvg:
+          agg_cols[a].doubles().push_back(
+              g->count > 0 ? g->sums[a] / static_cast<double>(g->count)
+                           : 0.0);
+          break;
+      }
+    }
+  }
+  // Global aggregation with zero input rows: emit a single all-zero row.
+  if (groups.empty() && group_by_.empty()) {
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      if (aggs_[a].kind == AggKind::kCount) {
+        agg_cols[a].ints().push_back(0);
+      } else {
+        agg_cols[a].doubles().push_back(0.0);
+      }
+    }
+  }
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    ids.push_back(static_cast<ColumnId>(group_by_.size() + a));
+    result_.columns().push_back(std::move(agg_cols[a]));
+  }
+  result_.set_column_ids(std::move(ids));
+  emitter_ = std::make_unique<VectorSource>(std::move(result_));
+  built_ = true;
+  return Status::OK();
+}
+
+StatusOr<bool> HashAggNode::Next(Batch* out, size_t max_rows) {
+  if (!built_) {
+    PDT_RETURN_NOT_OK(BuildResult());
+  }
+  return emitter_->Next(out, max_rows);
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,50 @@
+// HashAggNode: grouped aggregation (SUM / COUNT / MIN / MAX / AVG) with
+// hash-partitioned groups, materialized on first pull.
+#ifndef PDTSTORE_EXEC_HASH_AGG_H_
+#define PDTSTORE_EXEC_HASH_AGG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "columnstore/batch.h"
+
+namespace pdtstore {
+
+/// Aggregate function kinds.
+enum class AggKind { kSum, kCount, kMin, kMax, kAvg };
+
+/// One aggregate: fn over input column `input_idx` (ignored for COUNT).
+struct AggSpec {
+  AggKind kind;
+  size_t input_idx = 0;
+};
+
+/// Grouped aggregation. Output columns: the group-by columns (in the
+/// given order) followed by one double/int64 column per aggregate
+/// (COUNT -> int64, others -> double).
+class HashAggNode : public BatchSource {
+ public:
+  HashAggNode(std::unique_ptr<BatchSource> input,
+              std::vector<size_t> group_by, std::vector<AggSpec> aggs)
+      : input_(std::move(input)),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)) {}
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override;
+
+ private:
+  Status BuildResult();
+
+  std::unique_ptr<BatchSource> input_;
+  std::vector<size_t> group_by_;
+  std::vector<AggSpec> aggs_;
+  bool built_ = false;
+  Batch result_;
+  std::unique_ptr<BatchSource> emitter_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_EXEC_HASH_AGG_H_

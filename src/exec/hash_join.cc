@@ -1,0 +1,94 @@
+#include "exec/hash_join.h"
+
+#include "exec/operator.h"
+
+namespace pdtstore {
+
+namespace {
+void EncodeKey(const Batch& b, size_t row, const std::vector<size_t>& cols,
+               std::string* out) {
+  out->clear();
+  for (size_t c : cols) {
+    const ColumnVector& col = b.column(c);
+    switch (col.type()) {
+      case TypeId::kInt64: {
+        int64_t v = col.ints()[row];
+        out->append(reinterpret_cast<const char*>(&v), 8);
+        break;
+      }
+      case TypeId::kDouble: {
+        double v = col.doubles()[row];
+        out->append(reinterpret_cast<const char*>(&v), 8);
+        break;
+      }
+      case TypeId::kString: {
+        const std::string& s = col.strings()[row];
+        uint32_t len = static_cast<uint32_t>(s.size());
+        out->append(reinterpret_cast<const char*>(&len), 4);
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+}  // namespace
+
+Status HashJoinNode::BuildTable() {
+  PDT_ASSIGN_OR_RETURN(build_rows_, MaterializeAll(build_.get()));
+  std::string key;
+  for (size_t row = 0; row < build_rows_.num_rows(); ++row) {
+    EncodeKey(build_rows_, row, build_keys_, &key);
+    table_.emplace(key, row);
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+StatusOr<bool> HashJoinNode::Next(Batch* out, size_t max_rows) {
+  if (!built_) {
+    PDT_RETURN_NOT_OK(BuildTable());
+  }
+  Batch in;
+  std::string key;
+  while (true) {
+    PDT_ASSIGN_OR_RETURN(bool more, probe_->Next(&in, max_rows));
+    if (!more) return false;
+    *out = Batch();
+    std::vector<ColumnId> ids;
+    for (size_t c = 0; c < in.num_columns(); ++c) {
+      ids.push_back(static_cast<ColumnId>(c));
+      out->columns().emplace_back(in.column(c).type());
+    }
+    if (kind_ == JoinKind::kInner) {
+      for (size_t c = 0; c < build_rows_.num_columns(); ++c) {
+        ids.push_back(static_cast<ColumnId>(in.num_columns() + c));
+        out->columns().emplace_back(build_rows_.column(c).type());
+      }
+    }
+    out->set_column_ids(std::move(ids));
+    for (size_t row = 0; row < in.num_rows(); ++row) {
+      EncodeKey(in, row, probe_keys_, &key);
+      auto [lo, hi] = table_.equal_range(key);
+      if (kind_ == JoinKind::kLeftSemi) {
+        if (lo != hi) out->AppendRow(in, row);
+        continue;
+      }
+      if (kind_ == JoinKind::kLeftAnti) {
+        if (lo == hi) out->AppendRow(in, row);
+        continue;
+      }
+      for (auto it = lo; it != hi; ++it) {
+        for (size_t c = 0; c < in.num_columns(); ++c) {
+          out->column(c).AppendFrom(in.column(c), row);
+        }
+        for (size_t c = 0; c < build_rows_.num_columns(); ++c) {
+          out->column(in.num_columns() + c)
+              .AppendFrom(build_rows_.column(c), it->second);
+        }
+      }
+    }
+    if (out->num_rows() > 0) return true;
+  }
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,50 @@
+// HashJoinNode: in-memory equi-join. The build side is fully materialized
+// into a hash table; probe batches stream through. Inner or left-semi.
+#ifndef PDTSTORE_EXEC_HASH_JOIN_H_
+#define PDTSTORE_EXEC_HASH_JOIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "columnstore/batch.h"
+
+namespace pdtstore {
+
+/// Join flavor.
+enum class JoinKind { kInner, kLeftSemi, kLeftAnti };
+
+/// Equi-join on (probe_keys[i] == build_keys[i]). Output columns: all
+/// probe columns, then (inner only) all build columns.
+class HashJoinNode : public BatchSource {
+ public:
+  HashJoinNode(std::unique_ptr<BatchSource> probe,
+               std::unique_ptr<BatchSource> build,
+               std::vector<size_t> probe_keys,
+               std::vector<size_t> build_keys,
+               JoinKind kind = JoinKind::kInner)
+      : probe_(std::move(probe)),
+        build_(std::move(build)),
+        probe_keys_(std::move(probe_keys)),
+        build_keys_(std::move(build_keys)),
+        kind_(kind) {}
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override;
+
+ private:
+  Status BuildTable();
+
+  std::unique_ptr<BatchSource> probe_;
+  std::unique_ptr<BatchSource> build_;
+  std::vector<size_t> probe_keys_;
+  std::vector<size_t> build_keys_;
+  JoinKind kind_;
+  bool built_ = false;
+  Batch build_rows_;
+  std::unordered_multimap<std::string, size_t> table_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_EXEC_HASH_JOIN_H_

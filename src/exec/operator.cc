@@ -1,0 +1,39 @@
+#include "exec/operator.h"
+
+namespace pdtstore {
+
+StatusOr<bool> VectorSource::Next(Batch* out, size_t max_rows) {
+  if (pos_ >= batch_.num_rows()) return false;
+  size_t end = std::min(batch_.num_rows(), pos_ + max_rows);
+  *out = Batch();
+  out->set_column_ids(batch_.column_ids());
+  out->set_start_rid(batch_.start_rid() + pos_);
+  for (size_t c = 0; c < batch_.num_columns(); ++c) {
+    ColumnVector col(batch_.column(c).type());
+    col.AppendRange(batch_.column(c), pos_, end);
+    out->columns().push_back(std::move(col));
+  }
+  pos_ = end;
+  return true;
+}
+
+StatusOr<Batch> MaterializeAll(BatchSource* source, size_t batch_size) {
+  Batch all;
+  Batch batch;
+  bool first = true;
+  while (true) {
+    PDT_ASSIGN_OR_RETURN(bool more, source->Next(&batch, batch_size));
+    if (!more) break;
+    if (first) {
+      all = batch;
+      first = false;
+      continue;
+    }
+    for (size_t c = 0; c < all.num_columns(); ++c) {
+      all.column(c).AppendRange(batch.column(c), 0, batch.num_rows());
+    }
+  }
+  return all;
+}
+
+}  // namespace pdtstore

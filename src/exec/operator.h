@@ -1,0 +1,32 @@
+// Executor basics: materialization helpers and a static batch source.
+// All operators are pull-based BatchSources (block-oriented processing in
+// the X100 style the paper's engine uses).
+#ifndef PDTSTORE_EXEC_OPERATOR_H_
+#define PDTSTORE_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "columnstore/batch.h"
+
+namespace pdtstore {
+
+/// Emits one pre-materialized batch in slices.
+class VectorSource : public BatchSource {
+ public:
+  explicit VectorSource(Batch batch) : batch_(std::move(batch)) {}
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override;
+
+ private:
+  Batch batch_;
+  size_t pos_ = 0;
+};
+
+/// Drains `source` into one big batch.
+StatusOr<Batch> MaterializeAll(BatchSource* source,
+                               size_t batch_size = kDefaultBatchSize);
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_EXEC_OPERATOR_H_

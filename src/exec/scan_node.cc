@@ -1,0 +1,11 @@
+#include "exec/scan_node.h"
+
+namespace pdtstore {
+
+std::unique_ptr<BatchSource> TableScanNode(const Table& table,
+                                           std::vector<ColumnId> projection,
+                                           const KeyBounds* bounds) {
+  return table.Scan(std::move(projection), bounds);
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,21 @@
+// Thin adapters that plug Table scans and Transactions into operator
+// pipelines, plus a pipeline-construction helper.
+#ifndef PDTSTORE_EXEC_SCAN_NODE_H_
+#define PDTSTORE_EXEC_SCAN_NODE_H_
+
+#include <memory>
+#include <vector>
+
+#include "db/table.h"
+
+namespace pdtstore {
+
+/// Merging table scan as a pipeline source. Holds the KeyBounds so query
+/// kernels can construct restricted scans in one expression.
+std::unique_ptr<BatchSource> TableScanNode(const Table& table,
+                                           std::vector<ColumnId> projection,
+                                           const KeyBounds* bounds = nullptr);
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_EXEC_SCAN_NODE_H_

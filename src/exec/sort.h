@@ -1,0 +1,37 @@
+// SortNode: full materializing sort with optional LIMIT (top-k).
+#ifndef PDTSTORE_EXEC_SORT_H_
+#define PDTSTORE_EXEC_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "columnstore/batch.h"
+
+namespace pdtstore {
+
+/// One sort key: column index + direction.
+struct SortKey {
+  size_t idx;
+  bool descending = false;
+};
+
+/// Materializing sort with optional limit (0 = unlimited).
+class SortNode : public BatchSource {
+ public:
+  SortNode(std::unique_ptr<BatchSource> input, std::vector<SortKey> keys,
+           size_t limit = 0)
+      : input_(std::move(input)), keys_(std::move(keys)), limit_(limit) {}
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override;
+
+ private:
+  std::unique_ptr<BatchSource> input_;
+  std::vector<SortKey> keys_;
+  size_t limit_;
+  bool built_ = false;
+  std::unique_ptr<BatchSource> emitter_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_EXEC_SORT_H_

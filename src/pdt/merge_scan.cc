@@ -1,0 +1,194 @@
+#include "pdt/merge_scan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdtstore {
+
+// ---------------------------------------------------------------------
+// StableScanSource.
+// ---------------------------------------------------------------------
+
+StableScanSource::StableScanSource(const ColumnStore* store,
+                                   std::vector<ColumnId> projection,
+                                   std::vector<SidRange> ranges)
+    : store_(store),
+      projection_(std::move(projection)),
+      ranges_(std::move(ranges)) {
+  assert(!projection_.empty() && "scan needs at least one column");
+  if (ranges_.empty()) {
+    ranges_.push_back(SidRange{0, store_->num_rows()});
+  }
+}
+
+StatusOr<bool> StableScanSource::Next(Batch* out, size_t max_rows) {
+  if (!started_) {
+    started_ = true;
+    cur_sid_ = ranges_.empty() ? 0 : ranges_[0].begin;
+  }
+  // Skip exhausted / empty ranges.
+  while (range_idx_ < ranges_.size() &&
+         cur_sid_ >= ranges_[range_idx_].end) {
+    ++range_idx_;
+    if (range_idx_ < ranges_.size()) cur_sid_ = ranges_[range_idx_].begin;
+  }
+  if (range_idx_ >= ranges_.size() || store_->num_rows() == 0) return false;
+
+  const SidRange& range = ranges_[range_idx_];
+  size_t ci = store_->ChunkIndexForSid(cur_sid_);
+  auto [cstart, cend] = store_->ChunkSidRange(ci);
+  Sid end = std::min({range.end, cend, cur_sid_ + max_rows});
+
+  *out = Batch::ForSchema(store_->schema(), projection_);
+  out->set_start_rid(cur_sid_);
+  for (size_t i = 0; i < projection_.size(); ++i) {
+    PDT_ASSIGN_OR_RETURN(auto data, store_->FetchChunk(projection_[i], ci));
+    out->column(i).AppendRange(*data, cur_sid_ - cstart, end - cstart);
+  }
+  cur_sid_ = end;
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// PdtMergeSource.
+// ---------------------------------------------------------------------
+
+PdtMergeSource::PdtMergeSource(std::unique_ptr<BatchSource> input,
+                               const Pdt* pdt,
+                               std::vector<ColumnId> projection)
+    : input_(std::move(input)),
+      pdt_(pdt),
+      projection_(std::move(projection)) {
+  cursor_ = pdt_->Begin();
+}
+
+StatusOr<bool> PdtMergeSource::FillInput(size_t max_rows) {
+  PDT_ASSIGN_OR_RETURN(bool more, input_->Next(&buf_, max_rows));
+  buf_off_ = 0;
+  if (!more) {
+    buf_ = Batch();  // drop any stale rows from the previous batch
+    input_done_ = true;
+    return false;
+  }
+  if (buf_.start_rid() != in_pos_) {
+    // Discontinuity (restricted scan skipped a SID range): re-seek. The
+    // cursor's delta_before is the global prefix delta at the new
+    // position, so emitted RIDs remain globally correct.
+    in_pos_ = buf_.start_rid();
+    cursor_ = pdt_->SeekSid(in_pos_);
+  }
+  return true;
+}
+
+void PdtMergeSource::EmitInsert(Batch* out, uint64_t offset) {
+  const ValueSpace& vs = pdt_->value_space();
+  for (size_t i = 0; i < projection_.size(); ++i) {
+    out->column(i).AppendFrom(vs.insert_column(projection_[i]), offset);
+  }
+}
+
+StatusOr<bool> PdtMergeSource::Next(Batch* out, size_t max_rows) {
+  *out = Batch::ForSchema(pdt_->schema(), projection_);
+  bool start_set = false;
+  auto set_start = [&] {
+    if (!start_set) {
+      out->set_start_rid(in_pos_ + cursor_.delta_before());
+      start_set = true;
+    }
+  };
+
+  while (out->num_rows() < max_rows) {
+    if (!input_done_ && buf_off_ >= buf_.num_rows()) {
+      PDT_ASSIGN_OR_RETURN(bool more, FillInput(max_rows));
+      (void)more;
+    }
+    const bool have_row = buf_off_ < buf_.num_rows();
+    const bool have_entry = cursor_.Valid();
+
+    if (have_row) {
+      if (!have_entry || cursor_.sid() > in_pos_) {
+        // Fast path: pass a whole run through untouched. `skip` in the
+        // paper's Algorithm 2 — here a bulk column copy.
+        size_t run = buf_.num_rows() - buf_off_;
+        if (have_entry) {
+          run = std::min<size_t>(run, cursor_.sid() - in_pos_);
+        }
+        run = std::min(run, max_rows - out->num_rows());
+        set_start();
+        for (size_t i = 0; i < out->num_columns(); ++i) {
+          out->column(i).AppendRange(buf_.column(i), buf_off_,
+                                     buf_off_ + run);
+        }
+        buf_off_ += run;
+        in_pos_ += run;
+        continue;
+      }
+      assert(cursor_.sid() == in_pos_);
+      const uint16_t type = cursor_.type();
+      if (type == kTypeIns) {
+        set_start();
+        EmitInsert(out, cursor_.value());
+        cursor_.Next();
+        continue;
+      }
+      if (type == kTypeDel) {
+        // Ghost: consume the stable row without emitting it.
+        ++buf_off_;
+        ++in_pos_;
+        cursor_.Next();
+        continue;
+      }
+      // Modify group: emit the stable row, patching projected columns.
+      set_start();
+      out->AppendRow(buf_, buf_off_);
+      const size_t row = out->num_rows() - 1;
+      const Sid s = cursor_.sid();
+      while (cursor_.Valid() && cursor_.sid() == s &&
+             IsModifyType(cursor_.type())) {
+        const ColumnId col = static_cast<ColumnId>(cursor_.type());
+        int idx = out->IndexOfColumn(col);
+        if (idx >= 0) {
+          out->column(idx).SetValue(
+              row, pdt_->value_space().GetModifyValue(col, cursor_.value()));
+        }
+        cursor_.Next();
+      }
+      ++buf_off_;
+      ++in_pos_;
+      continue;
+    }
+
+    if (!input_done_) continue;  // fetch more at the loop top
+
+    // Input exhausted: emit trailing inserts at the end position.
+    if (have_entry && cursor_.sid() == in_pos_ &&
+        cursor_.type() == kTypeIns) {
+      set_start();
+      EmitInsert(out, cursor_.value());
+      cursor_.Next();
+      continue;
+    }
+    break;
+  }
+  return out->num_rows() > 0;
+}
+
+// ---------------------------------------------------------------------
+// Stack assembly.
+// ---------------------------------------------------------------------
+
+std::unique_ptr<BatchSource> MakeMergeScan(const ColumnStore& store,
+                                           std::vector<const Pdt*> layers,
+                                           std::vector<ColumnId> projection,
+                                           std::vector<SidRange> ranges) {
+  std::unique_ptr<BatchSource> source = std::make_unique<StableScanSource>(
+      &store, projection, std::move(ranges));
+  for (const Pdt* layer : layers) {
+    if (layer == nullptr) continue;
+    source = std::make_unique<PdtMergeSource>(std::move(source), layer,
+                                              projection);
+  }
+  return source;
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,85 @@
+// MergeScan (Algorithm 2), block-oriented: a stable-table scan merged with
+// one or more stacked PDT layers. Because differences are positional, the
+// merge never touches sort-key values — the scan only reads the projected
+// columns, which is the PDT's headline I/O advantage over value-based
+// merging (Sec. 2, "Merging: PDT vs VDT").
+#ifndef PDTSTORE_PDT_MERGE_SCAN_H_
+#define PDTSTORE_PDT_MERGE_SCAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "columnstore/batch.h"
+#include "pdt/pdt.h"
+#include "storage/column_store.h"
+#include "storage/sparse_index.h"
+
+namespace pdtstore {
+
+/// Scans the stable table's projected columns over the given SID ranges
+/// (empty = full table), emitting batches whose start_rid is the SID of
+/// the first row. The input side of every merge stack.
+class StableScanSource : public BatchSource {
+ public:
+  /// `projection` must be non-empty; `ranges` must be ascending and
+  /// disjoint (as produced by SparseIndex::LookupRange).
+  StableScanSource(const ColumnStore* store, std::vector<ColumnId> projection,
+                   std::vector<SidRange> ranges = {});
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override;
+
+ private:
+  const ColumnStore* store_;
+  std::vector<ColumnId> projection_;
+  std::vector<SidRange> ranges_;
+  size_t range_idx_ = 0;
+  Sid cur_sid_ = 0;
+  bool started_ = false;
+};
+
+/// Applies one PDT layer to an input stream whose row positions (batch
+/// start_rid + offset) are in the PDT's SID domain. Emits rows with RIDs
+/// in the PDT's RID domain. The fast path passes whole runs of unmodified
+/// rows through by counting down to the next update position ("skip"),
+/// never comparing values.
+///
+/// Range-scan semantics: on a gap in the input positions the entry cursor
+/// re-seeks; trailing inserts (entries at the end-of-input position) are
+/// emitted when the input is exhausted, which for restricted scans yields
+/// a conservative superset exactly like zone-map pruning does — query
+/// predicates filter on top.
+class PdtMergeSource : public BatchSource {
+ public:
+  PdtMergeSource(std::unique_ptr<BatchSource> input, const Pdt* pdt,
+                 std::vector<ColumnId> projection);
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override;
+
+ private:
+  // Ensures buf_ has an unconsumed row, pulling from the input; returns
+  // false when the input is exhausted.
+  StatusOr<bool> FillInput(size_t max_rows);
+  // Appends the insert-space tuple at `offset` to `out`.
+  void EmitInsert(Batch* out, uint64_t offset);
+
+  std::unique_ptr<BatchSource> input_;
+  const Pdt* pdt_;
+  std::vector<ColumnId> projection_;
+  Batch buf_;
+  size_t buf_off_ = 0;
+  Rid in_pos_ = 0;     // input-domain position of buf_[buf_off_]
+  bool input_done_ = false;
+  bool primed_ = false;
+  Pdt::Cursor cursor_;
+};
+
+/// Builds the full stack: stable scan + one PdtMergeSource per layer,
+/// bottom-up (layers[0] is the lowest / oldest, e.g. Read-PDT; the last is
+/// e.g. the Trans-PDT). Null layers are skipped.
+std::unique_ptr<BatchSource> MakeMergeScan(
+    const ColumnStore& store, std::vector<const Pdt*> layers,
+    std::vector<ColumnId> projection, std::vector<SidRange> ranges = {});
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_PDT_MERGE_SCAN_H_

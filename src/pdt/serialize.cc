@@ -1,0 +1,120 @@
+// Algorithm 8: Serialize. Invoked on Tx (the committing transaction's
+// PDT) with an *aligned* Ty (an earlier-committed, overlapping
+// transaction's serialized PDT): both record updates against the same
+// snapshot. On success Tx's SIDs are converted into Ty's RID domain,
+// making Tx *consecutive* to Ty (so it can subsequently be Propagate-d),
+// and write-write conflicts are reported as Status::Conflict.
+//
+// Conflict rules (tuple-level write-write, Sec. 3.3):
+//   INS-INS with equal sort key            -> key conflict (SK is unique)
+//   DEL/MOD in Tx of a tuple Ty deleted    -> conflict
+//   DEL in Tx of a tuple Ty modified       -> conflict
+//   MOD-MOD of the same column             -> conflict (CheckModConflict);
+//     modifications of *different* columns of the same tuple reconcile.
+//
+// Implementation notes (deviations from the paper's sketch, which has a
+// few bookkeeping gaps; see DESIGN.md "Serialize corrections"):
+//  * A Ty DEL co-located with Tx inserts is counted into the running
+//    delta exactly once — when the scan moves past the SID — not once
+//    per co-located Tx insert.
+//  * A Ty INS co-located with a Tx MOD/DEL of the stable tuple at that
+//    SID contributes to the delta before that MOD/DEL converts (the
+//    insert precedes the stable tuple).
+//  * MOD-MOD checking compares the Tx modify against *all* Ty modify
+//    entries of that tuple (the paper's pairwise loop advances neither
+//    cursor on reconcilable column modifies).
+//  * We transform a flattened copy and rebuild the tree rather than
+//    editing separator keys in place.
+#include "pdt/pdt.h"
+
+namespace pdtstore {
+
+Status Pdt::SerializeAgainst(const Pdt& ty) {
+  std::vector<UpdateEntry> tx_entries = Flatten();
+  const std::vector<UpdateEntry> ty_entries = ty.Flatten();
+  const ValueSpace& tx_vs = value_space_;
+  const ValueSpace& ty_vs = ty.value_space();
+
+  int64_t delta = 0;
+  size_t j = 0;
+  const size_t jmax = ty_entries.size();
+
+  for (UpdateEntry& e : tx_entries) {
+    const Sid s = e.sid;
+    // Consume Ty entries strictly before s.
+    while (j < jmax && ty_entries[j].sid < s) {
+      delta += DeltaOf(ty_entries[j].type);
+      ++j;
+    }
+    // Interact with Ty entries at the same SID.
+    bool converted = false;
+    while (!converted) {
+      if (j >= jmax || ty_entries[j].sid > s) {
+        e.sid = static_cast<Sid>(static_cast<int64_t>(e.sid) + delta);
+        converted = true;
+        break;
+      }
+      const UpdateEntry& y = ty_entries[j];
+      if (y.type == kTypeIns) {
+        if (e.type == kTypeIns) {
+          int cmp = ty_vs.CompareInsertKeys(y.value, tx_vs, e.value);
+          if (cmp == 0) {
+            return Status::Conflict("INS-INS: duplicate sort key");
+          }
+          if (cmp < 0) {
+            // Ty's insert precedes ours: it shifts us right.
+            delta += 1;
+            ++j;
+            continue;
+          }
+          // Our insert precedes Ty's: convert now, leave j in place.
+          e.sid = static_cast<Sid>(static_cast<int64_t>(e.sid) + delta);
+          converted = true;
+        } else {
+          // Ty inserted before the stable tuple at s that Tx touches:
+          // the insert shifts the stable tuple right.
+          delta += 1;
+          ++j;
+          continue;
+        }
+      } else if (y.type == kTypeDel) {
+        if (e.type != kTypeIns) {
+          // Tx modifies/deletes a tuple Ty already deleted.
+          return Status::Conflict("write-write: tuple deleted by peer");
+        }
+        // Inserts never conflict with a peer delete. Convert with the
+        // delta *excluding* this DEL (the insert lands at the ghost's
+        // position); the DEL is consumed by the sid<s loop later.
+        e.sid = static_cast<Sid>(static_cast<int64_t>(e.sid) + delta);
+        converted = true;
+      } else {
+        // Modify in Ty.
+        if (e.type == kTypeIns) {
+          // Unrelated: Tx insert before the stable tuple Ty modified.
+          e.sid = static_cast<Sid>(static_cast<int64_t>(e.sid) + delta);
+          converted = true;
+        } else if (e.type == kTypeDel) {
+          return Status::Conflict("DEL-MOD: peer modified deleted tuple");
+        } else {
+          // MOD-MOD: reconcile iff all modified columns are distinct
+          // (the paper's CheckModConflict).
+          for (size_t k = j;
+               k < jmax && ty_entries[k].sid == s &&
+               IsModifyType(ty_entries[k].type);
+               ++k) {
+            if (ty_entries[k].type == e.type) {
+              return Status::Conflict("MOD-MOD: same column modified");
+            }
+          }
+          e.sid = static_cast<Sid>(static_cast<int64_t>(e.sid) + delta);
+          converted = true;
+        }
+      }
+    }
+  }
+  // Success: rebuild the tree around the converted entries. The value
+  // space is untouched (offsets are stable).
+  return BuildFromSorted(tx_entries);
+}
+
+}  // namespace pdtstore

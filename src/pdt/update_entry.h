@@ -1,0 +1,51 @@
+// Update-entry representation shared by the PDT tree, the flat reference
+// implementation, and the Serialize/Propagate algorithms.
+//
+// Mirrors the paper's leaf triplet (Sec. 3.1): a SID, a 16-bit type that is
+// either INS (65535), DEL (65534) or the modified column number, and a
+// value-space offset. (The paper packs type+offset into one 64-bit word;
+// we keep separate fields for clarity — the memory layout of the tree
+// nodes, not of this POD, is what the experiments exercise.)
+#ifndef PDTSTORE_PDT_UPDATE_ENTRY_H_
+#define PDTSTORE_PDT_UPDATE_ENTRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "columnstore/types.h"
+
+namespace pdtstore {
+
+/// Update type tag: INS, DEL, or the column number of a modify.
+constexpr uint16_t kTypeIns = 0xFFFF;
+constexpr uint16_t kTypeDel = 0xFFFE;
+/// Largest column number representable in the 16-bit type field ("an
+/// ultra-wide 65534 column table fits two bytes" — Sec. 3.1).
+constexpr uint32_t kMaxTableColumns = 0xFFFE;
+
+/// True if `type` tags a modify of column `type`.
+inline bool IsModifyType(uint16_t type) { return type < kTypeDel; }
+
+/// RID-shift contribution of an update: +1 for INS, -1 for DEL, 0 for MOD.
+inline int64_t DeltaOf(uint16_t type) {
+  if (type == kTypeIns) return 1;
+  if (type == kTypeDel) return -1;
+  return 0;
+}
+
+/// One differential update: "apply `type` at stable position `sid`, with
+/// payload at value-space offset `value`".
+struct UpdateEntry {
+  Sid sid = 0;
+  uint16_t type = 0;
+  uint64_t value = 0;
+
+  bool operator==(const UpdateEntry&) const = default;
+};
+
+/// Debug rendering, e.g. "INS@5->3" or "mod(c2)@7->0".
+std::string UpdateEntryToString(const UpdateEntry& e);
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_PDT_UPDATE_ENTRY_H_

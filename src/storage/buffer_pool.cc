@@ -1,0 +1,47 @@
+#include "storage/buffer_pool.h"
+
+namespace pdtstore {
+
+StatusOr<std::shared_ptr<const ColumnVector>> BufferPool::Fetch(
+    uint64_t key, const Chunk& chunk) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    return it->second.data;
+  }
+  // Miss: simulated disk read of the encoded payload, then decode.
+  stats_.bytes_read += chunk.DiskBytes();
+  ++stats_.chunks_read;
+  auto decoded = std::make_shared<ColumnVector>();
+  PDT_RETURN_NOT_OK(DecodeChunk(chunk, decoded.get()));
+  size_t bytes = decoded->ByteSize();
+  lru_.push_front(key);
+  entries_[key] = Entry{decoded, bytes, lru_.begin()};
+  cached_bytes_ += bytes;
+  MaybeEvict();
+  return std::shared_ptr<const ColumnVector>(decoded);
+}
+
+void BufferPool::EvictAll() {
+  entries_.clear();
+  lru_.clear();
+  cached_bytes_ = 0;
+}
+
+void BufferPool::MaybeEvict() {
+  if (capacity_bytes_ == 0) return;
+  while (cached_bytes_ > capacity_bytes_ && lru_.size() > 1) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      cached_bytes_ -= it->second.bytes;
+      entries_.erase(it);
+    }
+  }
+}
+
+}  // namespace pdtstore

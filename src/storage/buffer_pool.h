@@ -1,0 +1,68 @@
+// Buffer pool over decoded chunks, with I/O accounting. A miss models a
+// disk read of the encoded payload: it is counted in IoStats and charged
+// at a configurable bandwidth so benches can report simulated "cold" I/O
+// time, reproducing the cold/hot distinction of the paper's Fig. 19.
+#ifndef PDTSTORE_STORAGE_BUFFER_POOL_H_
+#define PDTSTORE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "columnstore/column_vector.h"
+#include "storage/chunk.h"
+
+namespace pdtstore {
+
+/// Counters of simulated disk traffic since the last Reset.
+struct IoStats {
+  uint64_t bytes_read = 0;   ///< encoded bytes pulled from "disk"
+  uint64_t chunks_read = 0;  ///< number of chunk reads (seeks)
+  uint64_t hits = 0;         ///< pool hits (no I/O)
+
+  void Reset() { *this = IoStats{}; }
+};
+
+/// LRU cache of decoded chunks keyed by an opaque 64-bit id. Thread
+/// hostile by design (the engine is single-threaded per query); the
+/// transaction layer serializes access.
+class BufferPool {
+ public:
+  /// `capacity_bytes` bounds the decoded footprint; 0 = unbounded.
+  explicit BufferPool(size_t capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Returns the decoded values of `chunk`, from cache or by "reading"
+  /// (miss: counts chunk.DiskBytes() into the I/O stats and decodes).
+  StatusOr<std::shared_ptr<const ColumnVector>> Fetch(uint64_t key,
+                                                      const Chunk& chunk);
+
+  /// Drops all cached chunks: the next scan is fully "cold".
+  void EvictAll();
+
+  const IoStats& stats() const { return stats_; }
+  IoStats* mutable_stats() { return &stats_; }
+
+  size_t cached_bytes() const { return cached_bytes_; }
+  size_t cached_chunks() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ColumnVector> data;
+    size_t bytes;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  void MaybeEvict();
+
+  size_t capacity_bytes_;
+  size_t cached_bytes_ = 0;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;  // front = most recent
+  IoStats stats_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_STORAGE_BUFFER_POOL_H_

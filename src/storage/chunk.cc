@@ -1,0 +1,31 @@
+#include "storage/chunk.h"
+
+namespace pdtstore {
+
+StatusOr<Chunk> BuildChunk(const ColumnVector& values, Sid start_sid,
+                           bool compression) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot build an empty chunk");
+  }
+  Chunk chunk;
+  chunk.start_sid = start_sid;
+  chunk.row_count = values.size();
+  chunk.type = values.type();
+  chunk.encoding = ChooseEncoding(values, compression);
+  PDT_RETURN_NOT_OK(EncodeColumn(values, chunk.encoding, &chunk.data));
+  size_t min_i = 0, max_i = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values.CompareAt(i, values, min_i) < 0) min_i = i;
+    if (values.CompareAt(i, values, max_i) > 0) max_i = i;
+  }
+  chunk.min_value = values.GetValue(min_i);
+  chunk.max_value = values.GetValue(max_i);
+  return chunk;
+}
+
+Status DecodeChunk(const Chunk& chunk, ColumnVector* out) {
+  return DecodeColumn(chunk.data, chunk.type, chunk.encoding, chunk.row_count,
+                      out);
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,42 @@
+// A Chunk is the unit of stable columnar storage and I/O: one column's
+// values for a contiguous SID range, encoded to bytes. The encoded payload
+// models the on-disk block; decoding through the BufferPool models a disk
+// read (and is what the I/O accounting of Fig. 19 counts).
+#ifndef PDTSTORE_STORAGE_CHUNK_H_
+#define PDTSTORE_STORAGE_CHUNK_H_
+
+#include <string>
+
+#include "columnstore/column_vector.h"
+#include "columnstore/value.h"
+#include "storage/encoding.h"
+#include "util/status.h"
+
+namespace pdtstore {
+
+/// One encoded column chunk plus its metadata.
+struct Chunk {
+  Sid start_sid = 0;        ///< SID of the first value
+  size_t row_count = 0;     ///< number of values
+  Encoding encoding = Encoding::kPlain;
+  std::string data;         ///< encoded payload ("on disk")
+  Value min_value;          ///< column min within the chunk (zone map)
+  Value max_value;          ///< column max within the chunk (zone map)
+  TypeId type = TypeId::kInt64;
+
+  /// Size of the on-disk representation in bytes.
+  size_t DiskBytes() const { return data.size(); }
+};
+
+/// Encodes `values` into a chunk starting at `start_sid`, choosing an
+/// encoding per ChooseEncoding (always plain when `compression` is false)
+/// and computing the zone-map min/max.
+StatusOr<Chunk> BuildChunk(const ColumnVector& values, Sid start_sid,
+                           bool compression);
+
+/// Decodes a chunk's payload back to values.
+Status DecodeChunk(const Chunk& chunk, ColumnVector* out);
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_STORAGE_CHUNK_H_

@@ -1,0 +1,142 @@
+#include "storage/column_store.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/string_util.h"
+
+namespace pdtstore {
+
+namespace {
+std::atomic<uint64_t> g_next_store_id{1};
+}  // namespace
+
+ColumnStore::ColumnStore(Schema schema, ColumnStoreOptions options,
+                         std::shared_ptr<BufferPool> pool)
+    : schema_(std::move(schema)),
+      options_(options),
+      pool_(std::move(pool)),
+      store_id_(g_next_store_id.fetch_add(1)) {
+  if (!pool_) pool_ = std::make_shared<BufferPool>();
+  columns_.resize(schema_.num_columns());
+}
+
+Status ColumnStore::BulkLoad(const std::vector<Tuple>& rows) {
+  // Pivot to columnar and delegate.
+  std::vector<ColumnVector> cols;
+  cols.reserve(schema_.num_columns());
+  for (ColumnId c = 0; c < schema_.num_columns(); ++c) {
+    cols.emplace_back(schema_.column(c).type);
+    cols.back().Reserve(rows.size());
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    PDT_RETURN_NOT_OK(schema_.ValidateTuple(rows[r]));
+    if (r > 0 && schema_.CompareSortKey(rows[r - 1], rows[r]) >= 0) {
+      return Status::InvalidArgument(StringPrintf(
+          "bulk load rows not strictly SK-ordered at row %zu", r));
+    }
+    for (ColumnId c = 0; c < schema_.num_columns(); ++c) {
+      cols[c].Append(rows[r][c]);
+    }
+  }
+  return BulkLoadColumns(std::move(cols));
+}
+
+Status ColumnStore::BulkLoadColumns(std::vector<ColumnVector> columns) {
+  if (loaded_) return Status::InvalidArgument("table already loaded");
+  if (columns.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("column count mismatch in bulk load");
+  }
+  size_t n = columns.empty() ? 0 : columns[0].size();
+  for (ColumnId c = 0; c < columns.size(); ++c) {
+    if (columns[c].type() != schema_.column(c).type) {
+      return Status::InvalidArgument("column type mismatch in bulk load");
+    }
+    if (columns[c].size() != n) {
+      return Status::InvalidArgument("ragged columns in bulk load");
+    }
+  }
+  const size_t chunk_rows = options_.chunk_rows;
+  for (Sid start = 0; start < n; start += chunk_rows) {
+    size_t end = std::min(n, start + chunk_rows);
+    chunk_bounds_.push_back(start);
+    for (ColumnId c = 0; c < columns.size(); ++c) {
+      ColumnVector slice(columns[c].type());
+      slice.AppendRange(columns[c], start, end);
+      PDT_ASSIGN_OR_RETURN(Chunk chunk,
+                           BuildChunk(slice, start, options_.compression));
+      columns_[c].push_back(std::move(chunk));
+    }
+  }
+  num_rows_ = n;
+  loaded_ = true;
+  return Status::OK();
+}
+
+std::pair<Sid, Sid> ColumnStore::ChunkSidRange(size_t ci) const {
+  Sid start = chunk_bounds_[ci];
+  Sid end = (ci + 1 < chunk_bounds_.size()) ? chunk_bounds_[ci + 1]
+                                            : num_rows_;
+  return {start, end};
+}
+
+size_t ColumnStore::ChunkIndexForSid(Sid sid) const {
+  auto it = std::upper_bound(chunk_bounds_.begin(), chunk_bounds_.end(), sid);
+  return static_cast<size_t>(it - chunk_bounds_.begin()) - 1;
+}
+
+uint64_t ColumnStore::ChunkKey(ColumnId col, size_t ci) const {
+  return (store_id_ << 40) ^ (static_cast<uint64_t>(col) << 28) ^
+         static_cast<uint64_t>(ci);
+}
+
+StatusOr<std::shared_ptr<const ColumnVector>> ColumnStore::FetchChunk(
+    ColumnId col, size_t ci) const {
+  if (col >= columns_.size() || ci >= columns_[col].size()) {
+    return Status::OutOfRange("chunk index out of range");
+  }
+  return pool_->Fetch(ChunkKey(col, ci), columns_[col][ci]);
+}
+
+StatusOr<Value> ColumnStore::GetValue(ColumnId col, Sid sid) const {
+  if (sid >= num_rows_) return Status::OutOfRange("sid out of range");
+  size_t ci = ChunkIndexForSid(sid);
+  PDT_ASSIGN_OR_RETURN(auto data, FetchChunk(col, ci));
+  return data->GetValue(sid - chunk_bounds_[ci]);
+}
+
+StatusOr<Tuple> ColumnStore::GetTuple(Sid sid) const {
+  Tuple t;
+  t.reserve(schema_.num_columns());
+  for (ColumnId c = 0; c < schema_.num_columns(); ++c) {
+    PDT_ASSIGN_OR_RETURN(Value v, GetValue(c, sid));
+    t.push_back(std::move(v));
+  }
+  return t;
+}
+
+StatusOr<std::vector<Value>> ColumnStore::GetSortKey(Sid sid) const {
+  std::vector<Value> key;
+  key.reserve(schema_.sort_key().size());
+  for (ColumnId c : schema_.sort_key()) {
+    PDT_ASSIGN_OR_RETURN(Value v, GetValue(c, sid));
+    key.push_back(std::move(v));
+  }
+  return key;
+}
+
+uint64_t ColumnStore::DiskBytes() const {
+  uint64_t total = 0;
+  for (ColumnId c = 0; c < columns_.size(); ++c) {
+    total += DiskBytesForColumn(c);
+  }
+  return total;
+}
+
+uint64_t ColumnStore::DiskBytesForColumn(ColumnId col) const {
+  uint64_t total = 0;
+  for (const auto& chunk : columns_[col]) total += chunk.DiskBytes();
+  return total;
+}
+
+}  // namespace pdtstore

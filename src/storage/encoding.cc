@@ -1,0 +1,388 @@
+#include "storage/encoding.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+namespace pdtstore {
+
+const char* EncodingToString(Encoding e) {
+  switch (e) {
+    case Encoding::kPlain:
+      return "PLAIN";
+    case Encoding::kRle:
+      return "RLE";
+    case Encoding::kDeltaVarint:
+      return "DELTA";
+    case Encoding::kDict:
+      return "DICT";
+    case Encoding::kForBitPack:
+      return "FOR";
+  }
+  return "UNKNOWN";
+}
+
+void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Status GetVarint64(const std::string& in, size_t* pos, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < in.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(in[*pos]);
+    ++*pos;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::Corruption("truncated varint");
+}
+
+namespace {
+
+void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+Status GetFixed64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return Status::Corruption("truncated fixed64");
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return Status::OK();
+}
+
+void PutLengthPrefixed(std::string* out, const std::string& s) {
+  PutVarint64(out, s.size());
+  out->append(s);
+}
+
+Status GetLengthPrefixed(const std::string& in, size_t* pos,
+                         std::string* s) {
+  uint64_t len;
+  PDT_RETURN_NOT_OK(GetVarint64(in, pos, &len));
+  if (*pos + len > in.size()) return Status::Corruption("truncated string");
+  s->assign(in.data() + *pos, len);
+  *pos += len;
+  return Status::OK();
+}
+
+// Appends one value of `col[i]` in plain form.
+void PutOnePlain(std::string* out, const ColumnVector& col, size_t i) {
+  switch (col.type()) {
+    case TypeId::kInt64:
+      PutFixed64(out, static_cast<uint64_t>(col.ints()[i]));
+      break;
+    case TypeId::kDouble: {
+      uint64_t bits;
+      double d = col.doubles()[i];
+      std::memcpy(&bits, &d, 8);
+      PutFixed64(out, bits);
+      break;
+    }
+    case TypeId::kString:
+      PutLengthPrefixed(out, col.strings()[i]);
+      break;
+  }
+}
+
+Status GetOnePlain(const std::string& in, size_t* pos, ColumnVector* out) {
+  switch (out->type()) {
+    case TypeId::kInt64: {
+      uint64_t v;
+      PDT_RETURN_NOT_OK(GetFixed64(in, pos, &v));
+      out->ints().push_back(static_cast<int64_t>(v));
+      return Status::OK();
+    }
+    case TypeId::kDouble: {
+      uint64_t bits;
+      PDT_RETURN_NOT_OK(GetFixed64(in, pos, &bits));
+      double d;
+      std::memcpy(&d, &bits, 8);
+      out->doubles().push_back(d);
+      return Status::OK();
+    }
+    case TypeId::kString: {
+      std::string s;
+      PDT_RETURN_NOT_OK(GetLengthPrefixed(in, pos, &s));
+      out->strings().push_back(std::move(s));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad type");
+}
+
+bool ValuesEqualAt(const ColumnVector& col, size_t i, size_t j) {
+  return col.CompareAt(i, col, j) == 0;
+}
+
+Status EncodePlain(const ColumnVector& col, std::string* out) {
+  for (size_t i = 0; i < col.size(); ++i) PutOnePlain(out, col, i);
+  return Status::OK();
+}
+
+Status EncodeRle(const ColumnVector& col, std::string* out) {
+  size_t i = 0;
+  while (i < col.size()) {
+    size_t j = i + 1;
+    while (j < col.size() && ValuesEqualAt(col, j, i)) ++j;
+    PutVarint64(out, j - i);
+    PutOnePlain(out, col, i);
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status EncodeDeltaVarint(const ColumnVector& col, std::string* out) {
+  if (col.type() != TypeId::kInt64) {
+    return Status::InvalidArgument("delta encoding requires INT64");
+  }
+  int64_t prev = 0;
+  for (size_t i = 0; i < col.size(); ++i) {
+    int64_t v = col.ints()[i];
+    PutVarint64(out, ZigZagEncode(v - prev));
+    prev = v;
+  }
+  return Status::OK();
+}
+
+Status EncodeDict(const ColumnVector& col, std::string* out) {
+  if (col.type() != TypeId::kString) {
+    return Status::InvalidArgument("dict encoding requires STRING");
+  }
+  std::unordered_map<std::string, uint64_t> dict;
+  std::vector<const std::string*> order;
+  std::vector<uint64_t> codes;
+  codes.reserve(col.size());
+  for (const auto& s : col.strings()) {
+    auto [it, inserted] = dict.emplace(s, dict.size());
+    if (inserted) order.push_back(&it->first);
+    codes.push_back(it->second);
+  }
+  PutVarint64(out, order.size());
+  for (const auto* s : order) PutLengthPrefixed(out, *s);
+  for (uint64_t c : codes) PutVarint64(out, c);
+  return Status::OK();
+}
+
+// Frame-of-reference + bit packing: store min(v) and the bit width of
+// max(v - min), then pack each offset into `width` bits. The workhorse
+// encoding for narrow-range integer columns (quantities, small codes) in
+// columnar systems like the paper's.
+Status EncodeForBitPack(const ColumnVector& col, std::string* out) {
+  if (col.type() != TypeId::kInt64) {
+    return Status::InvalidArgument("FOR encoding requires INT64");
+  }
+  const auto& v = col.ints();
+  int64_t min_v = v.empty() ? 0 : v[0];
+  int64_t max_v = min_v;
+  for (int64_t x : v) {
+    min_v = std::min(min_v, x);
+    max_v = std::max(max_v, x);
+  }
+  uint64_t range = static_cast<uint64_t>(max_v) - static_cast<uint64_t>(min_v);
+  int width = 1;
+  while (width < 64 && (range >> width) != 0) ++width;
+  if (width > 56) {
+    // The accumulator scheme below keeps acc_bits < 8 between values, so
+    // widths beyond 56 bits could overflow a shift; such columns gain
+    // nothing from FOR anyway.
+    return Status::InvalidArgument("FOR range too wide; use plain");
+  }
+  PutVarint64(out, ZigZagEncode(min_v));
+  out->push_back(static_cast<char>(width));
+  uint64_t acc = 0;
+  int acc_bits = 0;  // < 8 between values
+  for (int64_t x : v) {
+    uint64_t off = static_cast<uint64_t>(x) - static_cast<uint64_t>(min_v);
+    acc |= off << acc_bits;
+    acc_bits += width;
+    while (acc_bits >= 8) {
+      out->push_back(static_cast<char>(acc & 0xff));
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) out->push_back(static_cast<char>(acc & 0xff));
+  return Status::OK();
+}
+
+Status DecodeForBitPack(const std::string& in, size_t count,
+                        ColumnVector* out) {
+  size_t pos = 0;
+  uint64_t zz;
+  PDT_RETURN_NOT_OK(GetVarint64(in, &pos, &zz));
+  int64_t min_v = ZigZagDecode(zz);
+  if (pos >= in.size()) return Status::Corruption("truncated FOR header");
+  int width = static_cast<uint8_t>(in[pos]);
+  ++pos;
+  if (width <= 0 || width > 56) {
+    return Status::Corruption("bad FOR bit width");
+  }
+  uint64_t acc = 0;
+  int acc_bits = 0;
+  const uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  for (size_t i = 0; i < count; ++i) {
+    while (acc_bits < width) {
+      if (pos >= in.size()) return Status::Corruption("truncated FOR data");
+      acc |= static_cast<uint64_t>(static_cast<uint8_t>(in[pos])) << acc_bits;
+      ++pos;
+      acc_bits += 8;
+    }
+    uint64_t off = acc & mask;
+    acc >>= width;
+    acc_bits -= width;
+    out->ints().push_back(
+        static_cast<int64_t>(static_cast<uint64_t>(min_v) + off));
+  }
+  return Status::OK();
+}
+
+Status DecodePlain(const std::string& in, size_t count, ColumnVector* out) {
+  size_t pos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    PDT_RETURN_NOT_OK(GetOnePlain(in, &pos, out));
+  }
+  return Status::OK();
+}
+
+Status DecodeRle(const std::string& in, size_t count, ColumnVector* out) {
+  size_t pos = 0;
+  size_t produced = 0;
+  ColumnVector one(out->type());
+  while (produced < count) {
+    uint64_t run;
+    PDT_RETURN_NOT_OK(GetVarint64(in, &pos, &run));
+    one.Clear();
+    PDT_RETURN_NOT_OK(GetOnePlain(in, &pos, &one));
+    if (produced + run > count) return Status::Corruption("RLE overrun");
+    for (uint64_t k = 0; k < run; ++k) out->AppendFrom(one, 0);
+    produced += run;
+  }
+  return Status::OK();
+}
+
+Status DecodeDeltaVarint(const std::string& in, size_t count,
+                         ColumnVector* out) {
+  size_t pos = 0;
+  int64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t zz;
+    PDT_RETURN_NOT_OK(GetVarint64(in, &pos, &zz));
+    prev += ZigZagDecode(zz);
+    out->ints().push_back(prev);
+  }
+  return Status::OK();
+}
+
+Status DecodeDict(const std::string& in, size_t count, ColumnVector* out) {
+  size_t pos = 0;
+  uint64_t dict_size;
+  PDT_RETURN_NOT_OK(GetVarint64(in, &pos, &dict_size));
+  std::vector<std::string> dict(dict_size);
+  for (auto& s : dict) {
+    PDT_RETURN_NOT_OK(GetLengthPrefixed(in, &pos, &s));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t code;
+    PDT_RETURN_NOT_OK(GetVarint64(in, &pos, &code));
+    if (code >= dict.size()) return Status::Corruption("dict code overflow");
+    out->strings().push_back(dict[code]);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EncodeColumn(const ColumnVector& col, Encoding encoding,
+                    std::string* out) {
+  out->clear();
+  switch (encoding) {
+    case Encoding::kPlain:
+      return EncodePlain(col, out);
+    case Encoding::kRle:
+      return EncodeRle(col, out);
+    case Encoding::kDeltaVarint:
+      return EncodeDeltaVarint(col, out);
+    case Encoding::kDict:
+      return EncodeDict(col, out);
+    case Encoding::kForBitPack:
+      return EncodeForBitPack(col, out);
+  }
+  return Status::InvalidArgument("unknown encoding");
+}
+
+Status DecodeColumn(const std::string& bytes, TypeId type, Encoding encoding,
+                    size_t count, ColumnVector* out) {
+  *out = ColumnVector(type);
+  out->Reserve(count);
+  switch (encoding) {
+    case Encoding::kPlain:
+      return DecodePlain(bytes, count, out);
+    case Encoding::kRle:
+      return DecodeRle(bytes, count, out);
+    case Encoding::kDeltaVarint:
+      if (type != TypeId::kInt64) {
+        return Status::InvalidArgument("delta decoding requires INT64");
+      }
+      return DecodeDeltaVarint(bytes, count, out);
+    case Encoding::kDict:
+      if (type != TypeId::kString) {
+        return Status::InvalidArgument("dict decoding requires STRING");
+      }
+      return DecodeDict(bytes, count, out);
+    case Encoding::kForBitPack:
+      if (type != TypeId::kInt64) {
+        return Status::InvalidArgument("FOR decoding requires INT64");
+      }
+      return DecodeForBitPack(bytes, count, out);
+  }
+  return Status::InvalidArgument("unknown encoding");
+}
+
+Encoding ChooseEncoding(const ColumnVector& col, bool compression_enabled) {
+  if (!compression_enabled || col.size() < 8) return Encoding::kPlain;
+  const size_t n = col.size();
+  // Count runs and (for ints) sortedness over a bounded sample scan.
+  size_t runs = 1;
+  bool sorted = true;
+  for (size_t i = 1; i < n; ++i) {
+    int c = col.CompareAt(i - 1, col, i);
+    if (c != 0) ++runs;
+    if (c > 0) sorted = false;
+  }
+  if (runs <= n / 4) return Encoding::kRle;
+  if (col.type() == TypeId::kInt64 && sorted) return Encoding::kDeltaVarint;
+  if (col.type() == TypeId::kInt64) {
+    // Narrow-range unsorted integers: frame-of-reference bit packing.
+    int64_t min_v = col.ints()[0], max_v = min_v;
+    for (int64_t x : col.ints()) {
+      min_v = std::min(min_v, x);
+      max_v = std::max(max_v, x);
+    }
+    uint64_t range =
+        static_cast<uint64_t>(max_v) - static_cast<uint64_t>(min_v);
+    int width = 1;
+    while (width < 64 && (range >> width) != 0) ++width;
+    if (width <= 32) return Encoding::kForBitPack;
+  }
+  if (col.type() == TypeId::kString) {
+    std::unordered_map<std::string, int> distinct;
+    for (size_t i = 0; i < n && distinct.size() <= n / 4; ++i) {
+      distinct.emplace(col.strings()[i], 0);
+    }
+    if (distinct.size() <= n / 4) return Encoding::kDict;
+  }
+  return Encoding::kPlain;
+}
+
+}  // namespace pdtstore

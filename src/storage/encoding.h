@@ -1,0 +1,57 @@
+// Lightweight columnar chunk encodings. The paper's evaluation contrasts
+// compressed (server, Fig. 19 plots 1-2) against uncompressed (workstation,
+// plots 3-5) storage; sorted sort-key columns compress very well (delta),
+// which is why the VDT's extra key I/O is smaller on the compressed config.
+#ifndef PDTSTORE_STORAGE_ENCODING_H_
+#define PDTSTORE_STORAGE_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "columnstore/column_vector.h"
+#include "util/status.h"
+
+namespace pdtstore {
+
+/// Physical encoding of one column chunk.
+enum class Encoding : uint8_t {
+  kPlain = 0,        ///< fixed-width values / length-prefixed strings
+  kRle = 1,          ///< run-length (run_len varint + one plain value)
+  kDeltaVarint = 2,  ///< int64 only: zig-zag varint deltas (sorted keys)
+  kDict = 3,         ///< string only: dictionary + varint codes
+  kForBitPack = 4,   ///< int64 only: frame-of-reference + bit packing
+};
+
+const char* EncodingToString(Encoding e);
+
+/// Serializes `col` with the requested encoding into `out` (replaced).
+Status EncodeColumn(const ColumnVector& col, Encoding encoding,
+                    std::string* out);
+
+/// Decodes `bytes` (produced by EncodeColumn with the same encoding and a
+/// column of `count` values of type `type`) into `*out` (replaced).
+Status DecodeColumn(const std::string& bytes, TypeId type, Encoding encoding,
+                    size_t count, ColumnVector* out);
+
+/// Picks a cheap, effective encoding for the chunk by sampling: sorted
+/// int64 -> delta-varint; heavy runs -> RLE; low-cardinality strings ->
+/// dict; otherwise plain. With `compression_enabled == false` always plain.
+Encoding ChooseEncoding(const ColumnVector& col, bool compression_enabled);
+
+// --- varint helpers (exposed for tests and the WAL) ---
+
+/// Appends an unsigned LEB128 varint.
+void PutVarint64(std::string* out, uint64_t v);
+/// Reads a varint at *pos, advancing it. Returns Corruption on truncation.
+Status GetVarint64(const std::string& in, size_t* pos, uint64_t* v);
+/// Zig-zag encode/decode signed 64-bit.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_STORAGE_ENCODING_H_

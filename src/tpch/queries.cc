@@ -1,0 +1,618 @@
+#include "tpch/queries.h"
+
+#include <cmath>
+
+#include "exec/filter.h"
+#include "exec/hash_agg.h"
+#include "exec/hash_join.h"
+#include "exec/operator.h"
+#include "exec/project.h"
+#include "exec/sort.h"
+
+namespace pdtstore {
+namespace tpch {
+
+namespace {
+
+using Src = std::unique_ptr<BatchSource>;
+
+// Drains a pipeline, counting rows and checksumming numeric cells.
+StatusOr<QueryResult> Summarize(Src src) {
+  QueryResult result;
+  Batch batch;
+  while (true) {
+    PDT_ASSIGN_OR_RETURN(bool more, src->Next(&batch, kDefaultBatchSize));
+    if (!more) break;
+    result.rows += batch.num_rows();
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      const ColumnVector& col = batch.column(c);
+      if (col.type() == TypeId::kInt64) {
+        for (int64_t v : col.ints()) {
+          result.checksum += static_cast<double>(v);
+        }
+      } else if (col.type() == TypeId::kDouble) {
+        for (double v : col.doubles()) result.checksum += v;
+      }
+    }
+  }
+  return result;
+}
+
+Src Agg(Src in, std::vector<size_t> keys, std::vector<AggSpec> aggs) {
+  return std::make_unique<HashAggNode>(std::move(in), std::move(keys),
+                                       std::move(aggs));
+}
+Src Filter(Src in, VecPredicate p) {
+  return std::make_unique<FilterNode>(std::move(in), std::move(p));
+}
+Src Project(Src in, std::vector<ColumnExpr> exprs) {
+  return std::make_unique<ProjectNode>(std::move(in), std::move(exprs));
+}
+Src Join(Src probe, Src build, std::vector<size_t> pk,
+         std::vector<size_t> bk, JoinKind kind = JoinKind::kInner) {
+  return std::make_unique<HashJoinNode>(std::move(probe), std::move(build),
+                                        std::move(pk), std::move(bk), kind);
+}
+Src Sort(Src in, std::vector<SortKey> keys, size_t limit = 0) {
+  return std::make_unique<SortNode>(std::move(in), std::move(keys), limit);
+}
+
+// Q1: pricing summary report. Full lineitem scan minus the last ~90 days.
+StatusOr<QueryResult> Q1(const TpchTables& t) {
+  Src scan = t.lineitem->Scan({kLReturnflag, kLLinestatus, kLQuantity,
+                               kLExtendedprice, kLDiscount, kLTax,
+                               kLShipdate});
+  Src flt = Filter(std::move(scan), Int64Between(6, kMinDate,
+                                                 DayNumber(1998, 9, 2)));
+  Src proj = Project(std::move(flt),
+                     {ColumnRef(0), ColumnRef(1), ColumnRef(2), ColumnRef(3),
+                      Revenue(3, 4), Charge(3, 4, 5), ColumnRef(4)});
+  Src agg = Agg(std::move(proj), {0, 1},
+                {{AggKind::kSum, 2},
+                 {AggKind::kSum, 3},
+                 {AggKind::kSum, 4},
+                 {AggKind::kSum, 5},
+                 {AggKind::kAvg, 2},
+                 {AggKind::kAvg, 3},
+                 {AggKind::kAvg, 6},
+                 {AggKind::kCount, 0}});
+  return Summarize(Sort(std::move(agg), {{0}, {1}}));
+}
+
+// Q2: minimum-cost supplier (part x supplier; no updated tables).
+StatusOr<QueryResult> Q2(const TpchTables& t) {
+  Src part = t.part->Scan({kPPartkey, kPType, kPSize});
+  Src flt = Filter(std::move(part), Int64Between(2, 15, 15));
+  Src supp = t.supplier->Scan({kSSuppkey, kSNationkey, kSAcctbal});
+  // Supplier for a part: suppkey ~ partkey mod |supplier| (the generated
+  // partsupp relation is implicit).
+  Src proj = Project(std::move(flt),
+                     {ColumnRef(0), [](const Batch& b) {
+                        ColumnVector out(TypeId::kInt64);
+                        const auto& pk = b.column(0).ints();
+                        out.ints().resize(pk.size());
+                        for (size_t i = 0; i < pk.size(); ++i) {
+                          out.ints()[i] = 1 + (pk[i] % 25);
+                        }
+                        return out;
+                      }});
+  Src joined = Join(std::move(proj), std::move(supp), {1}, {0});
+  Src agg = Agg(std::move(joined), {3},
+                {{AggKind::kMin, 4}, {AggKind::kCount, 0}});
+  return Summarize(Sort(std::move(agg), {{0}}, 100));
+}
+
+// Q3: shipping priority. customer(segment) x orders(date<) x lineitem.
+StatusOr<QueryResult> Q3(const TpchTables& t) {
+  int64_t cutoff = DayNumber(1995, 3, 15);
+  Src cust = Filter(t.customer->Scan({kCCustkey, kCMktsegment}),
+                    StringEquals(1, "BUILDING"));
+  KeyBounds order_bounds;
+  order_bounds.hi = {Value(cutoff)};
+  Src ord = t.orders->Scan({kOOrderkey, kOCustkey, kOOrderdate,
+                            kOShippriority},
+                           &order_bounds);
+  Src ord_flt = Filter(std::move(ord), Int64Between(2, kMinDate, cutoff - 1));
+  Src ord_cust = Join(std::move(ord_flt), std::move(cust), {1}, {0},
+                      JoinKind::kLeftSemi);
+  Src line = Filter(
+      t.lineitem->Scan({kLOrderkey, kLExtendedprice, kLDiscount, kLShipdate}),
+      Int64Between(3, cutoff + 1, kMaxDate));
+  Src joined = Join(std::move(line), std::move(ord_cust), {0}, {0});
+  Src proj = Project(std::move(joined),
+                     {ColumnRef(0), Revenue(1, 2), ColumnRef(6),
+                      ColumnRef(7)});
+  Src agg = Agg(std::move(proj), {0, 2, 3},
+                {{AggKind::kSum, 1}});
+  return Summarize(Sort(std::move(agg), {{3, true}, {1}}, 10));
+}
+
+// Q4: order priority checking. orders(quarter) semi-join late lineitems.
+StatusOr<QueryResult> Q4(const TpchTables& t) {
+  int64_t lo = DayNumber(1993, 7, 1), hi = DayNumber(1993, 10, 1) - 1;
+  KeyBounds bounds;
+  bounds.lo = {Value(lo)};
+  bounds.hi = {Value(hi)};
+  Src ord = t.orders->Scan({kOOrderdate, kOOrderkey, kOOrderpriority},
+                           &bounds);
+  Src ord_flt = Filter(std::move(ord), Int64Between(0, lo, hi));
+  Src late = Filter(t.lineitem->Scan({kLOrderkey, kLCommitdate,
+                                      kLReceiptdate}),
+                    [](const Batch& b, std::vector<uint8_t>* keep) {
+                      const auto& commit = b.column(1).ints();
+                      const auto& receipt = b.column(2).ints();
+                      for (size_t i = 0; i < commit.size(); ++i) {
+                        (*keep)[i] = commit[i] < receipt[i];
+                      }
+                    });
+  Src semi = Join(std::move(ord_flt), std::move(late), {1}, {0},
+                  JoinKind::kLeftSemi);
+  Src agg = Agg(std::move(semi), {2}, {{AggKind::kCount, 0}});
+  return Summarize(Sort(std::move(agg), {{0}}));
+}
+
+// Q5: local supplier volume. lineitem x orders(year) x customer nation.
+StatusOr<QueryResult> Q5(const TpchTables& t) {
+  int64_t lo = DayNumber(1994, 1, 1), hi = DayNumber(1995, 1, 1) - 1;
+  KeyBounds bounds;
+  bounds.lo = {Value(lo)};
+  bounds.hi = {Value(hi)};
+  Src ord = Filter(t.orders->Scan({kOOrderdate, kOOrderkey, kOCustkey},
+                                  &bounds),
+                   Int64Between(0, lo, hi));
+  Src cust = t.customer->Scan({kCCustkey, kCNationkey});
+  Src ord_cust = Join(std::move(ord), std::move(cust), {2}, {0});
+  Src line = t.lineitem->Scan({kLOrderkey, kLSuppkey, kLExtendedprice,
+                               kLDiscount});
+  Src joined = Join(std::move(line), std::move(ord_cust), {0}, {1});
+  // nation of the customer groups the revenue.
+  Src proj = Project(std::move(joined), {ColumnRef(8), Revenue(2, 3)});
+  Src agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
+  return Summarize(Sort(std::move(agg), {{1, true}}));
+}
+
+// Q6: forecasting revenue change. Pure lineitem scan (the paper's
+// poster-child for merge CPU overhead).
+StatusOr<QueryResult> Q6(const TpchTables& t) {
+  int64_t lo = DayNumber(1994, 1, 1), hi = DayNumber(1995, 1, 1) - 1;
+  Src scan = t.lineitem->Scan({kLShipdate, kLDiscount, kLQuantity,
+                               kLExtendedprice});
+  Src flt = Filter(std::move(scan),
+                   And({Int64Between(0, lo, hi), DoubleInRange(1, 0.05, 0.0701),
+                        DoubleInRange(2, 0.0, 24.0)}));
+  Src proj = Project(std::move(flt), {[](const Batch& b) {
+    ColumnVector out(TypeId::kDouble);
+    const auto& price = b.column(3).doubles();
+    const auto& disc = b.column(1).doubles();
+    out.doubles().resize(price.size());
+    for (size_t i = 0; i < price.size(); ++i) {
+      out.doubles()[i] = price[i] * disc[i];
+    }
+    return out;
+  }});
+  return Summarize(Agg(std::move(proj), {}, {{AggKind::kSum, 0}}));
+}
+
+// Q7: volume shipping between two nations, grouped by year.
+StatusOr<QueryResult> Q7(const TpchTables& t) {
+  int64_t lo = DayNumber(1995, 1, 1), hi = DayNumber(1996, 12, 31);
+  Src line = Filter(t.lineitem->Scan({kLOrderkey, kLSuppkey, kLShipdate,
+                                      kLExtendedprice, kLDiscount}),
+                    Int64Between(2, lo, hi));
+  Src supp = Filter(t.supplier->Scan({kSSuppkey, kSNationkey}),
+                    Int64Between(1, 6, 7));  // FRANCE / GERMANY
+  Src line_supp = Join(std::move(line), std::move(supp), {1}, {0},
+                       JoinKind::kLeftSemi);
+  Src ord = t.orders->Scan({kOOrderkey, kOCustkey});
+  Src joined = Join(std::move(line_supp), std::move(ord), {0}, {0});
+  Src proj = Project(std::move(joined), {[](const Batch& b) {
+                       ColumnVector out(TypeId::kInt64);
+                       const auto& d = b.column(2).ints();
+                       out.ints().resize(d.size());
+                       for (size_t i = 0; i < d.size(); ++i) {
+                         out.ints()[i] = 1992 + d[i] / 365;
+                       }
+                       return out;
+                     },
+                     Revenue(3, 4)});
+  Src agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
+  return Summarize(Sort(std::move(agg), {{0}}));
+}
+
+// Q8: national market share by year.
+StatusOr<QueryResult> Q8(const TpchTables& t) {
+  int64_t lo = DayNumber(1995, 1, 1), hi = DayNumber(1996, 12, 31);
+  Src part = Filter(t.part->Scan({kPPartkey, kPType}),
+                    StringEquals(1, "ECONOMY ANODIZED STEEL"));
+  Src line = t.lineitem->Scan({kLOrderkey, kLPartkey, kLExtendedprice,
+                               kLDiscount});
+  Src line_part = Join(std::move(line), std::move(part), {1}, {0},
+                       JoinKind::kLeftSemi);
+  KeyBounds bounds;
+  bounds.lo = {Value(lo)};
+  bounds.hi = {Value(hi)};
+  Src ord = Filter(t.orders->Scan({kOOrderdate, kOOrderkey}, &bounds),
+                   Int64Between(0, lo, hi));
+  Src joined = Join(std::move(line_part), std::move(ord), {0}, {1});
+  Src proj = Project(std::move(joined), {[](const Batch& b) {
+                       ColumnVector out(TypeId::kInt64);
+                       const auto& d = b.column(4).ints();
+                       out.ints().resize(d.size());
+                       for (size_t i = 0; i < d.size(); ++i) {
+                         out.ints()[i] = 1992 + d[i] / 365;
+                       }
+                       return out;
+                     },
+                     Revenue(2, 3)});
+  Src agg = Agg(std::move(proj), {0},
+                {{AggKind::kSum, 1}, {AggKind::kAvg, 1}});
+  return Summarize(Sort(std::move(agg), {{0}}));
+}
+
+// Q9: product type profit measure, by year.
+StatusOr<QueryResult> Q9(const TpchTables& t) {
+  Src part = Filter(t.part->Scan({kPPartkey, kPName}),
+                    [](const Batch& b, std::vector<uint8_t>* keep) {
+                      const auto& names = b.column(1).strings();
+                      for (size_t i = 0; i < names.size(); ++i) {
+                        (*keep)[i] =
+                            names[i].find("green") != std::string::npos;
+                      }
+                    });
+  Src line = t.lineitem->Scan({kLOrderkey, kLPartkey, kLQuantity,
+                               kLExtendedprice, kLDiscount});
+  Src line_part = Join(std::move(line), std::move(part), {1}, {0},
+                       JoinKind::kLeftSemi);
+  Src ord = t.orders->Scan({kOOrderkey, kOOrderdate});
+  Src joined = Join(std::move(line_part), std::move(ord), {0}, {0});
+  Src proj = Project(std::move(joined), {[](const Batch& b) {
+                       ColumnVector out(TypeId::kInt64);
+                       const auto& d = b.column(6).ints();
+                       out.ints().resize(d.size());
+                       for (size_t i = 0; i < d.size(); ++i) {
+                         out.ints()[i] = 1992 + d[i] / 365;
+                       }
+                       return out;
+                     },
+                     [](const Batch& b) {
+                       // profit ~ revenue - supplycost*qty
+                       ColumnVector out(TypeId::kDouble);
+                       const auto& price = b.column(3).doubles();
+                       const auto& disc = b.column(4).doubles();
+                       const auto& qty = b.column(2).doubles();
+                       out.doubles().resize(price.size());
+                       for (size_t i = 0; i < price.size(); ++i) {
+                         out.doubles()[i] =
+                             price[i] * (1.0 - disc[i]) - 500.0 * qty[i];
+                       }
+                       return out;
+                     }});
+  Src agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
+  return Summarize(Sort(std::move(agg), {{0, true}}));
+}
+
+// Q10: returned item reporting. Top customers by lost revenue.
+StatusOr<QueryResult> Q10(const TpchTables& t) {
+  int64_t lo = DayNumber(1993, 10, 1), hi = DayNumber(1994, 1, 1) - 1;
+  KeyBounds bounds;
+  bounds.lo = {Value(lo)};
+  bounds.hi = {Value(hi)};
+  Src ord = Filter(t.orders->Scan({kOOrderdate, kOOrderkey, kOCustkey},
+                                  &bounds),
+                   Int64Between(0, lo, hi));
+  Src line = Filter(t.lineitem->Scan({kLOrderkey, kLExtendedprice,
+                                      kLDiscount, kLReturnflag}),
+                    StringEquals(3, "R"));
+  Src joined = Join(std::move(line), std::move(ord), {0}, {1});
+  Src proj = Project(std::move(joined), {ColumnRef(6), Revenue(1, 2)});
+  Src agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
+  return Summarize(Sort(std::move(agg), {{1, true}}, 20));
+}
+
+// Q11: important stock identification (part x supplier only).
+StatusOr<QueryResult> Q11(const TpchTables& t) {
+  Src supp = Filter(t.supplier->Scan({kSSuppkey, kSNationkey}),
+                    Int64Between(1, 7, 7));
+  Src part = t.part->Scan({kPPartkey, kPRetailprice});
+  Src proj = Project(std::move(part),
+                     {ColumnRef(0), ColumnRef(1), [](const Batch& b) {
+                        ColumnVector out(TypeId::kInt64);
+                        const auto& pk = b.column(0).ints();
+                        out.ints().resize(pk.size());
+                        for (size_t i = 0; i < pk.size(); ++i) {
+                          out.ints()[i] = 1 + (pk[i] % 25);
+                        }
+                        return out;
+                      }});
+  Src joined = Join(std::move(proj), std::move(supp), {2}, {0},
+                    JoinKind::kLeftSemi);
+  Src agg = Agg(std::move(joined), {0}, {{AggKind::kSum, 1}});
+  return Summarize(Sort(std::move(agg), {{1, true}}, 50));
+}
+
+// Q12: shipping modes and order priority.
+StatusOr<QueryResult> Q12(const TpchTables& t) {
+  int64_t lo = DayNumber(1994, 1, 1), hi = DayNumber(1995, 1, 1) - 1;
+  Src line = Filter(
+      t.lineitem->Scan({kLOrderkey, kLShipmode, kLCommitdate,
+                        kLReceiptdate, kLShipdate}),
+      [lo, hi](const Batch& b, std::vector<uint8_t>* keep) {
+        const auto& mode = b.column(1).strings();
+        const auto& commit = b.column(2).ints();
+        const auto& receipt = b.column(3).ints();
+        const auto& ship = b.column(4).ints();
+        for (size_t i = 0; i < mode.size(); ++i) {
+          (*keep)[i] = (mode[i] == "MAIL" || mode[i] == "SHIP") &&
+                       commit[i] < receipt[i] && ship[i] < commit[i] &&
+                       receipt[i] >= lo && receipt[i] <= hi;
+        }
+      });
+  Src ord = t.orders->Scan({kOOrderkey, kOOrderpriority});
+  Src joined = Join(std::move(line), std::move(ord), {0}, {0});
+  Src proj = Project(std::move(joined),
+                     {ColumnRef(1), [](const Batch& b) {
+                        // high-priority indicator
+                        ColumnVector out(TypeId::kInt64);
+                        const auto& prio = b.column(6).strings();
+                        out.ints().resize(prio.size());
+                        for (size_t i = 0; i < prio.size(); ++i) {
+                          out.ints()[i] = (prio[i] == "1-URGENT" ||
+                                           prio[i] == "2-HIGH")
+                                              ? 1
+                                              : 0;
+                        }
+                        return out;
+                      }});
+  Src agg = Agg(std::move(proj), {0},
+                {{AggKind::kSum, 1}, {AggKind::kCount, 0}});
+  return Summarize(Sort(std::move(agg), {{0}}));
+}
+
+// Q13: customer distribution (orders only among updated tables).
+StatusOr<QueryResult> Q13(const TpchTables& t) {
+  Src ord = t.orders->Scan({kOCustkey});
+  Src per_cust = Agg(std::move(ord), {0}, {{AggKind::kCount, 0}});
+  Src dist = Agg(std::move(per_cust), {1}, {{AggKind::kCount, 0}});
+  return Summarize(Sort(std::move(dist), {{1, true}, {0, true}}));
+}
+
+// Q14: promotion effect.
+StatusOr<QueryResult> Q14(const TpchTables& t) {
+  int64_t lo = DayNumber(1995, 9, 1), hi = DayNumber(1995, 10, 1) - 1;
+  Src line = Filter(t.lineitem->Scan({kLPartkey, kLExtendedprice,
+                                      kLDiscount, kLShipdate}),
+                    Int64Between(3, lo, hi));
+  Src part = t.part->Scan({kPPartkey, kPType});
+  Src joined = Join(std::move(line), std::move(part), {0}, {0});
+  Src proj = Project(std::move(joined), {[](const Batch& b) {
+                       // promo revenue
+                       ColumnVector out(TypeId::kDouble);
+                       const auto& price = b.column(1).doubles();
+                       const auto& disc = b.column(2).doubles();
+                       const auto& type = b.column(5).strings();
+                       out.doubles().resize(price.size());
+                       for (size_t i = 0; i < price.size(); ++i) {
+                         bool promo = type[i].rfind("PROMO", 0) == 0;
+                         out.doubles()[i] =
+                             promo ? price[i] * (1.0 - disc[i]) : 0.0;
+                       }
+                       return out;
+                     },
+                     Revenue(1, 2)});
+  return Summarize(
+      Agg(std::move(proj), {}, {{AggKind::kSum, 0}, {AggKind::kSum, 1}}));
+}
+
+// Q15: top supplier by quarterly revenue.
+StatusOr<QueryResult> Q15(const TpchTables& t) {
+  int64_t lo = DayNumber(1996, 1, 1), hi = DayNumber(1996, 4, 1) - 1;
+  Src line = Filter(t.lineitem->Scan({kLSuppkey, kLExtendedprice,
+                                      kLDiscount, kLShipdate}),
+                    Int64Between(3, lo, hi));
+  Src proj = Project(std::move(line), {ColumnRef(0), Revenue(1, 2)});
+  Src agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
+  return Summarize(Sort(std::move(agg), {{1, true}}, 1));
+}
+
+// Q16: parts/supplier relationship (no updated tables).
+StatusOr<QueryResult> Q16(const TpchTables& t) {
+  Src part = Filter(t.part->Scan({kPPartkey, kPBrand, kPType, kPSize}),
+                    [](const Batch& b, std::vector<uint8_t>* keep) {
+                      const auto& brand = b.column(1).strings();
+                      const auto& size = b.column(3).ints();
+                      for (size_t i = 0; i < brand.size(); ++i) {
+                        (*keep)[i] = brand[i] != "Brand#45" &&
+                                     (size[i] == 9 || size[i] == 19 ||
+                                      size[i] == 49 || size[i] == 3 ||
+                                      size[i] == 36 || size[i] == 14 ||
+                                      size[i] == 23 || size[i] == 45);
+                      }
+                    });
+  Src agg = Agg(std::move(part), {1, 3}, {{AggKind::kCount, 0}});
+  return Summarize(Sort(std::move(agg), {{2, true}, {0}}));
+}
+
+// Q17: small-quantity-order revenue: lineitems below 20% of the average
+// quantity of their part.
+StatusOr<QueryResult> Q17(const TpchTables& t) {
+  Src part = Filter(t.part->Scan({kPPartkey, kPBrand, kPContainer}),
+                    And({StringEquals(1, "Brand#23"),
+                         StringEquals(2, "MED BOX")}));
+  Src line = t.lineitem->Scan({kLPartkey, kLQuantity, kLExtendedprice});
+  Src line_part = Join(std::move(line), std::move(part), {0}, {0},
+                       JoinKind::kLeftSemi);
+  PDT_ASSIGN_OR_RETURN(Batch filtered,
+                       MaterializeAll(line_part.get()));
+  // Two passes: per-part average quantity, then the selective sum.
+  Src pass1 = std::make_unique<VectorSource>(filtered);
+  Src avg = Agg(std::move(pass1), {0}, {{AggKind::kAvg, 1}});
+  Src pass2 = std::make_unique<VectorSource>(filtered);
+  Src joined = Join(std::move(pass2), std::move(avg), {0}, {0});
+  Src flt = Filter(std::move(joined),
+                   [](const Batch& b, std::vector<uint8_t>* keep) {
+                     const auto& qty = b.column(1).doubles();
+                     const auto& avg_q = b.column(4).doubles();
+                     for (size_t i = 0; i < qty.size(); ++i) {
+                       (*keep)[i] = qty[i] < 0.2 * avg_q[i];
+                     }
+                   });
+  return Summarize(Agg(std::move(flt), {}, {{AggKind::kSum, 2}}));
+}
+
+// Q18: large volume customers.
+StatusOr<QueryResult> Q18(const TpchTables& t) {
+  Src line = t.lineitem->Scan({kLOrderkey, kLQuantity});
+  Src per_order = Agg(std::move(line), {0}, {{AggKind::kSum, 1}});
+  Src big = Filter(std::move(per_order),
+                   DoubleInRange(1, 250.0, 1e18));
+  Src ord = t.orders->Scan({kOOrderkey, kOCustkey, kOOrderdate,
+                            kOTotalprice});
+  Src joined = Join(std::move(big), std::move(ord), {0}, {0});
+  return Summarize(Sort(std::move(joined), {{5, true}, {4}}, 100));
+}
+
+// Q19: discounted revenue (disjunctive part/lineitem predicates).
+StatusOr<QueryResult> Q19(const TpchTables& t) {
+  Src line = Filter(t.lineitem->Scan({kLPartkey, kLQuantity,
+                                      kLExtendedprice, kLDiscount,
+                                      kLShipmode}),
+                    [](const Batch& b, std::vector<uint8_t>* keep) {
+                      const auto& mode = b.column(4).strings();
+                      for (size_t i = 0; i < mode.size(); ++i) {
+                        (*keep)[i] = mode[i] == "AIR" || mode[i] == "REG AIR";
+                      }
+                    });
+  Src part = t.part->Scan({kPPartkey, kPBrand, kPSize});
+  Src joined = Join(std::move(line), std::move(part), {0}, {0});
+  Src flt = Filter(std::move(joined),
+                   [](const Batch& b, std::vector<uint8_t>* keep) {
+                     const auto& qty = b.column(1).doubles();
+                     const auto& brand = b.column(6).strings();
+                     const auto& size = b.column(7).ints();
+                     for (size_t i = 0; i < qty.size(); ++i) {
+                       bool p1 = brand[i] == "Brand#12" && qty[i] <= 11 &&
+                                 size[i] <= 5;
+                       bool p2 = brand[i] == "Brand#23" && qty[i] >= 10 &&
+                                 qty[i] <= 20 && size[i] <= 10;
+                       bool p3 = brand[i] == "Brand#34" && qty[i] >= 20 &&
+                                 qty[i] <= 30 && size[i] <= 15;
+                       (*keep)[i] = p1 || p2 || p3;
+                     }
+                   });
+  Src proj = Project(std::move(flt), {Revenue(2, 3)});
+  return Summarize(Agg(std::move(proj), {}, {{AggKind::kSum, 0}}));
+}
+
+// Q20: potential part promotion: suppliers with surplus stock.
+StatusOr<QueryResult> Q20(const TpchTables& t) {
+  int64_t lo = DayNumber(1994, 1, 1), hi = DayNumber(1995, 1, 1) - 1;
+  Src part = Filter(t.part->Scan({kPPartkey, kPName}),
+                    [](const Batch& b, std::vector<uint8_t>* keep) {
+                      const auto& names = b.column(1).strings();
+                      for (size_t i = 0; i < names.size(); ++i) {
+                        (*keep)[i] =
+                            names[i].rfind("forest", 0) == 0 ||
+                            names[i].find("azure") != std::string::npos;
+                      }
+                    });
+  Src line = Filter(t.lineitem->Scan({kLPartkey, kLSuppkey, kLQuantity,
+                                      kLShipdate}),
+                    Int64Between(3, lo, hi));
+  Src line_part = Join(std::move(line), std::move(part), {0}, {0},
+                       JoinKind::kLeftSemi);
+  Src per_supp = Agg(std::move(line_part), {1}, {{AggKind::kSum, 2}});
+  Src supp = t.supplier->Scan({kSSuppkey, kSNationkey});
+  Src joined = Join(std::move(per_supp), std::move(supp), {0}, {0});
+  return Summarize(Sort(std::move(joined), {{0}}));
+}
+
+// Q21: suppliers who kept orders waiting.
+StatusOr<QueryResult> Q21(const TpchTables& t) {
+  Src ord = Filter(t.orders->Scan({kOOrderkey, kOOrderstatus}),
+                   StringEquals(1, "F"));
+  Src line = Filter(t.lineitem->Scan({kLOrderkey, kLSuppkey, kLCommitdate,
+                                      kLReceiptdate}),
+                    [](const Batch& b, std::vector<uint8_t>* keep) {
+                      const auto& commit = b.column(2).ints();
+                      const auto& receipt = b.column(3).ints();
+                      for (size_t i = 0; i < commit.size(); ++i) {
+                        (*keep)[i] = receipt[i] > commit[i];
+                      }
+                    });
+  Src joined = Join(std::move(line), std::move(ord), {0}, {0},
+                    JoinKind::kLeftSemi);
+  Src agg = Agg(std::move(joined), {1}, {{AggKind::kCount, 0}});
+  return Summarize(Sort(std::move(agg), {{1, true}, {0}}, 100));
+}
+
+// Q22: global sales opportunity: well-off customers without orders.
+StatusOr<QueryResult> Q22(const TpchTables& t) {
+  Src cust = Filter(t.customer->Scan({kCCustkey, kCNationkey, kCAcctbal}),
+                    DoubleInRange(2, 0.0, 1e18));
+  Src ord = t.orders->Scan({kOCustkey});
+  Src anti = Join(std::move(cust), std::move(ord), {0}, {0},
+                  JoinKind::kLeftAnti);
+  Src agg = Agg(std::move(anti), {1},
+                {{AggKind::kCount, 0}, {AggKind::kSum, 2}});
+  return Summarize(Sort(std::move(agg), {{0}}));
+}
+
+}  // namespace
+
+bool QueryTouchesUpdatedTables(int q) {
+  return q != 2 && q != 11 && q != 16;
+}
+
+StatusOr<QueryResult> RunTpchQuery(int q, const TpchTables& tables) {
+  switch (q) {
+    case 1:
+      return Q1(tables);
+    case 2:
+      return Q2(tables);
+    case 3:
+      return Q3(tables);
+    case 4:
+      return Q4(tables);
+    case 5:
+      return Q5(tables);
+    case 6:
+      return Q6(tables);
+    case 7:
+      return Q7(tables);
+    case 8:
+      return Q8(tables);
+    case 9:
+      return Q9(tables);
+    case 10:
+      return Q10(tables);
+    case 11:
+      return Q11(tables);
+    case 12:
+      return Q12(tables);
+    case 13:
+      return Q13(tables);
+    case 14:
+      return Q14(tables);
+    case 15:
+      return Q15(tables);
+    case 16:
+      return Q16(tables);
+    case 17:
+      return Q17(tables);
+    case 18:
+      return Q18(tables);
+    case 19:
+      return Q19(tables);
+    case 20:
+      return Q20(tables);
+    case 21:
+      return Q21(tables);
+    case 22:
+      return Q22(tables);
+    default:
+      return Status::InvalidArgument("unknown TPC-H query number");
+  }
+}
+
+}  // namespace tpch
+}  // namespace pdtstore

@@ -1,0 +1,33 @@
+// The 22 TPC-H query kernels of the paper's evaluation (Sec. 4). Each
+// kernel reproduces the corresponding query's scan footprint over the
+// *updated* tables (lineitem, orders) — the quantity the experiment
+// measures — with dimension joins against the generated dimension tables
+// and TPC-H's predicates/aggregations expressed through the vectorized
+// executor. Queries 2, 11 and 16 touch no updated table (the paper's
+// footnote 6: their results do not differ between runs).
+#ifndef PDTSTORE_TPCH_QUERIES_H_
+#define PDTSTORE_TPCH_QUERIES_H_
+
+#include "tpch/tpch_gen.h"
+
+namespace pdtstore {
+namespace tpch {
+
+/// Result digest of one query: row count of the final operator plus a
+/// numeric checksum, used to verify that PDT / VDT / no-update runs agree
+/// with each other where they must.
+struct QueryResult {
+  size_t rows = 0;
+  double checksum = 0.0;
+};
+
+/// Runs query `q` (1-22). InvalidArgument for unknown numbers.
+StatusOr<QueryResult> RunTpchQuery(int q, const TpchTables& tables);
+
+/// True if query `q` scans lineitem or orders.
+bool QueryTouchesUpdatedTables(int q);
+
+}  // namespace tpch
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_TPCH_QUERIES_H_

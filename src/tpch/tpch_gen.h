@@ -1,0 +1,62 @@
+// Seeded dbgen-style generator for the TPC-H-like workload. Reproduces
+// the structural properties the evaluation depends on: lineitem clustered
+// on (orderkey, linenumber) with 1-7 lines per order, orders clustered on
+// (orderdate, orderkey) so by-date clustering scatters by-key updates,
+// and an orderkey space with holes so refresh inserts land scattered
+// throughout both tables (the paper's "inserts touch locations scattered
+// throughout the tables").
+#ifndef PDTSTORE_TPCH_TPCH_GEN_H_
+#define PDTSTORE_TPCH_TPCH_GEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "db/database.h"
+#include "tpch/tpch_schema.h"
+#include "util/random.h"
+
+namespace pdtstore {
+namespace tpch {
+
+/// Generator scale: SF 1.0 would be ~1.5M orders / ~6M lineitems; the
+/// benchmarks run laptop-scale fractions (see DESIGN.md substitutions).
+struct GenOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 7;
+  /// Fraction of the orderkey space left as holes for refresh inserts
+  /// (dbgen uses 8 of every 32 keys).
+  double hole_fraction = 0.25;
+};
+
+/// The generated tables, loaded into a Database.
+struct TpchTables {
+  Table* lineitem = nullptr;
+  Table* orders = nullptr;
+  Table* customer = nullptr;
+  Table* part = nullptr;
+  Table* supplier = nullptr;
+  Table* nation = nullptr;
+};
+
+/// One order plus its lineitems, used both for initial population and for
+/// refresh-stream inserts.
+struct GeneratedOrder {
+  Tuple order;
+  std::vector<Tuple> lineitems;
+};
+
+/// Deterministically generates one order with key `orderkey`.
+GeneratedOrder MakeOrder(int64_t orderkey, Random* rng, double scale_factor);
+
+/// Creates + loads all tables into `db` with the given per-table options
+/// (backend/compression are the knobs Fig. 19 sweeps).
+StatusOr<TpchTables> GenerateInto(Database* db, const GenOptions& gen,
+                                  const TableOptions& table_options);
+
+/// Number of orders at a scale factor.
+int64_t OrderCountFor(const GenOptions& gen);
+
+}  // namespace tpch
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_TPCH_TPCH_GEN_H_

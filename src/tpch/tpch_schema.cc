@@ -1,0 +1,85 @@
+#include "tpch/tpch_schema.h"
+
+namespace pdtstore {
+namespace tpch {
+
+int64_t DayNumber(int year, int month, int day) {
+  return static_cast<int64_t>(year - 1992) * 365 +
+         static_cast<int64_t>(month - 1) * 30 + (day - 1);
+}
+
+namespace {
+std::shared_ptr<const Schema> MakeSchema(std::vector<ColumnDef> cols,
+                                         std::vector<ColumnId> sk) {
+  auto schema = Schema::Make(std::move(cols), std::move(sk));
+  return std::make_shared<const Schema>(std::move(*schema));
+}
+}  // namespace
+
+std::shared_ptr<const Schema> LineitemSchema() {
+  return MakeSchema(
+      {{"l_orderkey", TypeId::kInt64},
+       {"l_partkey", TypeId::kInt64},
+       {"l_suppkey", TypeId::kInt64},
+       {"l_linenumber", TypeId::kInt64},
+       {"l_quantity", TypeId::kDouble},
+       {"l_extendedprice", TypeId::kDouble},
+       {"l_discount", TypeId::kDouble},
+       {"l_tax", TypeId::kDouble},
+       {"l_returnflag", TypeId::kString},
+       {"l_linestatus", TypeId::kString},
+       {"l_shipdate", TypeId::kInt64},
+       {"l_commitdate", TypeId::kInt64},
+       {"l_receiptdate", TypeId::kInt64},
+       {"l_shipmode", TypeId::kString}},
+      {kLOrderkey, kLLinenumber});
+}
+
+std::shared_ptr<const Schema> OrdersSchema() {
+  return MakeSchema({{"o_orderdate", TypeId::kInt64},
+                     {"o_orderkey", TypeId::kInt64},
+                     {"o_custkey", TypeId::kInt64},
+                     {"o_orderstatus", TypeId::kString},
+                     {"o_totalprice", TypeId::kDouble},
+                     {"o_orderpriority", TypeId::kString},
+                     {"o_shippriority", TypeId::kInt64}},
+                    {kOOrderdate, kOOrderkey});
+}
+
+std::shared_ptr<const Schema> CustomerSchema() {
+  return MakeSchema({{"c_custkey", TypeId::kInt64},
+                     {"c_name", TypeId::kString},
+                     {"c_nationkey", TypeId::kInt64},
+                     {"c_acctbal", TypeId::kDouble},
+                     {"c_mktsegment", TypeId::kString}},
+                    {kCCustkey});
+}
+
+std::shared_ptr<const Schema> PartSchema() {
+  return MakeSchema({{"p_partkey", TypeId::kInt64},
+                     {"p_name", TypeId::kString},
+                     {"p_brand", TypeId::kString},
+                     {"p_type", TypeId::kString},
+                     {"p_size", TypeId::kInt64},
+                     {"p_container", TypeId::kString},
+                     {"p_retailprice", TypeId::kDouble}},
+                    {kPPartkey});
+}
+
+std::shared_ptr<const Schema> SupplierSchema() {
+  return MakeSchema({{"s_suppkey", TypeId::kInt64},
+                     {"s_name", TypeId::kString},
+                     {"s_nationkey", TypeId::kInt64},
+                     {"s_acctbal", TypeId::kDouble}},
+                    {kSSuppkey});
+}
+
+std::shared_ptr<const Schema> NationSchema() {
+  return MakeSchema({{"n_nationkey", TypeId::kInt64},
+                     {"n_name", TypeId::kString},
+                     {"n_regionkey", TypeId::kInt64}},
+                    {kNNationkey});
+}
+
+}  // namespace tpch
+}  // namespace pdtstore

@@ -1,0 +1,104 @@
+// TPC-H-style schemas matching the paper's evaluation setup (Sec. 4):
+// lineitem ordered on {l_orderkey, l_linenumber}, orders ordered on
+// {o_orderdate, o_orderkey} ("index-organized" columnar tables), plus the
+// dimension tables the query kernels join against. Dates are int64 days
+// since 1992-01-01.
+#ifndef PDTSTORE_TPCH_TPCH_SCHEMA_H_
+#define PDTSTORE_TPCH_TPCH_SCHEMA_H_
+
+#include <memory>
+
+#include "columnstore/schema.h"
+
+namespace pdtstore {
+namespace tpch {
+
+/// Day-number bounds of the 7-year TPC-H date domain.
+constexpr int64_t kMinDate = 0;     ///< 1992-01-01
+constexpr int64_t kMaxDate = 2557;  ///< ~1998-12-31
+
+/// Converts a (y, m, d) in the TPC-H domain to a day number (approximate
+/// civil calendar: fine for range predicates, monotone in real dates).
+int64_t DayNumber(int year, int month, int day);
+
+// Column indexes: lineitem.
+enum LineitemCol : ColumnId {
+  kLOrderkey = 0,
+  kLPartkey,
+  kLSuppkey,
+  kLLinenumber,
+  kLQuantity,
+  kLExtendedprice,
+  kLDiscount,
+  kLTax,
+  kLReturnflag,
+  kLLinestatus,
+  kLShipdate,
+  kLCommitdate,
+  kLReceiptdate,
+  kLShipmode,
+  kLNumColumns
+};
+
+// Column indexes: orders.
+enum OrdersCol : ColumnId {
+  kOOrderdate = 0,
+  kOOrderkey,
+  kOCustkey,
+  kOOrderstatus,
+  kOTotalprice,
+  kOOrderpriority,
+  kOShippriority,
+  kONumColumns
+};
+
+// Column indexes: customer.
+enum CustomerCol : ColumnId {
+  kCCustkey = 0,
+  kCName,
+  kCNationkey,
+  kCAcctbal,
+  kCMktsegment,
+  kCNumColumns
+};
+
+// Column indexes: part.
+enum PartCol : ColumnId {
+  kPPartkey = 0,
+  kPName,
+  kPBrand,
+  kPType,
+  kPSize,
+  kPContainer,
+  kPRetailprice,
+  kPNumColumns
+};
+
+// Column indexes: supplier.
+enum SupplierCol : ColumnId {
+  kSSuppkey = 0,
+  kSName,
+  kSNationkey,
+  kSAcctbal,
+  kSNumColumns
+};
+
+// Column indexes: nation.
+enum NationCol : ColumnId {
+  kNNationkey = 0,
+  kNName,
+  kNRegionkey,
+  kNNumColumns
+};
+
+std::shared_ptr<const Schema> LineitemSchema();
+std::shared_ptr<const Schema> OrdersSchema();
+std::shared_ptr<const Schema> CustomerSchema();
+std::shared_ptr<const Schema> PartSchema();
+std::shared_ptr<const Schema> SupplierSchema();
+std::shared_ptr<const Schema> NationSchema();
+
+}  // namespace tpch
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_TPCH_TPCH_SCHEMA_H_

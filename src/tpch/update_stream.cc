@@ -1,0 +1,103 @@
+#include "tpch/update_stream.h"
+
+#include <algorithm>
+
+namespace pdtstore {
+namespace tpch {
+
+namespace {
+// Mirrors the generator's key-space walk: enumerates the i-th *used* key
+// (for delete sampling) and the i-th *hole* key (for refresh inserts).
+struct KeySpace {
+  int keys_per_32;
+  int64_t order_count;
+
+  explicit KeySpace(const GenOptions& gen)
+      : keys_per_32(std::clamp(
+            static_cast<int>(32 * (1.0 - gen.hole_fraction)), 1, 32)),
+        order_count(OrderCountFor(gen)) {}
+
+  // i-th used key, i in [0, order_count).
+  int64_t UsedKey(int64_t i) const {
+    // Block 0 contributes keys 1..keys_per_32-1 (key 0 does not exist).
+    int64_t first_block = keys_per_32 - 1;
+    if (i < first_block) return i + 1;
+    i -= first_block;
+    int64_t block = 1 + i / keys_per_32;
+    return block * 32 + (i % keys_per_32);
+  }
+
+  // i-th hole key (strictly above-pattern keys within the used range).
+  int64_t HoleKey(int64_t i) const {
+    int64_t holes_per_32 = 32 - keys_per_32;
+    if (holes_per_32 == 0) {
+      // No holes configured: fall back to keys beyond the used range.
+      return UsedKey(order_count - 1) + 1 + i;
+    }
+    int64_t block = i / holes_per_32;
+    return block * 32 + keys_per_32 + (i % holes_per_32);
+  }
+};
+
+GeneratedOrder Regenerate(const GenOptions& gen, int64_t key) {
+  Random rng(gen.seed * 0x9e3779b97f4a7c15ULL + key);
+  return MakeOrder(key, &rng, gen.scale_factor);
+}
+}  // namespace
+
+StatusOr<std::vector<UpdateStream>> MakeUpdateStreams(const GenOptions& gen,
+                                                      int num_streams,
+                                                      double fraction) {
+  if (num_streams <= 0 || fraction <= 0.0 || fraction >= 1.0) {
+    return Status::InvalidArgument("bad update stream parameters");
+  }
+  KeySpace ks(gen);
+  int64_t per_stream =
+      std::max<int64_t>(1, static_cast<int64_t>(
+                               static_cast<double>(ks.order_count) *
+                               fraction));
+  std::vector<UpdateStream> streams(num_streams);
+  // Inserts: consecutive hole keys, partitioned across streams.
+  int64_t hole_idx = 0;
+  for (int s = 0; s < num_streams; ++s) {
+    streams[s].inserts.reserve(per_stream);
+    for (int64_t i = 0; i < per_stream; ++i) {
+      streams[s].inserts.push_back(Regenerate(gen, ks.HoleKey(hole_idx++)));
+    }
+  }
+  // Deletes: evenly spread, disjoint across streams.
+  int64_t total_deletes = per_stream * num_streams;
+  int64_t stride = std::max<int64_t>(1, ks.order_count / total_deletes);
+  int64_t g = 0;
+  for (int s = 0; s < num_streams; ++s) {
+    streams[s].deletes.reserve(per_stream);
+    for (int64_t i = 0; i < per_stream; ++i, ++g) {
+      int64_t idx = std::min(g * stride, ks.order_count - 1);
+      streams[s].deletes.push_back(Regenerate(gen, ks.UsedKey(idx)));
+    }
+  }
+  return streams;
+}
+
+Status ApplyUpdateStream(const UpdateStream& stream, TpchTables* tables) {
+  for (const GeneratedOrder& o : stream.inserts) {
+    PDT_RETURN_NOT_OK(tables->orders->Insert(o.order));
+    for (const Tuple& l : o.lineitems) {
+      PDT_RETURN_NOT_OK(tables->lineitem->Insert(l));
+    }
+  }
+  for (const GeneratedOrder& o : stream.deletes) {
+    Status st = tables->orders->DeleteByKey(
+        {o.order[kOOrderdate], o.order[kOOrderkey]});
+    if (st.code() == StatusCode::kNotFound) continue;  // already deleted
+    PDT_RETURN_NOT_OK(st);
+    for (const Tuple& l : o.lineitems) {
+      PDT_RETURN_NOT_OK(tables->lineitem->DeleteByKey(
+          {l[kLOrderkey], l[kLLinenumber]}));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpch
+}  // namespace pdtstore

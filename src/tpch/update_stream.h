@@ -1,0 +1,37 @@
+// TPC-H refresh streams (RF1/RF2): each stream inserts new orders (with
+// their lineitems, using orderkeys from the holes in the key space) and
+// deletes existing orders — each touching roughly 0.1% of orders and
+// lineitem, scattered across the clustered tables, exactly the update
+// load of the paper's Fig. 19 experiments.
+#ifndef PDTSTORE_TPCH_UPDATE_STREAM_H_
+#define PDTSTORE_TPCH_UPDATE_STREAM_H_
+
+#include <vector>
+
+#include "tpch/tpch_gen.h"
+
+namespace pdtstore {
+namespace tpch {
+
+/// One refresh stream: inserts and deletes (deletes carry the regenerated
+/// order so both tables' sort keys can be addressed).
+struct UpdateStream {
+  std::vector<GeneratedOrder> inserts;
+  std::vector<GeneratedOrder> deletes;
+};
+
+/// Builds `num_streams` refresh streams, each covering `fraction` of the
+/// order count (TPC-H uses 2 streams x 0.1%). Insert keys come from the
+/// generator's holes; delete keys sample existing orders. Streams are
+/// disjoint.
+StatusOr<std::vector<UpdateStream>> MakeUpdateStreams(
+    const GenOptions& gen, int num_streams, double fraction);
+
+/// Applies one stream to the tables (inserts into orders+lineitem, then
+/// deletes). Works with either delta backend through the Table facade.
+Status ApplyUpdateStream(const UpdateStream& stream, TpchTables* tables);
+
+}  // namespace tpch
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_TPCH_UPDATE_STREAM_H_

@@ -1,0 +1,73 @@
+// Internal helpers shared by the single- and multi-table transaction
+// managers: resolving sort keys / full tuples through a stack of PDT
+// layers (bottom..top), walking RIDs downward through each layer's
+// SID domain.
+#ifndef PDTSTORE_TXN_LAYERED_H_
+#define PDTSTORE_TXN_LAYERED_H_
+
+#include <vector>
+
+#include "pdt/pdt.h"
+#include "storage/column_store.h"
+
+namespace pdtstore {
+namespace internal {
+
+/// Sort key of the merged tuple at `rid` (top-domain position). SK
+/// columns are never modified in place, so only inserts redirect the key
+/// source.
+inline StatusOr<std::vector<Value>> LayeredSortKey(
+    const ColumnStore& store, const std::vector<const Pdt*>& layers,
+    Rid rid) {
+  Rid cur = rid;
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+    Pdt::RidLookup lk = (*it)->LookupRid(cur);
+    if (lk.is_insert) {
+      return (*it)->value_space().GetInsertSortKey(lk.insert_offset);
+    }
+    cur = lk.sid;
+  }
+  return store.GetSortKey(cur);
+}
+
+/// Full merged tuple at `rid`, honoring modify entries with higher layers
+/// taking precedence.
+inline StatusOr<Tuple> LayeredTuple(const ColumnStore& store,
+                                    const std::vector<const Pdt*>& layers,
+                                    Rid rid) {
+  Rid cur = rid;
+  std::vector<std::pair<ColumnId, Value>> mods;  // top-most first
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+    const Pdt* layer = *it;
+    Pdt::RidLookup lk = layer->LookupRid(cur);
+    if (lk.is_insert) {
+      Tuple t = layer->value_space().GetInsertTuple(lk.insert_offset);
+      for (auto mit = mods.rbegin(); mit != mods.rend(); ++mit) {
+        t[mit->first] = mit->second;
+      }
+      return t;
+    }
+    for (auto [col, off] : lk.mods) {
+      mods.emplace_back(col, layer->value_space().GetModifyValue(col, off));
+    }
+    cur = lk.sid;
+  }
+  PDT_ASSIGN_OR_RETURN(Tuple t, store.GetTuple(cur));
+  for (auto mit = mods.rbegin(); mit != mods.rend(); ++mit) {
+    t[mit->first] = mit->second;
+  }
+  return t;
+}
+
+/// Merged row count of a layer stack over `stable_rows`.
+inline uint64_t LayeredRowCount(uint64_t stable_rows,
+                                const std::vector<const Pdt*>& layers) {
+  int64_t delta = 0;
+  for (const Pdt* layer : layers) delta += layer->TotalDelta();
+  return static_cast<uint64_t>(static_cast<int64_t>(stable_rows) + delta);
+}
+
+}  // namespace internal
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_TXN_LAYERED_H_

@@ -1,0 +1,360 @@
+#include "txn/multi_txn.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "txn/layered.h"
+
+namespace pdtstore {
+
+// ---------------------------------------------------------------------
+// MultiTransaction.
+// ---------------------------------------------------------------------
+
+MultiTransaction::MultiTransaction(MultiTxnManager* mgr, uint64_t id,
+                                   uint64_t start_time)
+    : mgr_(mgr), id_(id), start_time_(start_time) {}
+
+MultiTransaction::~MultiTransaction() {
+  if (!finished_) Abort();
+}
+
+StatusOr<MultiTransaction::TableView*> MultiTransaction::View(
+    const std::string& table) const {
+  auto it = views_.find(table);
+  if (it != views_.end()) return &it->second;
+  // First touch: snapshot under the manager lock.
+  std::lock_guard<std::mutex> lock(mgr_->mu_);
+  auto sit = mgr_->state_.find(table);
+  if (sit == mgr_->state_.end()) {
+    return Status::NotFound("table not managed: " + table);
+  }
+  MultiTxnManager::TableState& st = sit->second;
+  if (!st.write_snapshot || st.write_snapshot_time != mgr_->clock_) {
+    st.write_snapshot =
+        std::shared_ptr<const Pdt>(st.write->Clone().release());
+    st.write_snapshot_time = mgr_->clock_;
+  }
+  TableView view;
+  view.table = st.table;
+  view.read = std::shared_ptr<const Pdt>(st.table->pdt(), [](const Pdt*) {});
+  view.write = st.write_snapshot;
+  view.trans = std::make_unique<Pdt>(st.table->shared_schema(),
+                                     st.table->options().pdt);
+  auto [vit, unused] = views_.emplace(table, std::move(view));
+  return &vit->second;
+}
+
+StatusOr<Rid> MultiTransaction::UpperBoundRid(
+    const TableView& v, const std::vector<Value>& key) const {
+  Rid lo = 0;
+  Rid hi = internal::LayeredRowCount(v.table->store().num_rows(), Layers(v));
+  while (lo < hi) {
+    Rid mid = lo + (hi - lo) / 2;
+    PDT_ASSIGN_OR_RETURN(
+        auto mid_key,
+        internal::LayeredSortKey(v.table->store(), Layers(v), mid));
+    int cmp = 0;
+    for (size_t i = 0; i < mid_key.size() && i < key.size(); ++i) {
+      cmp = mid_key[i].Compare(key[i]);
+      if (cmp != 0) break;
+    }
+    if (cmp <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+StatusOr<Rid> MultiTransaction::FindRidByKey(
+    const TableView& v, const std::vector<Value>& key) const {
+  PDT_ASSIGN_OR_RETURN(Rid ub, UpperBoundRid(v, key));
+  if (ub == 0) return Status::NotFound("key not found");
+  PDT_ASSIGN_OR_RETURN(
+      auto prev_key,
+      internal::LayeredSortKey(v.table->store(), Layers(v), ub - 1));
+  if (CompareTuples(prev_key, key) != 0) {
+    return Status::NotFound("key not found");
+  }
+  return ub - 1;
+}
+
+Status MultiTransaction::Insert(const std::string& table,
+                                const Tuple& tuple) {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  PDT_ASSIGN_OR_RETURN(TableView * v, View(table));
+  const Schema& schema = v->table->schema();
+  PDT_RETURN_NOT_OK(schema.ValidateTuple(tuple));
+  std::vector<Value> key = schema.ExtractSortKey(tuple);
+  auto existing = FindRidByKey(*v, key);
+  if (existing.ok()) return Status::AlreadyExists("duplicate sort key");
+  if (existing.status().code() != StatusCode::kNotFound) {
+    return existing.status();
+  }
+  PDT_ASSIGN_OR_RETURN(Rid rid, UpperBoundRid(*v, key));
+  Sid sid = v->trans->SKRidToSid(key, rid);
+  PDT_RETURN_NOT_OK(v->trans->AddInsert(sid, rid, tuple));
+  WalRecord r;
+  r.type = WalRecordType::kInsert;
+  r.table = table;
+  r.tuple = tuple;
+  redo_.push_back(std::move(r));
+  return Status::OK();
+}
+
+Status MultiTransaction::DeleteByKey(const std::string& table,
+                                     const std::vector<Value>& key) {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  PDT_ASSIGN_OR_RETURN(TableView * v, View(table));
+  PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(*v, key));
+  PDT_RETURN_NOT_OK(v->trans->AddDelete(rid, key));
+  WalRecord r;
+  r.type = WalRecordType::kDelete;
+  r.table = table;
+  r.key = key;
+  redo_.push_back(std::move(r));
+  return Status::OK();
+}
+
+Status MultiTransaction::ModifyByKey(const std::string& table,
+                                     const std::vector<Value>& key,
+                                     ColumnId col, const Value& value) {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  PDT_ASSIGN_OR_RETURN(TableView * v, View(table));
+  const Schema& schema = v->table->schema();
+  if (schema.IsSortKeyColumn(col)) {
+    PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(*v, key));
+    PDT_ASSIGN_OR_RETURN(
+        Tuple t, internal::LayeredTuple(v->table->store(), Layers(*v), rid));
+    PDT_RETURN_NOT_OK(DeleteByKey(table, key));
+    t[col] = value;
+    return Insert(table, t);
+  }
+  PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(*v, key));
+  PDT_RETURN_NOT_OK(v->trans->AddModify(rid, col, value));
+  WalRecord r;
+  r.type = WalRecordType::kModify;
+  r.table = table;
+  r.key = key;
+  r.column = col;
+  r.value = value;
+  redo_.push_back(std::move(r));
+  return Status::OK();
+}
+
+StatusOr<Tuple> MultiTransaction::GetByKey(
+    const std::string& table, const std::vector<Value>& key) const {
+  PDT_ASSIGN_OR_RETURN(TableView * v, View(table));
+  PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(*v, key));
+  return internal::LayeredTuple(v->table->store(), Layers(*v), rid);
+}
+
+std::unique_ptr<BatchSource> MultiTransaction::Scan(
+    const std::string& table, std::vector<ColumnId> projection,
+    const KeyBounds* bounds) const {
+  auto view = View(table);
+  if (!view.ok()) return nullptr;
+  TableView* v = *view;
+  std::vector<SidRange> ranges;
+  if (bounds != nullptr) {
+    ranges = v->table->sparse_index().LookupRange(bounds->lo, bounds->hi);
+  }
+  return MakeMergeScan(v->table->store(), Layers(*v), std::move(projection),
+                       std::move(ranges));
+}
+
+StatusOr<uint64_t> MultiTransaction::RowCount(
+    const std::string& table) const {
+  PDT_ASSIGN_OR_RETURN(TableView * v, View(table));
+  return internal::LayeredRowCount(v->table->store().num_rows(), Layers(*v));
+}
+
+Status MultiTransaction::Commit() {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  return mgr_->CommitLocked(this);
+}
+
+void MultiTransaction::Abort() {
+  if (finished_) return;
+  std::lock_guard<std::mutex> lock(mgr_->mu_);
+  mgr_->FinishLocked(this);
+  ++mgr_->aborted_count_;
+  if (mgr_->wal_ != nullptr) mgr_->wal_->LogAbort(id_);
+}
+
+// ---------------------------------------------------------------------
+// MultiTxnManager.
+// ---------------------------------------------------------------------
+
+MultiTxnManager::MultiTxnManager(std::vector<Table*> tables, Wal* wal,
+                                 TxnManagerOptions opts)
+    : opts_(opts), wal_(wal) {
+  for (Table* t : tables) {
+    assert(t->pdt() != nullptr && "multi-table txns require PDT tables");
+    TableState st;
+    st.table = t;
+    st.write = std::make_unique<Pdt>(t->shared_schema(), t->options().pdt);
+    state_.emplace(t->name(), std::move(st));
+  }
+}
+
+std::unique_ptr<MultiTransaction> MultiTxnManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++active_;
+  return std::unique_ptr<MultiTransaction>(
+      new MultiTransaction(this, next_txn_id_++, clock_));
+}
+
+void MultiTxnManager::FinishLocked(MultiTransaction* txn) {
+  for (auto& z : tz_) {
+    if (txn->start_time_ < z.commit_time) --z.refcnt;
+  }
+  tz_.erase(std::remove_if(
+                tz_.begin(), tz_.end(),
+                [](const CommittedTxn& z) { return z.refcnt <= 0; }),
+            tz_.end());
+  --active_;
+  txn->finished_ = true;
+}
+
+Status MultiTxnManager::CommitLocked(MultiTransaction* txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status conflict = Status::OK();
+  for (auto& z : tz_) {
+    if (txn->start_time_ >= z.commit_time) continue;
+    if (!conflict.ok()) continue;
+    // Serialize per overlapping table; any conflict aborts everything.
+    for (auto& [name, view] : txn->views_) {
+      auto zit = z.pdts.find(name);
+      if (zit == z.pdts.end()) continue;
+      Status st = view.trans->SerializeAgainst(*zit->second);
+      if (!st.ok()) {
+        if (st.code() != StatusCode::kConflict) {
+          FinishLocked(txn);
+          return st;
+        }
+        conflict = st;
+        break;
+      }
+    }
+  }
+  if (!conflict.ok()) {
+    FinishLocked(txn);
+    ++aborted_count_;
+    if (wal_ != nullptr) wal_->LogAbort(txn->id_);
+    return conflict;
+  }
+  if (wal_ != nullptr) {
+    wal_->LogBegin(txn->id_);
+    for (WalRecord& r : txn->redo_) {
+      r.txn_id = txn->id_;
+      wal_->Append(r);
+    }
+    wal_->LogCommit(txn->id_);
+  }
+  // Atomic visibility: propagate every touched table's Trans-PDT into
+  // its master Write-PDT under this one lock.
+  for (auto& [name, view] : txn->views_) {
+    if (view.trans->Empty()) continue;
+    PDT_RETURN_NOT_OK(state_.at(name).write->Propagate(*view.trans));
+  }
+  ++clock_;
+  ++committed_count_;
+  uint64_t commit_time = clock_;
+  FinishLocked(txn);
+  int refs = static_cast<int>(active_);
+  if (refs > 0) {
+    CommittedTxn entry;
+    entry.commit_time = commit_time;
+    entry.refcnt = refs;
+    for (auto& [name, view] : txn->views_) {
+      if (view.trans->Empty()) continue;
+      entry.pdts.emplace(name, std::shared_ptr<Pdt>(view.trans.release()));
+    }
+    if (!entry.pdts.empty()) tz_.push_back(std::move(entry));
+  }
+  // Opportunistic Write->Read migration at quiet points.
+  if (active_ == 0) {
+    for (auto& [name, st] : state_) {
+      if (st.write->EntryCount() > opts_.write_pdt_max_entries) {
+        PDT_RETURN_NOT_OK(st.table->pdt()->Propagate(*st.write));
+        st.write->Clear();
+        st.write_snapshot.reset();
+        st.write_snapshot_time = 0;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MultiTxnManager::PropagateAndMaybeCheckpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ > 0) {
+    return Status::InvalidArgument(
+        "cannot propagate/checkpoint with active transactions");
+  }
+  for (auto& [name, st] : state_) {
+    if (!st.write->Empty()) {
+      PDT_RETURN_NOT_OK(st.table->pdt()->Propagate(*st.write));
+      st.write->Clear();
+      st.write_snapshot.reset();
+      st.write_snapshot_time = 0;
+    }
+    if (st.table->pdt()->EntryCount() > opts_.read_pdt_max_entries) {
+      PDT_RETURN_NOT_OK(st.table->Checkpoint());
+      if (wal_ != nullptr) wal_->LogCheckpoint(name);
+    }
+  }
+  return Status::OK();
+}
+
+Status MultiTxnManager::Recover(const Wal& wal) {
+  std::map<uint64_t, std::vector<WalRecord>> pending;
+  return wal.Replay([&](const WalRecord& r) -> Status {
+    switch (r.type) {
+      case WalRecordType::kBegin:
+        pending[r.txn_id] = {};
+        break;
+      case WalRecordType::kInsert:
+      case WalRecordType::kDelete:
+      case WalRecordType::kModify:
+        pending[r.txn_id].push_back(r);
+        break;
+      case WalRecordType::kAbort:
+        pending.erase(r.txn_id);
+        break;
+      case WalRecordType::kCommit: {
+        auto it = pending.find(r.txn_id);
+        if (it == pending.end()) break;
+        auto txn = Begin();
+        for (const WalRecord& op : it->second) {
+          Status st;
+          switch (op.type) {
+            case WalRecordType::kInsert:
+              st = txn->Insert(op.table, op.tuple);
+              break;
+            case WalRecordType::kDelete:
+              st = txn->DeleteByKey(op.table, op.key);
+              break;
+            case WalRecordType::kModify:
+              st = txn->ModifyByKey(op.table, op.key, op.column, op.value);
+              break;
+            default:
+              break;
+          }
+          if (!st.ok()) return st;
+        }
+        PDT_RETURN_NOT_OK(txn->Commit());
+        pending.erase(it);
+        break;
+      }
+      case WalRecordType::kCheckpoint:
+        break;
+    }
+    return Status::OK();
+  });
+}
+
+}  // namespace pdtstore

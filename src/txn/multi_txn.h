@@ -1,0 +1,140 @@
+// Multi-table transactions: the natural generalization of Sec. 3.3 to
+// transactions spanning several tables (the paper's TPC-H refresh
+// functions update orders *and* lineitem atomically).
+//
+// Every table keeps its own three-layer PDT stack; a transaction holds a
+// (read, write-copy, trans) triple per table it touches. Commit runs
+// Algorithm 9 with per-table Serialize: a write-write conflict on *any*
+// table aborts the whole transaction, and on success every table's
+// Trans-PDT propagates into that table's master Write-PDT under one
+// commit lock, giving all-or-nothing visibility.
+#ifndef PDTSTORE_TXN_MULTI_TXN_H_
+#define PDTSTORE_TXN_MULTI_TXN_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "txn/txn_manager.h"  // TxnManagerOptions
+#include "txn/wal.h"
+
+namespace pdtstore {
+
+class MultiTxnManager;
+
+/// A snapshot-isolated transaction over a fixed set of tables.
+class MultiTransaction {
+ public:
+  ~MultiTransaction();
+
+  Status Insert(const std::string& table, const Tuple& tuple);
+  Status DeleteByKey(const std::string& table,
+                     const std::vector<Value>& key);
+  Status ModifyByKey(const std::string& table, const std::vector<Value>& key,
+                     ColumnId col, const Value& v);
+
+  StatusOr<Tuple> GetByKey(const std::string& table,
+                           const std::vector<Value>& key) const;
+  std::unique_ptr<BatchSource> Scan(const std::string& table,
+                                    std::vector<ColumnId> projection,
+                                    const KeyBounds* bounds = nullptr) const;
+  StatusOr<uint64_t> RowCount(const std::string& table) const;
+
+  /// Commits all tables atomically; Status::Conflict aborts everything.
+  Status Commit();
+  void Abort();
+
+  uint64_t id() const { return id_; }
+  bool finished() const { return finished_; }
+
+ private:
+  friend class MultiTxnManager;
+
+  struct TableView {
+    Table* table = nullptr;
+    std::shared_ptr<const Pdt> read;   // alias of the table's Read-PDT
+    std::shared_ptr<const Pdt> write;  // Write-PDT snapshot
+    std::unique_ptr<Pdt> trans;        // private Trans-PDT
+  };
+
+  MultiTransaction(MultiTxnManager* mgr, uint64_t id, uint64_t start_time);
+
+  StatusOr<TableView*> View(const std::string& table) const;
+  std::vector<const Pdt*> Layers(const TableView& v) const {
+    return {v.read.get(), v.write.get(), v.trans.get()};
+  }
+  StatusOr<Rid> UpperBoundRid(const TableView& v,
+                              const std::vector<Value>& key) const;
+  StatusOr<Rid> FindRidByKey(const TableView& v,
+                             const std::vector<Value>& key) const;
+
+  MultiTxnManager* mgr_;
+  uint64_t id_;
+  uint64_t start_time_;
+  // Keyed by table name; mutable because views are materialized lazily
+  // on first touch (const reads may be the first touch).
+  mutable std::map<std::string, TableView> views_;
+  std::vector<WalRecord> redo_;
+  bool finished_ = false;
+};
+
+/// Coordinates transactions across a set of PDT-backed tables.
+class MultiTxnManager {
+ public:
+  MultiTxnManager(std::vector<Table*> tables, Wal* wal = nullptr,
+                  TxnManagerOptions opts = {});
+
+  std::unique_ptr<MultiTransaction> Begin();
+
+  /// Replays a WAL of committed multi-table transactions.
+  Status Recover(const Wal& wal);
+
+  /// Write->Read propagation (and checkpointing) for every table, at a
+  /// quiet point only.
+  Status PropagateAndMaybeCheckpoint();
+
+  uint64_t committed_count() const { return committed_count_; }
+  uint64_t aborted_count() const { return aborted_count_; }
+  const Pdt& write_pdt(const std::string& table) const {
+    return *state_.at(table).write;
+  }
+
+ private:
+  friend class MultiTransaction;
+
+  struct TableState {
+    Table* table = nullptr;
+    std::unique_ptr<Pdt> write;              // master Write-PDT
+    std::shared_ptr<const Pdt> write_snapshot;
+    uint64_t write_snapshot_time = 0;
+  };
+
+  struct CommittedTxn {
+    // Serialized Trans-PDTs of the tables the transaction touched.
+    std::map<std::string, std::shared_ptr<Pdt>> pdts;
+    uint64_t commit_time = 0;
+    int refcnt = 0;
+  };
+
+  Status CommitLocked(MultiTransaction* txn);
+  void FinishLocked(MultiTransaction* txn);
+
+  mutable std::mutex mu_;
+  TxnManagerOptions opts_;
+  Wal* wal_;
+  std::map<std::string, TableState> state_;
+  uint64_t clock_ = 1;
+  uint64_t next_txn_id_ = 1;
+  size_t active_ = 0;
+  uint64_t committed_count_ = 0;
+  uint64_t aborted_count_ = 0;
+  std::deque<CommittedTxn> tz_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_TXN_MULTI_TXN_H_

@@ -1,0 +1,391 @@
+#include "txn/txn_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "txn/layered.h"
+
+namespace pdtstore {
+
+// ---------------------------------------------------------------------
+// Transaction.
+// ---------------------------------------------------------------------
+
+Transaction::Transaction(TxnManager* mgr, uint64_t id, uint64_t start_time,
+                         std::shared_ptr<const Pdt> read_snapshot,
+                         std::shared_ptr<const Pdt> write_snapshot)
+    : mgr_(mgr),
+      id_(id),
+      start_time_(start_time),
+      read_(std::move(read_snapshot)),
+      write_(std::move(write_snapshot)),
+      trans_(std::make_unique<Pdt>(mgr->table()->shared_schema(),
+                                   mgr->table()->options().pdt)) {}
+
+Transaction::~Transaction() {
+  if (!finished_) Abort();
+}
+
+std::vector<const Pdt*> Transaction::Layers() const {
+  return {read_.get(), write_.get(), trans_.get()};
+}
+
+std::vector<const Pdt*> Transaction::UpdateLayers() const {
+  std::vector<const Pdt*> layers = Layers();
+  if (query_ != nullptr) layers.push_back(query_.get());
+  return layers;
+}
+
+Pdt* Transaction::UpdateTarget() const {
+  return query_ != nullptr ? query_.get() : trans_.get();
+}
+
+uint64_t Transaction::RowCount() const {
+  int64_t delta = read_->TotalDelta() + write_->TotalDelta() +
+                  trans_->TotalDelta();
+  return static_cast<uint64_t>(
+      static_cast<int64_t>(mgr_->table()->store().num_rows()) + delta);
+}
+
+uint64_t Transaction::UpdateDomainRowCount() const {
+  uint64_t n = RowCount();
+  if (query_ != nullptr) {
+    n = static_cast<uint64_t>(static_cast<int64_t>(n) +
+                              query_->TotalDelta());
+  }
+  return n;
+}
+
+StatusOr<std::vector<Value>> Transaction::MergedSortKey(Rid rid) const {
+  return internal::LayeredSortKey(mgr_->table()->store(), UpdateLayers(), rid);
+}
+
+StatusOr<Rid> Transaction::UpperBoundRid(
+    const std::vector<Value>& key) const {
+  Rid lo = 0, hi = UpdateDomainRowCount();
+  while (lo < hi) {
+    Rid mid = lo + (hi - lo) / 2;
+    PDT_ASSIGN_OR_RETURN(auto mid_key, MergedSortKey(mid));
+    int cmp = 0;
+    for (size_t i = 0; i < mid_key.size() && i < key.size(); ++i) {
+      cmp = mid_key[i].Compare(key[i]);
+      if (cmp != 0) break;
+    }
+    if (cmp <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+StatusOr<Rid> Transaction::FindRidByKey(
+    const std::vector<Value>& key) const {
+  PDT_ASSIGN_OR_RETURN(Rid ub, UpperBoundRid(key));
+  if (ub == 0) return Status::NotFound("key not found");
+  PDT_ASSIGN_OR_RETURN(auto prev_key, MergedSortKey(ub - 1));
+  if (CompareTuples(prev_key, key) != 0) {
+    return Status::NotFound("key not found");
+  }
+  return ub - 1;
+}
+
+Status Transaction::Insert(const Tuple& tuple) {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  const Schema& schema = mgr_->table()->schema();
+  PDT_RETURN_NOT_OK(schema.ValidateTuple(tuple));
+  std::vector<Value> key = schema.ExtractSortKey(tuple);
+  auto existing = FindRidByKey(key);
+  if (existing.ok()) return Status::AlreadyExists("duplicate sort key");
+  if (existing.status().code() != StatusCode::kNotFound) {
+    return existing.status();
+  }
+  PDT_ASSIGN_OR_RETURN(Rid rid, UpperBoundRid(key));
+  Pdt* target = UpdateTarget();
+  Sid sid = target->SKRidToSid(key, rid);
+  PDT_RETURN_NOT_OK(target->AddInsert(sid, rid, tuple));
+  WalRecord r;
+  r.type = WalRecordType::kInsert;
+  r.table = mgr_->table()->name();
+  r.tuple = tuple;
+  redo_.push_back(std::move(r));
+  return Status::OK();
+}
+
+Status Transaction::DeleteByKey(const std::vector<Value>& key) {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
+  PDT_RETURN_NOT_OK(UpdateTarget()->AddDelete(rid, key));
+  WalRecord r;
+  r.type = WalRecordType::kDelete;
+  r.table = mgr_->table()->name();
+  r.key = key;
+  redo_.push_back(std::move(r));
+  return Status::OK();
+}
+
+Status Transaction::ModifyByKey(const std::vector<Value>& key, ColumnId col,
+                                const Value& v) {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  const Schema& schema = mgr_->table()->schema();
+  if (schema.IsSortKeyColumn(col)) {
+    PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
+    PDT_ASSIGN_OR_RETURN(
+        Tuple t, internal::LayeredTuple(mgr_->table()->store(), UpdateLayers(), rid));
+    PDT_RETURN_NOT_OK(DeleteByKey(key));
+    t[col] = v;
+    return Insert(t);
+  }
+  PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
+  PDT_RETURN_NOT_OK(UpdateTarget()->AddModify(rid, col, v));
+  WalRecord r;
+  r.type = WalRecordType::kModify;
+  r.table = mgr_->table()->name();
+  r.key = key;
+  r.column = col;
+  r.value = v;
+  redo_.push_back(std::move(r));
+  return Status::OK();
+}
+
+std::unique_ptr<BatchSource> Transaction::Scan(
+    std::vector<ColumnId> projection, const KeyBounds* bounds) const {
+  std::vector<SidRange> ranges;
+  if (bounds != nullptr) {
+    ranges = mgr_->table()->sparse_index().LookupRange(bounds->lo,
+                                                       bounds->hi);
+  }
+  return MakeMergeScan(mgr_->table()->store(), Layers(),
+                       std::move(projection), std::move(ranges));
+}
+
+StatusOr<Tuple> Transaction::GetByKey(const std::vector<Value>& key) const {
+  // Point reads feed update logic, so they see the full update domain
+  // (including an active Query-PDT); Scan() is the protected read path.
+  PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
+  return internal::LayeredTuple(mgr_->table()->store(), UpdateLayers(), rid);
+}
+
+Status Transaction::BeginQueryPdt() {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  if (query_ != nullptr) {
+    return Status::InvalidArgument("Query-PDT already active");
+  }
+  query_ = std::make_unique<Pdt>(mgr_->table()->shared_schema(),
+                                 mgr_->table()->options().pdt);
+  return Status::OK();
+}
+
+Status Transaction::EndQueryPdt() {
+  if (query_ == nullptr) {
+    return Status::InvalidArgument("no Query-PDT active");
+  }
+  // "When such a query finishes, its Query-PDT is propagated to its
+  // Trans-PDT and removed." (footnote 5)
+  PDT_RETURN_NOT_OK(trans_->Propagate(*query_));
+  query_.reset();
+  return Status::OK();
+}
+
+Status Transaction::Commit() {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  if (query_ != nullptr) {
+    return Status::InvalidArgument(
+        "finish the active Query-PDT before committing");
+  }
+  return mgr_->CommitLocked(this);
+}
+
+void Transaction::Abort() {
+  if (finished_) return;
+  std::lock_guard<std::mutex> lock(mgr_->mu_);
+  mgr_->FinishLocked(this);
+  ++mgr_->aborted_count_;
+  if (mgr_->wal_ != nullptr) mgr_->wal_->LogAbort(id_);
+}
+
+// ---------------------------------------------------------------------
+// TxnManager.
+// ---------------------------------------------------------------------
+
+TxnManager::TxnManager(Table* table, Wal* wal, TxnManagerOptions opts)
+    : table_(table), wal_(wal), opts_(opts) {
+  assert(table_->pdt() != nullptr &&
+         "transaction management requires the PDT backend");
+  write_ = std::make_unique<Pdt>(table_->shared_schema(),
+                                 table_->options().pdt);
+}
+
+size_t TxnManager::active_transactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+std::unique_ptr<Transaction> TxnManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Share the Write-PDT copy when no commit happened since it was taken
+  // ("copying is not always required", Sec. 3.3).
+  if (!write_snapshot_ || write_snapshot_time_ != clock_) {
+    write_snapshot_ = std::shared_ptr<const Pdt>(write_->Clone().release());
+    write_snapshot_time_ = clock_;
+  }
+  // The Read-PDT is only mutated at quiet points (no active txns), so
+  // transactions can alias it without copying.
+  std::shared_ptr<const Pdt> read_alias(table_->pdt(),
+                                        [](const Pdt*) {});
+  ++active_;
+  uint64_t id = next_txn_id_++;
+  return std::unique_ptr<Transaction>(
+      new Transaction(this, id, clock_, std::move(read_alias),
+                      write_snapshot_));
+}
+
+void TxnManager::FinishLocked(Transaction* txn) {
+  // Drop references on every overlapping committed transaction.
+  for (auto& z : tz_) {
+    if (txn->start_time_ < z.commit_time) {
+      --z.refcnt;
+    }
+  }
+  tz_.erase(std::remove_if(tz_.begin(), tz_.end(),
+                           [](const CommittedTxn& z) {
+                             return z.refcnt <= 0;
+                           }),
+            tz_.end());
+  --active_;
+  txn->finished_ = true;
+}
+
+Status TxnManager::CommitLocked(Transaction* txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Serialize against every overlapping committed transaction, in commit
+  // order (Alg. 9 lines 2-9).
+  Status conflict = Status::OK();
+  for (auto& z : tz_) {
+    if (txn->start_time_ >= z.commit_time) continue;  // not overlapping
+    if (conflict.ok()) {
+      conflict = txn->trans_->SerializeAgainst(*z.pdt);
+      if (!conflict.ok() && conflict.code() != StatusCode::kConflict) {
+        // Internal failure, not a write-write conflict: surface as-is.
+        FinishLocked(txn);
+        return conflict;
+      }
+    }
+  }
+  if (!conflict.ok()) {
+    FinishLocked(txn);
+    ++aborted_count_;
+    if (wal_ != nullptr) wal_->LogAbort(txn->id_);
+    return conflict;
+  }
+  // Durability first: the WAL append is the commit point (footnote 2).
+  if (wal_ != nullptr) {
+    wal_->LogBegin(txn->id_);
+    for (WalRecord& r : txn->redo_) {
+      r.txn_id = txn->id_;
+      wal_->Append(r);
+    }
+    wal_->LogCommit(txn->id_);
+  }
+  // Fold into the master Write-PDT (Alg. 9 line 12).
+  Status st = write_->Propagate(*txn->trans_);
+  if (!st.ok()) return st;  // invariant failure; state may be inconsistent
+  ++clock_;
+  ++committed_count_;
+  uint64_t commit_time = clock_;
+  // Release this transaction's own references first, so its freshly
+  // committed Trans-PDT is not self-decremented below.
+  FinishLocked(txn);
+  // Keep the serialized Trans-PDT alive for the transactions that are
+  // still running (they overlap this commit).
+  int refs = static_cast<int>(active_);
+  if (refs > 0) {
+    tz_.push_back(CommittedTxn{
+        std::shared_ptr<Pdt>(txn->trans_.release()), commit_time, refs});
+  }
+  // Opportunistic Write->Read propagation at quiet points.
+  if (active_ == 0 && write_->EntryCount() > opts_.write_pdt_max_entries) {
+    PDT_RETURN_NOT_OK(table_->pdt()->Propagate(*write_));
+    write_->Clear();
+    write_snapshot_.reset();
+    write_snapshot_time_ = 0;
+  }
+  return Status::OK();
+}
+
+Status TxnManager::PropagateAndMaybeCheckpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ > 0) {
+    return Status::InvalidArgument(
+        "cannot propagate/checkpoint with active transactions");
+  }
+  if (!write_->Empty()) {
+    PDT_RETURN_NOT_OK(table_->pdt()->Propagate(*write_));
+    write_->Clear();
+    write_snapshot_.reset();
+    write_snapshot_time_ = 0;
+  }
+  if (table_->pdt()->EntryCount() > opts_.read_pdt_max_entries) {
+    PDT_RETURN_NOT_OK(table_->Checkpoint());
+    if (wal_ != nullptr) {
+      wal_->LogCheckpoint(table_->name());
+      wal_->Truncate();
+    }
+  }
+  return Status::OK();
+}
+
+Status TxnManager::Recover(const Wal& wal) {
+  // Group records per transaction; apply committed ones in commit order.
+  std::map<uint64_t, std::vector<WalRecord>> pending;
+  Status apply_status = Status::OK();
+  Status st = wal.Replay([&](const WalRecord& r) -> Status {
+    switch (r.type) {
+      case WalRecordType::kBegin:
+        pending[r.txn_id] = {};
+        break;
+      case WalRecordType::kInsert:
+      case WalRecordType::kDelete:
+      case WalRecordType::kModify:
+        pending[r.txn_id].push_back(r);
+        break;
+      case WalRecordType::kAbort:
+        pending.erase(r.txn_id);
+        break;
+      case WalRecordType::kCommit: {
+        auto it = pending.find(r.txn_id);
+        if (it == pending.end()) break;
+        auto txn = Begin();
+        for (const WalRecord& op : it->second) {
+          Status op_st;
+          switch (op.type) {
+            case WalRecordType::kInsert:
+              op_st = txn->Insert(op.tuple);
+              break;
+            case WalRecordType::kDelete:
+              op_st = txn->DeleteByKey(op.key);
+              break;
+            case WalRecordType::kModify:
+              op_st = txn->ModifyByKey(op.key, op.column, op.value);
+              break;
+            default:
+              break;
+          }
+          if (!op_st.ok()) return op_st;
+        }
+        PDT_RETURN_NOT_OK(txn->Commit());
+        pending.erase(it);
+        break;
+      }
+      case WalRecordType::kCheckpoint:
+        break;
+    }
+    return Status::OK();
+  });
+  PDT_RETURN_NOT_OK(st);
+  return apply_status;
+}
+
+}  // namespace pdtstore

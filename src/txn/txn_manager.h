@@ -1,0 +1,170 @@
+// Three-layer PDT transaction management (Sec. 3.3, Fig. 14/15):
+//
+//   Trans-PDT  — private to a transaction, holds its uncommitted updates
+//   Write-PDT  — small master PDT receiving committed updates; copied
+//                (or shared, when no commit intervened) into each new
+//                transaction's snapshot
+//   Read-PDT   — large RAM-resident layer (here: the Table's PDT) that
+//                Write-PDT contents are periodically propagated into
+//
+// Reads are lock-free: a query merges   stable ▷ Read ▷ Write-copy ▷ Trans
+// entirely from snapshot-owned structures. Commits run Algorithm 9:
+// serialize the Trans-PDT against every overlapping committed
+// transaction's serialized Trans-PDT (conflict => abort), then propagate
+// into the master Write-PDT; serialized PDTs are kept alive by reference
+// counts while overlapping transactions still run.
+#ifndef PDTSTORE_TXN_TXN_MANAGER_H_
+#define PDTSTORE_TXN_TXN_MANAGER_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "db/table.h"
+#include "txn/wal.h"
+
+namespace pdtstore {
+
+class TxnManager;
+
+/// A snapshot-isolated transaction over one table. Not thread-safe
+/// itself; distinct transactions may run on distinct threads.
+class Transaction {
+ public:
+  ~Transaction();
+
+  /// Transaction-local updates (buffered in the Trans-PDT).
+  Status Insert(const Tuple& tuple);
+  Status DeleteByKey(const std::vector<Value>& key);
+  Status ModifyByKey(const std::vector<Value>& key, ColumnId col,
+                     const Value& v);
+
+  /// Snapshot reads, including own uncommitted updates.
+  std::unique_ptr<BatchSource> Scan(std::vector<ColumnId> projection,
+                                    const KeyBounds* bounds = nullptr) const;
+  StatusOr<Tuple> GetByKey(const std::vector<Value>& key) const;
+  uint64_t RowCount() const;
+
+  /// Algorithm 9. On conflict returns Status::Conflict and the
+  /// transaction is aborted. The transaction is finished either way.
+  Status Commit();
+
+  /// Discards all buffered updates.
+  void Abort();
+
+  // ------------------------------------------------------------------
+  // Query-PDT (paper footnote 5): a fourth PDT layer that shields a
+  // running query from its own updates (Halloween protection). While
+  // active, updates land in the Query-PDT but Scan/GetByKey still see
+  // only stable ▷ Read ▷ Write ▷ Trans; EndQueryPdt() propagates the
+  // buffered updates into the Trans-PDT.
+  // ------------------------------------------------------------------
+
+  /// Starts routing updates into a fresh Query-PDT.
+  Status BeginQueryPdt();
+  /// Folds the Query-PDT into the Trans-PDT and removes it.
+  Status EndQueryPdt();
+  bool query_pdt_active() const { return query_ != nullptr; }
+
+  uint64_t id() const { return id_; }
+  bool finished() const { return finished_; }
+  const Pdt& trans_pdt() const { return *trans_; }
+
+ private:
+  friend class TxnManager;
+  Transaction(TxnManager* mgr, uint64_t id, uint64_t start_time,
+              std::shared_ptr<const Pdt> read_snapshot,
+              std::shared_ptr<const Pdt> write_snapshot);
+
+  // Layer stacks: scans see [read, write, trans]; update positioning
+  // additionally sees the Query-PDT when one is active.
+  std::vector<const Pdt*> Layers() const;
+  std::vector<const Pdt*> UpdateLayers() const;
+  // The PDT that receives updates (Query-PDT when active, else Trans).
+  Pdt* UpdateTarget() const;
+  StatusOr<std::vector<Value>> MergedSortKey(Rid rid) const;
+  StatusOr<Rid> UpperBoundRid(const std::vector<Value>& key) const;
+  StatusOr<Rid> FindRidByKey(const std::vector<Value>& key) const;
+  uint64_t UpdateDomainRowCount() const;
+
+  TxnManager* mgr_;
+  uint64_t id_;
+  uint64_t start_time_;
+  std::shared_ptr<const Pdt> read_;   // shared Read-PDT snapshot
+  std::shared_ptr<const Pdt> write_;  // Write-PDT snapshot (copy/shared)
+  std::unique_ptr<Pdt> trans_;        // private Trans-PDT
+  std::unique_ptr<Pdt> query_;        // optional Query-PDT (footnote 5)
+  // Logical redo records for the WAL, in op order.
+  std::vector<WalRecord> redo_;
+  bool finished_ = false;
+};
+
+/// Tuning knobs of the transaction manager.
+struct TxnManagerOptions {
+  /// Propagate Write-PDT into the Read-PDT when it exceeds this many
+  /// entries (the paper keeps the Write-PDT smaller than the CPU cache).
+  size_t write_pdt_max_entries = 4096;
+  /// Checkpoint the table when the Read-PDT exceeds this many entries.
+  size_t read_pdt_max_entries = 1 << 20;
+};
+
+/// Manages transactions over one PDT-backed Table.
+class TxnManager {
+ public:
+  /// `wal` is optional; when given, commits append logical redo records.
+  TxnManager(Table* table, Wal* wal = nullptr, TxnManagerOptions opts = {});
+
+  /// Starts a snapshot-isolated transaction.
+  std::unique_ptr<Transaction> Begin();
+
+  /// Replays a WAL into the table (recovery): applies all updates of
+  /// committed transactions, in commit order, skipping aborted ones.
+  Status Recover(const Wal& wal);
+
+  /// Propagates Write-PDT -> Read-PDT and, if the Read-PDT is large,
+  /// checkpoints the table. Requires no active transactions (returns
+  /// InvalidArgument otherwise).
+  Status PropagateAndMaybeCheckpoint();
+
+  Table* table() const { return table_; }
+  const Pdt& write_pdt() const { return *write_; }
+  size_t active_transactions() const;
+  uint64_t committed_count() const { return committed_count_; }
+  uint64_t aborted_count() const { return aborted_count_; }
+
+ private:
+  friend class Transaction;
+
+  // Commit path (Alg. 9), called under lock from Transaction::Commit.
+  Status CommitLocked(Transaction* txn);
+  void FinishLocked(Transaction* txn);
+  void ReleaseOverlapsLocked(Transaction* txn, size_t upto);
+
+  // An entry of TZ: a committed, serialized Trans-PDT kept while
+  // overlapping transactions still run.
+  struct CommittedTxn {
+    std::shared_ptr<Pdt> pdt;
+    uint64_t commit_time;
+    int refcnt;
+  };
+
+  Table* table_;
+  Wal* wal_;
+  TxnManagerOptions opts_;
+  mutable std::mutex mu_;
+  std::unique_ptr<Pdt> write_;           // master Write-PDT
+  std::shared_ptr<const Pdt> write_snapshot_;  // cache: copy of write_
+  uint64_t write_snapshot_time_ = 0;     // logical time of that copy
+  std::shared_ptr<const Pdt> read_view_;  // immutable view of Read-PDT
+  uint64_t clock_ = 1;                   // logical commit clock
+  uint64_t next_txn_id_ = 1;
+  size_t active_ = 0;
+  uint64_t committed_count_ = 0;
+  uint64_t aborted_count_ = 0;
+  std::deque<CommittedTxn> tz_;          // commit-ordered
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_TXN_TXN_MANAGER_H_

@@ -1,0 +1,241 @@
+#include "txn/wal.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "storage/encoding.h"
+
+namespace pdtstore {
+
+namespace {
+
+void PutValue(std::string* out, const Value& v) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case TypeId::kInt64:
+      PutVarint64(out, ZigZagEncode(v.AsInt64()));
+      break;
+    case TypeId::kDouble: {
+      uint64_t bits;
+      double d = v.AsDouble();
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, 8);
+      PutVarint64(out, bits);
+      break;
+    }
+    case TypeId::kString:
+      PutVarint64(out, v.AsString().size());
+      out->append(v.AsString());
+      break;
+  }
+}
+
+Status GetValue(const std::string& in, size_t* pos, Value* v) {
+  if (*pos >= in.size()) return Status::Corruption("truncated WAL value");
+  TypeId type = static_cast<TypeId>(in[*pos]);
+  ++*pos;
+  uint64_t raw;
+  PDT_RETURN_NOT_OK(GetVarint64(in, pos, &raw));
+  switch (type) {
+    case TypeId::kInt64:
+      *v = Value(ZigZagDecode(raw));
+      return Status::OK();
+    case TypeId::kDouble: {
+      double d;
+      std::memcpy(&d, &raw, 8);
+      *v = Value(d);
+      return Status::OK();
+    }
+    case TypeId::kString: {
+      if (*pos + raw > in.size()) {
+        return Status::Corruption("truncated WAL string");
+      }
+      *v = Value(in.substr(*pos, raw));
+      *pos += raw;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("bad WAL value type");
+}
+
+void PutValues(std::string* out, const std::vector<Value>& vs) {
+  PutVarint64(out, vs.size());
+  for (const Value& v : vs) PutValue(out, v);
+}
+
+Status GetValues(const std::string& in, size_t* pos, std::vector<Value>* vs) {
+  uint64_t n;
+  PDT_RETURN_NOT_OK(GetVarint64(in, pos, &n));
+  vs->clear();
+  vs->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Value v;
+    PDT_RETURN_NOT_OK(GetValue(in, pos, &v));
+    vs->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t Wal::Append(const WalRecord& record) {
+  uint64_t lsn = buffer_.size();
+  buffer_.push_back(static_cast<char>(record.type));
+  PutVarint64(&buffer_, record.txn_id);
+  PutVarint64(&buffer_, record.table.size());
+  buffer_.append(record.table);
+  switch (record.type) {
+    case WalRecordType::kInsert:
+      PutValues(&buffer_, record.tuple);
+      break;
+    case WalRecordType::kDelete:
+      PutValues(&buffer_, record.key);
+      break;
+    case WalRecordType::kModify:
+      PutValues(&buffer_, record.key);
+      PutVarint64(&buffer_, record.column);
+      PutValue(&buffer_, record.value);
+      break;
+    default:
+      break;
+  }
+  ++record_count_;
+  return lsn;
+}
+
+uint64_t Wal::LogBegin(uint64_t txn_id) {
+  WalRecord r;
+  r.type = WalRecordType::kBegin;
+  r.txn_id = txn_id;
+  return Append(r);
+}
+
+uint64_t Wal::LogInsert(uint64_t txn_id, const std::string& table,
+                        const Tuple& tuple) {
+  WalRecord r;
+  r.type = WalRecordType::kInsert;
+  r.txn_id = txn_id;
+  r.table = table;
+  r.tuple = tuple;
+  return Append(r);
+}
+
+uint64_t Wal::LogDelete(uint64_t txn_id, const std::string& table,
+                        const std::vector<Value>& key) {
+  WalRecord r;
+  r.type = WalRecordType::kDelete;
+  r.txn_id = txn_id;
+  r.table = table;
+  r.key = key;
+  return Append(r);
+}
+
+uint64_t Wal::LogModify(uint64_t txn_id, const std::string& table,
+                        const std::vector<Value>& key, ColumnId col,
+                        const Value& v) {
+  WalRecord r;
+  r.type = WalRecordType::kModify;
+  r.txn_id = txn_id;
+  r.table = table;
+  r.key = key;
+  r.column = col;
+  r.value = v;
+  return Append(r);
+}
+
+uint64_t Wal::LogCommit(uint64_t txn_id) {
+  WalRecord r;
+  r.type = WalRecordType::kCommit;
+  r.txn_id = txn_id;
+  return Append(r);
+}
+
+uint64_t Wal::LogAbort(uint64_t txn_id) {
+  WalRecord r;
+  r.type = WalRecordType::kAbort;
+  r.txn_id = txn_id;
+  return Append(r);
+}
+
+uint64_t Wal::LogCheckpoint(const std::string& table) {
+  WalRecord r;
+  r.type = WalRecordType::kCheckpoint;
+  r.table = table;
+  return Append(r);
+}
+
+Status Wal::Replay(const std::function<Status(const WalRecord&)>& fn) const {
+  size_t pos = 0;
+  while (pos < buffer_.size()) {
+    WalRecord r;
+    r.type = static_cast<WalRecordType>(buffer_[pos]);
+    ++pos;
+    PDT_RETURN_NOT_OK(GetVarint64(buffer_, &pos, &r.txn_id));
+    uint64_t tlen;
+    PDT_RETURN_NOT_OK(GetVarint64(buffer_, &pos, &tlen));
+    if (pos + tlen > buffer_.size()) {
+      return Status::Corruption("truncated WAL table name");
+    }
+    r.table = buffer_.substr(pos, tlen);
+    pos += tlen;
+    switch (r.type) {
+      case WalRecordType::kInsert:
+        PDT_RETURN_NOT_OK(GetValues(buffer_, &pos, &r.tuple));
+        break;
+      case WalRecordType::kDelete:
+        PDT_RETURN_NOT_OK(GetValues(buffer_, &pos, &r.key));
+        break;
+      case WalRecordType::kModify: {
+        PDT_RETURN_NOT_OK(GetValues(buffer_, &pos, &r.key));
+        uint64_t col;
+        PDT_RETURN_NOT_OK(GetVarint64(buffer_, &pos, &col));
+        r.column = static_cast<ColumnId>(col);
+        PDT_RETURN_NOT_OK(GetValue(buffer_, &pos, &r.value));
+        break;
+      }
+      case WalRecordType::kBegin:
+      case WalRecordType::kCommit:
+      case WalRecordType::kAbort:
+      case WalRecordType::kCheckpoint:
+        break;
+      default:
+        return Status::Corruption("bad WAL record type");
+    }
+    PDT_RETURN_NOT_OK(fn(r));
+  }
+  return Status::OK();
+}
+
+void Wal::Truncate() {
+  buffer_.clear();
+  record_count_ = 0;
+}
+
+Status Wal::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  std::fclose(f);
+  if (n != buffer_.size()) return Status::IOError("short WAL write");
+  return Status::OK();
+}
+
+Status Wal::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  buffer_.resize(static_cast<size_t>(size));
+  size_t n = std::fread(buffer_.data(), 1, buffer_.size(), f);
+  std::fclose(f);
+  if (n != buffer_.size()) return Status::IOError("short WAL read");
+  // Recount records.
+  record_count_ = 0;
+  return Replay([this](const WalRecord&) {
+    ++record_count_;
+    return Status::OK();
+  });
+}
+
+}  // namespace pdtstore

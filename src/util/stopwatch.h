@@ -1,0 +1,34 @@
+// Wall-clock stopwatch for benchmarks and examples.
+#ifndef PDTSTORE_UTIL_STOPWATCH_H_
+#define PDTSTORE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pdtstore {
+
+/// Measures elapsed wall-clock time since construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_UTIL_STOPWATCH_H_

@@ -1,0 +1,52 @@
+#include "vdt/vdt.h"
+
+namespace pdtstore {
+
+Status Vdt::AddInsert(const Tuple& tuple) {
+  PDT_RETURN_NOT_OK(schema_->ValidateTuple(tuple));
+  std::vector<Value> sk = schema_->ExtractSortKey(tuple);
+  auto [it, inserted] = ins_.emplace(std::move(sk), tuple);
+  if (!inserted) {
+    return Status::AlreadyExists("VDT insert: key already in insert table");
+  }
+  return Status::OK();
+}
+
+Status Vdt::AddDelete(const std::vector<Value>& sk, bool was_stable) {
+  ins_.erase(sk);
+  if (was_stable) del_[sk] = true;
+  return Status::OK();
+}
+
+Status Vdt::AddModify(const Tuple& new_tuple, bool was_stable) {
+  PDT_RETURN_NOT_OK(schema_->ValidateTuple(new_tuple));
+  std::vector<Value> sk = schema_->ExtractSortKey(new_tuple);
+  ins_[sk] = new_tuple;
+  if (was_stable) del_[sk] = true;
+  return Status::OK();
+}
+
+const Tuple* Vdt::FindInsert(const std::vector<Value>& sk) const {
+  auto it = ins_.find(sk);
+  return it == ins_.end() ? nullptr : &it->second;
+}
+
+bool Vdt::IsDeleted(const std::vector<Value>& sk) const {
+  return del_.count(sk) > 0;
+}
+
+size_t Vdt::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& [k, t] : ins_) {
+    for (const auto& v : k) total += v.ByteSize();
+    for (const auto& v : t) total += v.ByteSize();
+    total += 64;  // node overhead
+  }
+  for (const auto& [k, unused] : del_) {
+    for (const auto& v : k) total += v.ByteSize();
+    total += 64;
+  }
+  return total;
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,88 @@
+// The Value-based Delta Tree (VDT) — the paper's baseline (Sec. 2,
+// "VDTs"): the MonetDB-style differential scheme with an insert table
+// holding all inserted *and modified* tuples (all columns) and a deletion
+// table holding the sort-key values of deleted-or-modified stable tuples,
+// both kept organized in SK order (here: ordered maps standing in for the
+// paper's RAM-friendly B-trees).
+//
+// Its read path (VdtMergeScan) must merge by *value*: every scan reads
+// the SK columns — even when the query does not — and performs per-row
+// key comparisons. That contrast is exactly what Figures 17-19 measure.
+#ifndef PDTSTORE_VDT_VDT_H_
+#define PDTSTORE_VDT_VDT_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "columnstore/schema.h"
+#include "util/status.h"
+
+namespace pdtstore {
+
+/// Lexicographic ordering of SK value vectors.
+struct SortKeyLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    return CompareTuples(a, b) < 0;
+  }
+};
+
+/// One VDT differential layer.
+class Vdt {
+ public:
+  using InsertMap = std::map<std::vector<Value>, Tuple, SortKeyLess>;
+  using DeleteSet = std::map<std::vector<Value>, bool, SortKeyLess>;
+
+  explicit Vdt(std::shared_ptr<const Schema> schema)
+      : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Records the insertion of a new tuple.
+  Status AddInsert(const Tuple& tuple);
+
+  /// Records the deletion of the tuple with key `sk`. `was_stable` tells
+  /// whether the key exists in the stable image (then a deletion marker
+  /// is needed); deleting a purely-inserted tuple just erases it.
+  Status AddDelete(const std::vector<Value>& sk, bool was_stable);
+
+  /// Records a modify: the *full* updated tuple enters the insert table
+  /// and, if the original is stable, its key enters the deletion table.
+  Status AddModify(const Tuple& new_tuple, bool was_stable);
+
+  const InsertMap& inserts() const { return ins_; }
+  const DeleteSet& deletes() const { return del_; }
+
+  /// Tuple recorded under `sk` in the insert table, if any.
+  const Tuple* FindInsert(const std::vector<Value>& sk) const;
+  /// True if `sk` is marked deleted/superseded.
+  bool IsDeleted(const std::vector<Value>& sk) const;
+
+  /// Net change in visible row count.
+  int64_t TotalDelta() const {
+    return static_cast<int64_t>(ins_.size()) -
+           static_cast<int64_t>(del_.size());
+  }
+
+  size_t InsertCount() const { return ins_.size(); }
+  size_t DeleteCount() const { return del_.size(); }
+  bool Empty() const { return ins_.empty() && del_.empty(); }
+
+  /// Approximate heap footprint.
+  size_t MemoryBytes() const;
+
+  void Clear() {
+    ins_.clear();
+    del_.clear();
+  }
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  InsertMap ins_;
+  DeleteSet del_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_VDT_VDT_H_

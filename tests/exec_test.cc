@@ -1,0 +1,205 @@
+// Executor operator tests: filter, project, hash aggregation, hash join
+// (inner/semi/anti), sort/top-k, and pipeline composition.
+#include <gtest/gtest.h>
+
+#include "exec/filter.h"
+#include "exec/hash_agg.h"
+#include "exec/hash_join.h"
+#include "exec/operator.h"
+#include "exec/project.h"
+#include "exec/sort.h"
+
+namespace pdtstore {
+namespace {
+
+Batch MakeBatch(std::vector<std::vector<int64_t>> int_cols,
+                std::vector<std::vector<double>> dbl_cols = {},
+                std::vector<std::vector<std::string>> str_cols = {}) {
+  Batch b;
+  std::vector<ColumnId> ids;
+  for (auto& c : int_cols) {
+    ColumnVector col(TypeId::kInt64);
+    col.ints() = std::move(c);
+    ids.push_back(static_cast<ColumnId>(b.columns().size()));
+    b.columns().push_back(std::move(col));
+  }
+  for (auto& c : dbl_cols) {
+    ColumnVector col(TypeId::kDouble);
+    col.doubles() = std::move(c);
+    ids.push_back(static_cast<ColumnId>(b.columns().size()));
+    b.columns().push_back(std::move(col));
+  }
+  for (auto& c : str_cols) {
+    ColumnVector col(TypeId::kString);
+    col.strings() = std::move(c);
+    ids.push_back(static_cast<ColumnId>(b.columns().size()));
+    b.columns().push_back(std::move(col));
+  }
+  b.set_column_ids(std::move(ids));
+  return b;
+}
+
+std::vector<Tuple> Drain(BatchSource* src, size_t batch = 3) {
+  auto rows = CollectRows(src, batch);
+  EXPECT_TRUE(rows.ok());
+  return rows.ok() ? *rows : std::vector<Tuple>{};
+}
+
+TEST(VectorSourceTest, EmitsInSlices) {
+  VectorSource src(MakeBatch({{1, 2, 3, 4, 5}}));
+  Batch out;
+  auto r1 = src.Next(&out, 2);
+  ASSERT_TRUE(r1.ok() && *r1);
+  EXPECT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.start_rid(), 0u);
+  auto r2 = src.Next(&out, 10);
+  ASSERT_TRUE(r2.ok() && *r2);
+  EXPECT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.start_rid(), 2u);
+  auto r3 = src.Next(&out, 10);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_FALSE(*r3);
+}
+
+TEST(FilterTest, Int64BetweenAndCompaction) {
+  auto src = std::make_unique<VectorSource>(
+      MakeBatch({{1, 5, 10, 15, 20}, {100, 101, 102, 103, 104}}));
+  FilterNode filter(std::move(src), Int64Between(0, 5, 15));
+  auto rows = Drain(&filter);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][1], Value(101));
+  EXPECT_EQ(rows[2][1], Value(103));
+}
+
+TEST(FilterTest, AndComposition) {
+  auto src = std::make_unique<VectorSource>(MakeBatch(
+      {{1, 2, 3, 4}}, {}, {{"a", "b", "a", "b"}}));
+  FilterNode filter(std::move(src),
+                    And({Int64Between(0, 2, 4), StringEquals(1, "b")}));
+  auto rows = Drain(&filter);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value(2));
+  EXPECT_EQ(rows[1][0], Value(4));
+}
+
+TEST(ProjectTest, RevenueExpression) {
+  auto src = std::make_unique<VectorSource>(
+      MakeBatch({}, {{100.0, 200.0}, {0.1, 0.25}}));
+  ProjectNode proj(std::move(src), {Revenue(0, 1), ColumnRef(0)});
+  auto rows = Drain(&proj);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0][0].AsDouble(), 90.0);
+  EXPECT_DOUBLE_EQ(rows[1][0].AsDouble(), 150.0);
+}
+
+TEST(HashAggTest, GroupedSumCountMinMaxAvg) {
+  auto src = std::make_unique<VectorSource>(MakeBatch(
+      {{1, 2, 1, 2, 1}}, {{10.0, 20.0, 30.0, 40.0, 50.0}}));
+  HashAggNode agg(std::move(src), {0},
+                  {{AggKind::kSum, 1},
+                   {AggKind::kCount, 0},
+                   {AggKind::kMin, 1},
+                   {AggKind::kMax, 1},
+                   {AggKind::kAvg, 1}});
+  auto rows = Drain(&agg);
+  ASSERT_EQ(rows.size(), 2u);
+  // Groups in first-appearance order: 1 then 2.
+  EXPECT_EQ(rows[0][0], Value(1));
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 90.0);
+  EXPECT_EQ(rows[0][2], Value(3));
+  EXPECT_DOUBLE_EQ(rows[0][3].AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(rows[0][4].AsDouble(), 50.0);
+  EXPECT_DOUBLE_EQ(rows[0][5].AsDouble(), 30.0);
+  EXPECT_EQ(rows[1][0], Value(2));
+  EXPECT_DOUBLE_EQ(rows[1][1].AsDouble(), 60.0);
+}
+
+TEST(HashAggTest, GlobalAggregateOverEmptyInput) {
+  auto src = std::make_unique<VectorSource>(MakeBatch({{}}));
+  HashAggNode agg(std::move(src), {}, {{AggKind::kSum, 0},
+                                       {AggKind::kCount, 0}});
+  auto rows = Drain(&agg);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0][0].AsDouble(), 0.0);
+  EXPECT_EQ(rows[0][1], Value(0));
+}
+
+TEST(HashJoinTest, InnerJoinProducesMatches) {
+  auto probe = std::make_unique<VectorSource>(
+      MakeBatch({{1, 2, 3, 2}}, {{10.0, 20.0, 30.0, 40.0}}));
+  auto build = std::make_unique<VectorSource>(
+      MakeBatch({{2, 3, 4}}, {}, {{"two", "three", "four"}}));
+  HashJoinNode join(std::move(probe), std::move(build), {0}, {0});
+  auto rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 3u);  // keys 2, 3, 2 match
+  EXPECT_EQ(rows[0][3], Value("two"));
+  EXPECT_EQ(rows[1][3], Value("three"));
+  EXPECT_EQ(rows[2][3], Value("two"));
+}
+
+TEST(HashJoinTest, SemiAndAnti) {
+  auto make_probe = [] {
+    return std::make_unique<VectorSource>(MakeBatch({{1, 2, 3, 4}}));
+  };
+  auto make_build = [] {
+    return std::make_unique<VectorSource>(MakeBatch({{2, 4, 2}}));
+  };
+  HashJoinNode semi(make_probe(), make_build(), {0}, {0},
+                    JoinKind::kLeftSemi);
+  auto semi_rows = Drain(&semi);
+  ASSERT_EQ(semi_rows.size(), 2u);  // 2 and 4, once each
+  EXPECT_EQ(semi_rows[0][0], Value(2));
+  EXPECT_EQ(semi_rows[1][0], Value(4));
+
+  HashJoinNode anti(make_probe(), make_build(), {0}, {0},
+                    JoinKind::kLeftAnti);
+  auto anti_rows = Drain(&anti);
+  ASSERT_EQ(anti_rows.size(), 2u);  // 1 and 3
+  EXPECT_EQ(anti_rows[0][0], Value(1));
+  EXPECT_EQ(anti_rows[1][0], Value(3));
+}
+
+TEST(SortTest, MultiKeyAndLimit) {
+  auto src = std::make_unique<VectorSource>(MakeBatch(
+      {{2, 1, 2, 1}}, {{5.0, 6.0, 7.0, 8.0}}));
+  SortNode sorter(std::move(src), {{0, false}, {1, true}});
+  auto rows = Drain(&sorter);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0], Value(1));
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 8.0);
+  EXPECT_EQ(rows[3][0], Value(2));
+  EXPECT_DOUBLE_EQ(rows[3][1].AsDouble(), 5.0);
+
+  auto src2 = std::make_unique<VectorSource>(MakeBatch({{3, 1, 2}}));
+  SortNode topk(std::move(src2), {{0, false}}, 2);
+  auto top_rows = Drain(&topk);
+  ASSERT_EQ(top_rows.size(), 2u);
+  EXPECT_EQ(top_rows[0][0], Value(1));
+  EXPECT_EQ(top_rows[1][0], Value(2));
+}
+
+TEST(PipelineTest, FilterAggSortCompose) {
+  auto src = std::make_unique<VectorSource>(MakeBatch(
+      {{1, 1, 2, 2, 3, 3}}, {{1.0, 2.0, 3.0, 4.0, 5.0, 100.0}}));
+  auto filter = std::make_unique<FilterNode>(
+      std::move(src), DoubleInRange(1, 0.0, 50.0));
+  auto agg = std::make_unique<HashAggNode>(
+      std::move(filter), std::vector<size_t>{0},
+      std::vector<AggSpec>{{AggKind::kSum, 1}});
+  SortNode sorter(std::move(agg), {{1, true}});
+  auto rows = Drain(&sorter);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], Value(2));  // sum 7
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 7.0);
+  EXPECT_EQ(rows[2][0], Value(1));  // sum 3
+}
+
+TEST(MaterializeAllTest, ConcatenatesBatches) {
+  VectorSource src(MakeBatch({{1, 2, 3, 4, 5}}));
+  auto all = MaterializeAll(&src, 2);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 5u);
+}
+
+}  // namespace
+}  // namespace pdtstore

@@ -1,0 +1,186 @@
+// End-to-end integration tests: the full lifecycle the paper's
+// architecture implies — bulk load, transactional refresh streams through
+// three PDT layers, Write->Read propagation, checkpointing with WAL
+// truncation, crash recovery, and analytical queries agreeing throughout.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "tpch/queries.h"
+#include "tpch/update_stream.h"
+#include "txn/txn_manager.h"
+#include "util/random.h"
+
+namespace pdtstore {
+namespace {
+
+TEST(IntegrationTest, TransactionalLifecycleWithRecovery) {
+  auto schema_or = Schema::Make({{"k", TypeId::kInt64},
+                                 {"payload", TypeId::kString},
+                                 {"amount", TypeId::kInt64}},
+                                {0});
+  auto schema = std::make_shared<const Schema>(std::move(*schema_or));
+  std::vector<Tuple> base;
+  for (int i = 0; i < 2000; ++i) {
+    base.push_back({int64_t{i * 4}, "row" + std::to_string(i),
+                    int64_t{i % 100}});
+  }
+
+  Wal wal;
+  TableOptions topts;
+  topts.store.chunk_rows = 256;
+  Table table("ledger", schema, topts);
+  ASSERT_TRUE(table.Load(base).ok());
+  TxnManagerOptions mopts;
+  mopts.write_pdt_max_entries = 64;  // force Write->Read migration
+  TxnManager mgr(&table, &wal, mopts);
+
+  // A few hundred small transactions, some overlapping, some aborting.
+  Random rng(321);
+  uint64_t conflicts = 0;
+  for (int round = 0; round < 60; ++round) {
+    auto t1 = mgr.Begin();
+    auto t2 = mgr.Begin();
+    for (auto* txn : {t1.get(), t2.get()}) {
+      for (int op = 0; op < 5; ++op) {
+        double d = rng.NextDouble();
+        int64_t k = rng.UniformRange(0, 9999);
+        if (d < 0.4) {
+          (void)txn->Insert({k, "new", int64_t{1}});
+        } else if (d < 0.7) {
+          (void)txn->DeleteByKey({Value(k / 4 * 4)});
+        } else {
+          (void)txn->ModifyByKey({Value(k / 4 * 4)}, 2, Value(k));
+        }
+      }
+    }
+    Status s1 = t1->Commit();
+    Status s2 = t2->Commit();
+    if (!s1.ok()) {
+      ASSERT_EQ(s1.code(), StatusCode::kConflict);
+      ++conflicts;
+    }
+    if (!s2.ok()) {
+      ASSERT_EQ(s2.code(), StatusCode::kConflict);
+      ++conflicts;
+    }
+  }
+  // Force migration + checkpoint.
+  TxnManagerOptions force;
+  ASSERT_TRUE(mgr.PropagateAndMaybeCheckpoint().ok());
+
+  // Snapshot the final image.
+  auto final_txn = mgr.Begin();
+  auto scan = final_txn->Scan({0, 1, 2});
+  auto expected = CollectRows(scan.get());
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(final_txn->Commit().ok());
+  ASSERT_TRUE(table.pdt()->CheckInvariants().ok())
+      << table.pdt()->CheckInvariants().ToString();
+
+  // Crash-recover from the WAL into a fresh replica of the *initial*
+  // image and compare.
+  Table replica("ledger", schema, topts);
+  ASSERT_TRUE(replica.Load(base).ok());
+  TxnManager replica_mgr(&replica, nullptr);
+  ASSERT_TRUE(replica_mgr.Recover(wal).ok());
+  auto check_txn = replica_mgr.Begin();
+  auto check_scan = check_txn->Scan({0, 1, 2});
+  auto got = CollectRows(check_scan.get());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *expected);
+  EXPECT_GT(mgr.committed_count(), 0u);
+  EXPECT_EQ(mgr.aborted_count(), conflicts);
+}
+
+TEST(IntegrationTest, TpchEndToEndWithCheckpointMidStream) {
+  // Apply stream 1, checkpoint, apply stream 2: queries must equal the
+  // run that applies both streams without checkpointing.
+  tpch::GenOptions gen;
+  gen.scale_factor = 0.002;
+  auto streams = tpch::MakeUpdateStreams(gen, 2, 0.01);
+  ASSERT_TRUE(streams.ok());
+
+  auto run = [&](bool checkpoint_between) {
+    Database db;
+    auto tables = tpch::GenerateInto(&db, gen, TableOptions{});
+    EXPECT_TRUE(tables.ok());
+    EXPECT_TRUE(tpch::ApplyUpdateStream((*streams)[0], &*tables).ok());
+    if (checkpoint_between) {
+      EXPECT_TRUE(tables->lineitem->Checkpoint().ok());
+      EXPECT_TRUE(tables->orders->Checkpoint().ok());
+    }
+    EXPECT_TRUE(tpch::ApplyUpdateStream((*streams)[1], &*tables).ok());
+    std::vector<tpch::QueryResult> results;
+    for (int q : {1, 4, 6, 12, 13, 15, 18}) {
+      auto r = tpch::RunTpchQuery(q, *tables);
+      EXPECT_TRUE(r.ok());
+      results.push_back(*r);
+    }
+    return results;
+  };
+
+  auto with_ckpt = run(true);
+  auto without_ckpt = run(false);
+  ASSERT_EQ(with_ckpt.size(), without_ckpt.size());
+  for (size_t i = 0; i < with_ckpt.size(); ++i) {
+    EXPECT_EQ(with_ckpt[i].rows, without_ckpt[i].rows) << i;
+    EXPECT_NEAR(with_ckpt[i].checksum, without_ckpt[i].checksum,
+                1e-6 * (1.0 + std::abs(with_ckpt[i].checksum)))
+        << i;
+  }
+}
+
+TEST(IntegrationTest, RepeatedCheckpointCycles) {
+  // Update -> checkpoint cycles must keep the image consistent with a
+  // model applied continuously.
+  auto schema_or = Schema::Make(
+      {{"k", TypeId::kInt64}, {"v", TypeId::kInt64}}, {0});
+  auto schema = std::make_shared<const Schema>(std::move(*schema_or));
+  std::vector<Tuple> image;
+  for (int i = 0; i < 500; ++i) image.push_back({int64_t{i * 3}, int64_t{0}});
+  TableOptions topts;
+  topts.store.chunk_rows = 64;
+  Table table("t", schema, topts);
+  ASSERT_TRUE(table.Load(image).ok());
+
+  Random rng(55);
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    for (int op = 0; op < 120; ++op) {
+      double d = rng.NextDouble();
+      int64_t k = rng.UniformRange(0, 2000);
+      if (d < 0.4) {
+        Tuple t = {k, int64_t{cycle}};
+        if (table.Insert(t).ok()) {
+          auto it = std::lower_bound(
+              image.begin(), image.end(), t,
+              [&](const Tuple& a, const Tuple& b) {
+                return a[0].AsInt64() < b[0].AsInt64();
+              });
+          image.insert(it, t);
+        }
+      } else if (d < 0.7 && !image.empty()) {
+        size_t idx = rng.Uniform(image.size());
+        ASSERT_TRUE(table.DeleteByKey({image[idx][0]}).ok());
+        image.erase(image.begin() + idx);
+      } else if (!image.empty()) {
+        size_t idx = rng.Uniform(image.size());
+        ASSERT_TRUE(
+            table.ModifyByKey({image[idx][0]}, 1, Value(int64_t{op})).ok());
+        image[idx][1] = Value(int64_t{op});
+      }
+    }
+    auto scan = table.Scan({0, 1});
+    auto rows = CollectRows(scan.get());
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(*rows, image) << "cycle " << cycle << " pre-checkpoint";
+    ASSERT_TRUE(table.Checkpoint().ok());
+    auto scan2 = table.Scan({0, 1});
+    auto rows2 = CollectRows(scan2.get());
+    ASSERT_TRUE(rows2.ok());
+    EXPECT_EQ(*rows2, image) << "cycle " << cycle << " post-checkpoint";
+    EXPECT_EQ(table.store().num_rows(), image.size());
+  }
+}
+
+}  // namespace
+}  // namespace pdtstore

@@ -1,0 +1,191 @@
+// Join-index tests (the paper's future-work extension): positional FK
+// lookups must stay correct while both fact and dimension tables absorb
+// PDT updates that shift every position — including a randomized
+// equivalence check against a value-based join.
+#include "db/join_index.h"
+
+#include <gtest/gtest.h>
+
+#include "pdt/pdt.h"
+#include "util/random.h"
+
+namespace pdtstore {
+namespace {
+
+std::shared_ptr<const Schema> FactSchema() {
+  auto s = Schema::Make({{"id", TypeId::kInt64},
+                         {"dim_fk", TypeId::kInt64},
+                         {"measure", TypeId::kInt64}},
+                        {0});
+  return std::make_shared<const Schema>(std::move(*s));
+}
+
+std::shared_ptr<const Schema> DimSchema() {
+  auto s = Schema::Make(
+      {{"dk", TypeId::kInt64}, {"label", TypeId::kString}}, {0});
+  return std::make_shared<const Schema>(std::move(*s));
+}
+
+class JoinIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fact_ = std::make_unique<Table>("fact", FactSchema(), TableOptions{});
+    dim_ = std::make_unique<Table>("dim", DimSchema(), TableOptions{});
+    std::vector<Tuple> dims;
+    for (int i = 0; i < 20; ++i) {
+      dims.push_back({int64_t{i * 10}, "d" + std::to_string(i)});
+    }
+    ASSERT_TRUE(dim_->Load(dims).ok());
+    std::vector<Tuple> facts;
+    for (int i = 0; i < 100; ++i) {
+      facts.push_back({int64_t{i}, int64_t{(i % 20) * 10}, int64_t{i}});
+    }
+    ASSERT_TRUE(fact_->Load(facts).ok());
+  }
+
+  // Ground truth: value join via merged images.
+  void ExpectAllJoinsCorrect(const JoinIndex& index) {
+    for (Rid frid = 0; frid < fact_->RowCount(); ++frid) {
+      auto fact_tuple = fact_->GetMergedTuple(frid);
+      ASSERT_TRUE(fact_tuple.ok());
+      Value fk = (*fact_tuple)[1];
+      auto dim_rid = index.DimRidForFactRid(frid);
+      auto expected = dim_->FindRidByKey({fk});
+      if (expected.ok()) {
+        ASSERT_TRUE(dim_rid.ok())
+            << "frid " << frid << ": " << dim_rid.status().ToString();
+        EXPECT_EQ(*dim_rid, *expected) << "frid " << frid;
+        auto dim_tuple = dim_->GetMergedTuple(*dim_rid);
+        ASSERT_TRUE(dim_tuple.ok());
+        EXPECT_EQ((*dim_tuple)[0], fk);
+      } else {
+        EXPECT_FALSE(dim_rid.ok()) << "frid " << frid << " should dangle";
+      }
+    }
+  }
+
+  std::unique_ptr<Table> fact_, dim_;
+};
+
+TEST_F(JoinIndexTest, CleanTablesJoinPositionally) {
+  auto index = JoinIndex::Build(fact_.get(), dim_.get(), 1);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->stable_entries(), 100u);
+  ExpectAllJoinsCorrect(*index);
+}
+
+TEST_F(JoinIndexTest, DimensionInsertsShiftPositions) {
+  auto index = JoinIndex::Build(fact_.get(), dim_.get(), 1);
+  ASSERT_TRUE(index.ok());
+  // Insert dimension rows at the front and middle: every dim RID shifts,
+  // but the SID-domain index stays valid.
+  ASSERT_TRUE(dim_->Insert({int64_t{-5}, "front"}).ok());
+  ASSERT_TRUE(dim_->Insert({int64_t{55}, "middle"}).ok());
+  ExpectAllJoinsCorrect(*index);
+}
+
+TEST_F(JoinIndexTest, DimensionDeleteDangles) {
+  auto index = JoinIndex::Build(fact_.get(), dim_.get(), 1);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(dim_->DeleteByKey({Value(50)}).ok());
+  int dangling = 0;
+  for (Rid frid = 0; frid < fact_->RowCount(); ++frid) {
+    auto r = index->DimRidForFactRid(frid);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+      ++dangling;
+    }
+  }
+  EXPECT_EQ(dangling, 5);  // fks 50 appear for i%20==5 -> 5 fact rows
+}
+
+TEST_F(JoinIndexTest, FactInsertsResolveByValueOnce) {
+  auto index = JoinIndex::Build(fact_.get(), dim_.get(), 1);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(fact_->Insert({int64_t{1000}, int64_t{30}, int64_t{1}}).ok());
+  ASSERT_TRUE(fact_->Insert({int64_t{1001}, int64_t{70}, int64_t{2}}).ok());
+  ExpectAllJoinsCorrect(*index);
+  EXPECT_EQ(index->delta_entries(), 2u);
+  // Repeated lookups hit the memo, not the dimension search.
+  ExpectAllJoinsCorrect(*index);
+  EXPECT_EQ(index->delta_entries(), 2u);
+}
+
+TEST_F(JoinIndexTest, FactDeletesJustDisappear) {
+  auto index = JoinIndex::Build(fact_.get(), dim_.get(), 1);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(fact_->DeleteByKey({Value(0)}).ok());
+  ASSERT_TRUE(fact_->DeleteByKey({Value(50)}).ok());
+  ExpectAllJoinsCorrect(*index);
+}
+
+TEST_F(JoinIndexTest, RandomizedChurnOnBothSides) {
+  auto index = JoinIndex::Build(fact_.get(), dim_.get(), 1);
+  ASSERT_TRUE(index.ok());
+  Random rng(71);
+  int64_t next_fact_id = 5000;
+  int64_t next_dim_key = 1001;  // odd keys: never referenced by facts
+  for (int op = 0; op < 200; ++op) {
+    double d = rng.NextDouble();
+    if (d < 0.3) {
+      // New fact row referencing an existing dim key.
+      int64_t fk = rng.Uniform(20) * 10;
+      ASSERT_TRUE(
+          fact_->Insert({next_fact_id++, fk, int64_t{op}}).ok());
+    } else if (d < 0.5) {
+      // New (unreferenced) dimension row: shifts dim positions.
+      ASSERT_TRUE(
+          dim_->Insert({next_dim_key, "x" + std::to_string(op)}).ok());
+      next_dim_key += 2;
+    } else if (d < 0.7) {
+      // Delete an unreferenced dimension row if any exists.
+      if (next_dim_key > 1001) {
+        next_dim_key -= 2;
+        ASSERT_TRUE(dim_->DeleteByKey({Value(next_dim_key)}).ok());
+      }
+    } else if (d < 0.85) {
+      // Modify a fact measure (no positional effect on the join).
+      Rid rid = rng.Uniform(fact_->RowCount());
+      ASSERT_TRUE(fact_->ModifyAt(rid, 2, Value(int64_t{op})).ok());
+    } else {
+      // Modify a dim label.
+      Rid rid = rng.Uniform(dim_->RowCount());
+      ASSERT_TRUE(dim_->ModifyAt(rid, 1, Value("m")).ok());
+    }
+    if (op % 50 == 49) ExpectAllJoinsCorrect(*index);
+  }
+  ExpectAllJoinsCorrect(*index);
+}
+
+TEST(SidToRidTest, MatchesLookupRidInverse) {
+  auto schema = DimSchema();
+  Table table("t", schema, TableOptions{});
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({int64_t{i * 2}, "r" + std::to_string(i)});
+  }
+  ASSERT_TRUE(table.Load(rows).ok());
+  ASSERT_TRUE(table.Insert({int64_t{11}, "ins"}).ok());
+  ASSERT_TRUE(table.DeleteByKey({Value(20)}).ok());
+  ASSERT_TRUE(table.DeleteByKey({Value(22)}).ok());
+  const Pdt& pdt = *table.pdt();
+  for (Sid sid = 0; sid < 50; ++sid) {
+    Pdt::SidLookup lk = pdt.SidToRid(sid);
+    if (lk.deleted) {
+      EXPECT_TRUE(sid == 10 || sid == 11);  // keys 20, 22
+      continue;
+    }
+    // Round trip: the tuple at lk.rid must be stable tuple `sid`.
+    Pdt::RidLookup back = pdt.LookupRid(lk.rid);
+    EXPECT_FALSE(back.is_insert) << "sid " << sid;
+    EXPECT_EQ(back.sid, sid);
+  }
+  // The ghost's rid equals the following visible tuple's rid.
+  Pdt::SidLookup ghost = pdt.SidToRid(10);
+  EXPECT_TRUE(ghost.deleted);
+  Pdt::RidLookup after = pdt.LookupRid(ghost.rid);
+  EXPECT_EQ(after.sid, 12u);
+}
+
+}  // namespace
+}  // namespace pdtstore

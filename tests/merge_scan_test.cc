@@ -1,0 +1,248 @@
+// MergeScan operator tests: stable scan ranges, positional merging edge
+// cases (batch-size sweeps, range gaps with re-seek, trailing inserts,
+// ghost runs), stacked layers, and RID continuity of emitted batches.
+#include "pdt/merge_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace pdtstore {
+namespace {
+
+using testutil::BuildStore;
+using testutil::ModelTable;
+
+std::shared_ptr<const Schema> IntSchema() {
+  auto s = Schema::Make({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}}, {0});
+  return std::make_shared<const Schema>(std::move(*s));
+}
+
+std::vector<Tuple> IntRows(int n, int64_t gap = 10) {
+  std::vector<Tuple> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({static_cast<int64_t>(i) * gap, int64_t{i}});
+  }
+  return rows;
+}
+
+TEST(StableScanTest, FullScanEmitsChunkAlignedBatches) {
+  auto schema = IntSchema();
+  auto store = BuildStore(schema, IntRows(50), {.chunk_rows = 8});
+  StableScanSource scan(store.get(), {0, 1});
+  Batch batch;
+  Sid expected_start = 0;
+  size_t total = 0;
+  while (true) {
+    auto more = scan.Next(&batch, 1024);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    EXPECT_EQ(batch.start_rid(), expected_start);
+    expected_start += batch.num_rows();
+    total += batch.num_rows();
+    EXPECT_LE(batch.num_rows(), 8u);  // chunk-bounded
+  }
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(StableScanTest, MultiRangeScanSkipsGaps) {
+  auto schema = IntSchema();
+  auto store = BuildStore(schema, IntRows(50), {.chunk_rows = 8});
+  StableScanSource scan(store.get(), {0}, {{5, 10}, {20, 23}, {49, 50}});
+  auto rows = CollectRows(&scan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 9u);
+  EXPECT_EQ((*rows)[0][0], Value(50));    // sid 5
+  EXPECT_EQ((*rows)[5][0], Value(200));   // sid 20
+  EXPECT_EQ((*rows)[8][0], Value(490));   // sid 49
+}
+
+TEST(StableScanTest, EmptyTableIsEmptyStream) {
+  auto schema = IntSchema();
+  auto store = BuildStore(schema, {});
+  StableScanSource scan(store.get(), {0});
+  Batch batch;
+  auto more = scan.Next(&batch, 16);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+class BatchSizeSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchSizeSweepTest, MergeIsBatchSizeInvariant) {
+  auto schema = IntSchema();
+  auto base = IntRows(200);
+  auto store = BuildStore(schema, base, {.chunk_rows = 16});
+  ModelTable model(schema, base);
+  Random rng(77);
+  for (int i = 0; i < 150; ++i) {
+    double d = rng.NextDouble();
+    if (d < 0.4) {
+      (void)model.Insert({rng.UniformRange(0, 2500), int64_t{i}});
+    } else if (d < 0.7 && model.size() > 0) {
+      (void)model.DeleteAt(rng.Uniform(model.size()));
+    } else if (model.size() > 0) {
+      (void)model.ModifyAt(rng.Uniform(model.size()), 1, Value(i));
+    }
+  }
+  auto scan = MakeMergeScan(*store, {model.pdt()}, {0, 1});
+  auto rows = CollectRows(scan.get(), GetParam());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, model.rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchSizeSweepTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 1024));
+
+TEST(MergeScanTest, EmittedRidsAreContinuous) {
+  auto schema = IntSchema();
+  auto base = IntRows(100);
+  auto store = BuildStore(schema, base, {.chunk_rows = 16});
+  ModelTable model(schema, base);
+  ASSERT_TRUE(model.Insert({15, 100}).ok());
+  ASSERT_TRUE(model.DeleteAt(40).ok());
+  ASSERT_TRUE(model.ModifyAt(60, 1, Value(999)).ok());
+  auto scan = MakeMergeScan(*store, {model.pdt()}, {0, 1});
+  Batch batch;
+  Rid expected = 0;
+  while (true) {
+    auto more = scan->Next(&batch, 13);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    EXPECT_EQ(batch.start_rid(), expected);
+    expected += batch.num_rows();
+  }
+  EXPECT_EQ(expected, model.size());
+}
+
+TEST(MergeScanTest, RangeScanWithReSeekAppliesOnlyInRangeUpdates) {
+  auto schema = IntSchema();
+  auto base = IntRows(100);
+  auto store = BuildStore(schema, base, {.chunk_rows = 10});
+  ModelTable model(schema, base);
+  // Updates scattered across the key space.
+  ASSERT_TRUE(model.Insert({15, 100}).ok());   // in range 1 (sids 0..20)
+  ASSERT_TRUE(model.Insert({555, 101}).ok());  // in gap (sid ~55)
+  ASSERT_TRUE(model.DeleteAt(71).ok());        // rid of key 690-ish
+  // Scan sids [0,20) and [60,100).
+  auto scan =
+      MakeMergeScan(*store, {model.pdt()}, {0, 1}, {{0, 20}, {60, 100}});
+  auto rows = CollectRows(scan.get());
+  ASSERT_TRUE(rows.ok());
+  // Expected: merged rows whose underlying position is in the ranges.
+  // Build by filtering the model on key ranges the sids represent.
+  std::vector<Tuple> expected;
+  for (const auto& t : model.rows()) {
+    int64_t k = t[0].AsInt64();
+    if (k < 200 || (k >= 600 && k < 1000)) expected.push_back(t);
+  }
+  EXPECT_EQ(*rows, expected);
+  // The gap insert (key 555) must not appear.
+  for (const auto& t : *rows) EXPECT_NE(t[0], Value(555));
+}
+
+TEST(MergeScanTest, GhostRunAcrossChunkBoundary) {
+  auto schema = IntSchema();
+  auto base = IntRows(64);
+  auto store = BuildStore(schema, base, {.chunk_rows = 8});
+  ModelTable model(schema, base);
+  // Delete a run straddling chunk boundaries (sids 5..18).
+  for (int i = 0; i < 14; ++i) {
+    ASSERT_TRUE(model.DeleteAt(5).ok());
+  }
+  EXPECT_EQ(testutil::MergedRows(*store, {model.pdt()}, {}, 4),
+            model.rows());
+}
+
+TEST(MergeScanTest, ThreeLayerStack) {
+  auto schema = IntSchema();
+  auto base = IntRows(60);
+  auto store = BuildStore(schema, base, {.chunk_rows = 16});
+  // Layer 1 (Read): inserts + deletes.
+  ModelTable l1(schema, base);
+  ASSERT_TRUE(l1.Insert({15, 1}).ok());
+  ASSERT_TRUE(l1.DeleteAt(30).ok());
+  // Layer 2 (Write): updates against l1's image.
+  ModelTable l2(schema, l1.rows());
+  ASSERT_TRUE(l2.ModifyAt(0, 1, Value(-2)).ok());
+  ASSERT_TRUE(l2.Insert({25, 2}).ok());
+  // Layer 3 (Trans): updates against l2's image.
+  ModelTable l3(schema, l2.rows());
+  ASSERT_TRUE(l3.DeleteAt(2).ok());
+  ASSERT_TRUE(l3.Insert({35, 3}).ok());
+  EXPECT_EQ(
+      testutil::MergedRows(*store, {l1.pdt(), l2.pdt(), l3.pdt()}, {}, 7),
+      l3.rows());
+}
+
+TEST(MergeScanTest, AllRowsDeleted) {
+  auto schema = IntSchema();
+  auto base = IntRows(20);
+  auto store = BuildStore(schema, base, {.chunk_rows = 4});
+  ModelTable model(schema, base);
+  while (model.size() > 0) {
+    ASSERT_TRUE(model.DeleteAt(0).ok());
+  }
+  EXPECT_TRUE(testutil::MergedRows(*store, {model.pdt()}).empty());
+  // And re-inserting into the fully-deleted table works.
+  ASSERT_TRUE(model.Insert({55, 1}).ok());
+  EXPECT_EQ(testutil::MergedRows(*store, {model.pdt()}), model.rows());
+}
+
+
+// Randomized stacked merging: K layers of random updates, each built on
+// the previous image, merged in one pass — and equivalently collapsed by
+// Propagate in every possible grouping.
+class StackedLayersRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(StackedLayersRandomTest, StackEqualsFinalImage) {
+  auto [num_layers, seed] = GetParam();
+  auto schema = IntSchema();
+  auto base = IntRows(120);
+  auto store = BuildStore(schema, base, {.chunk_rows = 16});
+  Random rng(seed);
+
+  std::vector<std::unique_ptr<ModelTable>> layers;
+  std::vector<Tuple> image = base;
+  for (int l = 0; l < num_layers; ++l) {
+    layers.push_back(std::make_unique<ModelTable>(schema, image));
+    ModelTable* m = layers.back().get();
+    for (int op = 0; op < 60; ++op) {
+      double d = rng.NextDouble();
+      if (d < 0.4 || m->size() == 0) {
+        (void)m->Insert(
+            {rng.UniformRange(0, 4000), int64_t{l * 1000 + op}});
+      } else if (d < 0.7) {
+        ASSERT_TRUE(m->DeleteAt(rng.Uniform(m->size())).ok());
+      } else {
+        ASSERT_TRUE(
+            m->ModifyAt(rng.Uniform(m->size()), 1, Value(int64_t{op})).ok());
+      }
+    }
+    image = m->rows();
+  }
+
+  std::vector<const Pdt*> stack;
+  for (auto& m : layers) stack.push_back(m->pdt());
+  EXPECT_EQ(testutil::MergedRows(*store, stack, {}, 13), image);
+
+  // Collapse the stack bottom-up with Propagate; the single merged PDT
+  // must produce the same image.
+  auto collapsed = layers[0]->pdt()->Clone();
+  for (int l = 1; l < num_layers; ++l) {
+    ASSERT_TRUE(collapsed->Propagate(*layers[l]->pdt()).ok()) << l;
+  }
+  ASSERT_TRUE(collapsed->CheckInvariants().ok())
+      << collapsed->CheckInvariants().ToString();
+  EXPECT_EQ(testutil::MergedRows(*store, {collapsed.get()}), image);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stacks, StackedLayersRandomTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(301, 302, 303)));
+
+}  // namespace
+}  // namespace pdtstore

@@ -1,0 +1,450 @@
+// Tests for Algorithm 7 (Propagate) and Algorithm 8 (Serialize): the
+// stacked-PDT identities of Sec. 2 (eq. 1) and the write-write conflict
+// rules of Sec. 3.3.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "pdt/merge_scan.h"
+#include "pdt/pdt.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace pdtstore {
+namespace {
+
+using testutil::BuildStore;
+using testutil::InventoryRows;
+using testutil::InventorySchema;
+using testutil::MergedRows;
+using testutil::ModelTable;
+
+// Builds a random ops trace applied to a ModelTable.
+void ApplyRandomOps(ModelTable* model, Random* rng, int ops) {
+  for (int i = 0; i < ops; ++i) {
+    double dice = rng->NextDouble();
+    if (dice < 0.4 || model->size() == 0) {
+      Tuple t = {std::string(1, 'A' + static_cast<char>(rng->Uniform(26))) +
+                     rng->NextString(4),
+                 rng->NextString(4), "Y", rng->UniformRange(0, 99)};
+      (void)model->Insert(t);  // duplicate keys rejected, fine
+    } else if (dice < 0.65) {
+      (void)model->DeleteAt(rng->Uniform(model->size()));
+    } else {
+      (void)model->ModifyAt(rng->Uniform(model->size()), 3,
+                            Value(rng->UniformRange(0, 99)));
+    }
+  }
+}
+
+class PropagateTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropagateTest, PropagateEqualsStackedMerge) {
+  auto schema = InventorySchema();
+  Random rng(GetParam());
+  // Phase 1 builds R against the stable image.
+  auto store = BuildStore(schema, InventoryRows());
+  ModelTable phase1(schema, InventoryRows());
+  ApplyRandomOps(&phase1, &rng, 60);
+  // Phase 2 builds W against the post-phase-1 image (W consecutive to R).
+  ModelTable phase2(schema, phase1.rows());
+  ApplyRandomOps(&phase2, &rng, 60);
+
+  // Identity A: merging through the stack [R, W] equals the final image.
+  EXPECT_EQ(MergedRows(*store, {phase1.pdt(), phase2.pdt()}),
+            phase2.rows());
+
+  // Identity B (eq. 1): Merge(T0, R.Propagate(W)) == final image.
+  ASSERT_TRUE(phase1.pdt()->Propagate(*phase2.pdt()).ok());
+  ASSERT_TRUE(phase1.pdt()->CheckInvariants().ok())
+      << phase1.pdt()->CheckInvariants().ToString();
+  EXPECT_EQ(MergedRows(*store, {phase1.pdt()}), phase2.rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagateTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+TEST(PropagateEdgeTest, PropagateEmptyIsNoop) {
+  auto schema = InventorySchema();
+  ModelTable m(schema, InventoryRows());
+  ASSERT_TRUE(m.Insert({"Aix", "mat", "Y", 7}).ok());
+  Pdt empty(schema);
+  auto before = m.pdt()->Flatten();
+  ASSERT_TRUE(m.pdt()->Propagate(empty).ok());
+  EXPECT_EQ(m.pdt()->Flatten(), before);
+}
+
+TEST(PropagateEdgeTest, PropagateIntoEmptyCopies) {
+  auto schema = InventorySchema();
+  auto store = BuildStore(schema, InventoryRows());
+  ModelTable m(schema, InventoryRows());
+  ASSERT_TRUE(m.Insert({"Aix", "mat", "Y", 7}).ok());
+  ASSERT_TRUE(m.DeleteAt(3).ok());
+  Pdt target(schema);
+  ASSERT_TRUE(target.Propagate(*m.pdt()).ok());
+  EXPECT_EQ(MergedRows(*store, {&target}), m.rows());
+}
+
+TEST(PropagateEdgeTest, DeleteOfPropagatedInsertCancels) {
+  // W deletes a tuple that R inserted: after propagation no trace remains.
+  auto schema = InventorySchema();
+  auto store = BuildStore(schema, InventoryRows());
+  ModelTable phase1(schema, InventoryRows());
+  ASSERT_TRUE(phase1.Insert({"Aix", "mat", "Y", 7}).ok());
+  ModelTable phase2(schema, phase1.rows());
+  ASSERT_TRUE(phase2.DeleteAt(0).ok());  // (Aix,mat) sorts first
+  ASSERT_TRUE(phase1.pdt()->Propagate(*phase2.pdt()).ok());
+  EXPECT_EQ(phase1.pdt()->EntryCount(), 0u);
+  EXPECT_EQ(MergedRows(*store, {phase1.pdt()}), InventoryRows());
+}
+
+// ---------------------------------------------------------------------
+// Serialize.
+// ---------------------------------------------------------------------
+
+class SerializeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = InventorySchema();
+    store_ = BuildStore(schema_, InventoryRows());
+    tx_ = std::make_unique<ModelTable>(schema_, InventoryRows());
+    ty_ = std::make_unique<ModelTable>(schema_, InventoryRows());
+  }
+
+  // Applies ty then "tx-as-serialized" to a fresh model for ground truth:
+  // ty's final rows, then tx's logical (key-addressed) updates.
+  std::shared_ptr<const Schema> schema_;
+  std::unique_ptr<ColumnStore> store_;
+  std::unique_ptr<ModelTable> tx_, ty_;  // aligned: same base snapshot
+};
+
+TEST_F(SerializeFixture, DisjointUpdatesSerializeAndCompose) {
+  // ty: modify London/chair qty; delete Paris/rug.
+  Rid rid;
+  ASSERT_TRUE(ty_->FindKey({Value("London"), Value("chair")}, &rid));
+  ASSERT_TRUE(ty_->ModifyAt(rid, 3, Value(77)).ok());
+  ASSERT_TRUE(ty_->FindKey({Value("Paris"), Value("rug")}, &rid));
+  ASSERT_TRUE(ty_->DeleteAt(rid).ok());
+  // tx: insert Berlin/cloth; modify Paris/stool.
+  ASSERT_TRUE(tx_->Insert({"Berlin", "cloth", "Y", 5}).ok());
+  ASSERT_TRUE(tx_->FindKey({Value("Paris"), Value("stool")}, &rid));
+  ASSERT_TRUE(tx_->ModifyAt(rid, 3, Value(55)).ok());
+
+  ASSERT_TRUE(tx_->pdt()->SerializeAgainst(*ty_->pdt()).ok());
+  ASSERT_TRUE(tx_->pdt()->CheckInvariants().ok());
+
+  // Ground truth: ty's image with tx's key-addressed updates applied.
+  ModelTable expected(schema_, ty_->rows());
+  ASSERT_TRUE(expected.Insert({"Berlin", "cloth", "Y", 5}).ok());
+  ASSERT_TRUE(expected.FindKey({Value("Paris"), Value("stool")}, &rid));
+  ASSERT_TRUE(expected.ModifyAt(rid, 3, Value(55)).ok());
+
+  // Merge stable -> ty -> serialized tx.
+  EXPECT_EQ(MergedRows(*store_, {ty_->pdt(), tx_->pdt()}), expected.rows());
+
+  // And via Propagate into a single PDT.
+  Pdt combined(schema_);
+  ASSERT_TRUE(combined.Propagate(*ty_->pdt()).ok());
+  ASSERT_TRUE(combined.Propagate(*tx_->pdt()).ok());
+  EXPECT_EQ(MergedRows(*store_, {&combined}), expected.rows());
+}
+
+TEST_F(SerializeFixture, InsertInsertSameKeyConflicts) {
+  ASSERT_TRUE(ty_->Insert({"Berlin", "cloth", "Y", 5}).ok());
+  ASSERT_TRUE(tx_->Insert({"Berlin", "cloth", "Y", 9}).ok());
+  Status st = tx_->pdt()->SerializeAgainst(*ty_->pdt());
+  EXPECT_EQ(st.code(), StatusCode::kConflict) << st.ToString();
+}
+
+TEST_F(SerializeFixture, InsertInsertDifferentKeysOk) {
+  ASSERT_TRUE(ty_->Insert({"Berlin", "cloth", "Y", 5}).ok());
+  ASSERT_TRUE(tx_->Insert({"Berlin", "chair", "Y", 9}).ok());
+  EXPECT_TRUE(tx_->pdt()->SerializeAgainst(*ty_->pdt()).ok());
+}
+
+TEST_F(SerializeFixture, DeleteDeleteSameTupleConflicts) {
+  Rid rid;
+  ASSERT_TRUE(ty_->FindKey({Value("Paris"), Value("rug")}, &rid));
+  ASSERT_TRUE(ty_->DeleteAt(rid).ok());
+  ASSERT_TRUE(tx_->FindKey({Value("Paris"), Value("rug")}, &rid));
+  ASSERT_TRUE(tx_->DeleteAt(rid).ok());
+  EXPECT_EQ(tx_->pdt()->SerializeAgainst(*ty_->pdt()).code(),
+            StatusCode::kConflict);
+}
+
+TEST_F(SerializeFixture, ModifyOfDeletedTupleConflicts) {
+  Rid rid;
+  ASSERT_TRUE(ty_->FindKey({Value("Paris"), Value("rug")}, &rid));
+  ASSERT_TRUE(ty_->DeleteAt(rid).ok());
+  ASSERT_TRUE(tx_->FindKey({Value("Paris"), Value("rug")}, &rid));
+  ASSERT_TRUE(tx_->ModifyAt(rid, 3, Value(2)).ok());
+  EXPECT_EQ(tx_->pdt()->SerializeAgainst(*ty_->pdt()).code(),
+            StatusCode::kConflict);
+}
+
+TEST_F(SerializeFixture, DeleteOfModifiedTupleConflicts) {
+  Rid rid;
+  ASSERT_TRUE(ty_->FindKey({Value("Paris"), Value("rug")}, &rid));
+  ASSERT_TRUE(ty_->ModifyAt(rid, 3, Value(2)).ok());
+  ASSERT_TRUE(tx_->FindKey({Value("Paris"), Value("rug")}, &rid));
+  ASSERT_TRUE(tx_->DeleteAt(rid).ok());
+  EXPECT_EQ(tx_->pdt()->SerializeAgainst(*ty_->pdt()).code(),
+            StatusCode::kConflict);
+}
+
+TEST_F(SerializeFixture, SameColumnModifyConflicts) {
+  Rid rid;
+  ASSERT_TRUE(ty_->FindKey({Value("London"), Value("stool")}, &rid));
+  ASSERT_TRUE(ty_->ModifyAt(rid, 3, Value(1)).ok());
+  ASSERT_TRUE(tx_->FindKey({Value("London"), Value("stool")}, &rid));
+  ASSERT_TRUE(tx_->ModifyAt(rid, 3, Value(2)).ok());
+  EXPECT_EQ(tx_->pdt()->SerializeAgainst(*ty_->pdt()).code(),
+            StatusCode::kConflict);
+}
+
+TEST_F(SerializeFixture, DifferentColumnModifiesReconcile) {
+  // The paper: CheckModConflict "allows to reconcile modifications of
+  // different attributes of the same tuple".
+  Rid rid;
+  ASSERT_TRUE(ty_->FindKey({Value("London"), Value("stool")}, &rid));
+  ASSERT_TRUE(ty_->ModifyAt(rid, 2, Value("Y")).ok());
+  ASSERT_TRUE(tx_->FindKey({Value("London"), Value("stool")}, &rid));
+  ASSERT_TRUE(tx_->ModifyAt(rid, 3, Value(2)).ok());
+  ASSERT_TRUE(tx_->pdt()->SerializeAgainst(*ty_->pdt()).ok());
+
+  Pdt combined(schema_);
+  ASSERT_TRUE(combined.Propagate(*ty_->pdt()).ok());
+  ASSERT_TRUE(combined.Propagate(*tx_->pdt()).ok());
+  auto rows = MergedRows(*store_, {&combined});
+  Rid found = 0;
+  for (Rid i = 0; i < rows.size(); ++i) {
+    if (rows[i][0].AsString() == "London" && rows[i][1].AsString() == "stool")
+      found = i;
+  }
+  EXPECT_EQ(rows[found][2], Value("Y"));
+  EXPECT_EQ(rows[found][3], Value(2));
+}
+
+TEST_F(SerializeFixture, InsertNeverConflictsWithPeerDelete) {
+  // ty deletes (Paris,rug); tx re-inserts the same key: allowed ("Never
+  // conflict with Insert"), and the new tuple replaces the old one.
+  Rid rid;
+  ASSERT_TRUE(ty_->FindKey({Value("Paris"), Value("rug")}, &rid));
+  ASSERT_TRUE(ty_->DeleteAt(rid).ok());
+  ASSERT_TRUE(tx_->Insert({"Paris", "rack", "Y", 4}).ok());
+  ASSERT_TRUE(tx_->pdt()->SerializeAgainst(*ty_->pdt()).ok());
+
+  ModelTable expected(schema_, ty_->rows());
+  ASSERT_TRUE(expected.Insert({"Paris", "rack", "Y", 4}).ok());
+  EXPECT_EQ(MergedRows(*store_, {ty_->pdt(), tx_->pdt()}), expected.rows());
+}
+
+// Randomized: two transactions touching disjoint key sets always
+// serialize, and the composed image equals applying both logically.
+class SerializeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerializeRandomTest, DisjointTransactionsCompose) {
+  auto schema = InventorySchema();
+  Random rng(GetParam());
+  // A larger base so the two txns touch different regions.
+  std::vector<Tuple> base;
+  for (int i = 0; i < 100; ++i) {
+    base.push_back({"S" + std::to_string(1000 + i),
+                    "p" + std::to_string(1000 + i), "N",
+                    rng.UniformRange(0, 99)});
+  }
+  auto store = BuildStore(schema, base);
+  ModelTable ty(schema, base), tx(schema, base);
+  // ty touches even rows, tx odd rows (positions in the shared snapshot).
+  for (int i = 0; i < 30; ++i) {
+    Rid rid = rng.Uniform(50) * 2;
+    double d = rng.NextDouble();
+    if (d < 0.4) {
+      (void)ty.Insert({"S" + std::to_string(1000 + rid) + "x",
+                       "new" + std::to_string(i), "Y", 1});
+    } else if (d < 0.7 && ty.size() > rid) {
+      // Only delete original even-keyed tuples (identified by key).
+      Rid r;
+      if (ty.FindKey({base[rid][0], base[rid][1]}, &r)) {
+        ASSERT_TRUE(ty.DeleteAt(r).ok());
+      }
+    } else {
+      Rid r;
+      if (ty.FindKey({base[rid][0], base[rid][1]}, &r)) {
+        ASSERT_TRUE(ty.ModifyAt(r, 3, Value(rng.UniformRange(0, 9))).ok());
+      }
+    }
+  }
+  // Record tx's logical ops in order so they can be replayed onto the
+  // post-ty image as ground truth (key-disjointness from ty makes the
+  // replay independent of ty's positional shifts).
+  struct LogicalOp {
+    int kind;  // 0=insert, 1=delete, 2=modify
+    Tuple tuple;
+    std::vector<Value> key;
+    Value v;
+  };
+  std::vector<LogicalOp> tx_ops;
+  for (int i = 0; i < 30; ++i) {
+    Rid rid = rng.Uniform(50) * 2 + 1;
+    double d = rng.NextDouble();
+    if (d < 0.4) {
+      Tuple t = {"S" + std::to_string(1000 + rid) + "y",
+                 "new" + std::to_string(i), "Y", 2};
+      if (tx.Insert(t).ok()) tx_ops.push_back({0, t, {}, Value()});
+    } else if (d < 0.7) {
+      Rid r;
+      std::vector<Value> key = {base[rid][0], base[rid][1]};
+      if (tx.FindKey(key, &r)) {
+        ASSERT_TRUE(tx.DeleteAt(r).ok());
+        tx_ops.push_back({1, {}, key, Value()});
+      }
+    } else {
+      Rid r;
+      std::vector<Value> key = {base[rid][0], base[rid][1]};
+      Value v = Value(rng.UniformRange(100, 199));
+      if (tx.FindKey(key, &r)) {
+        ASSERT_TRUE(tx.ModifyAt(r, 3, v).ok());
+        tx_ops.push_back({2, {}, key, v});
+      }
+    }
+  }
+
+  ASSERT_TRUE(tx.pdt()->SerializeAgainst(*ty.pdt()).ok());
+  ASSERT_TRUE(tx.pdt()->CheckInvariants().ok())
+      << tx.pdt()->CheckInvariants().ToString();
+
+  // Ground truth: ty image + tx logical updates replayed in order.
+  ModelTable expected(schema, ty.rows());
+  for (const auto& op : tx_ops) {
+    Rid r;
+    switch (op.kind) {
+      case 0:
+        ASSERT_TRUE(expected.Insert(op.tuple).ok());
+        break;
+      case 1:
+        if (expected.FindKey(op.key, &r)) {
+          ASSERT_TRUE(expected.DeleteAt(r).ok());
+        } else {
+          // tx deleted one of its own inserts identified by key.
+          bool erased = false;
+          for (Rid i = 0; i < expected.size(); ++i) {
+            if (expected.schema().CompareTupleToKey(expected.rows()[i],
+                                                    op.key) == 0) {
+              ASSERT_TRUE(expected.DeleteAt(i).ok());
+              erased = true;
+              break;
+            }
+          }
+          ASSERT_TRUE(erased);
+        }
+        break;
+      case 2:
+        ASSERT_TRUE(expected.FindKey(op.key, &r));
+        ASSERT_TRUE(expected.ModifyAt(r, 3, op.v).ok());
+        break;
+    }
+  }
+  EXPECT_EQ(MergedRows(*store, {ty.pdt(), tx.pdt()}), expected.rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRandomTest,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+
+// Conflict-oracle property test: generate two transactions with one op
+// per key, compute from first principles whether Algorithm 8 must report
+// a write-write conflict, and check SerializeAgainst agrees exactly.
+class SerializeConflictOracleTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerializeConflictOracleTest, ConflictsExactlyWhenOracleSays) {
+  auto schema = InventorySchema();
+  Random rng(GetParam());
+  std::vector<Tuple> base;
+  for (int i = 0; i < 60; ++i) {
+    base.push_back({"S" + std::to_string(100 + i), "p", "N",
+                    rng.UniformRange(0, 99)});
+  }
+  auto store = BuildStore(schema, base);
+
+  // Op kinds per key: 0 = none, 1 = insert(new key), 2 = delete(base),
+  // 3 = modify col2, 4 = modify col3.
+  struct TxnOps {
+    std::map<int, int> base_ops;   // base index -> op (2/3/4)
+    std::set<int> insert_keys;     // new-key ids
+  };
+  auto gen_ops = [&](int nops) {
+    TxnOps ops;
+    for (int i = 0; i < nops; ++i) {
+      if (rng.Bernoulli(0.4)) {
+        ops.insert_keys.insert(static_cast<int>(rng.Uniform(8)));
+      } else {
+        int idx = static_cast<int>(rng.Uniform(base.size()));
+        int op = 2 + static_cast<int>(rng.Uniform(3));
+        ops.base_ops.emplace(idx, op);  // first op per key wins
+      }
+    }
+    return ops;
+  };
+  auto apply = [&](ModelTable* m, const TxnOps& ops) {
+    for (int k : ops.insert_keys) {
+      ASSERT_TRUE(
+          m->Insert({"X" + std::to_string(k), "new", "Y", 1}).ok());
+    }
+    for (auto [idx, op] : ops.base_ops) {
+      Rid rid;
+      ASSERT_TRUE(m->FindKey({base[idx][0], base[idx][1]}, &rid));
+      if (op == 2) {
+        ASSERT_TRUE(m->DeleteAt(rid).ok());
+      } else if (op == 3) {
+        ASSERT_TRUE(m->ModifyAt(rid, 2, Value("Y")).ok());
+      } else {
+        ASSERT_TRUE(m->ModifyAt(rid, 3, Value(77)).ok());
+      }
+    }
+  };
+
+  TxnOps ty_ops = gen_ops(6);
+  TxnOps tx_ops = gen_ops(6);
+  ModelTable ty(schema, base), tx(schema, base);
+  apply(&ty, ty_ops);
+  apply(&tx, tx_ops);
+
+  // Oracle (Sec. 3.3 rules).
+  bool expect_conflict = false;
+  for (int k : tx_ops.insert_keys) {
+    if (ty_ops.insert_keys.count(k)) expect_conflict = true;  // INS-INS
+  }
+  for (auto [idx, txop] : tx_ops.base_ops) {
+    auto it = ty_ops.base_ops.find(idx);
+    if (it == ty_ops.base_ops.end()) continue;
+    int tyop = it->second;
+    if (tyop == 2 || txop == 2) {
+      expect_conflict = true;  // DEL vs anything on the same tuple
+    } else if (tyop == txop) {
+      expect_conflict = true;  // same-column MOD
+    }
+    // MOD of different columns (3 vs 4) reconciles.
+  }
+
+  Status st = tx.pdt()->SerializeAgainst(*ty.pdt());
+  if (expect_conflict) {
+    EXPECT_EQ(st.code(), StatusCode::kConflict)
+        << "oracle says conflict, Serialize said: " << st.ToString();
+  } else {
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_TRUE(tx.pdt()->CheckInvariants().ok());
+    // And composition is well-formed: the serialized Tx merges cleanly.
+    auto merged = MergedRows(*store, {ty.pdt(), tx.pdt()});
+    EXPECT_EQ(merged.size(),
+              base.size() + ty.pdt()->TotalDelta() + tx.pdt()->TotalDelta());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeConflictOracleTest,
+                         ::testing::Range<uint64_t>(200, 240));
+
+}  // namespace
+}  // namespace pdtstore

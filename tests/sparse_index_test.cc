@@ -1,0 +1,136 @@
+// Sparse-index tests, including the paper's staleness property: because
+// PDT SIDs respect ghost tuples, a zone-map built on TABLE0 keeps
+// returning correct (superset) SID ranges after arbitrary PDT updates.
+#include "storage/sparse_index.h"
+
+#include <gtest/gtest.h>
+
+#include "pdt/merge_scan.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace pdtstore {
+namespace {
+
+using testutil::BuildStore;
+using testutil::ModelTable;
+
+std::shared_ptr<const Schema> IntSchema() {
+  auto s = Schema::Make({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}}, {0});
+  return std::make_shared<const Schema>(std::move(*s));
+}
+
+std::vector<Tuple> IntRows(int n, int64_t gap = 10) {
+  std::vector<Tuple> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({static_cast<int64_t>(i) * gap, int64_t{i}});
+  }
+  return rows;
+}
+
+TEST(SparseIndexTest, BuildAndLookup) {
+  auto schema = IntSchema();
+  auto store = BuildStore(schema, IntRows(100), {.chunk_rows = 10});
+  auto index = SparseIndex::Build(*store);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->entries().size(), 10u);
+  // Keys 0..990 in chunks of 10 keys (gap 10): key 345 is in chunk 3.
+  auto ranges = index->LookupRange({Value(340)}, {Value(350)});
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 30u);
+  EXPECT_EQ(ranges[0].end, 40u);
+  // Range spanning a chunk boundary coalesces: keys 95..205 touch chunks
+  // 1 (100..190) and 2 (200..290); chunk 0's max key 90 < 95 excludes it.
+  ranges = index->LookupRange({Value(95)}, {Value(205)});
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 10u);
+  EXPECT_EQ(ranges[0].end, 30u);
+  // Unbounded sides.
+  ranges = index->LookupRange({}, {Value(15)});
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 0u);
+  ranges = index->LookupRange({Value(985)}, {});
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].end, 100u);
+  // Out of domain: empty.
+  EXPECT_TRUE(index->LookupRange({Value(99999)}, {Value(999999)}).empty());
+}
+
+TEST(SparseIndexTest, LowerBoundSid) {
+  auto schema = IntSchema();
+  auto store = BuildStore(schema, IntRows(100), {.chunk_rows = 10});
+  auto index = SparseIndex::Build(*store);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->LowerBoundSid({Value(0)}), 0u);
+  EXPECT_EQ(index->LowerBoundSid({Value(101)}), 10u);  // chunk granularity
+  EXPECT_EQ(index->LowerBoundSid({Value(99999)}), 100u);
+}
+
+TEST(SparseIndexTest, CompoundKeyPrefixLookup) {
+  auto schema = testutil::InventorySchema();
+  auto store = BuildStore(schema, testutil::InventoryRows(),
+                          {.chunk_rows = 2});
+  auto index = SparseIndex::Build(*store);
+  ASSERT_TRUE(index.ok());
+  auto ranges = index->LookupRange({Value("Paris")}, {Value("Paris")});
+  ASSERT_FALSE(ranges.empty());
+  // All Paris rows (sids 3, 4) are covered.
+  EXPECT_LE(ranges.front().begin, 3u);
+  EXPECT_GE(ranges.back().end, 5u);
+}
+
+// The "Respecting Deletes" property as a randomized invariant: after any
+// update mix, a range scan restricted by the *stale* index returns
+// exactly the rows a full-scan-and-filter returns.
+class StaleIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StaleIndexPropertyTest, StaleRangesRemainCorrect) {
+  auto schema = IntSchema();
+  auto base = IntRows(500, 10);
+  auto store = BuildStore(schema, base, {.chunk_rows = 32});
+  auto index = SparseIndex::Build(*store);
+  ASSERT_TRUE(index.ok());
+  ModelTable model(schema, base);
+  Random rng(GetParam());
+  for (int op = 0; op < 300; ++op) {
+    double dice = rng.NextDouble();
+    if (dice < 0.45 || model.size() == 0) {
+      (void)model.Insert({rng.UniformRange(0, 5555), int64_t{op}});
+    } else if (dice < 0.75) {
+      ASSERT_TRUE(model.DeleteAt(rng.Uniform(model.size())).ok());
+    } else {
+      ASSERT_TRUE(
+          model.ModifyAt(rng.Uniform(model.size()), 1, Value(op)).ok());
+    }
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t lo = rng.UniformRange(0, 5000);
+    int64_t hi = lo + rng.UniformRange(0, 1500);
+    // Restricted scan through the stale index...
+    auto ranges = index->LookupRange({Value(lo)}, {Value(hi)});
+    auto scan = MakeMergeScan(*store, {model.pdt()}, {0, 1}, ranges);
+    auto got = CollectRows(scan.get());
+    ASSERT_TRUE(got.ok());
+    std::vector<Tuple> got_filtered;
+    for (const auto& t : *got) {
+      if (t[0].AsInt64() >= lo && t[0].AsInt64() <= hi) {
+        got_filtered.push_back(t);
+      }
+    }
+    // ...must equal the model rows in range.
+    std::vector<Tuple> expected;
+    for (const auto& t : model.rows()) {
+      if (t[0].AsInt64() >= lo && t[0].AsInt64() <= hi) {
+        expected.push_back(t);
+      }
+    }
+    EXPECT_EQ(got_filtered, expected)
+        << "range [" << lo << "," << hi << "] trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaleIndexPropertyTest,
+                         ::testing::Values(41, 42, 43, 44));
+
+}  // namespace
+}  // namespace pdtstore

@@ -1,0 +1,248 @@
+// Tests of the updatable-table facade: SK-addressed updates, positional
+// updates, range scans through the sparse index, checkpointing, and a
+// randomized equivalence property between the PDT and VDT backends (same
+// logical updates => identical merged images).
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+#include "db/checkpoint.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace pdtstore {
+namespace {
+
+using testutil::AllColumns;
+using testutil::InventoryRows;
+using testutil::InventorySchema;
+
+std::vector<Tuple> ScanAll(const Table& table,
+                           std::vector<ColumnId> projection = {},
+                           const KeyBounds* bounds = nullptr) {
+  if (projection.empty()) projection = AllColumns(table.schema());
+  auto src = table.Scan(projection, bounds);
+  auto rows = CollectRows(src.get());
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  return rows.ok() ? *rows : std::vector<Tuple>{};
+}
+
+class TableBackendTest : public ::testing::TestWithParam<DeltaBackend> {
+ protected:
+  void SetUp() override {
+    schema_ = InventorySchema();
+    TableOptions opts;
+    opts.backend = GetParam();
+    table_ = std::make_unique<Table>("inventory", schema_, opts);
+    ASSERT_TRUE(table_->Load(InventoryRows()).ok());
+  }
+  std::shared_ptr<const Schema> schema_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_P(TableBackendTest, InsertDeleteModifyByKey) {
+  ASSERT_TRUE(table_->Insert({"Berlin", "table", "Y", 10}).ok());
+  ASSERT_TRUE(table_->Insert({"Berlin", "cloth", "Y", 5}).ok());
+  EXPECT_EQ(table_->RowCount(), 7u);
+  // Duplicate key rejected.
+  EXPECT_EQ(table_->Insert({"Berlin", "cloth", "Y", 9}).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(
+      table_->DeleteByKey({Value("Paris"), Value("rug")}).ok());
+  ASSERT_TRUE(
+      table_->ModifyByKey({Value("London"), Value("stool")}, 3, Value(9))
+          .ok());
+  EXPECT_EQ(table_->RowCount(), 6u);
+
+  std::vector<Tuple> expected = {
+      {"Berlin", "cloth", "Y", 5},  {"Berlin", "table", "Y", 10},
+      {"London", "chair", "N", 30}, {"London", "stool", "N", 9},
+      {"London", "table", "N", 20}, {"Paris", "stool", "N", 5},
+  };
+  EXPECT_EQ(ScanAll(*table_), expected);
+}
+
+TEST_P(TableBackendTest, DeleteNonexistentKeyFails) {
+  EXPECT_EQ(table_->DeleteByKey({Value("Oslo"), Value("bench")}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_P(TableBackendTest, SortKeyModifyMovesTuple) {
+  // Changing a key column is delete + insert: the tuple moves.
+  ASSERT_TRUE(
+      table_->ModifyByKey({Value("Paris"), Value("rug")}, 0, Value("Aix"))
+          .ok());
+  auto rows = ScanAll(*table_);
+  EXPECT_EQ(rows.front()[0], Value("Aix"));
+  EXPECT_EQ(rows.front()[1], Value("rug"));
+  EXPECT_EQ(table_->RowCount(), 5u);
+}
+
+TEST_P(TableBackendTest, RangeScanThroughSparseIndex) {
+  ASSERT_TRUE(table_->Insert({"London", "rack", "Y", 4}).ok());
+  KeyBounds bounds;
+  bounds.lo = {Value("London")};
+  bounds.hi = {Value("London")};
+  auto rows = ScanAll(*table_, {}, &bounds);
+  // Superset semantics allowed; every London tuple must be present.
+  int london = 0;
+  for (const auto& t : rows) {
+    if (t[0].AsString() == "London") ++london;
+  }
+  EXPECT_EQ(london, 4);
+}
+
+TEST_P(TableBackendTest, CheckpointPreservesImageAndResetsDelta) {
+  ASSERT_TRUE(table_->Insert({"Berlin", "table", "Y", 10}).ok());
+  ASSERT_TRUE(table_->DeleteByKey({Value("Paris"), Value("rug")}).ok());
+  ASSERT_TRUE(
+      table_->ModifyByKey({Value("London"), Value("stool")}, 3, Value(9))
+          .ok());
+  auto before = ScanAll(*table_);
+  ASSERT_TRUE(table_->Checkpoint().ok());
+  EXPECT_EQ(ScanAll(*table_), before);
+  EXPECT_EQ(table_->DeltaMemoryBytes() == 0 || table_->pdt() != nullptr,
+            true);
+  if (table_->pdt()) EXPECT_TRUE(table_->pdt()->Empty());
+  if (table_->vdt()) EXPECT_TRUE(table_->vdt()->Empty());
+  EXPECT_EQ(table_->store().num_rows(), before.size());
+  // Updates continue to work on the fresh image.
+  ASSERT_TRUE(table_->Insert({"Aix", "mat", "Y", 7}).ok());
+  EXPECT_EQ(ScanAll(*table_).front()[0], Value("Aix"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TableBackendTest,
+                         ::testing::Values(DeltaBackend::kPdt,
+                                           DeltaBackend::kVdt),
+                         [](const auto& info) {
+                           return info.param == DeltaBackend::kPdt ? "Pdt"
+                                                                   : "Vdt";
+                         });
+
+TEST(TablePositionalTest, DeleteAtAndModifyAt) {
+  auto schema = InventorySchema();
+  Table table("inv", schema, {});
+  ASSERT_TRUE(table.Load(InventoryRows()).ok());
+  ASSERT_TRUE(table.ModifyAt(0, 3, Value(31)).ok());
+  ASSERT_TRUE(table.DeleteAt(3).ok());  // (Paris,rug)
+  std::vector<Tuple> expected = {
+      {"London", "chair", "N", 31},
+      {"London", "stool", "N", 10},
+      {"London", "table", "N", 20},
+      {"Paris", "stool", "N", 5},
+  };
+  EXPECT_EQ(ScanAll(table), expected);
+  EXPECT_EQ(table.DeleteAt(99).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(table.ModifyAt(99, 3, Value(1)).code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableMergedAccessTest, GetMergedTupleAndFind) {
+  auto schema = InventorySchema();
+  Table table("inv", schema, {});
+  ASSERT_TRUE(table.Load(InventoryRows()).ok());
+  ASSERT_TRUE(table.Insert({"Berlin", "table", "Y", 10}).ok());
+  auto t0 = table.GetMergedTuple(0);
+  ASSERT_TRUE(t0.ok());
+  EXPECT_EQ((*t0)[0], Value("Berlin"));
+  auto rid = table.FindRidByKey({Value("Paris"), Value("stool")});
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(*rid, 5u);
+  EXPECT_EQ(
+      table.FindRidByKey({Value("Oslo"), Value("x")}).status().code(),
+      StatusCode::kNotFound);
+}
+
+// The central cross-check: both backends must produce identical merged
+// images under any stream of logical updates.
+class BackendEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BackendEquivalenceTest, PdtAndVdtAgree) {
+  auto schema = InventorySchema();
+  Random rng(GetParam());
+  std::vector<Tuple> base;
+  for (int i = 0; i < 300; ++i) {
+    base.push_back({"S" + std::to_string(1000 + i),
+                    "p" + std::to_string(rng.UniformRange(100, 999)) +
+                        std::to_string(i),
+                    rng.Bernoulli(0.5) ? "Y" : "N",
+                    rng.UniformRange(0, 999)});
+  }
+  std::sort(base.begin(), base.end(), [&](const Tuple& a, const Tuple& b) {
+    return schema->CompareSortKey(a, b) < 0;
+  });
+  TableOptions pdt_opts, vdt_opts;
+  pdt_opts.backend = DeltaBackend::kPdt;
+  pdt_opts.store.chunk_rows = 128;
+  vdt_opts.backend = DeltaBackend::kVdt;
+  vdt_opts.store.chunk_rows = 128;
+  Table pdt_table("t", schema, pdt_opts);
+  Table vdt_table("t", schema, vdt_opts);
+  ASSERT_TRUE(pdt_table.Load(base).ok());
+  ASSERT_TRUE(vdt_table.Load(base).ok());
+
+  // Track live keys for update targeting.
+  std::vector<std::vector<Value>> keys;
+  for (const auto& t : base) keys.push_back(schema->ExtractSortKey(t));
+
+  for (int op = 0; op < 400; ++op) {
+    double dice = rng.NextDouble();
+    if (dice < 0.35 || keys.empty()) {
+      Tuple t = {"S" + std::to_string(rng.UniformRange(0, 2999)),
+                 "q" + std::to_string(op), "Y", rng.UniformRange(0, 999)};
+      Status s1 = pdt_table.Insert(t);
+      Status s2 = vdt_table.Insert(t);
+      EXPECT_EQ(s1.code(), s2.code());
+      if (s1.ok()) keys.push_back(schema->ExtractSortKey(t));
+    } else if (dice < 0.6) {
+      size_t k = rng.Uniform(keys.size());
+      Status s1 = pdt_table.DeleteByKey(keys[k]);
+      Status s2 = vdt_table.DeleteByKey(keys[k]);
+      EXPECT_EQ(s1.code(), s2.code());
+      keys.erase(keys.begin() + k);
+    } else {
+      size_t k = rng.Uniform(keys.size());
+      ColumnId col = rng.Bernoulli(0.3) ? 2 : 3;
+      Value v = (col == 2) ? Value(rng.NextString(1))
+                           : Value(rng.UniformRange(0, 999));
+      Status s1 = pdt_table.ModifyByKey(keys[k], col, v);
+      Status s2 = vdt_table.ModifyByKey(keys[k], col, v);
+      EXPECT_EQ(s1.code(), s2.code());
+    }
+    if (op % 100 == 99) {
+      ASSERT_EQ(ScanAll(pdt_table), ScanAll(vdt_table)) << "op " << op;
+    }
+  }
+  EXPECT_EQ(ScanAll(pdt_table), ScanAll(vdt_table));
+  EXPECT_EQ(pdt_table.RowCount(), vdt_table.RowCount());
+  // Projections without key columns agree too.
+  EXPECT_EQ(ScanAll(pdt_table, {2, 3}), ScanAll(vdt_table, {2, 3}));
+  // And both survive a checkpoint.
+  ASSERT_TRUE(pdt_table.Checkpoint().ok());
+  ASSERT_TRUE(vdt_table.Checkpoint().ok());
+  EXPECT_EQ(ScanAll(pdt_table), ScanAll(vdt_table));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalenceTest,
+                         ::testing::Values(31, 32, 33, 34));
+
+TEST(CheckpointPolicyTest, TriggersOnThresholds) {
+  auto schema = InventorySchema();
+  Table table("inv", schema, {});
+  ASSERT_TRUE(table.Load(InventoryRows()).ok());
+  CheckpointPolicy policy;
+  policy.max_delta_updates = 2;
+  policy.max_delta_bytes = 0;
+  EXPECT_FALSE(ShouldCheckpoint(table, policy));
+  ASSERT_TRUE(table.Insert({"A", "a", "Y", 1}).ok());
+  ASSERT_TRUE(table.Insert({"B", "b", "Y", 2}).ok());
+  ASSERT_TRUE(table.Insert({"C", "c", "Y", 3}).ok());
+  EXPECT_TRUE(ShouldCheckpoint(table, policy));
+  auto did = MaybeCheckpoint(&table, policy);
+  ASSERT_TRUE(did.ok());
+  EXPECT_TRUE(*did);
+  EXPECT_FALSE(ShouldCheckpoint(table, policy));
+  EXPECT_EQ(table.RowCount(), 8u);
+}
+
+}  // namespace
+}  // namespace pdtstore

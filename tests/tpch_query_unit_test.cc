@@ -1,0 +1,181 @@
+// Hand-verified TPC-H kernel tests: tiny handcrafted lineitem/orders
+// contents with analytically computed expected aggregates, so the query
+// kernels are checked against absolute numbers (the generator-based tests
+// only check cross-backend agreement).
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "exec/filter.h"
+#include "exec/hash_agg.h"
+#include "exec/project.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_schema.h"
+
+namespace pdtstore {
+namespace tpch {
+namespace {
+
+// A lineitem row with only the fields the tested kernels read set
+// meaningfully; the rest are fixed plausible values.
+Tuple Line(int64_t okey, int64_t line, double qty, double price,
+           double disc, int64_t shipdate, std::string rflag = "N",
+           std::string lstatus = "O") {
+  return {okey,      int64_t{1}, int64_t{1}, line,
+          qty,       price,      disc,       0.05,
+          rflag,     lstatus,    shipdate,   shipdate + 10,
+          shipdate + 20, std::string("MAIL")};
+}
+
+class HandcraftedTpch : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableOptions opts;
+    tables_.lineitem =
+        *db_.CreateTable("lineitem", LineitemSchema(), opts);
+    tables_.orders = *db_.CreateTable("orders", OrdersSchema(), opts);
+    tables_.customer =
+        *db_.CreateTable("customer", CustomerSchema(), opts);
+    tables_.part = *db_.CreateTable("part", PartSchema(), opts);
+    tables_.supplier =
+        *db_.CreateTable("supplier", SupplierSchema(), opts);
+    tables_.nation = *db_.CreateTable("nation", NationSchema(), opts);
+    // Empty dimensions are fine for the kernels under test.
+    ASSERT_TRUE(tables_.customer->Load({{int64_t{1}, "c", int64_t{0}, 0.0,
+                                         "BUILDING"}})
+                    .ok());
+    ASSERT_TRUE(tables_.part
+                    ->Load({{int64_t{1}, "green thing", "Brand#23",
+                             "ECONOMY ANODIZED STEEL", int64_t{15},
+                             "MED BOX", 900.0}})
+                    .ok());
+    ASSERT_TRUE(
+        tables_.supplier->Load({{int64_t{1}, "s", int64_t{7}, 0.0}}).ok());
+    std::vector<Tuple> nations;
+    for (int64_t i = 0; i < 25; ++i) {
+      nations.push_back({i, "N" + std::to_string(i), i % 5});
+    }
+    ASSERT_TRUE(tables_.nation->Load(nations).ok());
+  }
+
+  Database db_;
+  TpchTables tables_;
+};
+
+TEST_F(HandcraftedTpch, Q6RevenueExactlyComputed) {
+  // Q6: sum(price * disc) over 1994 shipments with disc in [0.05, 0.07]
+  // and qty < 24.
+  int64_t in94 = DayNumber(1994, 6, 1);
+  int64_t in95 = DayNumber(1995, 6, 1);
+  ASSERT_TRUE(tables_.lineitem
+                  ->Load({
+                      Line(1, 1, 10, 1000.0, 0.05, in94),  // qualifies: 50
+                      Line(1, 2, 30, 1000.0, 0.06, in94),  // qty too big
+                      Line(2, 1, 10, 500.0, 0.06, in94),   // qualifies: 30
+                      Line(2, 2, 10, 500.0, 0.09, in94),   // disc too big
+                      Line(3, 1, 10, 800.0, 0.07, in95),   // wrong year
+                  })
+                  .ok());
+  ASSERT_TRUE(tables_.orders->Load({}).ok());
+  auto r = RunTpchQuery(6, tables_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows, 1u);
+  // Q6 revenue is extendedprice * discount (not scaled by quantity).
+  EXPECT_NEAR(r->checksum, 1000.0 * 0.05 + 500.0 * 0.06, 1e-9);
+}
+
+TEST_F(HandcraftedTpch, Q1GroupsAndSumsExactly) {
+  int64_t old_date = DayNumber(1994, 1, 1);
+  ASSERT_TRUE(tables_.lineitem
+                  ->Load({
+                      Line(1, 1, 5, 100.0, 0.1, old_date, "A", "F"),
+                      Line(1, 2, 7, 200.0, 0.0, old_date, "A", "F"),
+                      Line(2, 1, 3, 300.0, 0.2, old_date, "R", "F"),
+                      // Shipped after the Q1 cutoff: excluded.
+                      Line(3, 1, 9, 400.0, 0.0, DayNumber(1998, 11, 1),
+                           "N", "O"),
+                  })
+                  .ok());
+  ASSERT_TRUE(tables_.orders->Load({}).ok());
+  auto r = RunTpchQuery(1, tables_);
+  ASSERT_TRUE(r.ok());
+  // Two groups: (A,F) and (R,F).
+  EXPECT_EQ(r->rows, 2u);
+  // Checksum includes sum_qty for both groups: 12 and 3; spot-check that
+  // the A/F group's sums appear by recomputing the full checksum's parts:
+  // group A,F: qty 12, price 300, disc_price 90+200=290,
+  //            charge 290*1.05=304.5, avgs 6/150/0.05, count 2
+  // group R,F: qty 3, price 300, disc_price 240, charge 252,
+  //            avgs 3/300/0.2, count 1
+  double expected = 0;
+  expected += 12 + 300 + 290 + 304.5 + 6 + 150 + 0.05 + 2;
+  expected += 3 + 300 + 240 + 252 + 3 + 300 + 0.2 + 1;
+  EXPECT_NEAR(r->checksum, expected, 1e-9);
+}
+
+TEST_F(HandcraftedTpch, Q4CountsLateOrdersPerPriority) {
+  int64_t q3_93 = DayNumber(1993, 8, 1);
+  ASSERT_TRUE(tables_.orders
+                  ->Load({
+                      {q3_93, int64_t{1}, int64_t{1}, "F", 0.0, "1-URGENT",
+                       int64_t{0}},
+                      {q3_93 + 1, int64_t{2}, int64_t{1}, "F", 0.0,
+                       "1-URGENT", int64_t{0}},
+                      {q3_93 + 2, int64_t{3}, int64_t{1}, "F", 0.0,
+                       "5-LOW", int64_t{0}},
+                      // Outside the quarter: excluded.
+                      {DayNumber(1994, 8, 1), int64_t{4}, int64_t{1}, "F",
+                       0.0, "1-URGENT", int64_t{0}},
+                  })
+                  .ok());
+  // Order 1: late line (commit < receipt); order 2: on-time line;
+  // order 3: late line; order 4: late but excluded by date.
+  auto late = [](int64_t okey) {
+    Tuple t = Line(okey, 1, 1, 10.0, 0.0, DayNumber(1993, 8, 10));
+    t[kLCommitdate] = Value(DayNumber(1993, 8, 15));
+    t[kLReceiptdate] = Value(DayNumber(1993, 8, 20));  // late
+    return t;
+  };
+  auto ontime = [](int64_t okey) {
+    Tuple t = Line(okey, 1, 1, 10.0, 0.0, DayNumber(1993, 8, 10));
+    t[kLCommitdate] = Value(DayNumber(1993, 8, 25));
+    t[kLReceiptdate] = Value(DayNumber(1993, 8, 20));  // on time
+    return t;
+  };
+  ASSERT_TRUE(tables_.lineitem
+                  ->Load({late(1), ontime(2), late(3), late(4)})
+                  .ok());
+  auto r = RunTpchQuery(4, tables_);
+  ASSERT_TRUE(r.ok());
+  // Groups: 1-URGENT count 1 (order 1), 5-LOW count 1 (order 3).
+  EXPECT_EQ(r->rows, 2u);
+  EXPECT_NEAR(r->checksum, 2.0, 1e-9);  // two counts of 1
+}
+
+TEST_F(HandcraftedTpch, Q13DistributionExact) {
+  int64_t d = DayNumber(1995, 1, 1);
+  // Customer 1 has 3 orders, customer 2 has 1, customer 3 has 1.
+  ASSERT_TRUE(tables_.orders
+                  ->Load({
+                      {d, int64_t{1}, int64_t{1}, "F", 0.0, "5-LOW",
+                       int64_t{0}},
+                      {d, int64_t{2}, int64_t{1}, "F", 0.0, "5-LOW",
+                       int64_t{0}},
+                      {d, int64_t{3}, int64_t{1}, "F", 0.0, "5-LOW",
+                       int64_t{0}},
+                      {d, int64_t{4}, int64_t{2}, "F", 0.0, "5-LOW",
+                       int64_t{0}},
+                      {d, int64_t{5}, int64_t{3}, "F", 0.0, "5-LOW",
+                       int64_t{0}},
+                  })
+                  .ok());
+  ASSERT_TRUE(tables_.lineitem->Load({}).ok());
+  auto r = RunTpchQuery(13, tables_);
+  ASSERT_TRUE(r.ok());
+  // Distribution: order-count 3 -> 1 customer; order-count 1 -> 2.
+  EXPECT_EQ(r->rows, 2u);
+  EXPECT_NEAR(r->checksum, (3 + 1) + (1 + 2), 1e-9);
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace pdtstore

@@ -1,0 +1,285 @@
+// Transaction-manager tests: snapshot isolation over the three PDT
+// layers, optimistic conflict detection (Alg. 9), the paper's Fig. 15
+// three-transaction timeline, Write->Read propagation, and WAL recovery.
+#include "txn/txn_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace pdtstore {
+namespace {
+
+using testutil::InventoryRows;
+using testutil::InventorySchema;
+
+std::vector<Tuple> TxnScan(const Transaction& txn, const Schema& schema) {
+  std::vector<ColumnId> all(schema.num_columns());
+  for (ColumnId i = 0; i < all.size(); ++i) all[i] = i;
+  auto src = txn.Scan(all);
+  auto rows = CollectRows(src.get());
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  return rows.ok() ? *rows : std::vector<Tuple>{};
+}
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = InventorySchema();
+    table_ = std::make_unique<Table>("inventory", schema_, TableOptions{});
+    ASSERT_TRUE(table_->Load(InventoryRows()).ok());
+    mgr_ = std::make_unique<TxnManager>(table_.get(), &wal_);
+  }
+  std::shared_ptr<const Schema> schema_;
+  std::unique_ptr<Table> table_;
+  Wal wal_;
+  std::unique_ptr<TxnManager> mgr_;
+};
+
+TEST_F(TxnTest, OwnUpdatesVisibleBeforeCommit) {
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn->Insert({"Berlin", "table", "Y", 10}).ok());
+  ASSERT_TRUE(
+      txn->ModifyByKey({Value("London"), Value("stool")}, 3, Value(9)).ok());
+  auto rows = TxnScan(*txn, *schema_);
+  EXPECT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows.front()[0], Value("Berlin"));
+  auto got = txn->GetByKey({Value("London"), Value("stool")});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[3], Value(9));
+  ASSERT_TRUE(txn->Commit().ok());
+}
+
+TEST_F(TxnTest, SnapshotIsolationHidesConcurrentCommit) {
+  auto reader = mgr_->Begin();
+  auto writer = mgr_->Begin();
+  ASSERT_TRUE(writer->Insert({"Berlin", "table", "Y", 10}).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  // The reader's snapshot predates the commit.
+  EXPECT_EQ(TxnScan(*reader, *schema_).size(), 5u);
+  ASSERT_TRUE(reader->Commit().ok());
+  // A fresh transaction sees it.
+  auto later = mgr_->Begin();
+  EXPECT_EQ(TxnScan(*later, *schema_).size(), 6u);
+}
+
+TEST_F(TxnTest, WriteWriteConflictAborts) {
+  auto a = mgr_->Begin();
+  auto b = mgr_->Begin();
+  ASSERT_TRUE(
+      a->ModifyByKey({Value("Paris"), Value("rug")}, 3, Value(2)).ok());
+  ASSERT_TRUE(
+      b->ModifyByKey({Value("Paris"), Value("rug")}, 3, Value(3)).ok());
+  ASSERT_TRUE(a->Commit().ok());
+  Status st = b->Commit();
+  EXPECT_EQ(st.code(), StatusCode::kConflict) << st.ToString();
+  EXPECT_EQ(mgr_->aborted_count(), 1u);
+  // a's value won.
+  auto txn = mgr_->Begin();
+  auto got = txn->GetByKey({Value("Paris"), Value("rug")});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[3], Value(2));
+}
+
+TEST_F(TxnTest, DifferentColumnModifiesReconcile) {
+  auto a = mgr_->Begin();
+  auto b = mgr_->Begin();
+  ASSERT_TRUE(
+      a->ModifyByKey({Value("Paris"), Value("rug")}, 2, Value("Y")).ok());
+  ASSERT_TRUE(
+      b->ModifyByKey({Value("Paris"), Value("rug")}, 3, Value(3)).ok());
+  ASSERT_TRUE(a->Commit().ok());
+  ASSERT_TRUE(b->Commit().ok());
+  auto txn = mgr_->Begin();
+  auto got = txn->GetByKey({Value("Paris"), Value("rug")});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[2], Value("Y"));
+  EXPECT_EQ((*got)[3], Value(3));
+}
+
+TEST_F(TxnTest, InsertInsertSameKeyConflicts) {
+  auto a = mgr_->Begin();
+  auto b = mgr_->Begin();
+  ASSERT_TRUE(a->Insert({"Berlin", "table", "Y", 10}).ok());
+  ASSERT_TRUE(b->Insert({"Berlin", "table", "Y", 99}).ok());
+  ASSERT_TRUE(a->Commit().ok());
+  EXPECT_EQ(b->Commit().code(), StatusCode::kConflict);
+}
+
+TEST_F(TxnTest, AbortDiscardsUpdates) {
+  auto a = mgr_->Begin();
+  ASSERT_TRUE(a->Insert({"Berlin", "table", "Y", 10}).ok());
+  a->Abort();
+  auto txn = mgr_->Begin();
+  EXPECT_EQ(TxnScan(*txn, *schema_).size(), 5u);
+}
+
+TEST_F(TxnTest, Figure15Timeline) {
+  // Fig. 15: a and b start from the same snapshot; b commits first; c
+  // starts after b's commit; a commits (serialized against b); c commits
+  // (serialized against a, which is still cached in TZ).
+  auto a = mgr_->Begin();
+  auto b = mgr_->Begin();
+  ASSERT_TRUE(b->Insert({"Berlin", "cloth", "Y", 5}).ok());
+  ASSERT_TRUE(b->Commit().ok());  // t2
+  auto c = mgr_->Begin();
+  ASSERT_TRUE(c->ModifyByKey({Value("London"), Value("table")}, 3,
+                             Value(21)).ok());
+  ASSERT_TRUE(
+      a->ModifyByKey({Value("Paris"), Value("stool")}, 3, Value(6)).ok());
+  ASSERT_TRUE(a->Commit().ok());  // t3: serialize vs b, no conflict
+  ASSERT_TRUE(c->Commit().ok());  // t4: serialize vs a' (aligned)
+  auto final_txn = mgr_->Begin();
+  auto rows = TxnScan(*final_txn, *schema_);
+  EXPECT_EQ(rows.size(), 6u);
+  auto cloth = final_txn->GetByKey({Value("Berlin"), Value("cloth")});
+  auto ltable = final_txn->GetByKey({Value("London"), Value("table")});
+  auto pstool = final_txn->GetByKey({Value("Paris"), Value("stool")});
+  ASSERT_TRUE(cloth.ok() && ltable.ok() && pstool.ok());
+  EXPECT_EQ((*ltable)[3], Value(21));
+  EXPECT_EQ((*pstool)[3], Value(6));
+}
+
+TEST_F(TxnTest, WritePdtPropagatesToReadPdtAtQuietPoint) {
+  TxnManagerOptions opts;
+  opts.write_pdt_max_entries = 2;  // force frequent propagation
+  auto mgr = std::make_unique<TxnManager>(table_.get(), nullptr, opts);
+  for (int i = 0; i < 10; ++i) {
+    auto txn = mgr->Begin();
+    ASSERT_TRUE(
+        txn->Insert({"Z" + std::to_string(i), "p", "Y", i}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  // Most updates should have migrated into the Read-PDT (table's PDT).
+  EXPECT_GT(table_->pdt()->EntryCount(), 0u);
+  auto txn = mgr->Begin();
+  EXPECT_EQ(TxnScan(*txn, *schema_).size(), 15u);
+}
+
+TEST_F(TxnTest, ExplicitPropagateAndCheckpoint) {
+  {
+    auto txn = mgr_->Begin();
+    ASSERT_TRUE(txn->Insert({"Berlin", "cloth", "Y", 5}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  TxnManagerOptions opts;
+  opts.read_pdt_max_entries = 0;  // always checkpoint
+  // A manager with an active transaction refuses.
+  auto held = mgr_->Begin();
+  EXPECT_FALSE(mgr_->PropagateAndMaybeCheckpoint().ok());
+  ASSERT_TRUE(held->Commit().ok());
+  ASSERT_TRUE(mgr_->PropagateAndMaybeCheckpoint().ok());
+  EXPECT_TRUE(mgr_->write_pdt().Empty());
+}
+
+TEST_F(TxnTest, WalRecoveryReproducesCommittedState) {
+  {
+    auto t1 = mgr_->Begin();
+    ASSERT_TRUE(t1->Insert({"Berlin", "cloth", "Y", 5}).ok());
+    ASSERT_TRUE(t1->Commit().ok());
+    auto t2 = mgr_->Begin();
+    ASSERT_TRUE(
+        t2->ModifyByKey({Value("Paris"), Value("rug")}, 3, Value(7)).ok());
+    ASSERT_TRUE(t2->DeleteByKey({Value("London"), Value("table")}).ok());
+    ASSERT_TRUE(t2->Commit().ok());
+    auto t3 = mgr_->Begin();
+    ASSERT_TRUE(t3->Insert({"Oslo", "bench", "N", 1}).ok());
+    t3->Abort();  // must not reappear after recovery
+  }
+  auto final_txn = mgr_->Begin();
+  auto expected = TxnScan(*final_txn, *schema_);
+  ASSERT_TRUE(final_txn->Commit().ok());
+
+  // Round-trip the WAL through a file, then recover into a fresh table.
+  std::string path = ::testing::TempDir() + "/pdtstore_wal_test.bin";
+  ASSERT_TRUE(wal_.WriteToFile(path).ok());
+  Wal restored;
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_EQ(restored.SizeBytes(), wal_.SizeBytes());
+
+  Table fresh("inventory", schema_, TableOptions{});
+  ASSERT_TRUE(fresh.Load(InventoryRows()).ok());
+  TxnManager fresh_mgr(&fresh, nullptr);
+  ASSERT_TRUE(fresh_mgr.Recover(restored).ok());
+  auto check = fresh_mgr.Begin();
+  EXPECT_EQ(TxnScan(*check, *schema_), expected);
+}
+
+TEST_F(TxnTest, ManyConcurrentTransactionsRandomized) {
+  // Interleaved transactions on disjoint keys must all commit and the
+  // result must match a serial replay.
+  Random rng(99);
+  std::vector<std::unique_ptr<Transaction>> txns;
+  for (int i = 0; i < 8; ++i) txns.push_back(mgr_->Begin());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        txns[i]->Insert({"T" + std::to_string(i), "p", "Y", i}).ok());
+  }
+  // Commit in shuffled order.
+  std::vector<int> order = {3, 1, 7, 0, 5, 2, 6, 4};
+  for (int i : order) {
+    ASSERT_TRUE(txns[i]->Commit().ok()) << "txn " << i;
+  }
+  auto txn = mgr_->Begin();
+  EXPECT_EQ(TxnScan(*txn, *schema_).size(), 13u);
+  EXPECT_EQ(mgr_->committed_count(), 8u);
+}
+
+
+TEST_F(TxnTest, QueryPdtShieldsScanFromOwnUpdates) {
+  // Footnote 5: a query that must not see its own changes (Halloween
+  // protection) routes updates into a Query-PDT while scanning the
+  // unchanged three-layer snapshot.
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn->BeginQueryPdt().ok());
+  // "Query": scan all rows, inserting a shadow row for each one seen.
+  auto rows_before = TxnScan(*txn, *schema_);
+  for (const auto& t : rows_before) {
+    Tuple shadow = t;
+    shadow[1] = Value(t[1].AsString() + "-copy");
+    ASSERT_TRUE(txn->Insert(shadow).ok());
+    // The protected scan still sees only the original 5 rows, so the
+    // loop cannot feed on its own output.
+    EXPECT_EQ(TxnScan(*txn, *schema_).size(), 5u);
+  }
+  // Commit is refused while the query is open.
+  EXPECT_FALSE(txn->Commit().ok());
+  ASSERT_TRUE(txn->EndQueryPdt().ok());
+  // Now the updates are in the Trans-PDT and visible.
+  EXPECT_EQ(TxnScan(*txn, *schema_).size(), 10u);
+  ASSERT_TRUE(txn->Commit().ok());
+  auto check = mgr_->Begin();
+  EXPECT_EQ(TxnScan(*check, *schema_).size(), 10u);
+}
+
+TEST_F(TxnTest, QueryPdtLifecycleErrors) {
+  auto txn = mgr_->Begin();
+  EXPECT_FALSE(txn->EndQueryPdt().ok());  // none active
+  ASSERT_TRUE(txn->BeginQueryPdt().ok());
+  EXPECT_FALSE(txn->BeginQueryPdt().ok());  // double begin
+  ASSERT_TRUE(txn->EndQueryPdt().ok());
+  ASSERT_TRUE(txn->Commit().ok());
+}
+
+TEST_F(TxnTest, QueryPdtUpdatesCompose) {
+  // Mixed: some updates inside a query context, some outside; the final
+  // image must reflect all of them in order.
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(
+      txn->ModifyByKey({Value("London"), Value("chair")}, 3, Value(1)).ok());
+  ASSERT_TRUE(txn->BeginQueryPdt().ok());
+  ASSERT_TRUE(
+      txn->ModifyByKey({Value("London"), Value("chair")}, 3, Value(2)).ok());
+  ASSERT_TRUE(txn->DeleteByKey({Value("Paris"), Value("rug")}).ok());
+  ASSERT_TRUE(txn->EndQueryPdt().ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  auto check = mgr_->Begin();
+  auto chair = check->GetByKey({Value("London"), Value("chair")});
+  ASSERT_TRUE(chair.ok());
+  EXPECT_EQ((*chair)[3], Value(2));
+  EXPECT_FALSE(check->GetByKey({Value("Paris"), Value("rug")}).ok());
+}
+
+}  // namespace
+}  // namespace pdtstore

@@ -1,0 +1,125 @@
+// WAL unit tests: record encode/replay roundtrips for every record kind
+// and value type, truncation, file persistence, and corruption handling.
+#include "txn/wal.h"
+
+#include <gtest/gtest.h>
+
+namespace pdtstore {
+namespace {
+
+TEST(WalTest, RoundtripsAllRecordKinds) {
+  Wal wal;
+  wal.LogBegin(7);
+  wal.LogInsert(7, "t", {int64_t{42}, 3.5, std::string("hi")});
+  wal.LogModify(7, "t", {Value(42)}, 2, Value("patched"));
+  wal.LogDelete(7, "t", {Value(42)});
+  wal.LogCommit(7);
+  wal.LogAbort(8);
+  wal.LogCheckpoint("t");
+  EXPECT_EQ(wal.RecordCount(), 7u);
+
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(wal.Replay([&](const WalRecord& r) {
+                   records.push_back(r);
+                   return Status::OK();
+                 })
+                  .ok());
+  ASSERT_EQ(records.size(), 7u);
+  EXPECT_EQ(records[0].type, WalRecordType::kBegin);
+  EXPECT_EQ(records[0].txn_id, 7u);
+  EXPECT_EQ(records[1].type, WalRecordType::kInsert);
+  ASSERT_EQ(records[1].tuple.size(), 3u);
+  EXPECT_EQ(records[1].tuple[0], Value(42));
+  EXPECT_DOUBLE_EQ(records[1].tuple[1].AsDouble(), 3.5);
+  EXPECT_EQ(records[1].tuple[2], Value("hi"));
+  EXPECT_EQ(records[2].type, WalRecordType::kModify);
+  EXPECT_EQ(records[2].column, 2u);
+  EXPECT_EQ(records[2].value, Value("patched"));
+  EXPECT_EQ(records[3].type, WalRecordType::kDelete);
+  EXPECT_EQ(records[3].key[0], Value(42));
+  EXPECT_EQ(records[4].type, WalRecordType::kCommit);
+  EXPECT_EQ(records[5].type, WalRecordType::kAbort);
+  EXPECT_EQ(records[5].txn_id, 8u);
+  EXPECT_EQ(records[6].type, WalRecordType::kCheckpoint);
+  EXPECT_EQ(records[6].table, "t");
+}
+
+TEST(WalTest, LsnsAreMonotonic) {
+  Wal wal;
+  uint64_t a = wal.LogBegin(1);
+  uint64_t b = wal.LogCommit(1);
+  uint64_t c = wal.LogBegin(2);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(WalTest, TruncateEmptiesLog) {
+  Wal wal;
+  wal.LogBegin(1);
+  wal.LogCommit(1);
+  wal.Truncate();
+  EXPECT_EQ(wal.SizeBytes(), 0u);
+  EXPECT_EQ(wal.RecordCount(), 0u);
+  int seen = 0;
+  ASSERT_TRUE(wal.Replay([&](const WalRecord&) {
+                   ++seen;
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(WalTest, FileRoundtrip) {
+  Wal wal;
+  wal.LogBegin(1);
+  wal.LogInsert(1, "accounts", {std::string("alice"), int64_t{100}});
+  wal.LogCommit(1);
+  std::string path = ::testing::TempDir() + "/wal_roundtrip.bin";
+  ASSERT_TRUE(wal.WriteToFile(path).ok());
+  Wal loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.SizeBytes(), wal.SizeBytes());
+  EXPECT_EQ(loaded.RecordCount(), 3u);
+}
+
+TEST(WalTest, MissingFileReportsIOError) {
+  Wal wal;
+  EXPECT_EQ(wal.LoadFromFile("/nonexistent/path/wal.bin").code(),
+            StatusCode::kIOError);
+}
+
+TEST(WalTest, ReplayCallbackErrorPropagates) {
+  Wal wal;
+  wal.LogBegin(1);
+  wal.LogCommit(1);
+  Status st = wal.Replay([](const WalRecord& r) {
+    if (r.type == WalRecordType::kCommit) {
+      return Status::Internal("stop");
+    }
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(WalTest, NegativeAndExtremeValuesRoundtrip) {
+  Wal wal;
+  wal.LogInsert(1, "t",
+                {int64_t{-1}, int64_t{INT64_MIN}, int64_t{INT64_MAX},
+                 -0.0, 1e-300, std::string()});
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(wal.Replay([&](const WalRecord& r) {
+                   records.push_back(r);
+                   return Status::OK();
+                 })
+                  .ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].tuple[0], Value(int64_t{-1}));
+  EXPECT_EQ(records[0].tuple[1], Value(int64_t{INT64_MIN}));
+  EXPECT_EQ(records[0].tuple[2], Value(int64_t{INT64_MAX}));
+  EXPECT_DOUBLE_EQ(records[0].tuple[3].AsDouble(), -0.0);
+  EXPECT_DOUBLE_EQ(records[0].tuple[4].AsDouble(), 1e-300);
+  EXPECT_EQ(records[0].tuple[5], Value(""));
+}
+
+}  // namespace
+}  // namespace pdtstore
