@@ -33,11 +33,12 @@ std::vector<double> ParseList(const std::string& s) {
 }
 
 void RunSize(uint64_t rows, bool string_keys,
-             const std::vector<double>& rates) {
+             const std::vector<double>& rates, JsonResultWriter* json) {
   std::printf("# %zu tuples, %s key\n", static_cast<size_t>(rows),
               string_keys ? "string" : "int");
-  std::printf("%-22s %-12s %-12s %-8s\n", "updates_per_100_tuples",
-              "vdt_ms", "pdt_ms", "ratio");
+  std::printf("%-22s %-12s %-12s %-12s %-12s %-8s\n",
+              "updates_per_100_tuples", "vdt_ms", "pdt_ms", "vdt_mrps",
+              "pdt_mrps", "ratio");
   SyntheticSpec spec;
   spec.rows = rows;
   spec.string_keys = string_keys;
@@ -80,8 +81,22 @@ void RunSize(uint64_t rows, bool string_keys,
       pdt_ms = std::min(pdt_ms, TimedScan(*pdt_table, projection));
       vdt_ms = std::min(vdt_ms, TimedScan(*vdt_table, projection));
     }
-    std::printf("%-22.2f %-12.2f %-12.2f %-8.2f\n", rate, vdt_ms, pdt_ms,
-                vdt_ms / pdt_ms);
+    double vdt_mrps = static_cast<double>(rows) / vdt_ms / 1e3;
+    double pdt_mrps = static_cast<double>(rows) / pdt_ms / 1e3;
+    std::printf("%-22.2f %-12.2f %-12.2f %-12.1f %-12.1f %-8.2f\n", rate,
+                vdt_ms, pdt_ms, vdt_mrps, pdt_mrps, vdt_ms / pdt_ms);
+    if (json != nullptr) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "mergescan_%zu_%s_rate%.1f",
+                    static_cast<size_t>(rows),
+                    string_keys ? "str" : "int", rate);
+      json->Metric(name, "rows", static_cast<double>(rows));
+      json->Metric(name, "vdt_ms", vdt_ms);
+      json->Metric(name, "pdt_ms", pdt_ms);
+      json->Metric(name, "vdt_mrps", vdt_mrps);
+      json->Metric(name, "pdt_mrps", pdt_mrps);
+      json->Metric(name, "ratio", vdt_ms / pdt_ms);
+    }
   }
   std::printf("\n");
 }
@@ -96,17 +111,26 @@ int main(int argc, char** argv) {
       FlagValue(argc, argv, "sizes", "1000000,4000000,16000000"));
   auto rates =
       ParseList(FlagValue(argc, argv, "rates", "0,0.5,1,1.5,2,2.5"));
+  const std::string json_path =
+      FlagValue(argc, argv, "json", "BENCH_fig17.json");
   std::printf(
       "=== Figure 17: MergeScan scaling and key type (PDT vs VDT) ===\n"
       "(paper sizes 1M/10M/100M substituted by laptop-scale sizes; "
       "shape, not absolute numbers, is the claim)\n\n");
+  JsonResultWriter json;
   for (double size : sizes) {
-    RunSize(static_cast<uint64_t>(size), /*string_keys=*/false, rates);
-    RunSize(static_cast<uint64_t>(size), /*string_keys=*/true, rates);
+    RunSize(static_cast<uint64_t>(size), /*string_keys=*/false, rates,
+            &json);
+    RunSize(static_cast<uint64_t>(size), /*string_keys=*/true, rates,
+            &json);
   }
   std::printf(
       "Expectation (paper): PDT >= 3x faster than VDT at nonzero update "
       "rates; VDT degrades with rate (esp. string keys); PDT flat; both "
       "linear in table size.\n");
+  if (!json_path.empty() && !json.WriteFile(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -193,6 +193,60 @@ inline double TimedScan(const Table& table,
   return sw.ElapsedMillis();
 }
 
+/// Accumulates named benchmark metrics and renders them as a
+/// machine-readable JSON file, e.g.
+///   {"benches": [{"name": "filter_compact_1M",
+///                 "metrics": {"baseline_mrps": 85.1, ...}}]}
+/// Used by bench_exec_kernels (BENCH_exec.json) and bench_fig17.
+class JsonResultWriter {
+ public:
+  /// Records `key` = `value` under benchmark `bench` (created on first
+  /// use, insertion-ordered).
+  void Metric(const std::string& bench, const std::string& key,
+              double value) {
+    for (auto& [name, metrics] : benches_) {
+      if (name == bench) {
+        metrics.emplace_back(key, value);
+        return;
+      }
+    }
+    benches_.emplace_back(bench,
+                          std::vector<std::pair<std::string, double>>{
+                              {key, value}});
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"benches\": [";
+    for (size_t b = 0; b < benches_.size(); ++b) {
+      if (b) out += ", ";
+      out += "{\"name\": \"" + benches_[b].first + "\", \"metrics\": {";
+      const auto& metrics = benches_[b].second;
+      for (size_t m = 0; m < metrics.size(); ++m) {
+        if (m) out += ", ";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", metrics[m].second);
+        out += "\"" + metrics[m].first + "\": " + buf;
+      }
+      out += "}}";
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::string json = ToJson();
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return written == json.size();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      benches_;
+};
+
 /// Simple command-line flag lookup: --name=value.
 inline std::string FlagValue(int argc, char** argv, const std::string& name,
                              const std::string& def) {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification + benchmark smoke test. Runnable locally or from CI:
+#   scripts/ci.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== test =="
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+echo "== bench smoke (tiny sizes) =="
+"$BUILD_DIR/bench_exec_kernels" --rows=20000 --reps=1 \
+    --json="$BUILD_DIR/BENCH_exec_smoke.json"
+"$BUILD_DIR/bench_fig17_mergescan_scaling" --sizes=20000 --rates=0,1 \
+    --json="$BUILD_DIR/BENCH_fig17_smoke.json"
+
+echo "CI OK"

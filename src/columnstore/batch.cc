@@ -31,6 +31,24 @@ void Batch::Clear() {
   for (auto& c : columns_) c.Clear();
 }
 
+void Batch::ResetLike(const Batch& like) {
+  bool match = columns_.size() == like.columns_.size();
+  for (size_t c = 0; match && c < columns_.size(); ++c) {
+    match = columns_[c].type() == like.columns_[c].type();
+  }
+  if (match) {
+    for (auto& col : columns_) col.Clear();
+  } else {
+    columns_.clear();
+    columns_.reserve(like.columns_.size());
+    for (const auto& col : like.columns_) {
+      columns_.emplace_back(col.type());
+    }
+  }
+  column_ids_ = like.column_ids_;
+  start_rid_ = 0;
+}
+
 Tuple Batch::RowAsTuple(size_t i) const {
   Tuple t;
   t.reserve(columns_.size());
@@ -41,6 +59,20 @@ Tuple Batch::RowAsTuple(size_t i) const {
 void Batch::AppendRow(const Batch& other, size_t i) {
   for (size_t c = 0; c < columns_.size(); ++c) {
     columns_[c].AppendFrom(other.columns_[c], i);
+  }
+}
+
+void Batch::AppendGather(const Batch& other, const SelVector& sel) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendGather(other.columns_[c], sel);
+  }
+}
+
+void Batch::AppendFiltered(const Batch& other, const uint8_t* keep) {
+  // Build the selection once, then gather every column through it.
+  SelVector sel = SelVector::FromKeep(keep, other.num_rows());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendGather(other.columns_[c], sel);
   }
 }
 

@@ -51,11 +51,23 @@ class Batch {
 
   void Clear();
 
+  /// Resets this batch to `like`'s layout (column types and ids) with
+  /// zero rows, reusing existing column storage when the layout already
+  /// matches — the allocation-free steady state of a pull loop. Resets
+  /// start_rid to 0.
+  void ResetLike(const Batch& like);
+
   /// Materializes row `i` as a Tuple (batch-local column order).
   Tuple RowAsTuple(size_t i) const;
 
   /// Appends row `i` of `other` (same layout).
   void AppendRow(const Batch& other, size_t i);
+
+  /// Appends rows other[sel[0]], other[sel[1]], ... column-wise (same
+  /// layout); one TypeId dispatch per column, not per value.
+  void AppendGather(const Batch& other, const SelVector& sel);
+  /// Appends every row i of `other` with keep[i] != 0, column-wise.
+  void AppendFiltered(const Batch& other, const uint8_t* keep);
 
  private:
   std::vector<ColumnVector> columns_;

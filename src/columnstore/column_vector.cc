@@ -52,7 +52,18 @@ void ColumnVector::Append(const Value& v) {
 }
 
 void ColumnVector::AppendRun(const Value& v, size_t count) {
-  for (size_t i = 0; i < count; ++i) Append(v);
+  assert(v.type() == type_);
+  switch (type_) {
+    case TypeId::kInt64:
+      ints_.insert(ints_.end(), count, v.AsInt64());
+      break;
+    case TypeId::kDouble:
+      doubles_.insert(doubles_.end(), count, v.AsDouble());
+      break;
+    case TypeId::kString:
+      strings_.insert(strings_.end(), count, v.AsString());
+      break;
+  }
 }
 
 void ColumnVector::AppendFrom(const ColumnVector& other, size_t i) {
@@ -89,6 +100,91 @@ void ColumnVector::AppendRange(const ColumnVector& other, size_t begin,
   }
 }
 
+namespace {
+
+// splitmix64 finalizer: full-avalanche mixing of a 64-bit word.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Folds a new element hash into the running per-row hash.
+inline uint64_t CombineHash(uint64_t acc, uint64_t h) {
+  return Mix64(acc ^ h);
+}
+
+inline uint64_t HashBytes(const char* data, size_t n) {
+  // FNV-1a, finalized through Mix64 for avalanche.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ static_cast<uint8_t>(data[i])) * 0x100000001B3ULL;
+  }
+  return Mix64(h);
+}
+
+template <typename T>
+void GatherInto(std::vector<T>& dst, const std::vector<T>& src,
+                const SelVector& sel) {
+  size_t base = dst.size();
+  dst.resize(base + sel.size());
+  for (size_t i = 0; i < sel.size(); ++i) dst[base + i] = src[sel[i]];
+}
+
+}  // namespace
+
+void ColumnVector::AppendGather(const ColumnVector& other,
+                                const SelVector& sel) {
+  assert(other.type_ == type_);
+  switch (type_) {
+    case TypeId::kInt64:
+      GatherInto(ints_, other.ints_, sel);
+      break;
+    case TypeId::kDouble:
+      GatherInto(doubles_, other.doubles_, sel);
+      break;
+    case TypeId::kString:
+      GatherInto(strings_, other.strings_, sel);
+      break;
+  }
+}
+
+void ColumnVector::AppendFiltered(const ColumnVector& other,
+                                  const uint8_t* keep, size_t n) {
+  assert(n <= other.size());
+  // Branchless selection build + branchless gather beats a per-element
+  // conditional copy on unpredictable bitmaps (one miss-prone pass
+  // total, not one per column when called batch-wide).
+  AppendGather(other, SelVector::FromKeep(keep, n));
+}
+
+void ColumnVector::HashColumn(uint64_t* out) const {
+  switch (type_) {
+    case TypeId::kInt64:
+      for (size_t i = 0; i < ints_.size(); ++i) {
+        out[i] = CombineHash(out[i], Mix64(static_cast<uint64_t>(ints_[i])));
+      }
+      break;
+    case TypeId::kDouble:
+      for (size_t i = 0; i < doubles_.size(); ++i) {
+        // Normalize -0.0 so values that compare equal hash equal.
+        double d = doubles_[i] == 0.0 ? 0.0 : doubles_[i];
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        out[i] = CombineHash(out[i], Mix64(bits));
+      }
+      break;
+    case TypeId::kString:
+      for (size_t i = 0; i < strings_.size(); ++i) {
+        out[i] = CombineHash(
+            out[i], HashBytes(strings_[i].data(), strings_[i].size()));
+      }
+      break;
+  }
+}
+
 Value ColumnVector::GetValue(size_t i) const {
   switch (type_) {
     case TypeId::kInt64:
@@ -112,6 +208,21 @@ void ColumnVector::SetValue(size_t i, const Value& v) {
       break;
     case TypeId::kString:
       strings_[i] = v.AsString();
+      break;
+  }
+}
+
+void ColumnVector::SetFrom(size_t i, const ColumnVector& other, size_t j) {
+  assert(other.type_ == type_);
+  switch (type_) {
+    case TypeId::kInt64:
+      ints_[i] = other.ints_[j];
+      break;
+    case TypeId::kDouble:
+      doubles_[i] = other.doubles_[j];
+      break;
+    case TypeId::kString:
+      strings_[i] = other.strings_[j];
       break;
   }
 }

@@ -8,10 +8,15 @@
 #include <string>
 #include <vector>
 
+#include "columnstore/sel_vector.h"
 #include "columnstore/types.h"
 #include "columnstore/value.h"
 
 namespace pdtstore {
+
+/// Seed for the bulk HashColumn kernel: callers initialize every slot of
+/// the output array to this before mixing in the first column.
+constexpr uint64_t kHashSeed = 0x9E3779B97F4A7C15ULL;
 
 /// A typed growable column. Exactly one of the three backing vectors is
 /// in use, selected by type(). Typed accessors are the hot path; the
@@ -37,8 +42,26 @@ class ColumnVector {
   /// Appends elements [begin, end) of `other` (same type).
   void AppendRange(const ColumnVector& other, size_t begin, size_t end);
 
+  // --- selection-vector kernels (see DESIGN.md) ---
+  // Each dispatches on TypeId once per call and runs a tight typed inner
+  // loop; these are the hot paths of filter/join/sort compaction.
+
+  /// Appends other[sel[0]], other[sel[1]], ... (same type).
+  void AppendGather(const ColumnVector& other, const SelVector& sel);
+  /// Appends every other[i] in [0, n) with keep[i] != 0 (same type);
+  /// n must be <= other.size().
+  void AppendFiltered(const ColumnVector& other, const uint8_t* keep,
+                      size_t n);
+  /// Mixes a hash of element i into out[i] for all i in [0, size()).
+  /// Callers seed out[] with kHashSeed, then call once per key column;
+  /// equal key tuples yield equal combined hashes. Not order-invariant
+  /// across columns (hash(a,b) != hash(b,a) in general).
+  void HashColumn(uint64_t* out) const;
+
   Value GetValue(size_t i) const;
   void SetValue(size_t i, const Value& v);
+  /// this[i] = other[j] without boxing through Value (same type).
+  void SetFrom(size_t i, const ColumnVector& other, size_t j);
 
   /// Three-way comparison of element i with element j of `other`.
   int CompareAt(size_t i, const ColumnVector& other, size_t j) const;

@@ -1,0 +1,56 @@
+// Selection vector: the index list that ties the engine's typed kernels
+// together (MonetDB/X100 style). A predicate or join produces row indices
+// into a source batch; gather kernels then copy whole columns at once,
+// dispatching on TypeId once per batch instead of once per value.
+// The kernel contract is documented in DESIGN.md ("Selection-vector
+// kernels").
+#ifndef PDTSTORE_COLUMNSTORE_SEL_VECTOR_H_
+#define PDTSTORE_COLUMNSTORE_SEL_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pdtstore {
+
+/// Row indices selected from a source batch, in output order (may repeat
+/// for joins, may be non-monotonic for sorts). Indices are 32-bit: a
+/// selection always targets an in-memory batch or materialized pipeline
+/// intermediate, far below 2^32 rows.
+class SelVector {
+ public:
+  SelVector() = default;
+
+  /// Builds the selection of all i in [0, n) with keep[i] != 0, in one
+  /// branchless pass (unconditional write, conditional advance) — an
+  /// unpredictable keep bitmap costs no branch misses.
+  static SelVector FromKeep(const uint8_t* keep, size_t n) {
+    SelVector sel;
+    sel.idx_.resize(n);
+    size_t m = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sel.idx_[m] = static_cast<uint32_t>(i);
+      m += (keep[i] != 0);
+    }
+    sel.idx_.resize(m);
+    return sel;
+  }
+
+  void clear() { idx_.clear(); }
+  void reserve(size_t n) { idx_.reserve(n); }
+  void push_back(uint32_t i) { idx_.push_back(i); }
+
+  size_t size() const { return idx_.size(); }
+  bool empty() const { return idx_.empty(); }
+  uint32_t operator[](size_t i) const { return idx_[i]; }
+  const uint32_t* data() const { return idx_.data(); }
+
+  std::vector<uint32_t>& indices() { return idx_; }
+  const std::vector<uint32_t>& indices() const { return idx_; }
+
+ private:
+  std::vector<uint32_t> idx_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_COLUMNSTORE_SEL_VECTOR_H_

@@ -7,18 +7,13 @@ StatusOr<bool> FilterNode::Next(Batch* out, size_t max_rows) {
   while (true) {
     PDT_ASSIGN_OR_RETURN(bool more, input_->Next(&in, max_rows));
     if (!more) return false;
-    std::vector<uint8_t> keep(in.num_rows(), 0);
-    predicate_(in, &keep);
-    // Compact survivors.
-    *out = Batch();
-    out->set_column_ids(in.column_ids());
+    keep_.assign(in.num_rows(), 0);
+    predicate_(in, &keep_);
+    // Compact survivors column-wise: one typed kernel per column rather
+    // than a type dispatch per surviving value.
+    out->ResetLike(in);
     out->set_start_rid(in.start_rid());
-    for (size_t c = 0; c < in.num_columns(); ++c) {
-      out->columns().emplace_back(in.column(c).type());
-    }
-    for (size_t i = 0; i < in.num_rows(); ++i) {
-      if (keep[i]) out->AppendRow(in, i);
-    }
+    out->AppendFiltered(in, keep_.data());
     if (out->num_rows() > 0) return true;
     // Entirely filtered out: pull the next input batch.
   }

@@ -27,6 +27,7 @@ class FilterNode : public BatchSource {
  private:
   std::unique_ptr<BatchSource> input_;
   VecPredicate predicate_;
+  std::vector<uint8_t> keep_;  // reused across batches
 };
 
 // --- predicate helpers (composable building blocks for query kernels) ---

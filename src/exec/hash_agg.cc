@@ -1,8 +1,6 @@
 #include "exec/hash_agg.h"
 
 #include <algorithm>
-#include <cmath>
-#include <cstring>
 #include <limits>
 
 #include "exec/operator.h"
@@ -11,171 +9,198 @@ namespace pdtstore {
 
 namespace {
 
-// Serializes a group key into a flat byte string (hashable map key).
-void EncodeGroupKey(const Batch& b, size_t row,
-                    const std::vector<size_t>& cols, std::string* out) {
-  out->clear();
-  for (size_t c : cols) {
-    const ColumnVector& col = b.column(c);
-    switch (col.type()) {
-      case TypeId::kInt64: {
-        int64_t v = col.ints()[row];
-        out->append(reinterpret_cast<const char*>(&v), 8);
-        break;
-      }
-      case TypeId::kDouble: {
-        double v = col.doubles()[row];
-        out->append(reinterpret_cast<const char*>(&v), 8);
-        break;
-      }
-      case TypeId::kString: {
-        const std::string& s = col.strings()[row];
-        uint32_t len = static_cast<uint32_t>(s.size());
-        out->append(reinterpret_cast<const char*>(&len), 4);
-        out->append(s);
-        break;
-      }
-    }
+constexpr size_t kInitialSlots = 1024;  // power of two
+
+double InitAcc(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMin:
+      return std::numeric_limits<double>::infinity();
+    case AggKind::kMax:
+      return -std::numeric_limits<double>::infinity();
+    default:
+      return 0.0;
   }
 }
 
-// Numeric view of a cell (int64 promoted to double).
-double NumericAt(const ColumnVector& col, size_t row) {
-  return col.type() == TypeId::kInt64
-             ? static_cast<double>(col.ints()[row])
-             : col.doubles()[row];
-}
-
-struct GroupState {
-  size_t first_row;  // index into key material
-  std::vector<double> sums;
-  std::vector<double> mins;
-  std::vector<double> maxs;
-  int64_t count = 0;
-};
-
 }  // namespace
 
+void HashAggNode::GrowTable() {
+  size_t cap = std::max(kInitialSlots, slots_.size() * 2);
+  slots_.assign(cap, 0);
+  slot_mask_ = cap - 1;
+  for (uint32_t gid = 0; gid < group_hashes_.size(); ++gid) {
+    size_t pos = group_hashes_[gid] & slot_mask_;
+    while (slots_[pos] != 0) pos = (pos + 1) & slot_mask_;
+    slots_[pos] = gid + 1;
+  }
+}
+
+void HashAggNode::AssignGroups(const Batch& in, const uint64_t* hashes,
+                               uint32_t* gids) {
+  const size_t n = in.num_rows();
+  for (size_t row = 0; row < n; ++row) {
+    // Keep the table at most half full so probe chains stay short.
+    if ((group_hashes_.size() + 1) * 2 > slots_.size()) GrowTable();
+    const uint64_t h = hashes[row];
+    size_t pos = h & slot_mask_;
+    uint32_t gid;
+    while (true) {
+      uint32_t slot = slots_[pos];
+      if (slot == 0) {
+        // New group: materialize its key values and init accumulators.
+        gid = static_cast<uint32_t>(group_hashes_.size());
+        slots_[pos] = gid + 1;
+        group_hashes_.push_back(h);
+        for (size_t c = 0; c < group_by_.size(); ++c) {
+          key_cols_[c].AppendFrom(in.column(group_by_[c]), row);
+        }
+        counts_.push_back(0);
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          acc_[a].push_back(InitAcc(aggs_[a].kind));
+        }
+        break;
+      }
+      gid = slot - 1;
+      if (group_hashes_[gid] == h) {
+        // Verify on collision: typed compare against the stored key.
+        bool equal = true;
+        for (size_t c = 0; c < group_by_.size(); ++c) {
+          if (key_cols_[c].CompareAt(gid, in.column(group_by_[c]), row) !=
+              0) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) break;
+      }
+      pos = (pos + 1) & slot_mask_;
+    }
+    gids[row] = gid;
+    ++counts_[gid];
+  }
+}
+
 Status HashAggNode::BuildResult() {
-  std::unordered_map<std::string, GroupState> groups;
-  // Materialized copies of the group-key columns (one value per group).
-  std::vector<ColumnVector> key_cols;
+  // Reset aggregation state up front so a retried Next() after an input
+  // error restarts cleanly instead of aggregating into stale groups.
+  key_cols_.clear();
+  group_hashes_.clear();
+  slots_.clear();
+  counts_.clear();
+  acc_.clear();
   bool key_cols_init = false;
+  std::vector<uint64_t> hashes;
+  std::vector<uint32_t> gids;
+  acc_.resize(aggs_.size());
+  GrowTable();
 
   Batch in;
-  std::string key;
   while (true) {
     PDT_ASSIGN_OR_RETURN(bool more, input_->Next(&in, kDefaultBatchSize));
     if (!more) break;
     if (!key_cols_init) {
       for (size_t c : group_by_) {
-        key_cols.emplace_back(in.column(c).type());
+        key_cols_.emplace_back(in.column(c).type());
       }
       key_cols_init = true;
     }
-    for (size_t row = 0; row < in.num_rows(); ++row) {
-      EncodeGroupKey(in, row, group_by_, &key);
-      auto [it, inserted] = groups.try_emplace(key);
-      GroupState& g = it->second;
-      if (inserted) {
-        g.first_row = key_cols.empty() ? 0 : key_cols[0].size();
-        for (size_t c = 0; c < group_by_.size(); ++c) {
-          key_cols[c].AppendFrom(in.column(group_by_[c]), row);
+    const size_t n = in.num_rows();
+    hashes.assign(n, kHashSeed);
+    for (size_t c : group_by_) {
+      in.column(c).HashColumn(hashes.data());
+    }
+    gids.resize(n);
+    AssignGroups(in, hashes.data(), gids.data());
+
+    // One typed pass per aggregate (type and kind dispatched per batch,
+    // not per row).
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const AggKind kind = aggs_[a].kind;
+      if (kind == AggKind::kCount) continue;
+      double* acc = acc_[a].data();
+      const ColumnVector& col = in.column(aggs_[a].input_idx);
+      auto update = [&](auto value_at) {
+        switch (kind) {
+          case AggKind::kSum:
+          case AggKind::kAvg:
+            for (size_t i = 0; i < n; ++i) acc[gids[i]] += value_at(i);
+            break;
+          case AggKind::kMin:
+            for (size_t i = 0; i < n; ++i) {
+              double v = value_at(i);
+              if (v < acc[gids[i]]) acc[gids[i]] = v;
+            }
+            break;
+          case AggKind::kMax:
+            for (size_t i = 0; i < n; ++i) {
+              double v = value_at(i);
+              if (v > acc[gids[i]]) acc[gids[i]] = v;
+            }
+            break;
+          case AggKind::kCount:
+            break;
         }
-        g.sums.assign(aggs_.size(), 0.0);
-        g.mins.assign(aggs_.size(), std::numeric_limits<double>::infinity());
-        g.maxs.assign(aggs_.size(),
-                      -std::numeric_limits<double>::infinity());
-      }
-      ++g.count;
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        if (aggs_[a].kind == AggKind::kCount) continue;
-        double v = NumericAt(in.column(aggs_[a].input_idx), row);
-        g.sums[a] += v;
-        g.mins[a] = std::min(g.mins[a], v);
-        g.maxs[a] = std::max(g.maxs[a], v);
+      };
+      if (col.type() == TypeId::kInt64) {
+        const int64_t* v = col.ints().data();
+        update([v](size_t i) { return static_cast<double>(v[i]); });
+      } else {
+        const double* v = col.doubles().data();
+        update([v](size_t i) { return v[i]; });
       }
     }
   }
 
-  // Assemble the result batch: key columns then aggregates.
-  result_ = Batch();
+  // Assemble the result batch: key columns (already in first-appearance
+  // order) then aggregates.
+  const size_t num_groups = group_hashes_.size();
+  Batch result;
   std::vector<ColumnId> ids;
   for (size_t c = 0; c < group_by_.size(); ++c) {
     ids.push_back(static_cast<ColumnId>(c));
-    result_.columns().push_back(key_cols.empty() ? ColumnVector()
-                                                 : key_cols[c]);
-  }
-  std::vector<ColumnVector> agg_cols;
-  for (const AggSpec& a : aggs_) {
-    agg_cols.emplace_back(a.kind == AggKind::kCount ? TypeId::kInt64
-                                                    : TypeId::kDouble);
-  }
-  // Emit groups ordered by first appearance (stable across runs).
-  std::vector<const GroupState*> ordered(groups.size());
-  {
-    size_t i = 0;
-    std::vector<std::pair<size_t, const GroupState*>> tmp;
-    tmp.reserve(groups.size());
-    for (const auto& [k, g] : groups) tmp.emplace_back(g.first_row, &g);
-    std::sort(tmp.begin(), tmp.end());
-    for (const auto& [pos, g] : tmp) ordered[i++] = g;
-  }
-  // Key columns are already in first-appearance order only if group_by_
-  // is non-empty; reorder them to match `ordered`.
-  if (!group_by_.empty() && key_cols_init) {
-    std::vector<ColumnVector> reordered;
-    for (size_t c = 0; c < group_by_.size(); ++c) {
-      ColumnVector col(key_cols[c].type());
-      for (const GroupState* g : ordered) {
-        col.AppendFrom(key_cols[c], g->first_row);
-      }
-      reordered.push_back(std::move(col));
-    }
-    for (size_t c = 0; c < group_by_.size(); ++c) {
-      result_.column(c) = std::move(reordered[c]);
-    }
-  }
-  for (const GroupState* g : ordered) {
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      switch (aggs_[a].kind) {
-        case AggKind::kSum:
-          agg_cols[a].doubles().push_back(g->sums[a]);
-          break;
-        case AggKind::kCount:
-          agg_cols[a].ints().push_back(g->count);
-          break;
-        case AggKind::kMin:
-          agg_cols[a].doubles().push_back(g->mins[a]);
-          break;
-        case AggKind::kMax:
-          agg_cols[a].doubles().push_back(g->maxs[a]);
-          break;
-        case AggKind::kAvg:
-          agg_cols[a].doubles().push_back(
-              g->count > 0 ? g->sums[a] / static_cast<double>(g->count)
-                           : 0.0);
-          break;
-      }
-    }
-  }
-  // Global aggregation with zero input rows: emit a single all-zero row.
-  if (groups.empty() && group_by_.empty()) {
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      if (aggs_[a].kind == AggKind::kCount) {
-        agg_cols[a].ints().push_back(0);
-      } else {
-        agg_cols[a].doubles().push_back(0.0);
-      }
-    }
+    result.columns().push_back(key_cols_init ? std::move(key_cols_[c])
+                                             : ColumnVector());
   }
   for (size_t a = 0; a < aggs_.size(); ++a) {
     ids.push_back(static_cast<ColumnId>(group_by_.size() + a));
-    result_.columns().push_back(std::move(agg_cols[a]));
+    ColumnVector col(aggs_[a].kind == AggKind::kCount ? TypeId::kInt64
+                                                      : TypeId::kDouble);
+    switch (aggs_[a].kind) {
+      case AggKind::kCount:
+        col.ints().assign(counts_.begin(), counts_.end());
+        break;
+      case AggKind::kAvg:
+        col.doubles().resize(num_groups);
+        for (size_t g = 0; g < num_groups; ++g) {
+          col.doubles()[g] =
+              counts_[g] > 0
+                  ? acc_[a][g] / static_cast<double>(counts_[g])
+                  : 0.0;
+        }
+        break;
+      default:
+        col.doubles() = std::move(acc_[a]);
+        break;
+    }
+    // Global aggregation with zero input rows: emit a single all-zero row.
+    if (num_groups == 0 && group_by_.empty()) {
+      if (aggs_[a].kind == AggKind::kCount) {
+        col.ints().push_back(0);
+      } else {
+        col.doubles().push_back(0.0);
+      }
+    }
+    result.columns().push_back(std::move(col));
   }
-  result_.set_column_ids(std::move(ids));
-  emitter_ = std::make_unique<VectorSource>(std::move(result_));
+  result.set_column_ids(std::move(ids));
+  emitter_ = std::make_unique<VectorSource>(std::move(result));
   built_ = true;
+  // Release aggregation state.
+  key_cols_.clear();
+  group_hashes_.clear();
+  slots_.clear();
+  counts_.clear();
+  acc_.clear();
   return Status::OK();
 }
 

@@ -1,11 +1,13 @@
-// HashAggNode: grouped aggregation (SUM / COUNT / MIN / MAX / AVG) with
-// hash-partitioned groups, materialized on first pull.
+// HashAggNode: grouped aggregation (SUM / COUNT / MIN / MAX / AVG),
+// materialized on first pull. Group keys are hashed with one bulk
+// HashColumn pass per key column into an open-addressing table keyed by
+// the combined 64-bit hash (verify-on-collision via typed CompareAt
+// against the materialized distinct-key columns) — no per-row key
+// serialization or allocation.
 #ifndef PDTSTORE_EXEC_HASH_AGG_H_
 #define PDTSTORE_EXEC_HASH_AGG_H_
 
 #include <memory>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "columnstore/batch.h"
@@ -23,7 +25,8 @@ struct AggSpec {
 
 /// Grouped aggregation. Output columns: the group-by columns (in the
 /// given order) followed by one double/int64 column per aggregate
-/// (COUNT -> int64, others -> double).
+/// (COUNT -> int64, others -> double). Groups are emitted in order of
+/// first appearance.
 class HashAggNode : public BatchSource {
  public:
   HashAggNode(std::unique_ptr<BatchSource> input,
@@ -36,13 +39,25 @@ class HashAggNode : public BatchSource {
 
  private:
   Status BuildResult();
+  // Maps each row of `in` to its group id (creating groups), using the
+  // precomputed combined key hashes.
+  void AssignGroups(const Batch& in, const uint64_t* hashes,
+                    uint32_t* gids);
+  void GrowTable();
 
   std::unique_ptr<BatchSource> input_;
   std::vector<size_t> group_by_;
   std::vector<AggSpec> aggs_;
   bool built_ = false;
-  Batch result_;
   std::unique_ptr<BatchSource> emitter_;
+
+  // --- aggregation state (live during BuildResult) ---
+  std::vector<ColumnVector> key_cols_;   // one value per group
+  std::vector<uint64_t> group_hashes_;   // combined hash per group
+  std::vector<uint32_t> slots_;          // open addressing: group id + 1
+  size_t slot_mask_ = 0;
+  std::vector<int64_t> counts_;          // per group
+  std::vector<std::vector<double>> acc_;  // per agg, per group
 };
 
 }  // namespace pdtstore

@@ -4,44 +4,35 @@
 
 namespace pdtstore {
 
-namespace {
-void EncodeKey(const Batch& b, size_t row, const std::vector<size_t>& cols,
-               std::string* out) {
-  out->clear();
-  for (size_t c : cols) {
-    const ColumnVector& col = b.column(c);
-    switch (col.type()) {
-      case TypeId::kInt64: {
-        int64_t v = col.ints()[row];
-        out->append(reinterpret_cast<const char*>(&v), 8);
-        break;
-      }
-      case TypeId::kDouble: {
-        double v = col.doubles()[row];
-        out->append(reinterpret_cast<const char*>(&v), 8);
-        break;
-      }
-      case TypeId::kString: {
-        const std::string& s = col.strings()[row];
-        uint32_t len = static_cast<uint32_t>(s.size());
-        out->append(reinterpret_cast<const char*>(&len), 4);
-        out->append(s);
-        break;
-      }
-    }
-  }
-}
-}  // namespace
-
 Status HashJoinNode::BuildTable() {
   PDT_ASSIGN_OR_RETURN(build_rows_, MaterializeAll(build_.get()));
-  std::string key;
-  for (size_t row = 0; row < build_rows_.num_rows(); ++row) {
-    EncodeKey(build_rows_, row, build_keys_, &key);
-    table_.emplace(key, row);
+  // An exhausted build side materializes to a column-less batch; leave
+  // the table empty rather than indexing its key columns.
+  const size_t n = build_rows_.num_rows();
+  if (n > 0) {
+    std::vector<uint64_t> hashes(n, kHashSeed);
+    for (size_t k : build_keys_) {
+      build_rows_.column(k).HashColumn(hashes.data());
+    }
+    table_.reserve(n);
+    for (size_t row = 0; row < n; ++row) {
+      table_[hashes[row]].push_back(static_cast<uint32_t>(row));
+    }
   }
   built_ = true;
   return Status::OK();
+}
+
+bool HashJoinNode::KeysEqual(const Batch& probe, size_t probe_row,
+                             size_t build_row) const {
+  for (size_t k = 0; k < probe_keys_.size(); ++k) {
+    if (build_rows_.column(build_keys_[k])
+            .CompareAt(build_row, probe.column(probe_keys_[k]),
+                       probe_row) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 StatusOr<bool> HashJoinNode::Next(Batch* out, size_t max_rows) {
@@ -49,43 +40,71 @@ StatusOr<bool> HashJoinNode::Next(Batch* out, size_t max_rows) {
     PDT_RETURN_NOT_OK(BuildTable());
   }
   Batch in;
-  std::string key;
   while (true) {
     PDT_ASSIGN_OR_RETURN(bool more, probe_->Next(&in, max_rows));
     if (!more) return false;
-    *out = Batch();
-    std::vector<ColumnId> ids;
-    for (size_t c = 0; c < in.num_columns(); ++c) {
-      ids.push_back(static_cast<ColumnId>(c));
-      out->columns().emplace_back(in.column(c).type());
-    }
-    if (kind_ == JoinKind::kInner) {
-      for (size_t c = 0; c < build_rows_.num_columns(); ++c) {
-        ids.push_back(static_cast<ColumnId>(in.num_columns() + c));
-        out->columns().emplace_back(build_rows_.column(c).type());
+    const size_t n = in.num_rows();
+    if (!proto_init_) {
+      std::vector<ColumnId> ids;
+      for (size_t c = 0; c < in.num_columns(); ++c) {
+        ids.push_back(static_cast<ColumnId>(c));
+        out_proto_.columns().emplace_back(in.column(c).type());
       }
-    }
-    out->set_column_ids(std::move(ids));
-    for (size_t row = 0; row < in.num_rows(); ++row) {
-      EncodeKey(in, row, probe_keys_, &key);
-      auto [lo, hi] = table_.equal_range(key);
-      if (kind_ == JoinKind::kLeftSemi) {
-        if (lo != hi) out->AppendRow(in, row);
-        continue;
-      }
-      if (kind_ == JoinKind::kLeftAnti) {
-        if (lo == hi) out->AppendRow(in, row);
-        continue;
-      }
-      for (auto it = lo; it != hi; ++it) {
-        for (size_t c = 0; c < in.num_columns(); ++c) {
-          out->column(c).AppendFrom(in.column(c), row);
-        }
+      if (kind_ == JoinKind::kInner) {
         for (size_t c = 0; c < build_rows_.num_columns(); ++c) {
-          out->column(in.num_columns() + c)
-              .AppendFrom(build_rows_.column(c), it->second);
+          ids.push_back(static_cast<ColumnId>(in.num_columns() + c));
+          out_proto_.columns().emplace_back(build_rows_.column(c).type());
         }
       }
+      out_proto_.set_column_ids(std::move(ids));
+      proto_init_ = true;
+    }
+    out->ResetLike(out_proto_);
+
+    // One bulk hash pass per key column, then per-row bucket probes.
+    hashes_.assign(n, kHashSeed);
+    for (size_t k : probe_keys_) {
+      in.column(k).HashColumn(hashes_.data());
+    }
+
+    if (kind_ == JoinKind::kInner) {
+      probe_sel_.clear();
+      build_sel_.clear();
+      for (size_t row = 0; row < n; ++row) {
+        auto it = table_.find(hashes_[row]);
+        if (it == table_.end()) continue;
+        for (uint32_t b : it->second) {
+          if (KeysEqual(in, row, b)) {
+            probe_sel_.push_back(static_cast<uint32_t>(row));
+            build_sel_.push_back(b);
+          }
+        }
+      }
+      for (size_t c = 0; c < in.num_columns(); ++c) {
+        out->column(c).AppendGather(in.column(c), probe_sel_);
+      }
+      for (size_t c = 0; c < build_rows_.num_columns(); ++c) {
+        out->column(in.num_columns() + c)
+            .AppendGather(build_rows_.column(c), build_sel_);
+      }
+    } else {
+      // Semi/anti: mark matches, then compact survivors column-wise.
+      const uint8_t want = kind_ == JoinKind::kLeftSemi ? 1 : 0;
+      keep_.assign(n, 0);
+      for (size_t row = 0; row < n; ++row) {
+        uint8_t matched = 0;
+        auto it = table_.find(hashes_[row]);
+        if (it != table_.end()) {
+          for (uint32_t b : it->second) {
+            if (KeysEqual(in, row, b)) {
+              matched = 1;
+              break;
+            }
+          }
+        }
+        keep_[row] = (matched == want);
+      }
+      out->AppendFiltered(in, keep_.data());
     }
     if (out->num_rows() > 0) return true;
   }

@@ -1,10 +1,12 @@
 // HashJoinNode: in-memory equi-join. The build side is fully materialized
-// into a hash table; probe batches stream through. Inner or left-semi.
+// into a hash table keyed by a combined 64-bit key hash (verify-on-
+// collision against the materialized build columns); probe batches are
+// hashed with one bulk HashColumn pass per key column and matches are
+// compacted with selection-vector gathers. Inner or left-semi/anti.
 #ifndef PDTSTORE_EXEC_HASH_JOIN_H_
 #define PDTSTORE_EXEC_HASH_JOIN_H_
 
 #include <memory>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -16,7 +18,8 @@ namespace pdtstore {
 enum class JoinKind { kInner, kLeftSemi, kLeftAnti };
 
 /// Equi-join on (probe_keys[i] == build_keys[i]). Output columns: all
-/// probe columns, then (inner only) all build columns.
+/// probe columns, then (inner only) all build columns. Duplicate build
+/// matches are emitted in build-row order.
 class HashJoinNode : public BatchSource {
  public:
   HashJoinNode(std::unique_ptr<BatchSource> probe,
@@ -34,6 +37,9 @@ class HashJoinNode : public BatchSource {
 
  private:
   Status BuildTable();
+  // Typed key equality between probe row and build row (collision check).
+  bool KeysEqual(const Batch& probe, size_t probe_row,
+                 size_t build_row) const;
 
   std::unique_ptr<BatchSource> probe_;
   std::unique_ptr<BatchSource> build_;
@@ -42,7 +48,15 @@ class HashJoinNode : public BatchSource {
   JoinKind kind_;
   bool built_ = false;
   Batch build_rows_;
-  std::unordered_multimap<std::string, size_t> table_;
+  Batch out_proto_;  // output layout, built once, reused via ResetLike
+  bool proto_init_ = false;
+  // Combined key hash -> build rows with that hash, in build order.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> table_;
+  // Scratch reused per probe batch (allocation-free steady state).
+  std::vector<uint64_t> hashes_;
+  SelVector probe_sel_;
+  SelVector build_sel_;
+  std::vector<uint8_t> keep_;
 };
 
 }  // namespace pdtstore

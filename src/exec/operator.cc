@@ -5,13 +5,10 @@ namespace pdtstore {
 StatusOr<bool> VectorSource::Next(Batch* out, size_t max_rows) {
   if (pos_ >= batch_.num_rows()) return false;
   size_t end = std::min(batch_.num_rows(), pos_ + max_rows);
-  *out = Batch();
-  out->set_column_ids(batch_.column_ids());
+  out->ResetLike(batch_);
   out->set_start_rid(batch_.start_rid() + pos_);
   for (size_t c = 0; c < batch_.num_columns(); ++c) {
-    ColumnVector col(batch_.column(c).type());
-    col.AppendRange(batch_.column(c), pos_, end);
-    out->columns().push_back(std::move(col));
+    out->column(c).AppendRange(batch_.column(c), pos_, end);
   }
   pos_ = end;
   return true;

@@ -10,22 +10,24 @@ namespace pdtstore {
 StatusOr<bool> SortNode::Next(Batch* out, size_t max_rows) {
   if (!built_) {
     PDT_ASSIGN_OR_RETURN(Batch all, MaterializeAll(input_.get()));
-    std::vector<size_t> idx(all.num_rows());
-    std::iota(idx.begin(), idx.end(), 0);
-    std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    SelVector idx;
+    idx.indices().resize(all.num_rows());
+    std::iota(idx.indices().begin(), idx.indices().end(), 0);
+    std::stable_sort(idx.indices().begin(), idx.indices().end(),
+                     [&](uint32_t a, uint32_t b) {
       for (const SortKey& k : keys_) {
         int c = all.column(k.idx).CompareAt(a, all.column(k.idx), b);
         if (c != 0) return k.descending ? c > 0 : c < 0;
       }
       return false;
     });
-    if (limit_ > 0 && idx.size() > limit_) idx.resize(limit_);
+    if (limit_ > 0 && idx.size() > limit_) idx.indices().resize(limit_);
     Batch sorted;
     sorted.set_column_ids(all.column_ids());
     for (size_t c = 0; c < all.num_columns(); ++c) {
       sorted.columns().emplace_back(all.column(c).type());
     }
-    for (size_t i : idx) sorted.AppendRow(all, i);
+    sorted.AppendGather(all, idx);
     emitter_ = std::make_unique<VectorSource>(std::move(sorted));
     built_ = true;
   }

@@ -16,6 +16,7 @@ StableScanSource::StableScanSource(const ColumnStore* store,
       projection_(std::move(projection)),
       ranges_(std::move(ranges)) {
   assert(!projection_.empty() && "scan needs at least one column");
+  proto_ = Batch::ForSchema(store_->schema(), projection_);
   if (ranges_.empty()) {
     ranges_.push_back(SidRange{0, store_->num_rows()});
   }
@@ -39,7 +40,7 @@ StatusOr<bool> StableScanSource::Next(Batch* out, size_t max_rows) {
   auto [cstart, cend] = store_->ChunkSidRange(ci);
   Sid end = std::min({range.end, cend, cur_sid_ + max_rows});
 
-  *out = Batch::ForSchema(store_->schema(), projection_);
+  out->ResetLike(proto_);
   out->set_start_rid(cur_sid_);
   for (size_t i = 0; i < projection_.size(); ++i) {
     PDT_ASSIGN_OR_RETURN(auto data, store_->FetchChunk(projection_[i], ci));
@@ -60,6 +61,7 @@ PdtMergeSource::PdtMergeSource(std::unique_ptr<BatchSource> input,
       pdt_(pdt),
       projection_(std::move(projection)) {
   cursor_ = pdt_->Begin();
+  proto_ = Batch::ForSchema(pdt_->schema(), projection_);
 }
 
 StatusOr<bool> PdtMergeSource::FillInput(size_t max_rows) {
@@ -80,15 +82,26 @@ StatusOr<bool> PdtMergeSource::FillInput(size_t max_rows) {
   return true;
 }
 
-void PdtMergeSource::EmitInsert(Batch* out, uint64_t offset) {
+void PdtMergeSource::EmitInsertRun(Batch* out, size_t max_rows) {
+  // Consumes the run of consecutive INS entries at the current position
+  // (bounded by the batch budget) and gathers their tuples column-wise
+  // from the insert space.
+  insert_offsets_.clear();
+  while (cursor_.Valid() && cursor_.sid() == in_pos_ &&
+         cursor_.type() == kTypeIns &&
+         out->num_rows() + insert_offsets_.size() < max_rows) {
+    insert_offsets_.push_back(static_cast<uint32_t>(cursor_.value()));
+    cursor_.Next();
+  }
   const ValueSpace& vs = pdt_->value_space();
   for (size_t i = 0; i < projection_.size(); ++i) {
-    out->column(i).AppendFrom(vs.insert_column(projection_[i]), offset);
+    out->column(i).AppendGather(vs.insert_column(projection_[i]),
+                                insert_offsets_);
   }
 }
 
 StatusOr<bool> PdtMergeSource::Next(Batch* out, size_t max_rows) {
-  *out = Batch::ForSchema(pdt_->schema(), projection_);
+  out->ResetLike(proto_);
   bool start_set = false;
   auto set_start = [&] {
     if (!start_set) {
@@ -106,55 +119,54 @@ StatusOr<bool> PdtMergeSource::Next(Batch* out, size_t max_rows) {
     const bool have_entry = cursor_.Valid();
 
     if (have_row) {
-      if (!have_entry || cursor_.sid() > in_pos_) {
-        // Fast path: pass a whole run through untouched. `skip` in the
-        // paper's Algorithm 2 — here a bulk column copy.
-        size_t run = buf_.num_rows() - buf_off_;
-        if (have_entry) {
-          run = std::min<size_t>(run, cursor_.sid() - in_pos_);
-        }
-        run = std::min(run, max_rows - out->num_rows());
+      assert(!have_entry || cursor_.sid() >= in_pos_);
+      const bool entry_here = have_entry && cursor_.sid() == in_pos_;
+      if (entry_here && cursor_.type() == kTypeIns) {
         set_start();
-        for (size_t i = 0; i < out->num_columns(); ++i) {
-          out->column(i).AppendRange(buf_.column(i), buf_off_,
-                                     buf_off_ + run);
-        }
-        buf_off_ += run;
-        in_pos_ += run;
+        EmitInsertRun(out, max_rows);
         continue;
       }
-      assert(cursor_.sid() == in_pos_);
-      const uint16_t type = cursor_.type();
-      if (type == kTypeIns) {
-        set_start();
-        EmitInsert(out, cursor_.value());
-        cursor_.Next();
-        continue;
-      }
-      if (type == kTypeDel) {
+      if (entry_here && cursor_.type() == kTypeDel) {
         // Ghost: consume the stable row without emitting it.
         ++buf_off_;
         ++in_pos_;
         cursor_.Next();
         continue;
       }
-      // Modify group: emit the stable row, patching projected columns.
+      // Bulk path: pass a whole run of stable rows through column-wise
+      // (`skip` in the paper's Algorithm 2). The run may span modify
+      // entries — the copied columns are patched in place afterwards
+      // (typed SetFrom), so modified rows no longer break the bulk copy;
+      // only INS/DEL entries truncate it.
+      size_t run = std::min(buf_.num_rows() - buf_off_,
+                            max_rows - out->num_rows());
+      Pdt::Cursor scout = cursor_;
+      while (scout.Valid() && scout.sid() < in_pos_ + run) {
+        if (!IsModifyType(scout.type())) {
+          run = scout.sid() - in_pos_;
+          break;
+        }
+        scout.Next();
+      }
+      assert(run > 0);
       set_start();
-      out->AppendRow(buf_, buf_off_);
-      const size_t row = out->num_rows() - 1;
-      const Sid s = cursor_.sid();
-      while (cursor_.Valid() && cursor_.sid() == s &&
-             IsModifyType(cursor_.type())) {
+      const size_t base = out->num_rows();
+      for (size_t i = 0; i < out->num_columns(); ++i) {
+        out->column(i).AppendRange(buf_.column(i), buf_off_,
+                                   buf_off_ + run);
+      }
+      const ValueSpace& vs = pdt_->value_space();
+      while (cursor_.Valid() && cursor_.sid() < in_pos_ + run) {
         const ColumnId col = static_cast<ColumnId>(cursor_.type());
         int idx = out->IndexOfColumn(col);
         if (idx >= 0) {
-          out->column(idx).SetValue(
-              row, pdt_->value_space().GetModifyValue(col, cursor_.value()));
+          out->column(idx).SetFrom(base + (cursor_.sid() - in_pos_),
+                                   vs.modify_column(col), cursor_.value());
         }
         cursor_.Next();
       }
-      ++buf_off_;
-      ++in_pos_;
+      buf_off_ += run;
+      in_pos_ += run;
       continue;
     }
 
@@ -164,8 +176,7 @@ StatusOr<bool> PdtMergeSource::Next(Batch* out, size_t max_rows) {
     if (have_entry && cursor_.sid() == in_pos_ &&
         cursor_.type() == kTypeIns) {
       set_start();
-      EmitInsert(out, cursor_.value());
-      cursor_.Next();
+      EmitInsertRun(out, max_rows);
       continue;
     }
     break;

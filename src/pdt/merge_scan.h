@@ -32,6 +32,7 @@ class StableScanSource : public BatchSource {
   const ColumnStore* store_;
   std::vector<ColumnId> projection_;
   std::vector<SidRange> ranges_;
+  Batch proto_;  // output layout, reused via ResetLike
   size_t range_idx_ = 0;
   Sid cur_sid_ = 0;
   bool started_ = false;
@@ -59,12 +60,15 @@ class PdtMergeSource : public BatchSource {
   // Ensures buf_ has an unconsumed row, pulling from the input; returns
   // false when the input is exhausted.
   StatusOr<bool> FillInput(size_t max_rows);
-  // Appends the insert-space tuple at `offset` to `out`.
-  void EmitInsert(Batch* out, uint64_t offset);
+  // Consumes the run of consecutive INS entries at the current position
+  // (up to the batch budget) and gathers their tuples column-wise.
+  void EmitInsertRun(Batch* out, size_t max_rows);
 
   std::unique_ptr<BatchSource> input_;
   const Pdt* pdt_;
   std::vector<ColumnId> projection_;
+  Batch proto_;  // output layout, reused via ResetLike
+  SelVector insert_offsets_;  // scratch reused across insert runs
   Batch buf_;
   size_t buf_off_ = 0;
   Rid in_pos_ = 0;     // input-domain position of buf_[buf_off_]

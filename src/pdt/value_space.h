@@ -57,6 +57,12 @@ class ValueSpace {
     return insert_cols_[col];
   }
 
+  /// Raw per-column modify table (hot path of MergeScan patching:
+  /// typed SetFrom instead of boxing each value through Value).
+  const ColumnVector& modify_column(ColumnId col) const {
+    return modify_cols_[col];
+  }
+
   /// Lexicographic comparison helpers used by AddInsert positioning and
   /// Serialize (INS-INS ordering).
   int CompareInsertKeys(uint64_t offset_a, const ValueSpace& other,

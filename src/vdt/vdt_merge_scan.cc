@@ -34,6 +34,7 @@ VdtMergeScan::VdtMergeScan(const ColumnStore* store, const Vdt* vdt,
   }
   stable_ = std::make_unique<StableScanSource>(store_, scan_projection_,
                                                std::move(ranges));
+  proto_ = Batch::ForSchema(store_->schema(), projection_);
   ins_it_ = vdt_->inserts().begin();
   del_it_ = vdt_->deletes().begin();
   if (!bounds_.lo.empty()) {
@@ -93,7 +94,7 @@ bool VdtMergeScan::InsertInBounds(const std::vector<Value>& key) const {
 }
 
 StatusOr<bool> VdtMergeScan::Next(Batch* out, size_t max_rows) {
-  *out = Batch::ForSchema(store_->schema(), projection_);
+  out->ResetLike(proto_);
   out->set_start_rid(out_rid_);
 
   const auto ins_end = vdt_->inserts().end();

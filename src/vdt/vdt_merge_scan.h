@@ -53,6 +53,7 @@ class VdtMergeScan : public BatchSource {
   KeyBounds bounds_;
 
   std::unique_ptr<BatchSource> stable_;
+  Batch proto_;  // output layout, reused via ResetLike
   Batch buf_;
   size_t buf_off_ = 0;
   bool input_done_ = false;
