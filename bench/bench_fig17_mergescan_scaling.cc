@@ -9,8 +9,15 @@
 //
 // Laptop-scale substitution (DESIGN.md): sizes default to 1M/4M/16M.
 //
+// In addition, a morsel-driven parallel-scan sweep runs the same
+// workload at several worker-thread counts (both backends, ordered and
+// unordered delivery for the PDT) and records per-thread-count rows/sec
+// plus a `scalability` metric (4-thread / 1-thread throughput) under the
+// `parallel_merge_scan` benchmark name in the JSON output.
+//
 // Usage: bench_fig17_mergescan_scaling [--sizes=1000000,4000000,16000000]
 //                                      [--rates=0,0.5,1,1.5,2,2.5]
+//                                      [--threads=1,2,4,8]
 #include <cstdio>
 #include <cstdlib>
 
@@ -101,6 +108,81 @@ void RunSize(uint64_t rows, bool string_keys,
   std::printf("\n");
 }
 
+// Morsel-driven parallel MergeScan sweep: the first configured size at
+// 1 update per 100 tuples (the paper's mid rate), scanned with 1..N
+// worker threads. Records per-thread-count Mrows/s and the 4-thread
+// scalability ratio under `parallel_merge_scan`.
+void RunParallelSweep(uint64_t rows, const std::vector<double>& threads,
+                      JsonResultWriter* json) {
+  std::printf("# parallel MergeScan sweep, %zu tuples, int key, "
+              "1 update/100 tuples\n",
+              static_cast<size_t>(rows));
+  std::printf("%-8s %-14s %-14s %-14s\n", "threads", "pdt_ord_mrps",
+              "pdt_unord_mrps", "vdt_ord_mrps");
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.payload_cols = 4;
+  spec.backend = DeltaBackend::kPdt;
+  auto pdt_table = BuildSynthetic(spec);
+  spec.backend = DeltaBackend::kVdt;
+  auto vdt_table = BuildSynthetic(spec);
+  auto updates = MakeUpdates(spec, rows / 100, /*seed=*/71);
+  ApplyUpdates(pdt_table.get(), updates);
+  ApplyUpdates(vdt_table.get(), updates);
+
+  std::vector<ColumnId> projection;
+  for (int c = 0; c < spec.payload_cols; ++c) {
+    projection.push_back(static_cast<ColumnId>(spec.key_cols + c));
+  }
+
+  auto timed = [&](const Table& table, const ScanOptions& opts) {
+    (void)TimedScan(table, projection, opts);  // warm
+    double ms = 1e9;
+    for (int rep = 0; rep < 3; ++rep) {
+      ms = std::min(ms, TimedScan(table, projection, opts));
+    }
+    return static_cast<double>(rows) / ms / 1e3;  // Mrows/s
+  };
+
+  double pdt_base = 0.0, pdt_at4 = 0.0;
+  for (double t : threads) {
+    ScanOptions opts;
+    opts.num_threads = static_cast<int>(t);
+    opts.ordered = true;
+    double pdt_ord = timed(*pdt_table, opts);
+    double vdt_ord = timed(*vdt_table, opts);
+    opts.ordered = false;
+    double pdt_unord = timed(*pdt_table, opts);
+    std::printf("%-8d %-14.1f %-14.1f %-14.1f\n", opts.num_threads,
+                pdt_ord, pdt_unord, vdt_ord);
+    if (opts.num_threads == 1) pdt_base = pdt_ord;
+    if (opts.num_threads == 4) pdt_at4 = pdt_ord;
+    if (json != nullptr) {
+      char key[48];
+      std::snprintf(key, sizeof(key), "pdt_ordered_t%d_mrps",
+                    opts.num_threads);
+      json->Metric("parallel_merge_scan", key, pdt_ord);
+      std::snprintf(key, sizeof(key), "pdt_unordered_t%d_mrps",
+                    opts.num_threads);
+      json->Metric("parallel_merge_scan", key, pdt_unord);
+      std::snprintf(key, sizeof(key), "vdt_ordered_t%d_mrps",
+                    opts.num_threads);
+      json->Metric("parallel_merge_scan", key, vdt_ord);
+    }
+  }
+  if (json != nullptr) {
+    json->Metric("parallel_merge_scan", "rows",
+                 static_cast<double>(rows));
+    if (pdt_base > 0 && pdt_at4 > 0) {
+      json->Metric("parallel_merge_scan", "scalability",
+                   pdt_at4 / pdt_base);
+    }
+    json->Metric("parallel_merge_scan", "hardware_threads",
+                 static_cast<double>(ThreadPool::DefaultThreads()));
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace pdtstore
@@ -111,6 +193,7 @@ int main(int argc, char** argv) {
       FlagValue(argc, argv, "sizes", "1000000,4000000,16000000"));
   auto rates =
       ParseList(FlagValue(argc, argv, "rates", "0,0.5,1,1.5,2,2.5"));
+  auto threads = ParseList(FlagValue(argc, argv, "threads", "1,2,4,8"));
   const std::string json_path =
       FlagValue(argc, argv, "json", "BENCH_fig17.json");
   std::printf(
@@ -123,6 +206,9 @@ int main(int argc, char** argv) {
             &json);
     RunSize(static_cast<uint64_t>(size), /*string_keys=*/true, rates,
             &json);
+  }
+  if (!sizes.empty() && !threads.empty()) {
+    RunParallelSweep(static_cast<uint64_t>(sizes.front()), threads, &json);
   }
   std::printf(
       "Expectation (paper): PDT >= 3x faster than VDT at nonzero update "

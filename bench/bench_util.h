@@ -178,10 +178,12 @@ inline void ApplyUpdates(Table* table,
 }
 
 /// Scans `projection` to completion; returns elapsed milliseconds.
+/// `scan_opts` selects serial vs morsel-parallel execution.
 inline double TimedScan(const Table& table,
-                        std::vector<ColumnId> projection) {
+                        std::vector<ColumnId> projection,
+                        const ScanOptions& scan_opts = {}) {
   Stopwatch sw;
-  auto src = table.Scan(std::move(projection));
+  auto src = table.Scan(std::move(projection), nullptr, scan_opts);
   Batch batch;
   uint64_t rows = 0;
   while (true) {

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification + benchmark smoke test. Runnable locally or from CI:
 #   scripts/ci.sh [build-dir]
+# Set PDTSTORE_SKIP_TSAN=1 to skip the ThreadSanitizer stage (e.g. on
+# toolchains without TSan).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -20,6 +22,19 @@ echo "== bench smoke (tiny sizes) =="
 "$BUILD_DIR/bench_exec_kernels" --rows=20000 --reps=1 \
     --json="$BUILD_DIR/BENCH_exec_smoke.json"
 "$BUILD_DIR/bench_fig17_mergescan_scaling" --sizes=20000 --rates=0,1 \
-    --json="$BUILD_DIR/BENCH_fig17_smoke.json"
+    --threads=1,2,4 --json="$BUILD_DIR/BENCH_fig17_smoke.json"
+
+if [[ "${PDTSTORE_SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== tsan build + parallel scan tests =="
+  # ThreadSanitizer over the morsel-driven parallel scan: the one
+  # subsystem with cross-thread shared state (exchange queues, buffer
+  # pool, shared read-only PDT layers).
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+      -DPDTSTORE_BUILD_BENCHES=OFF -DPDTSTORE_BUILD_EXAMPLES=OFF
+  cmake --build "$TSAN_DIR" -j "$(nproc)" --target parallel_scan_test
+  (cd "$TSAN_DIR" && ctest --output-on-failure -R parallel_scan_test)
+fi
 
 echo "CI OK"

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "columnstore/batch.h"
+#include "exec/parallel_scan.h"
 #include "pdt/merge_scan.h"
 #include "pdt/pdt.h"
 #include "storage/column_store.h"
@@ -103,8 +104,15 @@ class Table {
   /// prefix range) restricts it through the sparse index. The PDT path
   /// scans exactly `projection`; the VDT path additionally reads all SK
   /// columns — the paper's core I/O asymmetry.
+  ///
+  /// `scan_opts.num_threads > 1` runs the morsel-driven parallel scan
+  /// (exec/parallel_scan.h): disjoint SID-range morsels are merged by a
+  /// worker pool; `scan_opts.ordered` picks SID-ordered or as-completed
+  /// delivery. Both modes produce exactly the serial scan's rows. The
+  /// scan must not overlap updates to this table's delta structure.
   std::unique_ptr<BatchSource> Scan(std::vector<ColumnId> projection,
-                                    const KeyBounds* bounds = nullptr) const;
+                                    const KeyBounds* bounds = nullptr,
+                                    const ScanOptions& scan_opts = {}) const;
 
   // ------------------------------------------------------------------
   // Maintenance.

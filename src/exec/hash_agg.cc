@@ -24,8 +24,12 @@ double InitAcc(AggKind kind) {
 
 }  // namespace
 
-void HashAggNode::GrowTable() {
-  size_t cap = std::max(kInitialSlots, slots_.size() * 2);
+void HashAggNode::GrowTable(size_t min_groups) {
+  // Power-of-two capacity keeping the table at most half full once
+  // `min_groups` groups exist.
+  size_t cap = std::max(kInitialSlots, slots_.size());
+  while (cap < 2 * (min_groups + 1)) cap *= 2;
+  if (cap == slots_.size()) return;
   slots_.assign(cap, 0);
   slot_mask_ = cap - 1;
   for (uint32_t gid = 0; gid < group_hashes_.size(); ++gid) {
@@ -39,8 +43,11 @@ void HashAggNode::AssignGroups(const Batch& in, const uint64_t* hashes,
                                uint32_t* gids) {
   const size_t n = in.num_rows();
   for (size_t row = 0; row < n; ++row) {
-    // Keep the table at most half full so probe chains stay short.
-    if ((group_hashes_.size() + 1) * 2 > slots_.size()) GrowTable();
+    // Safety net when the pre-sizing estimate under-predicted: keep the
+    // table at most half full so probe chains stay short.
+    if ((group_hashes_.size() + 1) * 2 > slots_.size()) {
+      GrowTable(group_hashes_.size() + 1);
+    }
     const uint64_t h = hashes[row];
     size_t pos = h & slot_mask_;
     uint32_t gid;
@@ -92,7 +99,8 @@ Status HashAggNode::BuildResult() {
   std::vector<uint64_t> hashes;
   std::vector<uint32_t> gids;
   acc_.resize(aggs_.size());
-  GrowTable();
+  prev_batch_new_groups_ = static_cast<size_t>(-1);
+  GrowTable(0);
 
   Batch in;
   while (true) {
@@ -110,7 +118,23 @@ Status HashAggNode::BuildResult() {
       in.column(c).HashColumn(hashes.data());
     }
     gids.resize(n);
+
+    // Pre-size from the carried estimate (see header) with 25% headroom,
+    // capped at the worst case of n all-new groups, so doubling/rehash
+    // churn moves out of the per-row path on high-cardinality inputs.
+    size_t est_new =
+        prev_batch_new_groups_ == static_cast<size_t>(-1)
+            ? n
+            : prev_batch_new_groups_ + prev_batch_new_groups_ / 4 + 8;
+    est_new = std::min(est_new, n);
+    const size_t groups_before = group_hashes_.size();
+    GrowTable(groups_before + est_new);
+    group_hashes_.reserve(groups_before + est_new);
+    counts_.reserve(groups_before + est_new);
+    for (auto& a : acc_) a.reserve(groups_before + est_new);
+
     AssignGroups(in, hashes.data(), gids.data());
+    prev_batch_new_groups_ = group_hashes_.size() - groups_before;
 
     // One typed pass per aggregate (type and kind dispatched per batch,
     // not per row).

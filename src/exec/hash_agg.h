@@ -43,7 +43,9 @@ class HashAggNode : public BatchSource {
   // precomputed combined key hashes.
   void AssignGroups(const Batch& in, const uint64_t* hashes,
                     uint32_t* gids);
-  void GrowTable();
+  // Grows the open-addressing table (one rehash) so it can hold
+  // `min_groups` groups under the 50% load cap.
+  void GrowTable(size_t min_groups);
 
   std::unique_ptr<BatchSource> input_;
   std::vector<size_t> group_by_;
@@ -58,6 +60,12 @@ class HashAggNode : public BatchSource {
   size_t slot_mask_ = 0;
   std::vector<int64_t> counts_;          // per group
   std::vector<std::vector<double>> acc_;  // per agg, per group
+  // New groups the previous batch contributed — the carried estimate that
+  // pre-sizes the table before each batch, so high-cardinality inputs do
+  // one predicted rehash per batch at most instead of repeated
+  // mid-AssignGroups doubling (SIZE_MAX until a batch has been seen: the
+  // first batch pre-sizes for the worst case, every row a new group).
+  size_t prev_batch_new_groups_ = static_cast<size_t>(-1);
 };
 
 }  // namespace pdtstore

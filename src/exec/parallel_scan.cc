@@ -1,0 +1,213 @@
+#include "exec/parallel_scan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdtstore {
+
+std::vector<SidRange> SplitIntoMorsels(const std::vector<SidRange>& ranges,
+                                       size_t morsel_rows) {
+  if (morsel_rows == 0) morsel_rows = kDefaultMorselRows;
+  std::vector<SidRange> morsels;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    assert(i == 0 || ranges[i - 1].end <= ranges[i].begin);
+    morsels.reserve(morsels.size() +
+                    static_cast<size_t>(ranges[i].end - ranges[i].begin) /
+                        morsel_rows + 1);
+    for (Sid b = ranges[i].begin; b < ranges[i].end; b += morsel_rows) {
+      morsels.push_back(SidRange{b, std::min<Sid>(b + morsel_rows,
+                                                  ranges[i].end)});
+    }
+  }
+  return morsels;
+}
+
+// ---------------------------------------------------------------------
+// ParallelScanSource.
+// ---------------------------------------------------------------------
+
+ParallelScanSource::ParallelScanSource(std::vector<SidRange> morsels,
+                                       MorselSourceFactory factory,
+                                       ScanOptions options,
+                                       bool renumber_rids)
+    : morsels_(std::move(morsels)),
+      factory_(std::move(factory)),
+      opts_(options),
+      renumber_rids_(renumber_rids) {
+  if (opts_.num_threads <= 0) opts_.num_threads = ThreadPool::DefaultThreads();
+  if (opts_.batch_rows == 0) opts_.batch_rows = kDefaultBatchSize;
+  num_workers_ = std::min<size_t>(static_cast<size_t>(opts_.num_threads),
+                                  morsels_.size());
+  inflight_window_ = std::max<size_t>(2 * num_workers_, num_workers_ + 1);
+  queue_cap_ = std::max<size_t>(4 * num_workers_, 2);
+  states_.resize(morsels_.size());
+}
+
+ParallelScanSource::~ParallelScanSource() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_ = true;
+  }
+  producer_cv_.notify_all();
+  consumer_cv_.notify_all();
+  pool_.reset();  // joins the workers
+}
+
+void ParallelScanSource::Start() {
+  started_ = true;
+  if (num_workers_ == 0) return;  // no morsels: Next reports end-of-stream
+  workers_live_ = num_workers_;
+  pool_ = std::make_unique<ThreadPool>(static_cast<int>(num_workers_));
+  for (size_t i = 0; i < num_workers_; ++i) {
+    pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+void ParallelScanSource::GrabRecycledBatch(Batch* b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!freelist_.empty()) {
+    *b = std::move(freelist_.back());
+    freelist_.pop_back();
+  }
+}
+
+void ParallelScanSource::WorkerLoop() {
+  RunWorker();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--workers_live_ == 0) consumer_cv_.notify_all();
+}
+
+void ParallelScanSource::RunWorker() {
+  Batch local;
+  while (true) {
+    size_t m;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (opts_.ordered) {
+        // Window gate: never run ahead of the consumer by more than
+        // inflight_window_ morsels, bounding buffered output. The head
+        // morsel is always inside the window, so the scan cannot wedge.
+        producer_cv_.wait(lock, [this] {
+          return abort_ || next_morsel_ >= morsels_.size() ||
+                 next_morsel_ < head_ + inflight_window_;
+        });
+      }
+      if (abort_ || next_morsel_ >= morsels_.size()) return;
+      m = next_morsel_++;
+    }
+    std::unique_ptr<BatchSource> src =
+        factory_(m, morsels_[m], m + 1 == morsels_.size());
+    while (true) {
+      GrabRecycledBatch(&local);
+      StatusOr<bool> more = src->Next(&local, opts_.batch_rows);
+      std::unique_lock<std::mutex> lock(mu_);
+      if (abort_) return;
+      if (!more.ok()) {
+        if (error_.ok()) error_ = more.status();
+        abort_ = true;
+        producer_cv_.notify_all();
+        consumer_cv_.notify_all();
+        return;
+      }
+      if (!*more) {
+        if (opts_.ordered) {
+          states_[m].done = true;
+          consumer_cv_.notify_all();
+        }
+        break;
+      }
+      if (opts_.ordered) {
+        states_[m].batches.push_back(std::move(local));
+      } else {
+        producer_cv_.wait(lock, [this] {
+          return abort_ || ready_.size() < queue_cap_;
+        });
+        if (abort_) return;
+        ready_.push_back(std::move(local));
+      }
+      consumer_cv_.notify_one();
+      local = Batch();
+    }
+  }
+}
+
+bool ParallelScanSource::EmitPendingSlice(Batch* out, size_t max_rows) {
+  const size_t take =
+      std::min(max_rows, pending_.num_rows() - pending_off_);
+  out->ResetLike(pending_);
+  out->set_start_rid(pending_.start_rid() + pending_off_);
+  for (size_t i = 0; i < pending_.num_columns(); ++i) {
+    out->column(i).AppendRange(pending_.column(i), pending_off_,
+                               pending_off_ + take);
+  }
+  pending_off_ += take;
+  rows_emitted_ += take;
+  if (pending_off_ >= pending_.num_rows()) {
+    spent_.push_back(std::move(pending_));
+    pending_ = Batch();
+    pending_off_ = 0;
+  }
+  return true;
+}
+
+StatusOr<bool> ParallelScanSource::Refill() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Return consumed batch storage to the workers in bulk.
+  for (Batch& b : spent_) {
+    if (freelist_.size() >= 2 * num_workers_ + 2) break;
+    freelist_.push_back(std::move(b));
+  }
+  spent_.clear();
+  while (true) {
+    if (!error_.ok()) return error_;
+    if (opts_.ordered) {
+      if (head_ >= morsels_.size()) return false;
+      MorselState& st = states_[head_];
+      if (!st.batches.empty()) {
+        drained_.swap(st.batches);  // take everything the head has
+        return true;
+      }
+      if (st.done) {
+        ++head_;
+        producer_cv_.notify_all();  // claim window moved
+        continue;
+      }
+    } else {
+      if (!ready_.empty()) {
+        drained_.swap(ready_);
+        producer_cv_.notify_all();  // queue has room
+        return true;
+      }
+      if (workers_live_ == 0) return false;
+    }
+    consumer_cv_.wait(lock);
+  }
+}
+
+StatusOr<bool> ParallelScanSource::Next(Batch* out, size_t max_rows) {
+  if (!started_) Start();
+  if (max_rows == 0) max_rows = kDefaultBatchSize;
+  if (pending_off_ < pending_.num_rows()) {
+    return EmitPendingSlice(out, max_rows);
+  }
+  if (drained_.empty()) {
+    PDT_ASSIGN_OR_RETURN(bool more, Refill());
+    if (!more) return false;
+  }
+  Batch got = std::move(drained_.front());
+  drained_.pop_front();
+
+  if (renumber_rids_) got.set_start_rid(rows_emitted_);
+  if (got.num_rows() <= max_rows) {
+    spent_.push_back(std::move(*out));  // recycle the consumer's storage
+    *out = std::move(got);
+    rows_emitted_ += out->num_rows();
+    return true;
+  }
+  // Worker batch exceeds the consumer's budget: serve it in slices.
+  pending_ = std::move(got);
+  pending_off_ = 0;
+  return EmitPendingSlice(out, max_rows);
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,133 @@
+// Morsel-driven parallel scan: an exchange operator that runs one merge
+// cursor per worker over a shared queue of disjoint SID-range morsels
+// (the natural work units LookupRange / chunk bounds provide — PDT layers
+// are read-only during scans, so workers share them lock-free).
+//
+// The consumer stays a plain single-threaded BatchSource: pull-based
+// operators (filter, agg, join) sit on top unchanged. Two delivery modes:
+//   * ordered   — morsel outputs are emitted in morsel (= SID) order, so
+//                 SID/RID-ordered consumers see exactly the sequence the
+//                 single-threaded scan would produce;
+//   * unordered — batches are emitted as workers finish them (same
+//                 multiset of rows), for order-insensitive pipelines.
+#ifndef PDTSTORE_EXEC_PARALLEL_SCAN_H_
+#define PDTSTORE_EXEC_PARALLEL_SCAN_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "columnstore/batch.h"
+#include "storage/sparse_index.h"
+#include "util/thread_pool.h"
+
+namespace pdtstore {
+
+/// Default morsel granularity: ~64K SIDs amortize per-morsel setup
+/// (cursor seek, source construction) to noise while leaving plenty of
+/// morsels for dynamic load balancing on skewed update distributions.
+constexpr size_t kDefaultMorselRows = 64 * 1024;
+
+/// Scan execution knobs, plumbed through Table::Scan and the transaction
+/// scan paths. The default (1 thread) is the unchanged serial scan.
+struct ScanOptions {
+  /// Worker threads; <= 0 means ThreadPool::DefaultThreads(). 1 = serial.
+  int num_threads = 1;
+  /// Emit morsels in SID order (true) or as completed (false).
+  bool ordered = true;
+  /// Morsel granularity in stable SIDs.
+  size_t morsel_rows = kDefaultMorselRows;
+  /// Rows per batch a worker pulls from its merge cursor.
+  size_t batch_rows = kDefaultBatchSize;
+};
+
+/// Splits `ranges` (sorted, disjoint — the SparseIndex::LookupRange
+/// invariant, asserted here in debug builds) into morsels of at most
+/// `morsel_rows` SIDs, preserving order and disjointness.
+std::vector<SidRange> SplitIntoMorsels(const std::vector<SidRange>& ranges,
+                                       size_t morsel_rows);
+
+/// Builds the per-morsel merge cursor: called once per morsel, on a
+/// worker thread. `final_morsel` is true for the scan's last morsel (the
+/// one that emits trailing inserts). Must be thread-safe (the sources it
+/// returns only read shared immutable state).
+using MorselSourceFactory = std::function<std::unique_ptr<BatchSource>(
+    size_t morsel_idx, const SidRange& morsel, bool final_morsel)>;
+
+/// The exchange: N workers claim morsels from an atomic queue, run the
+/// factory-built merge cursor over each, and hand batches to the pulling
+/// consumer. Workers pull into recycled batches (Batch::ResetLike inside
+/// the sources) drawn from a free list that consumed batches return to,
+/// so the steady state allocates nothing. In ordered mode, morsel
+/// claiming is window-gated (head + 2×workers) to bound buffered output;
+/// in unordered mode a bounded ready queue applies backpressure.
+///
+/// The first error from any worker aborts the scan and is returned from
+/// Next(). Destruction aborts and joins outstanding workers.
+class ParallelScanSource : public BatchSource {
+ public:
+  /// `renumber_rids` rewrites batch start RIDs with a running row count —
+  /// used for ordered scans of sources that emit morsel-local positions
+  /// (the VDT merge); PDT merge batches already carry global RIDs.
+  ParallelScanSource(std::vector<SidRange> morsels,
+                     MorselSourceFactory factory, ScanOptions options,
+                     bool renumber_rids = false);
+  ~ParallelScanSource() override;
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override;
+
+ private:
+  struct MorselState {
+    std::deque<Batch> batches;
+    bool done = false;
+  };
+
+  void Start();
+  void WorkerLoop();
+  void RunWorker();
+  // Swaps a free-list batch into `*b` (workers reuse consumer storage).
+  void GrabRecycledBatch(Batch* b);
+  // Refills drained_ with every batch currently available (one lock
+  // acquisition amortized over many batches) and returns spent consumer
+  // batches to the free list; false at end of stream.
+  StatusOr<bool> Refill();
+  // Emits up to max_rows of pending_ into out (batch larger than the
+  // consumer's budget, sliced across several Next calls).
+  bool EmitPendingSlice(Batch* out, size_t max_rows);
+
+  std::vector<SidRange> morsels_;
+  MorselSourceFactory factory_;
+  ScanOptions opts_;
+  const bool renumber_rids_;
+  size_t num_workers_ = 0;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex mu_;
+  std::condition_variable producer_cv_;  // workers: claim window / queue room
+  std::condition_variable consumer_cv_;  // consumer: output available
+  std::vector<MorselState> states_;      // ordered mode, indexed by morsel
+  std::deque<Batch> ready_;              // unordered mode
+  std::vector<Batch> freelist_;          // recycled batch storage
+  size_t next_morsel_ = 0;               // next morsel to claim
+  size_t head_ = 0;                      // ordered: next morsel to emit
+  size_t inflight_window_ = 0;           // ordered claim window
+  size_t queue_cap_ = 0;                 // unordered backpressure bound
+  size_t workers_live_ = 0;
+  Status error_ = Status::OK();          // first worker failure
+  bool abort_ = false;
+  bool started_ = false;
+
+  // Consumer-side state (only touched by the pulling thread).
+  std::deque<Batch> drained_;  // batches taken from the exchange in bulk
+  std::vector<Batch> spent_;   // consumed storage awaiting bulk recycle
+  Batch pending_;
+  size_t pending_off_ = 0;
+  uint64_t rows_emitted_ = 0;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_EXEC_PARALLEL_SCAN_H_

@@ -4,8 +4,9 @@ namespace pdtstore {
 
 std::unique_ptr<BatchSource> TableScanNode(const Table& table,
                                            std::vector<ColumnId> projection,
-                                           const KeyBounds* bounds) {
-  return table.Scan(std::move(projection), bounds);
+                                           const KeyBounds* bounds,
+                                           const ScanOptions& scan_opts) {
+  return table.Scan(std::move(projection), bounds, scan_opts);
 }
 
 }  // namespace pdtstore

@@ -11,10 +11,13 @@
 namespace pdtstore {
 
 /// Merging table scan as a pipeline source. Holds the KeyBounds so query
-/// kernels can construct restricted scans in one expression.
+/// kernels can construct restricted scans in one expression. `scan_opts`
+/// selects the serial or morsel-parallel scan; pipelines that do not
+/// depend on row order (filter/agg) can pass `ordered = false`.
 std::unique_ptr<BatchSource> TableScanNode(const Table& table,
                                            std::vector<ColumnId> projection,
-                                           const KeyBounds* bounds = nullptr);
+                                           const KeyBounds* bounds = nullptr,
+                                           const ScanOptions& scan_opts = {});
 
 }  // namespace pdtstore
 

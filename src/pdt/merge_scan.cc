@@ -56,11 +56,16 @@ StatusOr<bool> StableScanSource::Next(Batch* out, size_t max_rows) {
 
 PdtMergeSource::PdtMergeSource(std::unique_ptr<BatchSource> input,
                                const Pdt* pdt,
-                               std::vector<ColumnId> projection)
+                               std::vector<ColumnId> projection,
+                               Sid start_pos, bool emit_trailing_inserts)
     : input_(std::move(input)),
       pdt_(pdt),
-      projection_(std::move(projection)) {
-  cursor_ = pdt_->Begin();
+      projection_(std::move(projection)),
+      in_pos_(start_pos),
+      emit_trailing_inserts_(emit_trailing_inserts) {
+  // SeekSid(0) == Begin(); for morsels it skips earlier entries while
+  // accumulating the global prefix delta, keeping emitted RIDs correct.
+  cursor_ = pdt_->SeekSid(start_pos);
   proto_ = Batch::ForSchema(pdt_->schema(), projection_);
 }
 
@@ -172,8 +177,10 @@ StatusOr<bool> PdtMergeSource::Next(Batch* out, size_t max_rows) {
 
     if (!input_done_) continue;  // fetch more at the loop top
 
-    // Input exhausted: emit trailing inserts at the end position.
-    if (have_entry && cursor_.sid() == in_pos_ &&
+    // Input exhausted: emit trailing inserts at the end position — unless
+    // this source covers a non-final morsel, whose end-position entries
+    // belong to the following morsel (its leading inserts).
+    if (emit_trailing_inserts_ && have_entry && cursor_.sid() == in_pos_ &&
         cursor_.type() == kTypeIns) {
       set_start();
       EmitInsertRun(out, max_rows);
@@ -198,6 +205,27 @@ std::unique_ptr<BatchSource> MakeMergeScan(const ColumnStore& store,
     if (layer == nullptr) continue;
     source = std::make_unique<PdtMergeSource>(std::move(source), layer,
                                               projection);
+  }
+  return source;
+}
+
+std::unique_ptr<BatchSource> MakeMorselMergeScan(
+    const ColumnStore& store, const std::vector<const Pdt*>& layers,
+    const std::vector<ColumnId>& projection, SidRange morsel,
+    bool final_morsel) {
+  std::unique_ptr<BatchSource> source = std::make_unique<StableScanSource>(
+      &store, projection, std::vector<SidRange>{morsel});
+  // Each layer consumes the output positions of the layer below: the
+  // morsel's start position in that domain is the stable start shifted by
+  // the prefix delta of every lower layer.
+  Sid start_pos = morsel.begin;
+  for (const Pdt* layer : layers) {
+    if (layer == nullptr) continue;
+    source = std::make_unique<PdtMergeSource>(std::move(source), layer,
+                                              projection, start_pos,
+                                              final_morsel);
+    start_pos = static_cast<Sid>(static_cast<int64_t>(start_pos) +
+                                 layer->SeekSid(start_pos).delta_before());
   }
   return source;
 }

@@ -49,10 +49,21 @@ class StableScanSource : public BatchSource {
 /// emitted when the input is exhausted, which for restricted scans yields
 /// a conservative superset exactly like zone-map pruning does — query
 /// predicates filter on top.
+///
+/// Morsel semantics (parallel scans): `start_pos` positions the entry
+/// cursor at an arbitrary input-domain offset up front (SeekSid), so a
+/// source over morsel [lo, hi) starts correctly even when the input
+/// yields no rows at all (every stable row of the morsel deleted by a
+/// lower layer). `emit_trailing_inserts` is false on every morsel but
+/// the scan's last one: entries at a morsel's end position are exactly
+/// the entries at the next morsel's start position, which that morsel
+/// emits as leading inserts — together the morsels partition the merged
+/// output with no duplicate and no loss.
 class PdtMergeSource : public BatchSource {
  public:
   PdtMergeSource(std::unique_ptr<BatchSource> input, const Pdt* pdt,
-                 std::vector<ColumnId> projection);
+                 std::vector<ColumnId> projection, Sid start_pos = 0,
+                 bool emit_trailing_inserts = true);
 
   StatusOr<bool> Next(Batch* out, size_t max_rows) override;
 
@@ -73,7 +84,7 @@ class PdtMergeSource : public BatchSource {
   size_t buf_off_ = 0;
   Rid in_pos_ = 0;     // input-domain position of buf_[buf_off_]
   bool input_done_ = false;
-  bool primed_ = false;
+  bool emit_trailing_inserts_ = true;
   Pdt::Cursor cursor_;
 };
 
@@ -83,6 +94,19 @@ class PdtMergeSource : public BatchSource {
 std::unique_ptr<BatchSource> MakeMergeScan(
     const ColumnStore& store, std::vector<const Pdt*> layers,
     std::vector<ColumnId> projection, std::vector<SidRange> ranges = {});
+
+/// Builds the stack restricted to one morsel [morsel.begin, morsel.end)
+/// of the stable SID domain. Each layer's cursor start position is the
+/// lower layer's output position at the morsel boundary (derived via
+/// SeekSid prefix deltas), so stacked layers stay aligned even when the
+/// morsel emits no stable rows. `final_morsel` marks the scan's last
+/// morsel, the only one that emits trailing inserts (see PdtMergeSource).
+/// Concatenating the outputs of all morsels of a scan in SID order equals
+/// the unrestricted MakeMergeScan output over the same ranges.
+std::unique_ptr<BatchSource> MakeMorselMergeScan(
+    const ColumnStore& store, const std::vector<const Pdt*>& layers,
+    const std::vector<ColumnId>& projection, SidRange morsel,
+    bool final_morsel);
 
 }  // namespace pdtstore
 

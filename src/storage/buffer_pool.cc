@@ -4,20 +4,37 @@ namespace pdtstore {
 
 StatusOr<std::shared_ptr<const ColumnVector>> BufferPool::Fetch(
     uint64_t key, const Chunk& chunk) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(key);
+      it->second.lru_it = lru_.begin();
+      return it->second.data;
+    }
+  }
+  // Miss: simulated disk read of the encoded payload, then decode. The
+  // decode runs unlocked so concurrent scan workers decode distinct
+  // chunks in parallel; a racing decode of the same chunk is resolved
+  // below (first insert wins, the loser's copy is dropped).
+  auto decoded = std::make_shared<ColumnVector>();
+  PDT_RETURN_NOT_OK(DecodeChunk(chunk, decoded.get()));
+  size_t bytes = decoded->ByteSize();
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
+    // Lost the decode race: serve the winner's entry as a hit,
+    // including the LRU touch.
     ++stats_.hits;
     lru_.erase(it->second.lru_it);
     lru_.push_front(key);
     it->second.lru_it = lru_.begin();
     return it->second.data;
   }
-  // Miss: simulated disk read of the encoded payload, then decode.
   stats_.bytes_read += chunk.DiskBytes();
   ++stats_.chunks_read;
-  auto decoded = std::make_shared<ColumnVector>();
-  PDT_RETURN_NOT_OK(DecodeChunk(chunk, decoded.get()));
-  size_t bytes = decoded->ByteSize();
   lru_.push_front(key);
   entries_[key] = Entry{decoded, bytes, lru_.begin()};
   cached_bytes_ += bytes;
@@ -26,6 +43,7 @@ StatusOr<std::shared_ptr<const ColumnVector>> BufferPool::Fetch(
 }
 
 void BufferPool::EvictAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   lru_.clear();
   cached_bytes_ = 0;

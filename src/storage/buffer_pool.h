@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "columnstore/column_vector.h"
@@ -24,9 +25,12 @@ struct IoStats {
   void Reset() { *this = IoStats{}; }
 };
 
-/// LRU cache of decoded chunks keyed by an opaque 64-bit id. Thread
-/// hostile by design (the engine is single-threaded per query); the
-/// transaction layer serializes access.
+/// LRU cache of decoded chunks keyed by an opaque 64-bit id. Fetch and
+/// eviction are internally synchronized so the morsel-driven parallel
+/// scan's workers can pull chunks concurrently (one lock acquisition per
+/// chunk, i.e. per tens of thousands of rows — not a hot path). The
+/// returned shared_ptrs keep decoded chunks alive across evictions.
+/// stats() reads are unsynchronized: read them only while no scan runs.
 class BufferPool {
  public:
   /// `capacity_bytes` bounds the decoded footprint; 0 = unbounded.
@@ -44,8 +48,14 @@ class BufferPool {
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
 
-  size_t cached_bytes() const { return cached_bytes_; }
-  size_t cached_chunks() const { return entries_.size(); }
+  size_t cached_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cached_bytes_;
+  }
+  size_t cached_chunks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
   struct Entry {
@@ -54,8 +64,9 @@ class BufferPool {
     std::list<uint64_t>::iterator lru_it;
   };
 
-  void MaybeEvict();
+  void MaybeEvict();  // callers hold mu_
 
+  mutable std::mutex mu_;
   size_t capacity_bytes_;
   size_t cached_bytes_ = 0;
   std::unordered_map<uint64_t, Entry> entries_;

@@ -1,5 +1,7 @@
 #include "storage/sparse_index.h"
 
+#include <cassert>
+
 namespace pdtstore {
 
 StatusOr<SparseIndex> SparseIndex::Build(const ColumnStore& store) {
@@ -36,6 +38,7 @@ int SparseIndex::ComparePrefix(const std::vector<Value>& zone_key,
 std::vector<SidRange> SparseIndex::LookupRange(
     const std::vector<Value>& lo, const std::vector<Value>& hi) const {
   std::vector<SidRange> out;
+  out.reserve(entries_.size());
   for (const auto& e : entries_) {
     bool qualifies = true;
     if (!lo.empty() && ComparePrefix(e.max_key, lo) < 0) qualifies = false;
@@ -46,6 +49,12 @@ std::vector<SidRange> SparseIndex::LookupRange(
     } else {
       out.push_back(SidRange{e.start_sid, e.end_sid});
     }
+  }
+  // The sorted/disjoint/non-empty invariant documented in the header —
+  // chunk entries are ascending, so coalescing preserves it.
+  for (size_t i = 0; i < out.size(); ++i) {
+    assert(out[i].begin < out[i].end);
+    assert(i == 0 || out[i - 1].end <= out[i].begin);
   }
   return out;
 }

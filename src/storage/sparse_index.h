@@ -40,6 +40,12 @@ class SparseIndex {
   /// both bounds inclusive; empty `lo`/`hi` = unbounded on that side).
   /// Adjacent qualifying chunks are coalesced. The result is a superset
   /// of the true range: zone maps are conservative.
+  ///
+  /// Invariant (load-bearing): the returned ranges are non-empty, sorted
+  /// ascending and pairwise disjoint — range[i].end <= range[i+1].begin.
+  /// StableScanSource's range walk, the VDT merge's per-range key fences
+  /// and SplitIntoMorsels (exec/parallel_scan.h) all depend on it; the
+  /// morsel splitter asserts it in debug builds.
   std::vector<SidRange> LookupRange(const std::vector<Value>& lo,
                                     const std::vector<Value>& hi) const;
 

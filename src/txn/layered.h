@@ -1,12 +1,16 @@
 // Internal helpers shared by the single- and multi-table transaction
-// managers: resolving sort keys / full tuples through a stack of PDT
-// layers (bottom..top), walking RIDs downward through each layer's
-// SID domain.
+// managers and Table::Scan: resolving sort keys / full tuples through a
+// stack of PDT layers (bottom..top), walking RIDs downward through each
+// layer's SID domain, and the serial-or-parallel layered merge scan.
 #ifndef PDTSTORE_TXN_LAYERED_H_
 #define PDTSTORE_TXN_LAYERED_H_
 
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "exec/parallel_scan.h"
+#include "pdt/merge_scan.h"
 #include "pdt/pdt.h"
 #include "storage/column_store.h"
 
@@ -65,6 +69,39 @@ inline uint64_t LayeredRowCount(uint64_t stable_rows,
   int64_t delta = 0;
   for (const Pdt* layer : layers) delta += layer->TotalDelta();
   return static_cast<uint64_t>(static_cast<int64_t>(stable_rows) + delta);
+}
+
+/// Merge scan over a snapshot layer stack, serial or morsel-parallel
+/// according to `scan_opts` — the shared implementation of the
+/// transaction Scan() paths. All layers must stay unmodified while the
+/// returned source is consumed.
+inline std::unique_ptr<BatchSource> LayeredScan(
+    const ColumnStore& store, std::vector<const Pdt*> layers,
+    std::vector<ColumnId> projection, std::vector<SidRange> ranges,
+    const ScanOptions& scan_opts) {
+  const int threads = scan_opts.num_threads <= 0
+                          ? ThreadPool::DefaultThreads()
+                          : scan_opts.num_threads;
+  if (threads <= 1) {
+    return MakeMergeScan(store, std::move(layers), std::move(projection),
+                         std::move(ranges));
+  }
+  if (ranges.empty()) ranges.push_back(SidRange{0, store.num_rows()});
+  std::vector<SidRange> morsels =
+      SplitIntoMorsels(ranges, scan_opts.morsel_rows);
+  if (morsels.empty()) morsels.push_back(SidRange{0, 0});
+  ScanOptions opts = scan_opts;
+  opts.num_threads = threads;
+  const ColumnStore* store_ptr = &store;
+  MorselSourceFactory factory =
+      [store_ptr, layers = std::move(layers),
+       projection = std::move(projection)](
+          size_t, const SidRange& morsel, bool final_morsel) {
+        return MakeMorselMergeScan(*store_ptr, layers, projection, morsel,
+                                   final_morsel);
+      };
+  return std::make_unique<ParallelScanSource>(std::move(morsels),
+                                              std::move(factory), opts);
 }
 
 }  // namespace internal

@@ -153,7 +153,7 @@ StatusOr<Tuple> MultiTransaction::GetByKey(
 
 std::unique_ptr<BatchSource> MultiTransaction::Scan(
     const std::string& table, std::vector<ColumnId> projection,
-    const KeyBounds* bounds) const {
+    const KeyBounds* bounds, const ScanOptions& scan_opts) const {
   auto view = View(table);
   if (!view.ok()) return nullptr;
   TableView* v = *view;
@@ -161,8 +161,9 @@ std::unique_ptr<BatchSource> MultiTransaction::Scan(
   if (bounds != nullptr) {
     ranges = v->table->sparse_index().LookupRange(bounds->lo, bounds->hi);
   }
-  return MakeMergeScan(v->table->store(), Layers(*v), std::move(projection),
-                       std::move(ranges));
+  return internal::LayeredScan(v->table->store(), Layers(*v),
+                               std::move(projection), std::move(ranges),
+                               scan_opts);
 }
 
 StatusOr<uint64_t> MultiTransaction::RowCount(

@@ -39,9 +39,12 @@ class MultiTransaction {
 
   StatusOr<Tuple> GetByKey(const std::string& table,
                            const std::vector<Value>& key) const;
+  /// `scan_opts` enables the morsel-parallel scan; same caveat as
+  /// Transaction::Scan (no updates to this table while consuming it).
   std::unique_ptr<BatchSource> Scan(const std::string& table,
                                     std::vector<ColumnId> projection,
-                                    const KeyBounds* bounds = nullptr) const;
+                                    const KeyBounds* bounds = nullptr,
+                                    const ScanOptions& scan_opts = {}) const;
   StatusOr<uint64_t> RowCount(const std::string& table) const;
 
   /// Commits all tables atomically; Status::Conflict aborts everything.

@@ -151,14 +151,16 @@ Status Transaction::ModifyByKey(const std::vector<Value>& key, ColumnId col,
 }
 
 std::unique_ptr<BatchSource> Transaction::Scan(
-    std::vector<ColumnId> projection, const KeyBounds* bounds) const {
+    std::vector<ColumnId> projection, const KeyBounds* bounds,
+    const ScanOptions& scan_opts) const {
   std::vector<SidRange> ranges;
   if (bounds != nullptr) {
     ranges = mgr_->table()->sparse_index().LookupRange(bounds->lo,
                                                        bounds->hi);
   }
-  return MakeMergeScan(mgr_->table()->store(), Layers(),
-                       std::move(projection), std::move(ranges));
+  return internal::LayeredScan(mgr_->table()->store(), Layers(),
+                               std::move(projection), std::move(ranges),
+                               scan_opts);
 }
 
 StatusOr<Tuple> Transaction::GetByKey(const std::vector<Value>& key) const {

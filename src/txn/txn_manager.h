@@ -40,9 +40,16 @@ class Transaction {
   Status ModifyByKey(const std::vector<Value>& key, ColumnId col,
                      const Value& v);
 
-  /// Snapshot reads, including own uncommitted updates.
+  /// Snapshot reads, including own uncommitted updates. `scan_opts`
+  /// enables the morsel-driven parallel scan over the snapshot's layer
+  /// stack: the Read/Write snapshots are immutable, so workers share
+  /// them lock-free. A parallel scan also reads the Trans-PDT from
+  /// worker threads, so the transaction must not apply updates while one
+  /// is being consumed (route updates through the Query-PDT, which the
+  /// scan stack deliberately excludes, or drain the scan first).
   std::unique_ptr<BatchSource> Scan(std::vector<ColumnId> projection,
-                                    const KeyBounds* bounds = nullptr) const;
+                                    const KeyBounds* bounds = nullptr,
+                                    const ScanOptions& scan_opts = {}) const;
   StatusOr<Tuple> GetByKey(const std::vector<Value>& key) const;
   uint64_t RowCount() const;
 

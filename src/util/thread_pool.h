@@ -1,0 +1,63 @@
+// A small fixed-size worker pool plus a dynamic ParallelFor, the execution
+// substrate of the morsel-driven parallel scan (exec/parallel_scan.h).
+// Deliberately work-stealing-free: scan morsels are claimed from a shared
+// atomic queue, so a plain task pool with dynamic (counter-based) index
+// claiming already load-balances skewed morsels.
+#ifndef PDTSTORE_UTIL_THREAD_POOL_H_
+#define PDTSTORE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdtstore {
+
+/// Fixed set of worker threads executing submitted tasks FIFO. The
+/// destructor drains all submitted tasks before joining, so long-running
+/// tasks must observe their own cancellation flag (as the parallel scan's
+/// workers do via its abort flag).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues `fn` for execution on some worker.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  /// Hardware concurrency, with a floor of 1 (hardware_concurrency() may
+  /// report 0 on exotic platforms).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or shutdown
+  std::condition_variable idle_cv_;   // signals WaitIdle: all drained
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Applies `fn` to every index in [begin, end) using up to `num_threads`
+/// workers (<= 0: DefaultThreads()). Indices are claimed dynamically from
+/// a shared atomic counter, so unevenly-sized work items still balance.
+/// Runs inline when one worker suffices. `fn` must be thread-safe.
+void ParallelFor(int num_threads, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_UTIL_THREAD_POOL_H_

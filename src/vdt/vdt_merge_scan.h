@@ -31,9 +31,18 @@ class VdtMergeScan : public BatchSource {
  public:
   /// `ranges` restricts the stable scan (from the sparse index); `bounds`
   /// restricts which VDT entries participate (the key-space counterpart).
+  ///
+  /// `fence_lo` (inclusive) / `fence_hi` (exclusive) are full-SK morsel
+  /// fences for parallel scans: the VDT has no positions, so a morsel of
+  /// stable SIDs [lo, hi) owns exactly the differential entries with keys
+  /// in [SK(lo), SK(hi)) — fences make adjacent morsels partition the
+  /// insert/delete maps with no duplicate and no loss, on top of (not
+  /// instead of) the user-visible `bounds`. Empty = unfenced on that side.
   VdtMergeScan(const ColumnStore* store, const Vdt* vdt,
                std::vector<ColumnId> projection,
-               std::vector<SidRange> ranges = {}, KeyBounds bounds = {});
+               std::vector<SidRange> ranges = {}, KeyBounds bounds = {},
+               std::vector<Value> fence_lo = {},
+               std::vector<Value> fence_hi = {});
 
   StatusOr<bool> Next(Batch* out, size_t max_rows) override;
 
@@ -51,6 +60,8 @@ class VdtMergeScan : public BatchSource {
   std::vector<int> sk_batch_idx_;          // SK positions in scan batches
   std::vector<int> out_batch_idx_;         // projection positions in scan
   KeyBounds bounds_;
+  std::vector<Value> fence_lo_;            // morsel fence, inclusive
+  std::vector<Value> fence_hi_;            // morsel fence, exclusive
 
   std::unique_ptr<BatchSource> stable_;
   Batch proto_;  // output layout, reused via ResetLike
