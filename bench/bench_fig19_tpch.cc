@@ -15,17 +15,30 @@
 // key columns), VDT adds visible merge CPU, and PDT stays within noise
 // of the no-updates runs.
 //
+// In addition, a parallel-pipeline sweep (--threads) runs the 22 queries
+// hot on the updated PDT scenario at several worker-thread counts — the
+// query fragments (filter / project / join probe / partial agg) execute
+// inside the morsel workers (exec/pipeline.h) — and records per-thread
+// total time, approximate scan throughput, the auto-tuned morsel size
+// and hardware_threads under `tpch_pipeline` in the JSON output.
+//
 // Usage: bench_fig19_tpch [--sf=0.05] [--config=both|compressed|uncompressed]
 //                         [--fraction=0.001] [--bandwidth-mb=150]
+//                         [--threads=1,2,4] [--json=BENCH_fig19.json]
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "db/database.h"
+#include "exec/parallel_scan.h"
 #include "tpch/queries.h"
 #include "tpch/tpch_gen.h"
 #include "tpch/update_stream.h"
+#include "util/thread_pool.h"
 
 namespace pdtstore {
 namespace bench {
@@ -161,6 +174,99 @@ void RunConfig(const char* label, bool compression, const GenOptions& gen,
   }
 }
 
+std::vector<int> ParseIntList(const std::string& s) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// Parallel-pipeline sweep: all 22 queries, hot, on the updated PDT
+// scenario, at each worker-thread count. Results are checked against the
+// single-thread run (relative 1e-6: parallel partial-agg merges change
+// floating-point summation order, not the result multiset).
+void RunThreadSweep(const GenOptions& gen, double fraction,
+                    const std::vector<int>& threads,
+                    JsonResultWriter* json) {
+  std::printf("=== parallel-pipeline sweep (PDT, uncompressed, hot) ===\n");
+  auto streams_or = tpch::MakeUpdateStreams(gen, 2, fraction);
+  if (!streams_or.ok()) {
+    std::fprintf(stderr, "streams failed\n");
+    std::abort();
+  }
+  Scenario pdt = BuildScenario("PDT", gen, DeltaBackend::kPdt,
+                               /*compression=*/false, &*streams_or);
+  const double lineitem_rows =
+      static_cast<double>(pdt.tables.lineitem->RowCount());
+  const double orders_rows =
+      static_cast<double>(pdt.tables.orders->RowCount());
+  std::printf("%-8s %-12s %-14s %-12s %-8s\n", "threads", "total_ms",
+              "approx_mrps", "morsel_rows", "check");
+  std::vector<QueryResult> reference(23);
+  double base_ms = 0;
+  for (int t : threads) {
+    tpch::QueryOptions qopts;
+    qopts.num_threads = t;
+    // Warm the caches once per thread count (results are compared hot).
+    for (int q = 1; q <= 22; ++q) (void)RunTpchQuery(q, pdt.tables, qopts);
+    Stopwatch sw;
+    bool agree = true;
+    for (int q = 1; q <= 22; ++q) {
+      auto r = RunTpchQuery(q, pdt.tables, qopts);
+      if (!r.ok()) {
+        std::fprintf(stderr, "q%d (%d threads) failed: %s\n", q, t,
+                     r.status().ToString().c_str());
+        std::abort();
+      }
+      if (t == threads.front()) {
+        reference[q] = *r;
+      } else {
+        agree = agree && r->rows == reference[q].rows &&
+                std::abs(r->checksum - reference[q].checksum) <=
+                    1e-6 * (1.0 + std::abs(reference[q].checksum));
+      }
+    }
+    double total_ms = sw.ElapsedMillis();
+    // Approximate scan throughput: nearly every query scans the two
+    // updated tables once.
+    double mrps = 22.0 * (lineitem_rows + orders_rows) / total_ms / 1e3;
+    size_t morsel_rows = AutoMorselRows(
+        pdt.tables.lineitem->store().options().chunk_rows,
+        pdt.tables.lineitem->store().num_rows(),
+        pdt.tables.lineitem->pdt()->EntryCount(), t);
+    std::printf("%-8d %-12.1f %-14.2f %-12zu %s\n", t, total_ms, mrps,
+                morsel_rows, agree ? "ok" : "MISMATCH");
+    if (t == 1) base_ms = total_ms;
+    if (json != nullptr) {
+      char key[48];
+      std::snprintf(key, sizeof(key), "t%d_total_ms", t);
+      json->Metric("tpch_pipeline", key, total_ms);
+      std::snprintf(key, sizeof(key), "t%d_approx_mrps", t);
+      json->Metric("tpch_pipeline", key, mrps);
+      std::snprintf(key, sizeof(key), "t%d_morsel_rows", t);
+      json->Metric("tpch_pipeline", key, static_cast<double>(morsel_rows));
+      std::snprintf(key, sizeof(key), "t%d_agree", t);
+      json->Metric("tpch_pipeline", key, agree ? 1.0 : 0.0);
+      if (t > 1 && base_ms > 0) {
+        std::snprintf(key, sizeof(key), "t%d_speedup", t);
+        json->Metric("tpch_pipeline", key, base_ms / total_ms);
+      }
+    }
+  }
+  if (json != nullptr) {
+    json->Metric("tpch_pipeline", "lineitem_rows", lineitem_rows);
+    json->Metric("tpch_pipeline", "orders_rows", orders_rows);
+    json->Metric("tpch_pipeline", "hardware_threads",
+                 static_cast<double>(ThreadPool::DefaultThreads()));
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace pdtstore
@@ -175,21 +281,32 @@ int main(int argc, char** argv) {
   double bandwidth = std::strtod(
       FlagValue(argc, argv, "bandwidth-mb", "150").c_str(), nullptr);
   std::string config = FlagValue(argc, argv, "config", "both");
+  auto threads = ParseIntList(FlagValue(argc, argv, "threads", "1,2,4"));
+  const std::string json_path =
+      FlagValue(argc, argv, "json", "BENCH_fig19.json");
   std::printf(
       "=== Figure 19: TPC-H with updates — no-updates vs VDT vs PDT ===\n"
       "(update streams: 2 x %.2f%% of orders+lineitem; disk model "
       "%.0f MB/s)\n\n",
       fraction * 100, bandwidth);
+  JsonResultWriter json;
   if (config == "both" || config == "uncompressed") {
     RunConfig("uncompressed/workstation", false, gen, fraction, bandwidth);
   }
   if (config == "both" || config == "compressed") {
     RunConfig("compressed/server", true, gen, fraction, bandwidth);
   }
+  if (!threads.empty()) {
+    RunThreadSweep(gen, fraction, threads, &json);
+  }
   std::printf(
       "Expectation (paper): io_vdt > io_pdt ~= io_clean (VDT must read "
       "sort-key columns; gap larger uncompressed); hot_vdt suffers merge "
       "CPU; PDT within noise of no-updates. Queries 2, 11, 16 touch no "
       "updated table.\n");
+  if (!json_path.empty() && !json.WriteFile(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

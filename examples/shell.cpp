@@ -82,6 +82,8 @@ void PrintHelp() {
       "  io                        buffer-pool statistics\n"
       "  checkpoint <table>\n"
       "  tables\n"
+      "  .threads [N]              scan worker threads for select\n"
+      "                            (1 = serial; shows current when bare)\n"
       "  help | quit\n");
 }
 
@@ -118,6 +120,25 @@ class Shell {
                     static_cast<unsigned long long>(tbl->RowCount()),
                     tbl->pdt() ? tbl->pdt()->EntryCount() : 0);
       }
+      return Status::OK();
+    }
+    if (cmd == ".threads") {
+      if (t.size() < 2) {
+        std::printf("  threads=%d (hardware: %d)\n", threads_,
+                    ThreadPool::DefaultThreads());
+        return Status::OK();
+      }
+      errno = 0;
+      char* end = nullptr;
+      long v = std::strtol(t[1].c_str(), &end, 10);
+      if (errno != 0 || end == t[1].c_str() || *end != '\0' || v < 1 ||
+          v > 256) {
+        return Status::InvalidArgument("usage: .threads <1..256>");
+      }
+      threads_ = static_cast<int>(v);
+      std::printf("  threads=%d%s\n", threads_,
+                  threads_ > 1 ? " (selects run the parallel pipeline)"
+                               : " (serial)");
       return Status::OK();
     }
     if (cmd == "io") {
@@ -265,7 +286,12 @@ class Shell {
   Status Select(Table* table) {
     std::vector<ColumnId> all(table->schema().num_columns());
     for (ColumnId c = 0; c < all.size(); ++c) all[c] = c;
-    auto scan = table->Scan(all);
+    // `.threads N` (N > 1) exercises the morsel-driven parallel scan;
+    // ordered delivery keeps the printed sequence identical to serial.
+    ScanOptions opts;
+    opts.num_threads = threads_;
+    opts.ordered = true;
+    auto scan = table->Scan(all, nullptr, opts);
     PDT_ASSIGN_OR_RETURN(auto rows, CollectRows(scan.get()));
     for (const auto& row : rows) {
       std::printf("  %s\n", TupleToString(row).c_str());
@@ -275,6 +301,7 @@ class Shell {
   }
 
   Database db_;
+  int threads_ = 1;
 };
 
 }  // namespace

@@ -23,18 +23,23 @@ echo "== bench smoke (tiny sizes) =="
     --json="$BUILD_DIR/BENCH_exec_smoke.json"
 "$BUILD_DIR/bench_fig17_mergescan_scaling" --sizes=20000 --rates=0,1 \
     --threads=1,2,4 --json="$BUILD_DIR/BENCH_fig17_smoke.json"
+"$BUILD_DIR/bench_fig19_tpch" --sf=0.01 --config=uncompressed \
+    --threads=1,2 --json="$BUILD_DIR/BENCH_fig19_smoke.json"
 
 if [[ "${PDTSTORE_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== tsan build + parallel scan tests =="
-  # ThreadSanitizer over the morsel-driven parallel scan: the one
-  # subsystem with cross-thread shared state (exchange queues, buffer
-  # pool, shared read-only PDT layers).
+  echo "== tsan build + parallel scan/pipeline tests =="
+  # ThreadSanitizer over the morsel-driven parallel scan and the
+  # pipeline layer on top of it: the subsystems with cross-thread shared
+  # state (exchange queues, the shared process pool, partial-agg merges,
+  # the published join table, buffer pool, shared read-only PDT layers).
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
       -DPDTSTORE_BUILD_BENCHES=OFF -DPDTSTORE_BUILD_EXAMPLES=OFF
-  cmake --build "$TSAN_DIR" -j "$(nproc)" --target parallel_scan_test
-  (cd "$TSAN_DIR" && ctest --output-on-failure -R parallel_scan_test)
+  cmake --build "$TSAN_DIR" -j "$(nproc)" \
+      --target parallel_scan_test pipeline_test
+  (cd "$TSAN_DIR" && \
+      ctest --output-on-failure -R "parallel_scan_test|pipeline_test")
 fi
 
 echo "CI OK"

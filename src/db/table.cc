@@ -231,57 +231,59 @@ Status Table::ModifyByKey(const std::vector<Value>& key, ColumnId col,
 std::unique_ptr<BatchSource> Table::Scan(std::vector<ColumnId> projection,
                                          const KeyBounds* bounds,
                                          const ScanOptions& scan_opts) const {
+  return MakeScanSource(PlanMorsels(std::move(projection), bounds,
+                                    scan_opts));
+}
+
+MorselPlan Table::PlanMorsels(std::vector<ColumnId> projection,
+                              const KeyBounds* bounds,
+                              const ScanOptions& scan_opts) const {
   std::vector<SidRange> ranges;
   if (bounds != nullptr) {
     ranges = sparse_index_.LookupRange(bounds->lo, bounds->hi);
   }
   if (pdt_) {
     // Serial or morsel-parallel over the single-layer stack — the same
-    // shared implementation the transaction scan paths use.
-    return internal::LayeredScan(*store_, {pdt_.get()},
-                                 std::move(projection), std::move(ranges),
-                                 scan_opts);
+    // shared planning step the transaction scan paths use.
+    return internal::LayeredMorselPlan(*store_, {pdt_.get()},
+                                       std::move(projection),
+                                       std::move(ranges), scan_opts);
   }
-  const int threads = scan_opts.num_threads <= 0
-                          ? ThreadPool::DefaultThreads()
-                          : scan_opts.num_threads;
-  if (threads <= 1) {
-    return std::make_unique<VdtMergeScan>(store_.get(), vdt_.get(),
-                                          std::move(projection),
-                                          std::move(ranges),
-                                          bounds ? *bounds : KeyBounds{});
+  // Parallel VDT path (ResolveMorselPlan: an empty range list means "no
+  // pruning" — both the unbounded scan and the conservative LookupRange
+  // fallback — i.e. the whole table).
+  MorselPlan plan;
+  plan.options = scan_opts;
+  if (!ResolveMorselPlan(&ranges, store_->num_rows(),
+                         store_->options().chunk_rows,
+                         vdt_->InsertCount() + vdt_->DeleteCount(),
+                         &plan)) {
+    plan.serial = std::make_unique<VdtMergeScan>(
+        store_.get(), vdt_.get(), std::move(projection), std::move(ranges),
+        bounds ? *bounds : KeyBounds{});
+    return plan;
   }
-
-  // Parallel VDT path. An empty range list means "no pruning" (both the
-  // unbounded scan and the conservative LookupRange fallback), i.e. the
-  // whole table; a scan always has at least one (possibly empty) morsel
-  // so trailing inserts have a home.
-  if (ranges.empty()) ranges.push_back(SidRange{0, store_->num_rows()});
-  std::vector<SidRange> morsels =
-      SplitIntoMorsels(ranges, scan_opts.morsel_rows);
-  if (morsels.empty()) morsels.push_back(SidRange{0, 0});
-  ScanOptions opts = scan_opts;
-  opts.num_threads = threads;
 
   // VDT: the delta has no positions, so morsel ownership of differential
   // entries is by key — each morsel's fences are the stable SKs at its
   // begin and at the next morsel's begin (see VdtMergeScan).
-  std::vector<std::vector<Value>> begin_keys(morsels.size());
-  for (size_t i = 1; i < morsels.size(); ++i) {
-    auto key = store_->GetSortKey(morsels[i].begin);
+  std::vector<std::vector<Value>> begin_keys(plan.morsels.size());
+  for (size_t i = 1; i < plan.morsels.size(); ++i) {
+    auto key = store_->GetSortKey(plan.morsels[i].begin);
     if (!key.ok()) {
       // Cannot fence: fall back to the serial scan.
-      return std::make_unique<VdtMergeScan>(store_.get(), vdt_.get(),
-                                            std::move(projection),
-                                            std::move(ranges),
-                                            bounds ? *bounds : KeyBounds{});
+      plan.morsels.clear();
+      plan.serial = std::make_unique<VdtMergeScan>(
+          store_.get(), vdt_.get(), std::move(projection),
+          std::move(ranges), bounds ? *bounds : KeyBounds{});
+      return plan;
     }
     begin_keys[i] = std::move(*key);
   }
   const ColumnStore* store = store_.get();
   const Vdt* vdt = vdt_.get();
   KeyBounds user_bounds = bounds ? *bounds : KeyBounds{};
-  MorselSourceFactory factory =
+  plan.factory =
       [store, vdt, projection = std::move(projection), user_bounds,
        begin_keys = std::move(begin_keys)](
           size_t idx, const SidRange& morsel, bool final_morsel) {
@@ -293,10 +295,10 @@ std::unique_ptr<BatchSource> Table::Scan(std::vector<ColumnId> projection,
             store, vdt, projection, std::vector<SidRange>{morsel},
             user_bounds, std::move(fence_lo), std::move(fence_hi));
       };
-  // VDT batches carry morsel-local RIDs; the exchange renumbers them.
-  return std::make_unique<ParallelScanSource>(std::move(morsels),
-                                              std::move(factory), opts,
-                                              /*renumber_rids=*/true);
+  // VDT batches carry morsel-local RIDs; the ordered exchange renumbers
+  // them (pipeline fragments ignore RIDs).
+  plan.renumber_rids = true;
+  return plan;
 }
 
 // ---------------------------------------------------------------------

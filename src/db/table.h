@@ -114,6 +114,17 @@ class Table {
                                     const KeyBounds* bounds = nullptr,
                                     const ScanOptions& scan_opts = {}) const;
 
+  /// Plans the same scan as morsels + a per-morsel source factory, the
+  /// input of the parallel pipelines (exec/pipeline.h): operator
+  /// fragments run inside whichever worker claims each morsel. Falls
+  /// back to a serial plan at one thread or when the source cannot be
+  /// split (VDT without key fences). `scan_opts.morsel_rows == 0`
+  /// auto-tunes the granularity from the chunk size and the delta's
+  /// entry density.
+  MorselPlan PlanMorsels(std::vector<ColumnId> projection,
+                         const KeyBounds* bounds = nullptr,
+                         const ScanOptions& scan_opts = {}) const;
+
   // ------------------------------------------------------------------
   // Maintenance.
   // ------------------------------------------------------------------

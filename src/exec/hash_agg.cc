@@ -24,7 +24,14 @@ double InitAcc(AggKind kind) {
 
 }  // namespace
 
-void HashAggNode::GrowTable(size_t min_groups) {
+AggregationState::AggregationState(std::vector<size_t> group_by,
+                                   std::vector<AggSpec> aggs)
+    : group_by_(std::move(group_by)), aggs_(std::move(aggs)) {
+  acc_.resize(aggs_.size());
+  GrowTable(0);
+}
+
+void AggregationState::GrowTable(size_t min_groups) {
   // Power-of-two capacity keeping the table at most half full once
   // `min_groups` groups exist.
   size_t cap = std::max(kInitialSlots, slots_.size());
@@ -39,8 +46,8 @@ void HashAggNode::GrowTable(size_t min_groups) {
   }
 }
 
-void HashAggNode::AssignGroups(const Batch& in, const uint64_t* hashes,
-                               uint32_t* gids) {
+void AggregationState::AssignGroups(const Batch& in, const uint64_t* hashes,
+                                    uint32_t* gids) {
   const size_t n = in.num_rows();
   for (size_t row = 0; row < n; ++row) {
     // Safety net when the pre-sizing estimate under-predicted: keep the
@@ -87,94 +94,146 @@ void HashAggNode::AssignGroups(const Batch& in, const uint64_t* hashes,
   }
 }
 
-Status HashAggNode::BuildResult() {
-  // Reset aggregation state up front so a retried Next() after an input
-  // error restarts cleanly instead of aggregating into stale groups.
-  key_cols_.clear();
-  group_hashes_.clear();
-  slots_.clear();
-  counts_.clear();
-  acc_.clear();
-  bool key_cols_init = false;
-  std::vector<uint64_t> hashes;
-  std::vector<uint32_t> gids;
-  acc_.resize(aggs_.size());
-  prev_batch_new_groups_ = static_cast<size_t>(-1);
-  GrowTable(0);
-
-  Batch in;
-  while (true) {
-    PDT_ASSIGN_OR_RETURN(bool more, input_->Next(&in, kDefaultBatchSize));
-    if (!more) break;
-    if (!key_cols_init) {
-      for (size_t c : group_by_) {
-        key_cols_.emplace_back(in.column(c).type());
-      }
-      key_cols_init = true;
-    }
-    const size_t n = in.num_rows();
-    hashes.assign(n, kHashSeed);
+Status AggregationState::Absorb(const Batch& in) {
+  if (!key_cols_init_) {
     for (size_t c : group_by_) {
-      in.column(c).HashColumn(hashes.data());
+      key_cols_.emplace_back(in.column(c).type());
     }
-    gids.resize(n);
+    key_cols_init_ = true;
+  }
+  const size_t n = in.num_rows();
+  hashes_.assign(n, kHashSeed);
+  for (size_t c : group_by_) {
+    in.column(c).HashColumn(hashes_.data());
+  }
+  gids_.resize(n);
 
-    // Pre-size from the carried estimate (see header) with 25% headroom,
-    // capped at the worst case of n all-new groups, so doubling/rehash
-    // churn moves out of the per-row path on high-cardinality inputs.
-    size_t est_new =
-        prev_batch_new_groups_ == static_cast<size_t>(-1)
-            ? n
-            : prev_batch_new_groups_ + prev_batch_new_groups_ / 4 + 8;
-    est_new = std::min(est_new, n);
-    const size_t groups_before = group_hashes_.size();
-    GrowTable(groups_before + est_new);
-    group_hashes_.reserve(groups_before + est_new);
-    counts_.reserve(groups_before + est_new);
-    for (auto& a : acc_) a.reserve(groups_before + est_new);
+  // Pre-size from the carried estimate (see header) with 25% headroom,
+  // capped at the worst case of n all-new groups, so doubling/rehash
+  // churn moves out of the per-row path on high-cardinality inputs.
+  size_t est_new =
+      prev_batch_new_groups_ == static_cast<size_t>(-1)
+          ? n
+          : prev_batch_new_groups_ + prev_batch_new_groups_ / 4 + 8;
+  est_new = std::min(est_new, n);
+  const size_t groups_before = group_hashes_.size();
+  GrowTable(groups_before + est_new);
+  group_hashes_.reserve(groups_before + est_new);
+  counts_.reserve(groups_before + est_new);
+  for (auto& a : acc_) a.reserve(groups_before + est_new);
 
-    AssignGroups(in, hashes.data(), gids.data());
-    prev_batch_new_groups_ = group_hashes_.size() - groups_before;
+  AssignGroups(in, hashes_.data(), gids_.data());
+  prev_batch_new_groups_ = group_hashes_.size() - groups_before;
 
-    // One typed pass per aggregate (type and kind dispatched per batch,
-    // not per row).
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      const AggKind kind = aggs_[a].kind;
-      if (kind == AggKind::kCount) continue;
-      double* acc = acc_[a].data();
-      const ColumnVector& col = in.column(aggs_[a].input_idx);
-      auto update = [&](auto value_at) {
-        switch (kind) {
-          case AggKind::kSum:
-          case AggKind::kAvg:
-            for (size_t i = 0; i < n; ++i) acc[gids[i]] += value_at(i);
-            break;
-          case AggKind::kMin:
-            for (size_t i = 0; i < n; ++i) {
-              double v = value_at(i);
-              if (v < acc[gids[i]]) acc[gids[i]] = v;
-            }
-            break;
-          case AggKind::kMax:
-            for (size_t i = 0; i < n; ++i) {
-              double v = value_at(i);
-              if (v > acc[gids[i]]) acc[gids[i]] = v;
-            }
-            break;
-          case AggKind::kCount:
-            break;
+  // One typed pass per aggregate (type and kind dispatched per batch,
+  // not per row).
+  const uint32_t* gids = gids_.data();
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    const AggKind kind = aggs_[a].kind;
+    if (kind == AggKind::kCount) continue;
+    double* acc = acc_[a].data();
+    const ColumnVector& col = in.column(aggs_[a].input_idx);
+    auto update = [&](auto value_at) {
+      switch (kind) {
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          for (size_t i = 0; i < n; ++i) acc[gids[i]] += value_at(i);
+          break;
+        case AggKind::kMin:
+          for (size_t i = 0; i < n; ++i) {
+            double v = value_at(i);
+            if (v < acc[gids[i]]) acc[gids[i]] = v;
+          }
+          break;
+        case AggKind::kMax:
+          for (size_t i = 0; i < n; ++i) {
+            double v = value_at(i);
+            if (v > acc[gids[i]]) acc[gids[i]] = v;
+          }
+          break;
+        case AggKind::kCount:
+          break;
+      }
+    };
+    if (col.type() == TypeId::kInt64) {
+      const int64_t* v = col.ints().data();
+      update([v](size_t i) { return static_cast<double>(v[i]); });
+    } else {
+      const double* v = col.doubles().data();
+      update([v](size_t i) { return v[i]; });
+    }
+  }
+  return Status::OK();
+}
+
+Status AggregationState::MergeFrom(const AggregationState& other) {
+  const size_t other_groups = other.group_hashes_.size();
+  if (other_groups == 0) return Status::OK();
+  if (!key_cols_init_) {
+    for (size_t c = 0; c < group_by_.size(); ++c) {
+      key_cols_.emplace_back(other.key_cols_[c].type());
+    }
+    key_cols_init_ = true;
+  }
+  GrowTable(group_hashes_.size() + other_groups);
+  group_hashes_.reserve(group_hashes_.size() + other_groups);
+  counts_.reserve(counts_.size() + other_groups);
+  for (auto& a : acc_) a.reserve(a.size() + other_groups);
+
+  for (uint32_t g = 0; g < other_groups; ++g) {
+    const uint64_t h = other.group_hashes_[g];
+    size_t pos = h & slot_mask_;
+    uint32_t gid;
+    while (true) {
+      uint32_t slot = slots_[pos];
+      if (slot == 0) {
+        gid = static_cast<uint32_t>(group_hashes_.size());
+        slots_[pos] = gid + 1;
+        group_hashes_.push_back(h);
+        for (size_t c = 0; c < group_by_.size(); ++c) {
+          key_cols_[c].AppendFrom(other.key_cols_[c], g);
         }
-      };
-      if (col.type() == TypeId::kInt64) {
-        const int64_t* v = col.ints().data();
-        update([v](size_t i) { return static_cast<double>(v[i]); });
-      } else {
-        const double* v = col.doubles().data();
-        update([v](size_t i) { return v[i]; });
+        counts_.push_back(0);
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          acc_[a].push_back(InitAcc(aggs_[a].kind));
+        }
+        break;
+      }
+      gid = slot - 1;
+      if (group_hashes_[gid] == h) {
+        bool equal = true;
+        for (size_t c = 0; c < group_by_.size(); ++c) {
+          if (key_cols_[c].CompareAt(gid, other.key_cols_[c], g) != 0) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) break;
+      }
+      pos = (pos + 1) & slot_mask_;
+    }
+    counts_[gid] += other.counts_[g];
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      switch (aggs_[a].kind) {
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          acc_[a][gid] += other.acc_[a][g];
+          break;
+        case AggKind::kMin:
+          acc_[a][gid] = std::min(acc_[a][gid], other.acc_[a][g]);
+          break;
+        case AggKind::kMax:
+          acc_[a][gid] = std::max(acc_[a][gid], other.acc_[a][g]);
+          break;
+        case AggKind::kCount:
+          break;
       }
     }
   }
+  return Status::OK();
+}
 
+Batch AggregationState::TakeResult() {
   // Assemble the result batch: key columns (already in first-appearance
   // order) then aggregates.
   const size_t num_groups = group_hashes_.size();
@@ -182,8 +241,8 @@ Status HashAggNode::BuildResult() {
   std::vector<ColumnId> ids;
   for (size_t c = 0; c < group_by_.size(); ++c) {
     ids.push_back(static_cast<ColumnId>(c));
-    result.columns().push_back(key_cols_init ? std::move(key_cols_[c])
-                                             : ColumnVector());
+    result.columns().push_back(key_cols_init_ ? std::move(key_cols_[c])
+                                              : ColumnVector());
   }
   for (size_t a = 0; a < aggs_.size(); ++a) {
     ids.push_back(static_cast<ColumnId>(group_by_.size() + a));
@@ -217,14 +276,28 @@ Status HashAggNode::BuildResult() {
     result.columns().push_back(std::move(col));
   }
   result.set_column_ids(std::move(ids));
-  emitter_ = std::make_unique<VectorSource>(std::move(result));
-  built_ = true;
   // Release aggregation state.
   key_cols_.clear();
+  key_cols_init_ = false;
   group_hashes_.clear();
   slots_.clear();
   counts_.clear();
   acc_.clear();
+  return result;
+}
+
+Status HashAggNode::BuildResult() {
+  // A fresh state per build so a retried Next() after an input error
+  // restarts cleanly instead of aggregating into stale groups.
+  AggregationState state(group_by_, aggs_);
+  Batch in;
+  while (true) {
+    PDT_ASSIGN_OR_RETURN(bool more, input_->Next(&in, kDefaultBatchSize));
+    if (!more) break;
+    PDT_RETURN_NOT_OK(state.Absorb(in));
+  }
+  emitter_ = std::make_unique<VectorSource>(state.TakeResult());
+  built_ = true;
   return Status::OK();
 }
 

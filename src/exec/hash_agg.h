@@ -4,6 +4,12 @@
 // the combined 64-bit hash (verify-on-collision via typed CompareAt
 // against the materialized distinct-key columns) — no per-row key
 // serialization or allocation.
+//
+// The aggregation core lives in AggregationState so the parallel
+// pipeline (exec/pipeline.h) can run one instance per worker as a
+// thread-local pre-aggregation table and merge them at finalize; the
+// serial HashAggNode drives a single instance, byte-identical to the
+// pre-pipeline behavior.
 #ifndef PDTSTORE_EXEC_HASH_AGG_H_
 #define PDTSTORE_EXEC_HASH_AGG_H_
 
@@ -23,6 +29,60 @@ struct AggSpec {
   size_t input_idx = 0;
 };
 
+/// The grouped-aggregation core: an open-addressing table keyed by the
+/// combined key hash with typed bulk accumulate passes. Not thread-safe;
+/// parallel aggregation gives each worker its own instance and merges
+/// them (MergeFrom) under the runner's serialization.
+class AggregationState {
+ public:
+  AggregationState(std::vector<size_t> group_by, std::vector<AggSpec> aggs);
+
+  /// Folds one input batch into the table (groups created in order of
+  /// first appearance).
+  Status Absorb(const Batch& in);
+
+  /// Partial-aggregation merge: folds `other`'s groups into this table
+  /// (SUM/AVG/COUNT add, MIN/MAX fold; AVG merges exactly because sum
+  /// and count are both carried).
+  Status MergeFrom(const AggregationState& other);
+
+  size_t num_groups() const { return group_hashes_.size(); }
+
+  /// Assembles the result batch — the group-by key columns (first-
+  /// appearance order) followed by one column per aggregate (COUNT ->
+  /// int64, others -> double); a global aggregation over zero rows
+  /// yields a single all-zero row. Leaves this state empty.
+  Batch TakeResult();
+
+ private:
+  // Maps each row of `in` to its group id (creating groups), using the
+  // precomputed combined key hashes.
+  void AssignGroups(const Batch& in, const uint64_t* hashes,
+                    uint32_t* gids);
+  // Grows the open-addressing table (one rehash) so it can hold
+  // `min_groups` groups under the 50% load cap.
+  void GrowTable(size_t min_groups);
+
+  std::vector<size_t> group_by_;
+  std::vector<AggSpec> aggs_;
+  bool key_cols_init_ = false;
+  std::vector<ColumnVector> key_cols_;   // one value per group
+  std::vector<uint64_t> group_hashes_;   // combined hash per group
+  std::vector<uint32_t> slots_;          // open addressing: group id + 1
+  size_t slot_mask_ = 0;
+  std::vector<int64_t> counts_;          // per group
+  std::vector<std::vector<double>> acc_;  // per agg, per group
+  // Scratch reused across Absorb calls.
+  std::vector<uint64_t> hashes_;
+  std::vector<uint32_t> gids_;
+  // New groups the previous batch contributed — the carried estimate that
+  // pre-sizes the table before each batch, so high-cardinality inputs do
+  // one predicted rehash per batch at most instead of repeated
+  // mid-AssignGroups doubling (SIZE_MAX until a batch has been seen: the
+  // first batch pre-sizes for the worst case, every row a new group).
+  size_t prev_batch_new_groups_ = static_cast<size_t>(-1);
+};
+
 /// Grouped aggregation. Output columns: the group-by columns (in the
 /// given order) followed by one double/int64 column per aggregate
 /// (COUNT -> int64, others -> double). Groups are emitted in order of
@@ -39,33 +99,12 @@ class HashAggNode : public BatchSource {
 
  private:
   Status BuildResult();
-  // Maps each row of `in` to its group id (creating groups), using the
-  // precomputed combined key hashes.
-  void AssignGroups(const Batch& in, const uint64_t* hashes,
-                    uint32_t* gids);
-  // Grows the open-addressing table (one rehash) so it can hold
-  // `min_groups` groups under the 50% load cap.
-  void GrowTable(size_t min_groups);
 
   std::unique_ptr<BatchSource> input_;
   std::vector<size_t> group_by_;
   std::vector<AggSpec> aggs_;
   bool built_ = false;
   std::unique_ptr<BatchSource> emitter_;
-
-  // --- aggregation state (live during BuildResult) ---
-  std::vector<ColumnVector> key_cols_;   // one value per group
-  std::vector<uint64_t> group_hashes_;   // combined hash per group
-  std::vector<uint32_t> slots_;          // open addressing: group id + 1
-  size_t slot_mask_ = 0;
-  std::vector<int64_t> counts_;          // per group
-  std::vector<std::vector<double>> acc_;  // per agg, per group
-  // New groups the previous batch contributed — the carried estimate that
-  // pre-sizes the table before each batch, so high-cardinality inputs do
-  // one predicted rehash per batch at most instead of repeated
-  // mid-AssignGroups doubling (SIZE_MAX until a batch has been seen: the
-  // first batch pre-sizes for the worst case, every row a new group).
-  size_t prev_batch_new_groups_ = static_cast<size_t>(-1);
 };
 
 }  // namespace pdtstore

@@ -4,30 +4,32 @@
 
 namespace pdtstore {
 
-Status HashJoinNode::BuildTable() {
-  PDT_ASSIGN_OR_RETURN(build_rows_, MaterializeAll(build_.get()));
+JoinTable JoinTable::Build(Batch build_rows, std::vector<size_t> keys) {
+  JoinTable t;
+  t.rows = std::move(build_rows);
+  t.key_cols = std::move(keys);
   // An exhausted build side materializes to a column-less batch; leave
   // the table empty rather than indexing its key columns.
-  const size_t n = build_rows_.num_rows();
+  const size_t n = t.rows.num_rows();
   if (n > 0) {
     std::vector<uint64_t> hashes(n, kHashSeed);
-    for (size_t k : build_keys_) {
-      build_rows_.column(k).HashColumn(hashes.data());
+    for (size_t k : t.key_cols) {
+      t.rows.column(k).HashColumn(hashes.data());
     }
-    table_.reserve(n);
+    t.buckets.reserve(n);
     for (size_t row = 0; row < n; ++row) {
-      table_[hashes[row]].push_back(static_cast<uint32_t>(row));
+      t.buckets[hashes[row]].push_back(static_cast<uint32_t>(row));
     }
   }
-  built_ = true;
-  return Status::OK();
+  return t;
 }
 
-bool HashJoinNode::KeysEqual(const Batch& probe, size_t probe_row,
-                             size_t build_row) const {
-  for (size_t k = 0; k < probe_keys_.size(); ++k) {
-    if (build_rows_.column(build_keys_[k])
-            .CompareAt(build_row, probe.column(probe_keys_[k]),
+bool JoinTable::KeysEqual(const std::vector<size_t>& probe_keys,
+                          const Batch& probe, size_t probe_row,
+                          size_t build_row) const {
+  for (size_t k = 0; k < probe_keys.size(); ++k) {
+    if (rows.column(key_cols[k])
+            .CompareAt(build_row, probe.column(probe_keys[k]),
                        probe_row) != 0) {
       return false;
     }
@@ -35,77 +37,137 @@ bool HashJoinNode::KeysEqual(const Batch& probe, size_t probe_row,
   return true;
 }
 
+void ProbeJoinBatch(const JoinTable& table,
+                    const std::vector<size_t>& probe_keys, JoinKind kind,
+                    const Batch& in, Batch* out, JoinProbeScratch* scratch) {
+  const size_t n = in.num_rows();
+  if (!scratch->proto_init) {
+    std::vector<ColumnId> ids;
+    for (size_t c = 0; c < in.num_columns(); ++c) {
+      ids.push_back(static_cast<ColumnId>(c));
+      scratch->out_proto.columns().emplace_back(in.column(c).type());
+    }
+    if (kind == JoinKind::kInner) {
+      for (size_t c = 0; c < table.rows.num_columns(); ++c) {
+        ids.push_back(static_cast<ColumnId>(in.num_columns() + c));
+        scratch->out_proto.columns().emplace_back(
+            table.rows.column(c).type());
+      }
+    }
+    scratch->out_proto.set_column_ids(std::move(ids));
+    scratch->proto_init = true;
+  }
+  out->ResetLike(scratch->out_proto);
+
+  // One bulk hash pass per key column, then per-row bucket probes.
+  scratch->hashes.assign(n, kHashSeed);
+  for (size_t k : probe_keys) {
+    in.column(k).HashColumn(scratch->hashes.data());
+  }
+
+  if (kind == JoinKind::kInner) {
+    scratch->probe_sel.clear();
+    scratch->build_sel.clear();
+    for (size_t row = 0; row < n; ++row) {
+      auto it = table.buckets.find(scratch->hashes[row]);
+      if (it == table.buckets.end()) continue;
+      for (uint32_t b : it->second) {
+        if (table.KeysEqual(probe_keys, in, row, b)) {
+          scratch->probe_sel.push_back(static_cast<uint32_t>(row));
+          scratch->build_sel.push_back(b);
+        }
+      }
+    }
+    for (size_t c = 0; c < in.num_columns(); ++c) {
+      out->column(c).AppendGather(in.column(c), scratch->probe_sel);
+    }
+    for (size_t c = 0; c < table.rows.num_columns(); ++c) {
+      out->column(in.num_columns() + c)
+          .AppendGather(table.rows.column(c), scratch->build_sel);
+    }
+  } else {
+    // Semi/anti: mark matches, then compact survivors column-wise.
+    const uint8_t want = kind == JoinKind::kLeftSemi ? 1 : 0;
+    scratch->keep.assign(n, 0);
+    for (size_t row = 0; row < n; ++row) {
+      uint8_t matched = 0;
+      auto it = table.buckets.find(scratch->hashes[row]);
+      if (it != table.buckets.end()) {
+        for (uint32_t b : it->second) {
+          if (table.KeysEqual(probe_keys, in, row, b)) {
+            matched = 1;
+            break;
+          }
+        }
+      }
+      scratch->keep[row] = (matched == want);
+    }
+    out->AppendFiltered(in, scratch->keep.data());
+  }
+}
+
+// ---------------------------------------------------------------------
+// JoinBuildHandle.
+// ---------------------------------------------------------------------
+
+JoinBuildHandle::JoinBuildHandle(std::unique_ptr<BatchSource> build_source,
+                                 std::vector<size_t> build_keys)
+    : build_keys_(std::move(build_keys)) {
+  // Shared-ptr capture: std::function requires copyability.
+  std::shared_ptr<BatchSource> src = std::move(build_source);
+  producer_ = [src]() { return MaterializeAll(src.get()); };
+}
+
+JoinBuildHandle::JoinBuildHandle(std::function<StatusOr<Batch>()> producer,
+                                 std::vector<size_t> build_keys)
+    : producer_(std::move(producer)), build_keys_(std::move(build_keys)) {}
+
+StatusOr<const JoinTable*> JoinBuildHandle::Resolve() {
+  if (!resolved_) {
+    resolved_ = true;
+    StatusOr<Batch> rows = producer_();
+    producer_ = nullptr;  // release the build source / pipeline
+    if (!rows.ok()) {
+      error_ = rows.status();
+    } else {
+      table_ = JoinTable::Build(std::move(*rows), build_keys_);
+    }
+  }
+  if (!error_.ok()) return error_;
+  return &table_;
+}
+
+// ---------------------------------------------------------------------
+// HashJoinNode.
+// ---------------------------------------------------------------------
+
+HashJoinNode::HashJoinNode(std::unique_ptr<BatchSource> probe,
+                           std::unique_ptr<BatchSource> build,
+                           std::vector<size_t> probe_keys,
+                           std::vector<size_t> build_keys, JoinKind kind)
+    : probe_(std::move(probe)),
+      build_(std::make_shared<JoinBuildHandle>(std::move(build),
+                                               std::move(build_keys))),
+      probe_keys_(std::move(probe_keys)),
+      kind_(kind) {}
+
+HashJoinNode::HashJoinNode(std::unique_ptr<BatchSource> probe,
+                           std::shared_ptr<JoinBuildHandle> build,
+                           std::vector<size_t> probe_keys, JoinKind kind)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_keys_(std::move(probe_keys)),
+      kind_(kind) {}
+
 StatusOr<bool> HashJoinNode::Next(Batch* out, size_t max_rows) {
-  if (!built_) {
-    PDT_RETURN_NOT_OK(BuildTable());
+  if (table_ == nullptr) {
+    PDT_ASSIGN_OR_RETURN(table_, build_->Resolve());
   }
   Batch in;
   while (true) {
     PDT_ASSIGN_OR_RETURN(bool more, probe_->Next(&in, max_rows));
     if (!more) return false;
-    const size_t n = in.num_rows();
-    if (!proto_init_) {
-      std::vector<ColumnId> ids;
-      for (size_t c = 0; c < in.num_columns(); ++c) {
-        ids.push_back(static_cast<ColumnId>(c));
-        out_proto_.columns().emplace_back(in.column(c).type());
-      }
-      if (kind_ == JoinKind::kInner) {
-        for (size_t c = 0; c < build_rows_.num_columns(); ++c) {
-          ids.push_back(static_cast<ColumnId>(in.num_columns() + c));
-          out_proto_.columns().emplace_back(build_rows_.column(c).type());
-        }
-      }
-      out_proto_.set_column_ids(std::move(ids));
-      proto_init_ = true;
-    }
-    out->ResetLike(out_proto_);
-
-    // One bulk hash pass per key column, then per-row bucket probes.
-    hashes_.assign(n, kHashSeed);
-    for (size_t k : probe_keys_) {
-      in.column(k).HashColumn(hashes_.data());
-    }
-
-    if (kind_ == JoinKind::kInner) {
-      probe_sel_.clear();
-      build_sel_.clear();
-      for (size_t row = 0; row < n; ++row) {
-        auto it = table_.find(hashes_[row]);
-        if (it == table_.end()) continue;
-        for (uint32_t b : it->second) {
-          if (KeysEqual(in, row, b)) {
-            probe_sel_.push_back(static_cast<uint32_t>(row));
-            build_sel_.push_back(b);
-          }
-        }
-      }
-      for (size_t c = 0; c < in.num_columns(); ++c) {
-        out->column(c).AppendGather(in.column(c), probe_sel_);
-      }
-      for (size_t c = 0; c < build_rows_.num_columns(); ++c) {
-        out->column(in.num_columns() + c)
-            .AppendGather(build_rows_.column(c), build_sel_);
-      }
-    } else {
-      // Semi/anti: mark matches, then compact survivors column-wise.
-      const uint8_t want = kind_ == JoinKind::kLeftSemi ? 1 : 0;
-      keep_.assign(n, 0);
-      for (size_t row = 0; row < n; ++row) {
-        uint8_t matched = 0;
-        auto it = table_.find(hashes_[row]);
-        if (it != table_.end()) {
-          for (uint32_t b : it->second) {
-            if (KeysEqual(in, row, b)) {
-              matched = 1;
-              break;
-            }
-          }
-        }
-        keep_[row] = (matched == want);
-      }
-      out->AppendFiltered(in, keep_.data());
-    }
+    ProbeJoinBatch(*table_, probe_keys_, kind_, in, out, &scratch_);
     if (out->num_rows() > 0) return true;
   }
 }

@@ -3,9 +3,16 @@
 // collision against the materialized build columns); probe batches are
 // hashed with one bulk HashColumn pass per key column and matches are
 // compacted with selection-vector gathers. Inner or left-semi/anti.
+//
+// The build side is factored into an immutable JoinTable behind a
+// JoinBuildHandle (the publish barrier): the parallel pipeline
+// (exec/pipeline.h) builds it with per-worker collection and probes it
+// from many workers lock-free, while the serial HashJoinNode keeps its
+// pre-pipeline behavior through the same structures.
 #ifndef PDTSTORE_EXEC_HASH_JOIN_H_
 #define PDTSTORE_EXEC_HASH_JOIN_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +24,67 @@ namespace pdtstore {
 /// Join flavor.
 enum class JoinKind { kInner, kLeftSemi, kLeftAnti };
 
+/// The materialized build side of a hash join: build rows plus a bucket
+/// table keyed by the combined key hash. Immutable once built, so probe
+/// workers share it without locks.
+struct JoinTable {
+  Batch rows;
+  std::vector<size_t> key_cols;
+  /// Combined key hash -> build rows with that hash, in build order.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+
+  static JoinTable Build(Batch build_rows, std::vector<size_t> keys);
+
+  /// Typed key equality between a probe row and a build row (the
+  /// verify-on-collision step).
+  bool KeysEqual(const std::vector<size_t>& probe_keys, const Batch& probe,
+                 size_t probe_row, size_t build_row) const;
+};
+
+/// Per-thread probe scratch (allocation-free steady state).
+struct JoinProbeScratch {
+  std::vector<uint64_t> hashes;
+  SelVector probe_sel;
+  SelVector build_sel;
+  std::vector<uint8_t> keep;
+  Batch out_proto;  // output layout, built once, reused via ResetLike
+  bool proto_init = false;
+};
+
+/// Probes `in` against `table`, filling `*out` (reset to the output
+/// layout): inner gathers probe then build columns; semi/anti compact
+/// surviving probe rows. Thread-safe across distinct scratch objects.
+void ProbeJoinBatch(const JoinTable& table,
+                    const std::vector<size_t>& probe_keys, JoinKind kind,
+                    const Batch& in, Batch* out, JoinProbeScratch* scratch);
+
+/// Deferred join build side: resolves to an immutable JoinTable on first
+/// use and caches it — the pipeline's build barrier. Resolution happens
+/// on the probing consumer's thread before probe workers start (see
+/// PipelineOp::Prepare); the handle itself is not thread-safe, sharing
+/// one across concurrently-starting probes requires external order.
+class JoinBuildHandle {
+ public:
+  /// Build side drained from a serial source (MaterializeAll).
+  JoinBuildHandle(std::unique_ptr<BatchSource> build_source,
+                  std::vector<size_t> build_keys);
+  /// Build side produced by an arbitrary producer (the parallel build
+  /// pipeline; see Pipeline::IntoJoinBuild).
+  JoinBuildHandle(std::function<StatusOr<Batch>()> producer,
+                  std::vector<size_t> build_keys);
+
+  /// Runs the build on first call; later calls return the cached table
+  /// (or the cached failure).
+  StatusOr<const JoinTable*> Resolve();
+
+ private:
+  std::function<StatusOr<Batch>()> producer_;
+  std::vector<size_t> build_keys_;
+  bool resolved_ = false;
+  Status error_ = Status::OK();
+  JoinTable table_;
+};
+
 /// Equi-join on (probe_keys[i] == build_keys[i]). Output columns: all
 /// probe columns, then (inner only) all build columns. Duplicate build
 /// matches are emitted in build-row order.
@@ -26,37 +94,23 @@ class HashJoinNode : public BatchSource {
                std::unique_ptr<BatchSource> build,
                std::vector<size_t> probe_keys,
                std::vector<size_t> build_keys,
-               JoinKind kind = JoinKind::kInner)
-      : probe_(std::move(probe)),
-        build_(std::move(build)),
-        probe_keys_(std::move(probe_keys)),
-        build_keys_(std::move(build_keys)),
-        kind_(kind) {}
+               JoinKind kind = JoinKind::kInner);
+
+  /// Probe against a deferred (possibly pipeline-built) build side.
+  HashJoinNode(std::unique_ptr<BatchSource> probe,
+               std::shared_ptr<JoinBuildHandle> build,
+               std::vector<size_t> probe_keys,
+               JoinKind kind = JoinKind::kInner);
 
   StatusOr<bool> Next(Batch* out, size_t max_rows) override;
 
  private:
-  Status BuildTable();
-  // Typed key equality between probe row and build row (collision check).
-  bool KeysEqual(const Batch& probe, size_t probe_row,
-                 size_t build_row) const;
-
   std::unique_ptr<BatchSource> probe_;
-  std::unique_ptr<BatchSource> build_;
+  std::shared_ptr<JoinBuildHandle> build_;
   std::vector<size_t> probe_keys_;
-  std::vector<size_t> build_keys_;
   JoinKind kind_;
-  bool built_ = false;
-  Batch build_rows_;
-  Batch out_proto_;  // output layout, built once, reused via ResetLike
-  bool proto_init_ = false;
-  // Combined key hash -> build rows with that hash, in build order.
-  std::unordered_map<uint64_t, std::vector<uint32_t>> table_;
-  // Scratch reused per probe batch (allocation-free steady state).
-  std::vector<uint64_t> hashes_;
-  SelVector probe_sel_;
-  SelVector build_sel_;
-  std::vector<uint8_t> keep_;
+  const JoinTable* table_ = nullptr;  // resolved on first Next
+  JoinProbeScratch scratch_;
 };
 
 }  // namespace pdtstore

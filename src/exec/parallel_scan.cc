@@ -3,7 +3,43 @@
 #include <algorithm>
 #include <cassert>
 
+#include "exec/pipeline.h"
+
 namespace pdtstore {
+
+size_t AutoMorselRows(size_t chunk_rows, uint64_t scan_sids,
+                      size_t delta_entries, int num_threads) {
+  if (chunk_rows == 0 || chunk_rows > kDefaultMorselRows) {
+    chunk_rows = kDefaultMorselRows;
+  }
+  if (num_threads <= 0) num_threads = ThreadPool::DefaultThreads();
+  size_t rows = kDefaultMorselRows;
+  // Load balancing: aim for at least ~4 morsels per worker so a slow
+  // (update-dense) morsel can be compensated by idle workers claiming
+  // the rest.
+  if (scan_sids > 0) {
+    size_t balanced = static_cast<size_t>(
+        scan_sids / (4 * static_cast<uint64_t>(num_threads)) + 1);
+    rows = std::min(rows, balanced);
+  }
+  // Density: bound the expected delta entries per morsel (~4K) so the
+  // per-morsel merge cost stays comparable across a skewed PDT.
+  if (delta_entries > 0 && scan_sids > 0) {
+    double per_sid =
+        static_cast<double>(delta_entries) / static_cast<double>(scan_sids);
+    if (per_sid > 0) {
+      size_t dense = static_cast<size_t>(4096.0 / per_sid) + 1;
+      rows = std::min(rows, dense);
+    }
+  }
+  // Chunk alignment: a morsel should cover whole decoded chunks (the
+  // unit of I/O and of zone-map pruning) whenever it spans at least one.
+  const size_t floor_rows = std::min(chunk_rows, kDefaultMorselRows);
+  if (rows >= chunk_rows) {
+    rows -= rows % chunk_rows;
+  }
+  return std::max(rows, floor_rows);
+}
 
 std::vector<SidRange> SplitIntoMorsels(const std::vector<SidRange>& ranges,
                                        size_t morsel_rows) {
@@ -22,112 +58,170 @@ std::vector<SidRange> SplitIntoMorsels(const std::vector<SidRange>& ranges,
   return morsels;
 }
 
+bool ResolveMorselPlan(std::vector<SidRange>* ranges, uint64_t table_rows,
+                       size_t chunk_rows, size_t delta_entries,
+                       MorselPlan* plan) {
+  if (plan->options.num_threads <= 0) {
+    plan->options.num_threads = ThreadPool::DefaultThreads();
+  }
+  if (plan->options.num_threads <= 1) {
+    plan->options.num_threads = 1;
+    return false;
+  }
+  if (ranges->empty()) ranges->push_back(SidRange{0, table_rows});
+  if (plan->options.morsel_rows == 0) {
+    uint64_t span = 0;
+    for (const SidRange& r : *ranges) span += r.end - r.begin;
+    plan->options.morsel_rows = AutoMorselRows(
+        chunk_rows, span, delta_entries, plan->options.num_threads);
+  }
+  plan->morsels = SplitIntoMorsels(*ranges, plan->options.morsel_rows);
+  if (plan->morsels.empty()) plan->morsels.push_back(SidRange{0, 0});
+  return true;
+}
+
 // ---------------------------------------------------------------------
 // ParallelScanSource.
 // ---------------------------------------------------------------------
 
-ParallelScanSource::ParallelScanSource(std::vector<SidRange> morsels,
-                                       MorselSourceFactory factory,
-                                       ScanOptions options,
-                                       bool renumber_rids)
-    : morsels_(std::move(morsels)),
-      factory_(std::move(factory)),
-      opts_(options),
-      renumber_rids_(renumber_rids) {
-  if (opts_.num_threads <= 0) opts_.num_threads = ThreadPool::DefaultThreads();
-  if (opts_.batch_rows == 0) opts_.batch_rows = kDefaultBatchSize;
-  num_workers_ = std::min<size_t>(static_cast<size_t>(opts_.num_threads),
-                                  morsels_.size());
-  inflight_window_ = std::max<size_t>(2 * num_workers_, num_workers_ + 1);
-  queue_cap_ = std::max<size_t>(4 * num_workers_, 2);
-  states_.resize(morsels_.size());
+ParallelScanSource::ParallelScanSource(
+    std::vector<SidRange> morsels, MorselSourceFactory factory,
+    ScanOptions options, bool renumber_rids,
+    std::vector<std::unique_ptr<PipelineOp>> ops)
+    : sh_(std::make_shared<Shared>()),
+      renumber_rids_(renumber_rids && ops.empty()) {
+  sh_->morsels = std::move(morsels);
+  sh_->factory = std::move(factory);
+  sh_->ops = std::move(ops);
+  sh_->opts = options;
+  if (sh_->opts.num_threads <= 0) {
+    sh_->opts.num_threads = ThreadPool::DefaultThreads();
+  }
+  if (sh_->opts.batch_rows == 0) sh_->opts.batch_rows = kDefaultBatchSize;
+  sh_->num_workers = std::min<size_t>(
+      static_cast<size_t>(sh_->opts.num_threads), sh_->morsels.size());
+  sh_->inflight_window =
+      std::max<size_t>(2 * sh_->num_workers, sh_->num_workers + 1);
+  sh_->queue_cap = std::max<size_t>(4 * sh_->num_workers, 2);
+  sh_->states.resize(sh_->morsels.size());
 }
 
 ParallelScanSource::~ParallelScanSource() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    abort_ = true;
-  }
-  producer_cv_.notify_all();
-  consumer_cv_.notify_all();
-  pool_.reset();  // joins the workers
+  std::unique_lock<std::mutex> lock(sh_->mu);
+  sh_->abort = true;
+  sh_->producer_cv.notify_all();
+  sh_->consumer_cv.notify_all();
+  // Wait only for workers that already started (they may be touching the
+  // factory's underlying table). Queued tasks own the Shared state via
+  // shared_ptr and exit on their start check whenever the pool runs them.
+  sh_->consumer_cv.wait(lock, [this] { return sh_->active_workers == 0; });
 }
 
 void ParallelScanSource::Start() {
   started_ = true;
-  if (num_workers_ == 0) return;  // no morsels: Next reports end-of-stream
-  workers_live_ = num_workers_;
-  pool_ = std::make_unique<ThreadPool>(static_cast<int>(num_workers_));
-  for (size_t i = 0; i < num_workers_; ++i) {
-    pool_->Submit([this] { WorkerLoop(); });
+  for (const auto& op : sh_->ops) {
+    Status st = op->Prepare();
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(sh_->mu);
+      if (sh_->error.ok()) sh_->error = st;
+      sh_->abort = true;
+      return;
+    }
+  }
+  std::shared_ptr<Shared> sh = sh_;
+  for (size_t i = 0; i < sh_->num_workers; ++i) {
+    ThreadPool::Global().Submit([sh] { sh->RunWorker(); });
   }
 }
 
-void ParallelScanSource::GrabRecycledBatch(Batch* b) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!freelist_.empty()) {
-    *b = std::move(freelist_.back());
-    freelist_.pop_back();
+void ParallelScanSource::Shared::GrabRecycledBatch(Batch* b) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (!freelist.empty()) {
+    *b = std::move(freelist.back());
+    freelist.pop_back();
   }
 }
 
-void ParallelScanSource::WorkerLoop() {
-  RunWorker();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (--workers_live_ == 0) consumer_cv_.notify_all();
-}
-
-void ParallelScanSource::RunWorker() {
-  Batch local;
+void ParallelScanSource::Shared::RunWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (abort) return;  // scan already over: don't touch the factory
+    ++active_workers;
+  }
+  std::vector<std::unique_ptr<PipelineOpState>> op_states;
+  op_states.reserve(ops.size());
+  for (const auto& op : ops) op_states.push_back(op->MakeState());
   while (true) {
     size_t m;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (opts_.ordered) {
+      std::unique_lock<std::mutex> lock(mu);
+      if (opts.ordered) {
         // Window gate: never run ahead of the consumer by more than
-        // inflight_window_ morsels, bounding buffered output. The head
+        // inflight_window morsels, bounding buffered output. The head
         // morsel is always inside the window, so the scan cannot wedge.
-        producer_cv_.wait(lock, [this] {
-          return abort_ || next_morsel_ >= morsels_.size() ||
-                 next_morsel_ < head_ + inflight_window_;
+        producer_cv.wait(lock, [this] {
+          return abort || next_morsel >= morsels.size() ||
+                 next_morsel < head + inflight_window;
         });
       }
-      if (abort_ || next_morsel_ >= morsels_.size()) return;
-      m = next_morsel_++;
+      if (abort || next_morsel >= morsels.size()) break;
+      m = next_morsel++;
     }
-    std::unique_ptr<BatchSource> src =
-        factory_(m, morsels_[m], m + 1 == morsels_.size());
-    while (true) {
-      GrabRecycledBatch(&local);
-      StatusOr<bool> more = src->Next(&local, opts_.batch_rows);
-      std::unique_lock<std::mutex> lock(mu_);
-      if (abort_) return;
-      if (!more.ok()) {
-        if (error_.ok()) error_ = more.status();
-        abort_ = true;
-        producer_cv_.notify_all();
-        consumer_cv_.notify_all();
-        return;
+    if (!ProcessMorsel(m, &op_states, /*helper=*/false)) break;
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  if (--active_workers == 0) consumer_cv.notify_all();
+}
+
+bool ParallelScanSource::Shared::ProcessMorsel(
+    size_t m, std::vector<std::unique_ptr<PipelineOpState>>* op_states,
+    bool helper) {
+  std::unique_ptr<BatchSource> src =
+      factory(m, morsels[m], m + 1 == morsels.size());
+  Batch local;
+  while (true) {
+    GrabRecycledBatch(&local);
+    StatusOr<bool> more = src->Next(&local, opts.batch_rows);
+    Status op_status = Status::OK();
+    bool produced = false;
+    if (more.ok() && *more) {
+      // Run the pipeline fragment on this worker, outside the lock.
+      for (size_t i = 0; i < ops.size() && op_status.ok(); ++i) {
+        op_status = ops[i]->Execute(&local, (*op_states)[i].get());
       }
-      if (!*more) {
-        if (opts_.ordered) {
-          states_[m].done = true;
-          consumer_cv_.notify_all();
-        }
-        break;
-      }
-      if (opts_.ordered) {
-        states_[m].batches.push_back(std::move(local));
-      } else {
-        producer_cv_.wait(lock, [this] {
-          return abort_ || ready_.size() < queue_cap_;
+      produced = op_status.ok() && local.num_rows() > 0;
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    if (abort) return false;
+    if (!more.ok() || !op_status.ok()) {
+      if (error.ok()) error = more.ok() ? op_status : more.status();
+      abort = true;
+      producer_cv.notify_all();
+      consumer_cv.notify_all();
+      return false;
+    }
+    if (!*more) {
+      if (opts.ordered) states[m].done = true;
+      ++morsels_done;
+      consumer_cv.notify_all();
+      return true;
+    }
+    if (!produced) continue;  // fragment filtered the whole batch out
+    if (opts.ordered) {
+      states[m].batches.push_back(std::move(local));
+    } else {
+      if (!helper) {
+        // Backpressure. The helper is the consumer itself, about to
+        // drain — it may exceed the cap rather than deadlock on it.
+        producer_cv.wait(lock, [this] {
+          return abort || ready.size() < queue_cap;
         });
-        if (abort_) return;
-        ready_.push_back(std::move(local));
+        if (abort) return false;
       }
-      consumer_cv_.notify_one();
-      local = Batch();
+      ready.push_back(std::move(local));
     }
+    consumer_cv.notify_one();
+    local = Batch();
   }
 }
 
@@ -151,36 +245,56 @@ bool ParallelScanSource::EmitPendingSlice(Batch* out, size_t max_rows) {
 }
 
 StatusOr<bool> ParallelScanSource::Refill() {
-  std::unique_lock<std::mutex> lock(mu_);
+  Shared& s = *sh_;
+  std::unique_lock<std::mutex> lock(s.mu);
   // Return consumed batch storage to the workers in bulk.
   for (Batch& b : spent_) {
-    if (freelist_.size() >= 2 * num_workers_ + 2) break;
-    freelist_.push_back(std::move(b));
+    if (s.freelist.size() >= 2 * s.num_workers + 2) break;
+    s.freelist.push_back(std::move(b));
   }
   spent_.clear();
   while (true) {
-    if (!error_.ok()) return error_;
-    if (opts_.ordered) {
-      if (head_ >= morsels_.size()) return false;
-      MorselState& st = states_[head_];
+    if (!s.error.ok()) return s.error;
+    size_t claim = s.morsels.size();  // sentinel: nothing to help with
+    if (s.opts.ordered) {
+      if (s.head >= s.morsels.size()) return false;
+      MorselState& st = s.states[s.head];
       if (!st.batches.empty()) {
         drained_.swap(st.batches);  // take everything the head has
         return true;
       }
       if (st.done) {
-        ++head_;
-        producer_cv_.notify_all();  // claim window moved
+        ++s.head;
+        s.producer_cv.notify_all();  // claim window moved
         continue;
       }
+      // Nothing at the head: claim the next unclaimed morsel (within
+      // the buffering window) and process it on this thread, so the
+      // scan progresses even when the shared pool is busy elsewhere.
+      if (s.next_morsel < s.morsels.size() &&
+          s.next_morsel < s.head + s.inflight_window) {
+        claim = s.next_morsel++;
+      }
     } else {
-      if (!ready_.empty()) {
-        drained_.swap(ready_);
-        producer_cv_.notify_all();  // queue has room
+      if (!s.ready.empty()) {
+        drained_.swap(s.ready);
+        s.producer_cv.notify_all();  // queue has room
         return true;
       }
-      if (workers_live_ == 0) return false;
+      if (s.morsels_done >= s.morsels.size()) return false;
+      if (s.next_morsel < s.morsels.size()) claim = s.next_morsel++;
     }
-    consumer_cv_.wait(lock);
+    if (claim < s.morsels.size()) {
+      if (help_states_.empty() && !s.ops.empty()) {
+        help_states_.reserve(s.ops.size());
+        for (const auto& op : s.ops) help_states_.push_back(op->MakeState());
+      }
+      lock.unlock();
+      s.ProcessMorsel(claim, &help_states_, /*helper=*/true);
+      lock.lock();
+      continue;  // re-evaluate (the morsel's output, an error, ...)
+    }
+    s.consumer_cv.wait(lock);
   }
 }
 
@@ -208,6 +322,13 @@ StatusOr<bool> ParallelScanSource::Next(Batch* out, size_t max_rows) {
   pending_ = std::move(got);
   pending_off_ = 0;
   return EmitPendingSlice(out, max_rows);
+}
+
+std::unique_ptr<BatchSource> MakeScanSource(MorselPlan plan) {
+  if (plan.serial != nullptr) return std::move(plan.serial);
+  return std::make_unique<ParallelScanSource>(
+      std::move(plan.morsels), std::move(plan.factory), plan.options,
+      plan.renumber_rids);
 }
 
 }  // namespace pdtstore

@@ -1,0 +1,481 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "exec/operator.h"
+#include "util/thread_pool.h"
+
+namespace pdtstore {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Fragment operators.
+// ---------------------------------------------------------------------
+
+class FilterOp : public PipelineOp {
+ public:
+  explicit FilterOp(VecPredicate predicate)
+      : predicate_(std::move(predicate)) {}
+
+  struct State : PipelineOpState {
+    std::vector<uint8_t> keep;
+    Batch out;
+  };
+
+  std::unique_ptr<PipelineOpState> MakeState() const override {
+    return std::make_unique<State>();
+  }
+
+  Status Execute(Batch* batch, PipelineOpState* state) const override {
+    State* s = static_cast<State*>(state);
+    s->keep.assign(batch->num_rows(), 0);
+    predicate_(*batch, &s->keep);
+    s->out.ResetLike(*batch);
+    s->out.set_start_rid(batch->start_rid());
+    s->out.AppendFiltered(*batch, s->keep.data());
+    // The consumed input batch becomes next round's output scratch.
+    std::swap(*batch, s->out);
+    return Status::OK();
+  }
+
+ private:
+  VecPredicate predicate_;
+};
+
+class ProjectOp : public PipelineOp {
+ public:
+  explicit ProjectOp(std::vector<ColumnExpr> exprs)
+      : exprs_(std::move(exprs)) {}
+
+  std::unique_ptr<PipelineOpState> MakeState() const override {
+    return nullptr;  // exprs allocate their outputs; no scratch needed
+  }
+
+  Status Execute(Batch* batch, PipelineOpState*) const override {
+    Batch out;
+    out.set_start_rid(batch->start_rid());
+    std::vector<ColumnId> ids(exprs_.size());
+    for (size_t i = 0; i < exprs_.size(); ++i) {
+      ids[i] = static_cast<ColumnId>(i);
+      out.columns().push_back(exprs_[i](*batch));
+    }
+    out.set_column_ids(std::move(ids));
+    *batch = std::move(out);
+    return Status::OK();
+  }
+
+ private:
+  std::vector<ColumnExpr> exprs_;
+};
+
+class JoinProbeOp : public PipelineOp {
+ public:
+  JoinProbeOp(std::shared_ptr<JoinBuildHandle> build,
+              std::vector<size_t> probe_keys, JoinKind kind)
+      : build_(std::move(build)),
+        probe_keys_(std::move(probe_keys)),
+        kind_(kind) {}
+
+  struct State : PipelineOpState {
+    JoinProbeScratch scratch;
+    Batch out;
+  };
+
+  Status Prepare() override {
+    // The build barrier: the build side (possibly a whole pipeline)
+    // runs to completion here, before any probe worker starts; the
+    // resulting table is immutable and shared lock-free.
+    PDT_ASSIGN_OR_RETURN(table_, build_->Resolve());
+    return Status::OK();
+  }
+
+  std::unique_ptr<PipelineOpState> MakeState() const override {
+    return std::make_unique<State>();
+  }
+
+  Status Execute(Batch* batch, PipelineOpState* state) const override {
+    State* s = static_cast<State*>(state);
+    ProbeJoinBatch(*table_, probe_keys_, kind_, *batch, &s->out,
+                   &s->scratch);
+    std::swap(*batch, s->out);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<JoinBuildHandle> build_;
+  std::vector<size_t> probe_keys_;
+  JoinKind kind_;
+  const JoinTable* table_ = nullptr;  // set by Prepare
+};
+
+// ---------------------------------------------------------------------
+// Run-to-completion pipeline driver.
+// ---------------------------------------------------------------------
+
+// State shared between the driving thread and its worker tasks. Tasks
+// hold it by shared_ptr; `plan` / `ops` / `sink` are borrowed from the
+// driver's frame and valid only until `finished` — a task that starts
+// after the driver left exits on its first check without touching them.
+struct RunShared {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t next = 0;    // next morsel to claim
+  size_t active = 0;  // workers past their start check
+  bool finished = false;
+  bool abort = false;
+  Status error = Status::OK();
+
+  MorselPlan* plan = nullptr;
+  const std::vector<std::unique_ptr<PipelineOp>>* ops = nullptr;
+  PipelineSink* sink = nullptr;
+};
+
+void RunPipelineWorker(const std::shared_ptr<RunShared>& rs) {
+  {
+    std::lock_guard<std::mutex> lock(rs->mu);
+    if (rs->finished || rs->abort) return;
+    ++rs->active;
+  }
+  const auto& ops = *rs->ops;
+  std::vector<std::unique_ptr<PipelineOpState>> op_states;
+  op_states.reserve(ops.size());
+  for (const auto& op : ops) op_states.push_back(op->MakeState());
+  std::unique_ptr<PipelineOpState> sink_state = rs->sink->MakeState();
+
+  Status status = Status::OK();
+  Batch local;
+  const size_t num_morsels = rs->plan->morsels.size();
+  while (status.ok()) {
+    size_t m;
+    {
+      std::lock_guard<std::mutex> lock(rs->mu);
+      if (rs->abort || rs->next >= num_morsels) break;
+      m = rs->next++;
+    }
+    std::unique_ptr<BatchSource> src =
+        rs->plan->factory(m, rs->plan->morsels[m], m + 1 == num_morsels);
+    while (status.ok()) {
+      StatusOr<bool> more = src->Next(&local, rs->plan->options.batch_rows);
+      if (!more.ok()) {
+        status = more.status();
+        break;
+      }
+      if (!*more) break;
+      for (size_t i = 0; i < ops.size() && status.ok(); ++i) {
+        status = ops[i]->Execute(&local, op_states[i].get());
+      }
+      if (!status.ok() || local.num_rows() == 0) continue;
+      status = rs->sink->Sink(&local, sink_state.get());
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(rs->mu);
+  if (status.ok() && !rs->abort) {
+    // Merge this worker's partial state into the shared result;
+    // serialized by rs->mu.
+    status = rs->sink->Combine(sink_state.get());
+  }
+  if (!status.ok()) {
+    if (rs->error.ok()) rs->error = status;
+    rs->abort = true;
+  }
+  if (--rs->active == 0) rs->cv.notify_all();
+}
+
+}  // namespace
+
+Status RunPipeline(MorselPlan* plan,
+                   const std::vector<std::unique_ptr<PipelineOp>>& ops,
+                   PipelineSink* sink) {
+  for (const auto& op : ops) {
+    PDT_RETURN_NOT_OK(op->Prepare());
+  }
+
+  if (plan->serial != nullptr) {
+    // Serial fallback: one worker, the caller.
+    std::vector<std::unique_ptr<PipelineOpState>> op_states;
+    op_states.reserve(ops.size());
+    for (const auto& op : ops) op_states.push_back(op->MakeState());
+    std::unique_ptr<PipelineOpState> sink_state = sink->MakeState();
+    Batch local;
+    while (true) {
+      PDT_ASSIGN_OR_RETURN(
+          bool more, plan->serial->Next(&local, plan->options.batch_rows));
+      if (!more) break;
+      Status st = Status::OK();
+      for (size_t i = 0; i < ops.size() && st.ok(); ++i) {
+        st = ops[i]->Execute(&local, op_states[i].get());
+      }
+      PDT_RETURN_NOT_OK(st);
+      if (local.num_rows() == 0) continue;
+      PDT_RETURN_NOT_OK(sink->Sink(&local, sink_state.get()));
+    }
+    return sink->Combine(sink_state.get());
+  }
+
+  auto rs = std::make_shared<RunShared>();
+  rs->plan = plan;
+  rs->ops = &ops;
+  rs->sink = sink;
+  int threads = plan->options.num_threads;
+  if (threads <= 0) threads = ThreadPool::DefaultThreads();
+  const size_t helpers = std::min<size_t>(
+      threads > 0 ? static_cast<size_t>(threads - 1) : 0,
+      plan->morsels.size());
+  for (size_t i = 0; i < helpers; ++i) {
+    ThreadPool::Global().Submit([rs] { RunPipelineWorker(rs); });
+  }
+  // The driver always participates, so the pipeline finishes even when
+  // the shared pool is saturated by concurrent queries.
+  RunPipelineWorker(rs);
+  std::unique_lock<std::mutex> lock(rs->mu);
+  rs->cv.wait(lock, [&rs] { return rs->active == 0; });
+  rs->finished = true;
+  return rs->error;
+}
+
+// ---------------------------------------------------------------------
+// Fragment op factories.
+// ---------------------------------------------------------------------
+
+std::unique_ptr<PipelineOp> MakeFilterOp(VecPredicate predicate) {
+  return std::make_unique<FilterOp>(std::move(predicate));
+}
+
+std::unique_ptr<PipelineOp> MakeProjectOp(std::vector<ColumnExpr> exprs) {
+  return std::make_unique<ProjectOp>(std::move(exprs));
+}
+
+std::unique_ptr<PipelineOp> MakeJoinProbeOp(
+    std::shared_ptr<JoinBuildHandle> build, std::vector<size_t> probe_keys,
+    JoinKind kind) {
+  return std::make_unique<JoinProbeOp>(std::move(build),
+                                       std::move(probe_keys), kind);
+}
+
+// ---------------------------------------------------------------------
+// OpChainSource.
+// ---------------------------------------------------------------------
+
+OpChainSource::OpChainSource(std::unique_ptr<BatchSource> input,
+                             std::vector<std::unique_ptr<PipelineOp>> ops)
+    : input_(std::move(input)), ops_(std::move(ops)) {}
+
+OpChainSource::~OpChainSource() = default;
+
+StatusOr<bool> OpChainSource::Next(Batch* out, size_t max_rows) {
+  if (!prepared_) {
+    for (const auto& op : ops_) {
+      PDT_RETURN_NOT_OK(op->Prepare());
+    }
+    states_.reserve(ops_.size());
+    for (const auto& op : ops_) states_.push_back(op->MakeState());
+    prepared_ = true;
+  }
+  while (true) {
+    PDT_ASSIGN_OR_RETURN(bool more, input_->Next(out, max_rows));
+    if (!more) return false;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      PDT_RETURN_NOT_OK(ops_[i]->Execute(out, states_[i].get()));
+    }
+    if (out->num_rows() > 0) return true;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Aggregate breaker.
+// ---------------------------------------------------------------------
+
+namespace {
+
+class PartialAggSink : public PipelineSink {
+ public:
+  PartialAggSink(std::vector<size_t> group_by, std::vector<AggSpec> aggs)
+      : group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)),
+        merged_(group_by_, aggs_) {}
+
+  struct State : PipelineOpState {
+    State(const std::vector<size_t>& gb, const std::vector<AggSpec>& aggs)
+        : partial(gb, aggs) {}
+    AggregationState partial;
+  };
+
+  std::unique_ptr<PipelineOpState> MakeState() const override {
+    return std::make_unique<State>(group_by_, aggs_);
+  }
+
+  Status Sink(Batch* batch, PipelineOpState* state) override {
+    return static_cast<State*>(state)->partial.Absorb(*batch);
+  }
+
+  Status Combine(PipelineOpState* state) override {
+    return merged_.MergeFrom(static_cast<State*>(state)->partial);
+  }
+
+  Batch TakeResult() { return merged_.TakeResult(); }
+
+ private:
+  std::vector<size_t> group_by_;
+  std::vector<AggSpec> aggs_;
+  AggregationState merged_;
+};
+
+/// Lazy parallel aggregation: runs the pipeline into per-worker partial
+/// tables on the first pull, merges, then emits like HashAggNode.
+class ParallelAggSource : public BatchSource {
+ public:
+  ParallelAggSource(MorselPlan plan,
+                    std::vector<std::unique_ptr<PipelineOp>> ops,
+                    std::vector<size_t> group_by, std::vector<AggSpec> aggs)
+      : plan_(std::move(plan)),
+        ops_(std::move(ops)),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)) {}
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override {
+    if (!built_) {
+      PartialAggSink sink(group_by_, aggs_);
+      PDT_RETURN_NOT_OK(RunPipeline(&plan_, ops_, &sink));
+      emitter_ = std::make_unique<VectorSource>(sink.TakeResult());
+      built_ = true;
+    }
+    return emitter_->Next(out, max_rows);
+  }
+
+ private:
+  MorselPlan plan_;
+  std::vector<std::unique_ptr<PipelineOp>> ops_;
+  std::vector<size_t> group_by_;
+  std::vector<AggSpec> aggs_;
+  bool built_ = false;
+  std::unique_ptr<BatchSource> emitter_;
+};
+
+// ---------------------------------------------------------------------
+// Join-build breaker.
+// ---------------------------------------------------------------------
+
+class CollectSink : public PipelineSink {
+ public:
+  struct State : PipelineOpState {
+    Batch rows;
+    bool first = true;
+  };
+
+  std::unique_ptr<PipelineOpState> MakeState() const override {
+    return std::make_unique<State>();
+  }
+
+  Status Sink(Batch* batch, PipelineOpState* state) override {
+    State* s = static_cast<State*>(state);
+    // Copies: the worker keeps recycling `batch`'s storage on its next
+    // pull (ResetLike), so the rows must be duplicated here.
+    if (s->first) {
+      s->rows = *batch;
+      s->first = false;
+    } else {
+      AppendRows(&s->rows, *batch);
+    }
+    return Status::OK();
+  }
+
+  Status Combine(PipelineOpState* state) override {
+    State* s = static_cast<State*>(state);
+    if (s->first) return Status::OK();
+    // The per-worker state dies here: move, don't copy — this runs
+    // under the runner's serializing mutex.
+    if (all_first_) {
+      all_ = std::move(s->rows);
+      all_first_ = false;
+    } else {
+      AppendRows(&all_, s->rows);
+    }
+    return Status::OK();
+  }
+
+  Batch TakeRows() { return std::move(all_); }
+
+ private:
+  static void AppendRows(Batch* into, const Batch& b) {
+    for (size_t c = 0; c < into->num_columns(); ++c) {
+      into->column(c).AppendRange(b.column(c), 0, b.num_rows());
+    }
+  }
+
+  Batch all_;
+  bool all_first_ = true;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Pipeline.
+// ---------------------------------------------------------------------
+
+Pipeline::Pipeline(MorselPlan plan) : plan_(std::move(plan)) {}
+Pipeline::~Pipeline() = default;
+
+Pipeline& Pipeline::Filter(VecPredicate predicate) {
+  return Add(MakeFilterOp(std::move(predicate)));
+}
+
+Pipeline& Pipeline::Project(std::vector<ColumnExpr> exprs) {
+  return Add(MakeProjectOp(std::move(exprs)));
+}
+
+Pipeline& Pipeline::Probe(std::shared_ptr<JoinBuildHandle> build,
+                          std::vector<size_t> probe_keys, JoinKind kind) {
+  return Add(MakeJoinProbeOp(std::move(build), std::move(probe_keys), kind));
+}
+
+Pipeline& Pipeline::Add(std::unique_ptr<PipelineOp> op) {
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+std::unique_ptr<BatchSource> Pipeline::Exchange() && {
+  if (plan_.serial != nullptr) {
+    return std::make_unique<OpChainSource>(std::move(plan_.serial),
+                                           std::move(ops_));
+  }
+  return std::make_unique<ParallelScanSource>(
+      std::move(plan_.morsels), std::move(plan_.factory), plan_.options,
+      plan_.renumber_rids, std::move(ops_));
+}
+
+std::unique_ptr<BatchSource> Pipeline::Aggregate(
+    std::vector<size_t> group_by, std::vector<AggSpec> aggs) && {
+  if (plan_.serial != nullptr) {
+    return std::make_unique<HashAggNode>(
+        std::make_unique<OpChainSource>(std::move(plan_.serial),
+                                        std::move(ops_)),
+        std::move(group_by), std::move(aggs));
+  }
+  return std::make_unique<ParallelAggSource>(std::move(plan_),
+                                             std::move(ops_),
+                                             std::move(group_by),
+                                             std::move(aggs));
+}
+
+std::shared_ptr<JoinBuildHandle> Pipeline::IntoJoinBuild(
+    std::unique_ptr<Pipeline> pipeline, std::vector<size_t> build_keys) {
+  std::shared_ptr<Pipeline> pipe = std::move(pipeline);
+  auto producer = [pipe]() -> StatusOr<Batch> {
+    if (pipe->plan_.serial != nullptr) {
+      OpChainSource chain(std::move(pipe->plan_.serial),
+                          std::move(pipe->ops_));
+      return MaterializeAll(&chain);
+    }
+    CollectSink sink;
+    PDT_RETURN_NOT_OK(RunPipeline(&pipe->plan_, pipe->ops_, &sink));
+    return sink.TakeRows();
+  };
+  return std::make_shared<JoinBuildHandle>(std::move(producer),
+                                           std::move(build_keys));
+}
+
+}  // namespace pdtstore

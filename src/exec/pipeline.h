@@ -1,0 +1,153 @@
+// Parallel pipeline execution, morsel-driven in the spirit of Leis et
+// al. ("Morsel-Driven Parallelism", SIGMOD 2014), grafted onto the
+// paper's X100-style block engine: a Pipeline is a morsel scan plus a
+// chain of worker-local operators (filter, project, join probe) that run
+// *inside* whichever worker claimed the morsel. Threads meet only at
+// pipeline breakers:
+//   * Exchange       — the bounded-queue exchange handing fragment
+//                      output to a pulling consumer (ordered or not);
+//   * Aggregate      — per-worker partial (pre-)aggregation tables,
+//                      merged into one result at finalize;
+//   * IntoJoinBuild  — per-worker build-side collection, concatenated
+//                      and published as an immutable hash table that
+//                      probe workers then share lock-free.
+//
+// Stateful operators are split into shared, read-only-after-publish
+// state (predicates, expressions, the join table) and per-worker
+// PipelineOpState (scratch buffers, partial tables). All workers come
+// from the process-wide ThreadPool::Global(); the driving thread always
+// participates, so pipelines finish even when the pool is saturated by
+// concurrent queries. With num_threads == 1 no pipeline is built at all
+// — callers keep the unchanged serial operator tree.
+#ifndef PDTSTORE_EXEC_PIPELINE_H_
+#define PDTSTORE_EXEC_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "columnstore/batch.h"
+#include "exec/filter.h"
+#include "exec/hash_agg.h"
+#include "exec/hash_join.h"
+#include "exec/parallel_scan.h"
+#include "exec/project.h"
+
+namespace pdtstore {
+
+/// Per-worker operator state: scratch buffers, partial aggregation
+/// tables, collected build rows. Created once per worker and reused for
+/// every morsel that worker claims.
+class PipelineOpState {
+ public:
+  virtual ~PipelineOpState() = default;
+};
+
+/// One operator fragment pushed into the scan workers. Shared members
+/// are read-only once workers run; everything mutable lives in the
+/// per-worker PipelineOpState.
+class PipelineOp {
+ public:
+  virtual ~PipelineOp() = default;
+
+  /// Called once, on the consuming thread, before any worker starts.
+  /// Upstream pipeline breakers resolve here (e.g. the join build side
+  /// runs its own pipeline to completion — the publish barrier).
+  virtual Status Prepare() { return Status::OK(); }
+
+  /// Fresh per-worker state.
+  virtual std::unique_ptr<PipelineOpState> MakeState() const = 0;
+
+  /// Transforms *batch in place (possibly to zero rows). Must be
+  /// thread-safe across distinct `state` objects.
+  virtual Status Execute(Batch* batch, PipelineOpState* state) const = 0;
+};
+
+/// Vectorized selection as a pipeline fragment (FilterNode's kernel).
+std::unique_ptr<PipelineOp> MakeFilterOp(VecPredicate predicate);
+/// Projection / expression evaluation (ProjectNode's kernel).
+std::unique_ptr<PipelineOp> MakeProjectOp(std::vector<ColumnExpr> exprs);
+/// Hash-join probe against a deferred build side; Prepare() resolves the
+/// handle (running the build pipeline if needed) before workers start.
+std::unique_ptr<PipelineOp> MakeJoinProbeOp(
+    std::shared_ptr<JoinBuildHandle> build, std::vector<size_t> probe_keys,
+    JoinKind kind = JoinKind::kInner);
+
+/// A run-to-completion sink: the pipeline-breaker side of Aggregate /
+/// IntoJoinBuild. Sink() runs on workers with per-worker state;
+/// Combine() merges one worker's state into the shared result and is
+/// serialized by the runner.
+class PipelineSink {
+ public:
+  virtual ~PipelineSink() = default;
+  virtual std::unique_ptr<PipelineOpState> MakeState() const = 0;
+  virtual Status Sink(Batch* batch, PipelineOpState* state) = 0;
+  virtual Status Combine(PipelineOpState* state) = 0;
+};
+
+/// Drives `plan` through `ops` into `sink` with up to
+/// plan.options.num_threads workers (global pool + the calling thread,
+/// which always participates). Handles the serial fallback plan. Calls
+/// every op's Prepare() first. Returns the first error.
+Status RunPipeline(MorselPlan* plan,
+                   const std::vector<std::unique_ptr<PipelineOp>>& ops,
+                   PipelineSink* sink);
+
+/// Applies an op chain on top of a serial source (the fallback used when
+/// a plan cannot be parallelized); also handy for 1-thread equivalence
+/// tests of the fragment kernels.
+class OpChainSource : public BatchSource {
+ public:
+  OpChainSource(std::unique_ptr<BatchSource> input,
+                std::vector<std::unique_ptr<PipelineOp>> ops);
+  ~OpChainSource() override;
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override;
+
+ private:
+  std::unique_ptr<BatchSource> input_;
+  std::vector<std::unique_ptr<PipelineOp>> ops_;
+  std::vector<std::unique_ptr<PipelineOpState>> states_;
+  bool prepared_ = false;
+};
+
+/// A pipeline under construction: a planned morsel scan plus the
+/// fragment ops appended so far. Ends in exactly one breaker call.
+class Pipeline {
+ public:
+  explicit Pipeline(MorselPlan plan);
+  ~Pipeline();
+
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  Pipeline& Filter(VecPredicate predicate);
+  Pipeline& Project(std::vector<ColumnExpr> exprs);
+  Pipeline& Probe(std::shared_ptr<JoinBuildHandle> build,
+                  std::vector<size_t> probe_keys,
+                  JoinKind kind = JoinKind::kInner);
+  Pipeline& Add(std::unique_ptr<PipelineOp> op);
+
+  /// Breaker: stream the fragment's output to the pulling consumer
+  /// through the exchange (plan.options.ordered picks delivery order).
+  std::unique_ptr<BatchSource> Exchange() &&;
+
+  /// Breaker: grouped aggregation with per-worker pre-aggregation
+  /// tables, merged at finalize. Runs lazily on the first Next() pull,
+  /// like the serial HashAggNode.
+  std::unique_ptr<BatchSource> Aggregate(std::vector<size_t> group_by,
+                                         std::vector<AggSpec> aggs) &&;
+
+  /// Breaker: collect the fragment's rows as a join build side. The
+  /// returned handle resolves (runs this pipeline, concatenates worker
+  /// outputs, hashes, publishes) on first use.
+  static std::shared_ptr<JoinBuildHandle> IntoJoinBuild(
+      std::unique_ptr<Pipeline> pipeline, std::vector<size_t> build_keys);
+
+ private:
+  MorselPlan plan_;
+  std::vector<std::unique_ptr<PipelineOp>> ops_;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_EXEC_PIPELINE_H_

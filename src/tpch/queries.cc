@@ -6,6 +6,7 @@
 #include "exec/hash_agg.h"
 #include "exec/hash_join.h"
 #include "exec/operator.h"
+#include "exec/pipeline.h"
 #include "exec/project.h"
 #include "exec/sort.h"
 
@@ -15,6 +16,102 @@ namespace tpch {
 namespace {
 
 using Src = std::unique_ptr<BatchSource>;
+
+// A plan fragment: a serial operator chain (src) at one thread, or an
+// open parallel pipeline whose fragment ops run inside the morsel
+// workers (exec/pipeline.h). The query kernels below are written once
+// against this wrapper; QueryOptions::num_threads picks the shape.
+struct Plan {
+  Src src;
+  std::unique_ptr<Pipeline> pipe;
+};
+
+Plan P(Src src) {
+  Plan p;
+  p.src = std::move(src);
+  return p;
+}
+
+ScanOptions PipeScanOptions(const QueryOptions& o) {
+  ScanOptions so;
+  so.num_threads = o.num_threads;
+  so.ordered = false;  // pipeline fragments are order-insensitive
+  so.morsel_rows = o.morsel_rows;
+  return so;
+}
+
+Plan Scan(const QueryOptions& o, Table* table, std::vector<ColumnId> proj,
+          const KeyBounds* bounds = nullptr) {
+  if (o.num_threads > 1) {
+    Plan p;
+    p.pipe = std::make_unique<Pipeline>(
+        table->PlanMorsels(std::move(proj), bounds, PipeScanOptions(o)));
+    return p;
+  }
+  return P(table->Scan(std::move(proj), bounds));
+}
+
+Plan Filter(Plan in, VecPredicate p) {
+  if (in.pipe) {
+    in.pipe->Filter(std::move(p));
+  } else {
+    in.src = std::make_unique<FilterNode>(std::move(in.src), std::move(p));
+  }
+  return in;
+}
+
+Plan Project(Plan in, std::vector<ColumnExpr> exprs) {
+  if (in.pipe) {
+    in.pipe->Project(std::move(exprs));
+  } else {
+    in.src =
+        std::make_unique<ProjectNode>(std::move(in.src), std::move(exprs));
+  }
+  return in;
+}
+
+// Pipeline breaker: per-worker partial aggregation merged at finalize
+// (parallel), or the plain HashAggNode (serial).
+Plan Agg(Plan in, std::vector<size_t> keys, std::vector<AggSpec> aggs) {
+  if (in.pipe) {
+    return P(std::move(*in.pipe).Aggregate(std::move(keys),
+                                           std::move(aggs)));
+  }
+  return P(std::make_unique<HashAggNode>(std::move(in.src), std::move(keys),
+                                         std::move(aggs)));
+}
+
+// The build side becomes a deferred JoinBuildHandle (collected by its
+// own pipeline when parallel), resolved — the publish barrier — right
+// before the probe side starts; the probe runs as a fragment op inside
+// the probe pipeline's workers, or in the serial HashJoinNode.
+Plan Join(Plan probe, Plan build, std::vector<size_t> pk,
+          std::vector<size_t> bk, JoinKind kind = JoinKind::kInner) {
+  std::shared_ptr<JoinBuildHandle> handle =
+      build.pipe != nullptr
+          ? Pipeline::IntoJoinBuild(std::move(build.pipe), std::move(bk))
+          : std::make_shared<JoinBuildHandle>(std::move(build.src),
+                                              std::move(bk));
+  if (probe.pipe) {
+    probe.pipe->Probe(std::move(handle), std::move(pk), kind);
+    return probe;
+  }
+  probe.src = std::make_unique<HashJoinNode>(
+      std::move(probe.src), std::move(handle), std::move(pk), kind);
+  return probe;
+}
+
+// Closes an open pipeline through the exchange (or passes the serial
+// chain through).
+Src Finish(Plan in) {
+  if (in.pipe) return std::move(*in.pipe).Exchange();
+  return std::move(in.src);
+}
+
+Src Sort(Plan in, std::vector<SortKey> keys, size_t limit = 0) {
+  return std::make_unique<SortNode>(Finish(std::move(in)), std::move(keys),
+                                    limit);
+}
 
 // Drains a pipeline, counting rows and checksumming numeric cells.
 StatusOr<QueryResult> Summarize(Src src) {
@@ -38,149 +135,137 @@ StatusOr<QueryResult> Summarize(Src src) {
   return result;
 }
 
-Src Agg(Src in, std::vector<size_t> keys, std::vector<AggSpec> aggs) {
-  return std::make_unique<HashAggNode>(std::move(in), std::move(keys),
-                                       std::move(aggs));
-}
-Src Filter(Src in, VecPredicate p) {
-  return std::make_unique<FilterNode>(std::move(in), std::move(p));
-}
-Src Project(Src in, std::vector<ColumnExpr> exprs) {
-  return std::make_unique<ProjectNode>(std::move(in), std::move(exprs));
-}
-Src Join(Src probe, Src build, std::vector<size_t> pk,
-         std::vector<size_t> bk, JoinKind kind = JoinKind::kInner) {
-  return std::make_unique<HashJoinNode>(std::move(probe), std::move(build),
-                                        std::move(pk), std::move(bk), kind);
-}
-Src Sort(Src in, std::vector<SortKey> keys, size_t limit = 0) {
-  return std::make_unique<SortNode>(std::move(in), std::move(keys), limit);
+StatusOr<QueryResult> Summarize(Plan in) {
+  return Summarize(Finish(std::move(in)));
 }
 
 // Q1: pricing summary report. Full lineitem scan minus the last ~90 days.
-StatusOr<QueryResult> Q1(const TpchTables& t) {
-  Src scan = t.lineitem->Scan({kLReturnflag, kLLinestatus, kLQuantity,
-                               kLExtendedprice, kLDiscount, kLTax,
-                               kLShipdate});
-  Src flt = Filter(std::move(scan), Int64Between(6, kMinDate,
-                                                 DayNumber(1998, 9, 2)));
-  Src proj = Project(std::move(flt),
-                     {ColumnRef(0), ColumnRef(1), ColumnRef(2), ColumnRef(3),
-                      Revenue(3, 4), Charge(3, 4, 5), ColumnRef(4)});
-  Src agg = Agg(std::move(proj), {0, 1},
-                {{AggKind::kSum, 2},
-                 {AggKind::kSum, 3},
-                 {AggKind::kSum, 4},
-                 {AggKind::kSum, 5},
-                 {AggKind::kAvg, 2},
-                 {AggKind::kAvg, 3},
-                 {AggKind::kAvg, 6},
-                 {AggKind::kCount, 0}});
+StatusOr<QueryResult> Q1(const TpchTables& t, const QueryOptions& o) {
+  Plan scan = Scan(o, t.lineitem,
+                   {kLReturnflag, kLLinestatus, kLQuantity, kLExtendedprice,
+                    kLDiscount, kLTax, kLShipdate});
+  Plan flt = Filter(std::move(scan), Int64Between(6, kMinDate,
+                                                  DayNumber(1998, 9, 2)));
+  Plan proj = Project(std::move(flt),
+                      {ColumnRef(0), ColumnRef(1), ColumnRef(2), ColumnRef(3),
+                       Revenue(3, 4), Charge(3, 4, 5), ColumnRef(4)});
+  Plan agg = Agg(std::move(proj), {0, 1},
+                 {{AggKind::kSum, 2},
+                  {AggKind::kSum, 3},
+                  {AggKind::kSum, 4},
+                  {AggKind::kSum, 5},
+                  {AggKind::kAvg, 2},
+                  {AggKind::kAvg, 3},
+                  {AggKind::kAvg, 6},
+                  {AggKind::kCount, 0}});
   return Summarize(Sort(std::move(agg), {{0}, {1}}));
 }
 
 // Q2: minimum-cost supplier (part x supplier; no updated tables).
-StatusOr<QueryResult> Q2(const TpchTables& t) {
-  Src part = t.part->Scan({kPPartkey, kPType, kPSize});
-  Src flt = Filter(std::move(part), Int64Between(2, 15, 15));
-  Src supp = t.supplier->Scan({kSSuppkey, kSNationkey, kSAcctbal});
+StatusOr<QueryResult> Q2(const TpchTables& t, const QueryOptions& o) {
+  Plan part = Scan(o, t.part, {kPPartkey, kPType, kPSize});
+  Plan flt = Filter(std::move(part), Int64Between(2, 15, 15));
+  Plan supp = Scan(o, t.supplier, {kSSuppkey, kSNationkey, kSAcctbal});
   // Supplier for a part: suppkey ~ partkey mod |supplier| (the generated
   // partsupp relation is implicit).
-  Src proj = Project(std::move(flt),
-                     {ColumnRef(0), [](const Batch& b) {
-                        ColumnVector out(TypeId::kInt64);
-                        const auto& pk = b.column(0).ints();
-                        out.ints().resize(pk.size());
-                        for (size_t i = 0; i < pk.size(); ++i) {
-                          out.ints()[i] = 1 + (pk[i] % 25);
-                        }
-                        return out;
-                      }});
-  Src joined = Join(std::move(proj), std::move(supp), {1}, {0});
-  Src agg = Agg(std::move(joined), {3},
-                {{AggKind::kMin, 4}, {AggKind::kCount, 0}});
+  Plan proj = Project(std::move(flt),
+                      {ColumnRef(0), [](const Batch& b) {
+                         ColumnVector out(TypeId::kInt64);
+                         const auto& pk = b.column(0).ints();
+                         out.ints().resize(pk.size());
+                         for (size_t i = 0; i < pk.size(); ++i) {
+                           out.ints()[i] = 1 + (pk[i] % 25);
+                         }
+                         return out;
+                       }});
+  Plan joined = Join(std::move(proj), std::move(supp), {1}, {0});
+  Plan agg = Agg(std::move(joined), {3},
+                 {{AggKind::kMin, 4}, {AggKind::kCount, 0}});
   return Summarize(Sort(std::move(agg), {{0}}, 100));
 }
 
 // Q3: shipping priority. customer(segment) x orders(date<) x lineitem.
-StatusOr<QueryResult> Q3(const TpchTables& t) {
+StatusOr<QueryResult> Q3(const TpchTables& t, const QueryOptions& o) {
   int64_t cutoff = DayNumber(1995, 3, 15);
-  Src cust = Filter(t.customer->Scan({kCCustkey, kCMktsegment}),
-                    StringEquals(1, "BUILDING"));
+  Plan cust = Filter(Scan(o, t.customer, {kCCustkey, kCMktsegment}),
+                     StringEquals(1, "BUILDING"));
   KeyBounds order_bounds;
   order_bounds.hi = {Value(cutoff)};
-  Src ord = t.orders->Scan({kOOrderkey, kOCustkey, kOOrderdate,
-                            kOShippriority},
-                           &order_bounds);
-  Src ord_flt = Filter(std::move(ord), Int64Between(2, kMinDate, cutoff - 1));
-  Src ord_cust = Join(std::move(ord_flt), std::move(cust), {1}, {0},
-                      JoinKind::kLeftSemi);
-  Src line = Filter(
-      t.lineitem->Scan({kLOrderkey, kLExtendedprice, kLDiscount, kLShipdate}),
+  Plan ord = Scan(o, t.orders,
+                  {kOOrderkey, kOCustkey, kOOrderdate, kOShippriority},
+                  &order_bounds);
+  Plan ord_flt =
+      Filter(std::move(ord), Int64Between(2, kMinDate, cutoff - 1));
+  Plan ord_cust = Join(std::move(ord_flt), std::move(cust), {1}, {0},
+                       JoinKind::kLeftSemi);
+  Plan line = Filter(
+      Scan(o, t.lineitem,
+           {kLOrderkey, kLExtendedprice, kLDiscount, kLShipdate}),
       Int64Between(3, cutoff + 1, kMaxDate));
-  Src joined = Join(std::move(line), std::move(ord_cust), {0}, {0});
-  Src proj = Project(std::move(joined),
-                     {ColumnRef(0), Revenue(1, 2), ColumnRef(6),
-                      ColumnRef(7)});
-  Src agg = Agg(std::move(proj), {0, 2, 3},
-                {{AggKind::kSum, 1}});
+  Plan joined = Join(std::move(line), std::move(ord_cust), {0}, {0});
+  Plan proj = Project(std::move(joined),
+                      {ColumnRef(0), Revenue(1, 2), ColumnRef(6),
+                       ColumnRef(7)});
+  Plan agg = Agg(std::move(proj), {0, 2, 3},
+                 {{AggKind::kSum, 1}});
   return Summarize(Sort(std::move(agg), {{3, true}, {1}}, 10));
 }
 
 // Q4: order priority checking. orders(quarter) semi-join late lineitems.
-StatusOr<QueryResult> Q4(const TpchTables& t) {
+StatusOr<QueryResult> Q4(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1993, 7, 1), hi = DayNumber(1993, 10, 1) - 1;
   KeyBounds bounds;
   bounds.lo = {Value(lo)};
   bounds.hi = {Value(hi)};
-  Src ord = t.orders->Scan({kOOrderdate, kOOrderkey, kOOrderpriority},
-                           &bounds);
-  Src ord_flt = Filter(std::move(ord), Int64Between(0, lo, hi));
-  Src late = Filter(t.lineitem->Scan({kLOrderkey, kLCommitdate,
-                                      kLReceiptdate}),
-                    [](const Batch& b, std::vector<uint8_t>* keep) {
-                      const auto& commit = b.column(1).ints();
-                      const auto& receipt = b.column(2).ints();
-                      for (size_t i = 0; i < commit.size(); ++i) {
-                        (*keep)[i] = commit[i] < receipt[i];
-                      }
-                    });
-  Src semi = Join(std::move(ord_flt), std::move(late), {1}, {0},
-                  JoinKind::kLeftSemi);
-  Src agg = Agg(std::move(semi), {2}, {{AggKind::kCount, 0}});
+  Plan ord = Scan(o, t.orders, {kOOrderdate, kOOrderkey, kOOrderpriority},
+                  &bounds);
+  Plan ord_flt = Filter(std::move(ord), Int64Between(0, lo, hi));
+  Plan late = Filter(Scan(o, t.lineitem,
+                          {kLOrderkey, kLCommitdate, kLReceiptdate}),
+                     [](const Batch& b, std::vector<uint8_t>* keep) {
+                       const auto& commit = b.column(1).ints();
+                       const auto& receipt = b.column(2).ints();
+                       for (size_t i = 0; i < commit.size(); ++i) {
+                         (*keep)[i] = commit[i] < receipt[i];
+                       }
+                     });
+  Plan semi = Join(std::move(ord_flt), std::move(late), {1}, {0},
+                   JoinKind::kLeftSemi);
+  Plan agg = Agg(std::move(semi), {2}, {{AggKind::kCount, 0}});
   return Summarize(Sort(std::move(agg), {{0}}));
 }
 
 // Q5: local supplier volume. lineitem x orders(year) x customer nation.
-StatusOr<QueryResult> Q5(const TpchTables& t) {
+StatusOr<QueryResult> Q5(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1994, 1, 1), hi = DayNumber(1995, 1, 1) - 1;
   KeyBounds bounds;
   bounds.lo = {Value(lo)};
   bounds.hi = {Value(hi)};
-  Src ord = Filter(t.orders->Scan({kOOrderdate, kOOrderkey, kOCustkey},
-                                  &bounds),
-                   Int64Between(0, lo, hi));
-  Src cust = t.customer->Scan({kCCustkey, kCNationkey});
-  Src ord_cust = Join(std::move(ord), std::move(cust), {2}, {0});
-  Src line = t.lineitem->Scan({kLOrderkey, kLSuppkey, kLExtendedprice,
-                               kLDiscount});
-  Src joined = Join(std::move(line), std::move(ord_cust), {0}, {1});
+  Plan ord = Filter(Scan(o, t.orders, {kOOrderdate, kOOrderkey, kOCustkey},
+                         &bounds),
+                    Int64Between(0, lo, hi));
+  Plan cust = Scan(o, t.customer, {kCCustkey, kCNationkey});
+  Plan ord_cust = Join(std::move(ord), std::move(cust), {2}, {0});
+  Plan line = Scan(o, t.lineitem,
+                   {kLOrderkey, kLSuppkey, kLExtendedprice, kLDiscount});
+  Plan joined = Join(std::move(line), std::move(ord_cust), {0}, {1});
   // nation of the customer groups the revenue.
-  Src proj = Project(std::move(joined), {ColumnRef(8), Revenue(2, 3)});
-  Src agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
+  Plan proj = Project(std::move(joined), {ColumnRef(8), Revenue(2, 3)});
+  Plan agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
   return Summarize(Sort(std::move(agg), {{1, true}}));
 }
 
 // Q6: forecasting revenue change. Pure lineitem scan (the paper's
 // poster-child for merge CPU overhead).
-StatusOr<QueryResult> Q6(const TpchTables& t) {
+StatusOr<QueryResult> Q6(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1994, 1, 1), hi = DayNumber(1995, 1, 1) - 1;
-  Src scan = t.lineitem->Scan({kLShipdate, kLDiscount, kLQuantity,
-                               kLExtendedprice});
-  Src flt = Filter(std::move(scan),
-                   And({Int64Between(0, lo, hi), DoubleInRange(1, 0.05, 0.0701),
-                        DoubleInRange(2, 0.0, 24.0)}));
-  Src proj = Project(std::move(flt), {[](const Batch& b) {
+  Plan scan = Scan(o, t.lineitem,
+                   {kLShipdate, kLDiscount, kLQuantity, kLExtendedprice});
+  Plan flt = Filter(std::move(scan),
+                    And({Int64Between(0, lo, hi),
+                         DoubleInRange(1, 0.05, 0.0701),
+                         DoubleInRange(2, 0.0, 24.0)}));
+  Plan proj = Project(std::move(flt), {[](const Batch& b) {
     ColumnVector out(TypeId::kDouble);
     const auto& price = b.column(3).doubles();
     const auto& disc = b.column(1).doubles();
@@ -194,148 +279,152 @@ StatusOr<QueryResult> Q6(const TpchTables& t) {
 }
 
 // Q7: volume shipping between two nations, grouped by year.
-StatusOr<QueryResult> Q7(const TpchTables& t) {
+StatusOr<QueryResult> Q7(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1995, 1, 1), hi = DayNumber(1996, 12, 31);
-  Src line = Filter(t.lineitem->Scan({kLOrderkey, kLSuppkey, kLShipdate,
-                                      kLExtendedprice, kLDiscount}),
-                    Int64Between(2, lo, hi));
-  Src supp = Filter(t.supplier->Scan({kSSuppkey, kSNationkey}),
-                    Int64Between(1, 6, 7));  // FRANCE / GERMANY
-  Src line_supp = Join(std::move(line), std::move(supp), {1}, {0},
-                       JoinKind::kLeftSemi);
-  Src ord = t.orders->Scan({kOOrderkey, kOCustkey});
-  Src joined = Join(std::move(line_supp), std::move(ord), {0}, {0});
-  Src proj = Project(std::move(joined), {[](const Batch& b) {
-                       ColumnVector out(TypeId::kInt64);
-                       const auto& d = b.column(2).ints();
-                       out.ints().resize(d.size());
-                       for (size_t i = 0; i < d.size(); ++i) {
-                         out.ints()[i] = 1992 + d[i] / 365;
-                       }
-                       return out;
-                     },
-                     Revenue(3, 4)});
-  Src agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
+  Plan line = Filter(Scan(o, t.lineitem,
+                          {kLOrderkey, kLSuppkey, kLShipdate,
+                           kLExtendedprice, kLDiscount}),
+                     Int64Between(2, lo, hi));
+  Plan supp = Filter(Scan(o, t.supplier, {kSSuppkey, kSNationkey}),
+                     Int64Between(1, 6, 7));  // FRANCE / GERMANY
+  Plan line_supp = Join(std::move(line), std::move(supp), {1}, {0},
+                        JoinKind::kLeftSemi);
+  Plan ord = Scan(o, t.orders, {kOOrderkey, kOCustkey});
+  Plan joined = Join(std::move(line_supp), std::move(ord), {0}, {0});
+  Plan proj = Project(std::move(joined), {[](const Batch& b) {
+                        ColumnVector out(TypeId::kInt64);
+                        const auto& d = b.column(2).ints();
+                        out.ints().resize(d.size());
+                        for (size_t i = 0; i < d.size(); ++i) {
+                          out.ints()[i] = 1992 + d[i] / 365;
+                        }
+                        return out;
+                      },
+                      Revenue(3, 4)});
+  Plan agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
   return Summarize(Sort(std::move(agg), {{0}}));
 }
 
 // Q8: national market share by year.
-StatusOr<QueryResult> Q8(const TpchTables& t) {
+StatusOr<QueryResult> Q8(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1995, 1, 1), hi = DayNumber(1996, 12, 31);
-  Src part = Filter(t.part->Scan({kPPartkey, kPType}),
-                    StringEquals(1, "ECONOMY ANODIZED STEEL"));
-  Src line = t.lineitem->Scan({kLOrderkey, kLPartkey, kLExtendedprice,
-                               kLDiscount});
-  Src line_part = Join(std::move(line), std::move(part), {1}, {0},
-                       JoinKind::kLeftSemi);
+  Plan part = Filter(Scan(o, t.part, {kPPartkey, kPType}),
+                     StringEquals(1, "ECONOMY ANODIZED STEEL"));
+  Plan line = Scan(o, t.lineitem,
+                   {kLOrderkey, kLPartkey, kLExtendedprice, kLDiscount});
+  Plan line_part = Join(std::move(line), std::move(part), {1}, {0},
+                        JoinKind::kLeftSemi);
   KeyBounds bounds;
   bounds.lo = {Value(lo)};
   bounds.hi = {Value(hi)};
-  Src ord = Filter(t.orders->Scan({kOOrderdate, kOOrderkey}, &bounds),
-                   Int64Between(0, lo, hi));
-  Src joined = Join(std::move(line_part), std::move(ord), {0}, {1});
-  Src proj = Project(std::move(joined), {[](const Batch& b) {
-                       ColumnVector out(TypeId::kInt64);
-                       const auto& d = b.column(4).ints();
-                       out.ints().resize(d.size());
-                       for (size_t i = 0; i < d.size(); ++i) {
-                         out.ints()[i] = 1992 + d[i] / 365;
-                       }
-                       return out;
-                     },
-                     Revenue(2, 3)});
-  Src agg = Agg(std::move(proj), {0},
-                {{AggKind::kSum, 1}, {AggKind::kAvg, 1}});
+  Plan ord = Filter(Scan(o, t.orders, {kOOrderdate, kOOrderkey}, &bounds),
+                    Int64Between(0, lo, hi));
+  Plan joined = Join(std::move(line_part), std::move(ord), {0}, {1});
+  Plan proj = Project(std::move(joined), {[](const Batch& b) {
+                        ColumnVector out(TypeId::kInt64);
+                        const auto& d = b.column(4).ints();
+                        out.ints().resize(d.size());
+                        for (size_t i = 0; i < d.size(); ++i) {
+                          out.ints()[i] = 1992 + d[i] / 365;
+                        }
+                        return out;
+                      },
+                      Revenue(2, 3)});
+  Plan agg = Agg(std::move(proj), {0},
+                 {{AggKind::kSum, 1}, {AggKind::kAvg, 1}});
   return Summarize(Sort(std::move(agg), {{0}}));
 }
 
 // Q9: product type profit measure, by year.
-StatusOr<QueryResult> Q9(const TpchTables& t) {
-  Src part = Filter(t.part->Scan({kPPartkey, kPName}),
-                    [](const Batch& b, std::vector<uint8_t>* keep) {
-                      const auto& names = b.column(1).strings();
-                      for (size_t i = 0; i < names.size(); ++i) {
-                        (*keep)[i] =
-                            names[i].find("green") != std::string::npos;
-                      }
-                    });
-  Src line = t.lineitem->Scan({kLOrderkey, kLPartkey, kLQuantity,
-                               kLExtendedprice, kLDiscount});
-  Src line_part = Join(std::move(line), std::move(part), {1}, {0},
-                       JoinKind::kLeftSemi);
-  Src ord = t.orders->Scan({kOOrderkey, kOOrderdate});
-  Src joined = Join(std::move(line_part), std::move(ord), {0}, {0});
-  Src proj = Project(std::move(joined), {[](const Batch& b) {
-                       ColumnVector out(TypeId::kInt64);
-                       const auto& d = b.column(6).ints();
-                       out.ints().resize(d.size());
-                       for (size_t i = 0; i < d.size(); ++i) {
-                         out.ints()[i] = 1992 + d[i] / 365;
+StatusOr<QueryResult> Q9(const TpchTables& t, const QueryOptions& o) {
+  Plan part = Filter(Scan(o, t.part, {kPPartkey, kPName}),
+                     [](const Batch& b, std::vector<uint8_t>* keep) {
+                       const auto& names = b.column(1).strings();
+                       for (size_t i = 0; i < names.size(); ++i) {
+                         (*keep)[i] =
+                             names[i].find("green") != std::string::npos;
                        }
-                       return out;
-                     },
-                     [](const Batch& b) {
-                       // profit ~ revenue - supplycost*qty
-                       ColumnVector out(TypeId::kDouble);
-                       const auto& price = b.column(3).doubles();
-                       const auto& disc = b.column(4).doubles();
-                       const auto& qty = b.column(2).doubles();
-                       out.doubles().resize(price.size());
-                       for (size_t i = 0; i < price.size(); ++i) {
-                         out.doubles()[i] =
-                             price[i] * (1.0 - disc[i]) - 500.0 * qty[i];
-                       }
-                       return out;
-                     }});
-  Src agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
+                     });
+  Plan line = Scan(o, t.lineitem,
+                   {kLOrderkey, kLPartkey, kLQuantity, kLExtendedprice,
+                    kLDiscount});
+  Plan line_part = Join(std::move(line), std::move(part), {1}, {0},
+                        JoinKind::kLeftSemi);
+  Plan ord = Scan(o, t.orders, {kOOrderkey, kOOrderdate});
+  Plan joined = Join(std::move(line_part), std::move(ord), {0}, {0});
+  Plan proj = Project(std::move(joined), {[](const Batch& b) {
+                        ColumnVector out(TypeId::kInt64);
+                        const auto& d = b.column(6).ints();
+                        out.ints().resize(d.size());
+                        for (size_t i = 0; i < d.size(); ++i) {
+                          out.ints()[i] = 1992 + d[i] / 365;
+                        }
+                        return out;
+                      },
+                      [](const Batch& b) {
+                        // profit ~ revenue - supplycost*qty
+                        ColumnVector out(TypeId::kDouble);
+                        const auto& price = b.column(3).doubles();
+                        const auto& disc = b.column(4).doubles();
+                        const auto& qty = b.column(2).doubles();
+                        out.doubles().resize(price.size());
+                        for (size_t i = 0; i < price.size(); ++i) {
+                          out.doubles()[i] =
+                              price[i] * (1.0 - disc[i]) - 500.0 * qty[i];
+                        }
+                        return out;
+                      }});
+  Plan agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
   return Summarize(Sort(std::move(agg), {{0, true}}));
 }
 
 // Q10: returned item reporting. Top customers by lost revenue.
-StatusOr<QueryResult> Q10(const TpchTables& t) {
+StatusOr<QueryResult> Q10(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1993, 10, 1), hi = DayNumber(1994, 1, 1) - 1;
   KeyBounds bounds;
   bounds.lo = {Value(lo)};
   bounds.hi = {Value(hi)};
-  Src ord = Filter(t.orders->Scan({kOOrderdate, kOOrderkey, kOCustkey},
-                                  &bounds),
-                   Int64Between(0, lo, hi));
-  Src line = Filter(t.lineitem->Scan({kLOrderkey, kLExtendedprice,
-                                      kLDiscount, kLReturnflag}),
-                    StringEquals(3, "R"));
-  Src joined = Join(std::move(line), std::move(ord), {0}, {1});
-  Src proj = Project(std::move(joined), {ColumnRef(6), Revenue(1, 2)});
-  Src agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
+  Plan ord = Filter(Scan(o, t.orders, {kOOrderdate, kOOrderkey, kOCustkey},
+                         &bounds),
+                    Int64Between(0, lo, hi));
+  Plan line = Filter(Scan(o, t.lineitem,
+                          {kLOrderkey, kLExtendedprice, kLDiscount,
+                           kLReturnflag}),
+                     StringEquals(3, "R"));
+  Plan joined = Join(std::move(line), std::move(ord), {0}, {1});
+  Plan proj = Project(std::move(joined), {ColumnRef(6), Revenue(1, 2)});
+  Plan agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
   return Summarize(Sort(std::move(agg), {{1, true}}, 20));
 }
 
 // Q11: important stock identification (part x supplier only).
-StatusOr<QueryResult> Q11(const TpchTables& t) {
-  Src supp = Filter(t.supplier->Scan({kSSuppkey, kSNationkey}),
-                    Int64Between(1, 7, 7));
-  Src part = t.part->Scan({kPPartkey, kPRetailprice});
-  Src proj = Project(std::move(part),
-                     {ColumnRef(0), ColumnRef(1), [](const Batch& b) {
-                        ColumnVector out(TypeId::kInt64);
-                        const auto& pk = b.column(0).ints();
-                        out.ints().resize(pk.size());
-                        for (size_t i = 0; i < pk.size(); ++i) {
-                          out.ints()[i] = 1 + (pk[i] % 25);
-                        }
-                        return out;
-                      }});
-  Src joined = Join(std::move(proj), std::move(supp), {2}, {0},
-                    JoinKind::kLeftSemi);
-  Src agg = Agg(std::move(joined), {0}, {{AggKind::kSum, 1}});
+StatusOr<QueryResult> Q11(const TpchTables& t, const QueryOptions& o) {
+  Plan supp = Filter(Scan(o, t.supplier, {kSSuppkey, kSNationkey}),
+                     Int64Between(1, 7, 7));
+  Plan part = Scan(o, t.part, {kPPartkey, kPRetailprice});
+  Plan proj = Project(std::move(part),
+                      {ColumnRef(0), ColumnRef(1), [](const Batch& b) {
+                         ColumnVector out(TypeId::kInt64);
+                         const auto& pk = b.column(0).ints();
+                         out.ints().resize(pk.size());
+                         for (size_t i = 0; i < pk.size(); ++i) {
+                           out.ints()[i] = 1 + (pk[i] % 25);
+                         }
+                         return out;
+                       }});
+  Plan joined = Join(std::move(proj), std::move(supp), {2}, {0},
+                     JoinKind::kLeftSemi);
+  Plan agg = Agg(std::move(joined), {0}, {{AggKind::kSum, 1}});
   return Summarize(Sort(std::move(agg), {{1, true}}, 50));
 }
 
 // Q12: shipping modes and order priority.
-StatusOr<QueryResult> Q12(const TpchTables& t) {
+StatusOr<QueryResult> Q12(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1994, 1, 1), hi = DayNumber(1995, 1, 1) - 1;
-  Src line = Filter(
-      t.lineitem->Scan({kLOrderkey, kLShipmode, kLCommitdate,
-                        kLReceiptdate, kLShipdate}),
+  Plan line = Filter(
+      Scan(o, t.lineitem,
+           {kLOrderkey, kLShipmode, kLCommitdate, kLReceiptdate,
+            kLShipdate}),
       [lo, hi](const Batch& b, std::vector<uint8_t>* keep) {
         const auto& mode = b.column(1).strings();
         const auto& commit = b.column(2).ints();
@@ -347,213 +436,217 @@ StatusOr<QueryResult> Q12(const TpchTables& t) {
                        receipt[i] >= lo && receipt[i] <= hi;
         }
       });
-  Src ord = t.orders->Scan({kOOrderkey, kOOrderpriority});
-  Src joined = Join(std::move(line), std::move(ord), {0}, {0});
-  Src proj = Project(std::move(joined),
-                     {ColumnRef(1), [](const Batch& b) {
-                        // high-priority indicator
-                        ColumnVector out(TypeId::kInt64);
-                        const auto& prio = b.column(6).strings();
-                        out.ints().resize(prio.size());
-                        for (size_t i = 0; i < prio.size(); ++i) {
-                          out.ints()[i] = (prio[i] == "1-URGENT" ||
-                                           prio[i] == "2-HIGH")
-                                              ? 1
-                                              : 0;
-                        }
-                        return out;
-                      }});
-  Src agg = Agg(std::move(proj), {0},
-                {{AggKind::kSum, 1}, {AggKind::kCount, 0}});
+  Plan ord = Scan(o, t.orders, {kOOrderkey, kOOrderpriority});
+  Plan joined = Join(std::move(line), std::move(ord), {0}, {0});
+  Plan proj = Project(std::move(joined),
+                      {ColumnRef(1), [](const Batch& b) {
+                         // high-priority indicator
+                         ColumnVector out(TypeId::kInt64);
+                         const auto& prio = b.column(6).strings();
+                         out.ints().resize(prio.size());
+                         for (size_t i = 0; i < prio.size(); ++i) {
+                           out.ints()[i] = (prio[i] == "1-URGENT" ||
+                                            prio[i] == "2-HIGH")
+                                               ? 1
+                                               : 0;
+                         }
+                         return out;
+                       }});
+  Plan agg = Agg(std::move(proj), {0},
+                 {{AggKind::kSum, 1}, {AggKind::kCount, 0}});
   return Summarize(Sort(std::move(agg), {{0}}));
 }
 
 // Q13: customer distribution (orders only among updated tables).
-StatusOr<QueryResult> Q13(const TpchTables& t) {
-  Src ord = t.orders->Scan({kOCustkey});
-  Src per_cust = Agg(std::move(ord), {0}, {{AggKind::kCount, 0}});
-  Src dist = Agg(std::move(per_cust), {1}, {{AggKind::kCount, 0}});
+StatusOr<QueryResult> Q13(const TpchTables& t, const QueryOptions& o) {
+  Plan ord = Scan(o, t.orders, {kOCustkey});
+  Plan per_cust = Agg(std::move(ord), {0}, {{AggKind::kCount, 0}});
+  Plan dist = Agg(std::move(per_cust), {1}, {{AggKind::kCount, 0}});
   return Summarize(Sort(std::move(dist), {{1, true}, {0, true}}));
 }
 
 // Q14: promotion effect.
-StatusOr<QueryResult> Q14(const TpchTables& t) {
+StatusOr<QueryResult> Q14(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1995, 9, 1), hi = DayNumber(1995, 10, 1) - 1;
-  Src line = Filter(t.lineitem->Scan({kLPartkey, kLExtendedprice,
-                                      kLDiscount, kLShipdate}),
-                    Int64Between(3, lo, hi));
-  Src part = t.part->Scan({kPPartkey, kPType});
-  Src joined = Join(std::move(line), std::move(part), {0}, {0});
-  Src proj = Project(std::move(joined), {[](const Batch& b) {
-                       // promo revenue
-                       ColumnVector out(TypeId::kDouble);
-                       const auto& price = b.column(1).doubles();
-                       const auto& disc = b.column(2).doubles();
-                       const auto& type = b.column(5).strings();
-                       out.doubles().resize(price.size());
-                       for (size_t i = 0; i < price.size(); ++i) {
-                         bool promo = type[i].rfind("PROMO", 0) == 0;
-                         out.doubles()[i] =
-                             promo ? price[i] * (1.0 - disc[i]) : 0.0;
-                       }
-                       return out;
-                     },
-                     Revenue(1, 2)});
+  Plan line = Filter(Scan(o, t.lineitem,
+                          {kLPartkey, kLExtendedprice, kLDiscount,
+                           kLShipdate}),
+                     Int64Between(3, lo, hi));
+  Plan part = Scan(o, t.part, {kPPartkey, kPType});
+  Plan joined = Join(std::move(line), std::move(part), {0}, {0});
+  Plan proj = Project(std::move(joined), {[](const Batch& b) {
+                        // promo revenue
+                        ColumnVector out(TypeId::kDouble);
+                        const auto& price = b.column(1).doubles();
+                        const auto& disc = b.column(2).doubles();
+                        const auto& type = b.column(5).strings();
+                        out.doubles().resize(price.size());
+                        for (size_t i = 0; i < price.size(); ++i) {
+                          bool promo = type[i].rfind("PROMO", 0) == 0;
+                          out.doubles()[i] =
+                              promo ? price[i] * (1.0 - disc[i]) : 0.0;
+                        }
+                        return out;
+                      },
+                      Revenue(1, 2)});
   return Summarize(
       Agg(std::move(proj), {}, {{AggKind::kSum, 0}, {AggKind::kSum, 1}}));
 }
 
 // Q15: top supplier by quarterly revenue.
-StatusOr<QueryResult> Q15(const TpchTables& t) {
+StatusOr<QueryResult> Q15(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1996, 1, 1), hi = DayNumber(1996, 4, 1) - 1;
-  Src line = Filter(t.lineitem->Scan({kLSuppkey, kLExtendedprice,
-                                      kLDiscount, kLShipdate}),
-                    Int64Between(3, lo, hi));
-  Src proj = Project(std::move(line), {ColumnRef(0), Revenue(1, 2)});
-  Src agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
+  Plan line = Filter(Scan(o, t.lineitem,
+                          {kLSuppkey, kLExtendedprice, kLDiscount,
+                           kLShipdate}),
+                     Int64Between(3, lo, hi));
+  Plan proj = Project(std::move(line), {ColumnRef(0), Revenue(1, 2)});
+  Plan agg = Agg(std::move(proj), {0}, {{AggKind::kSum, 1}});
   return Summarize(Sort(std::move(agg), {{1, true}}, 1));
 }
 
 // Q16: parts/supplier relationship (no updated tables).
-StatusOr<QueryResult> Q16(const TpchTables& t) {
-  Src part = Filter(t.part->Scan({kPPartkey, kPBrand, kPType, kPSize}),
-                    [](const Batch& b, std::vector<uint8_t>* keep) {
-                      const auto& brand = b.column(1).strings();
-                      const auto& size = b.column(3).ints();
-                      for (size_t i = 0; i < brand.size(); ++i) {
-                        (*keep)[i] = brand[i] != "Brand#45" &&
-                                     (size[i] == 9 || size[i] == 19 ||
-                                      size[i] == 49 || size[i] == 3 ||
-                                      size[i] == 36 || size[i] == 14 ||
-                                      size[i] == 23 || size[i] == 45);
-                      }
-                    });
-  Src agg = Agg(std::move(part), {1, 3}, {{AggKind::kCount, 0}});
+StatusOr<QueryResult> Q16(const TpchTables& t, const QueryOptions& o) {
+  Plan part = Filter(Scan(o, t.part, {kPPartkey, kPBrand, kPType, kPSize}),
+                     [](const Batch& b, std::vector<uint8_t>* keep) {
+                       const auto& brand = b.column(1).strings();
+                       const auto& size = b.column(3).ints();
+                       for (size_t i = 0; i < brand.size(); ++i) {
+                         (*keep)[i] = brand[i] != "Brand#45" &&
+                                      (size[i] == 9 || size[i] == 19 ||
+                                       size[i] == 49 || size[i] == 3 ||
+                                       size[i] == 36 || size[i] == 14 ||
+                                       size[i] == 23 || size[i] == 45);
+                       }
+                     });
+  Plan agg = Agg(std::move(part), {1, 3}, {{AggKind::kCount, 0}});
   return Summarize(Sort(std::move(agg), {{2, true}, {0}}));
 }
 
 // Q17: small-quantity-order revenue: lineitems below 20% of the average
 // quantity of their part.
-StatusOr<QueryResult> Q17(const TpchTables& t) {
-  Src part = Filter(t.part->Scan({kPPartkey, kPBrand, kPContainer}),
-                    And({StringEquals(1, "Brand#23"),
-                         StringEquals(2, "MED BOX")}));
-  Src line = t.lineitem->Scan({kLPartkey, kLQuantity, kLExtendedprice});
-  Src line_part = Join(std::move(line), std::move(part), {0}, {0},
-                       JoinKind::kLeftSemi);
-  PDT_ASSIGN_OR_RETURN(Batch filtered,
-                       MaterializeAll(line_part.get()));
+StatusOr<QueryResult> Q17(const TpchTables& t, const QueryOptions& o) {
+  Plan part = Filter(Scan(o, t.part, {kPPartkey, kPBrand, kPContainer}),
+                     And({StringEquals(1, "Brand#23"),
+                          StringEquals(2, "MED BOX")}));
+  Plan line = Scan(o, t.lineitem, {kLPartkey, kLQuantity, kLExtendedprice});
+  Plan line_part = Join(std::move(line), std::move(part), {0}, {0},
+                        JoinKind::kLeftSemi);
+  Src drained = Finish(std::move(line_part));
+  PDT_ASSIGN_OR_RETURN(Batch filtered, MaterializeAll(drained.get()));
   // Two passes: per-part average quantity, then the selective sum.
-  Src pass1 = std::make_unique<VectorSource>(filtered);
-  Src avg = Agg(std::move(pass1), {0}, {{AggKind::kAvg, 1}});
-  Src pass2 = std::make_unique<VectorSource>(filtered);
-  Src joined = Join(std::move(pass2), std::move(avg), {0}, {0});
-  Src flt = Filter(std::move(joined),
-                   [](const Batch& b, std::vector<uint8_t>* keep) {
-                     const auto& qty = b.column(1).doubles();
-                     const auto& avg_q = b.column(4).doubles();
-                     for (size_t i = 0; i < qty.size(); ++i) {
-                       (*keep)[i] = qty[i] < 0.2 * avg_q[i];
-                     }
-                   });
+  Plan pass1 = P(std::make_unique<VectorSource>(filtered));
+  Plan avg = Agg(std::move(pass1), {0}, {{AggKind::kAvg, 1}});
+  Plan pass2 = P(std::make_unique<VectorSource>(filtered));
+  Plan joined = Join(std::move(pass2), std::move(avg), {0}, {0});
+  Plan flt = Filter(std::move(joined),
+                    [](const Batch& b, std::vector<uint8_t>* keep) {
+                      const auto& qty = b.column(1).doubles();
+                      const auto& avg_q = b.column(4).doubles();
+                      for (size_t i = 0; i < qty.size(); ++i) {
+                        (*keep)[i] = qty[i] < 0.2 * avg_q[i];
+                      }
+                    });
   return Summarize(Agg(std::move(flt), {}, {{AggKind::kSum, 2}}));
 }
 
 // Q18: large volume customers.
-StatusOr<QueryResult> Q18(const TpchTables& t) {
-  Src line = t.lineitem->Scan({kLOrderkey, kLQuantity});
-  Src per_order = Agg(std::move(line), {0}, {{AggKind::kSum, 1}});
-  Src big = Filter(std::move(per_order),
-                   DoubleInRange(1, 250.0, 1e18));
-  Src ord = t.orders->Scan({kOOrderkey, kOCustkey, kOOrderdate,
-                            kOTotalprice});
-  Src joined = Join(std::move(big), std::move(ord), {0}, {0});
+StatusOr<QueryResult> Q18(const TpchTables& t, const QueryOptions& o) {
+  Plan line = Scan(o, t.lineitem, {kLOrderkey, kLQuantity});
+  Plan per_order = Agg(std::move(line), {0}, {{AggKind::kSum, 1}});
+  Plan big = Filter(std::move(per_order), DoubleInRange(1, 250.0, 1e18));
+  Plan ord = Scan(o, t.orders,
+                  {kOOrderkey, kOCustkey, kOOrderdate, kOTotalprice});
+  Plan joined = Join(std::move(big), std::move(ord), {0}, {0});
   return Summarize(Sort(std::move(joined), {{5, true}, {4}}, 100));
 }
 
 // Q19: discounted revenue (disjunctive part/lineitem predicates).
-StatusOr<QueryResult> Q19(const TpchTables& t) {
-  Src line = Filter(t.lineitem->Scan({kLPartkey, kLQuantity,
-                                      kLExtendedprice, kLDiscount,
-                                      kLShipmode}),
+StatusOr<QueryResult> Q19(const TpchTables& t, const QueryOptions& o) {
+  Plan line = Filter(Scan(o, t.lineitem,
+                          {kLPartkey, kLQuantity, kLExtendedprice,
+                           kLDiscount, kLShipmode}),
+                     [](const Batch& b, std::vector<uint8_t>* keep) {
+                       const auto& mode = b.column(4).strings();
+                       for (size_t i = 0; i < mode.size(); ++i) {
+                         (*keep)[i] =
+                             mode[i] == "AIR" || mode[i] == "REG AIR";
+                       }
+                     });
+  Plan part = Scan(o, t.part, {kPPartkey, kPBrand, kPSize});
+  Plan joined = Join(std::move(line), std::move(part), {0}, {0});
+  Plan flt = Filter(std::move(joined),
                     [](const Batch& b, std::vector<uint8_t>* keep) {
-                      const auto& mode = b.column(4).strings();
-                      for (size_t i = 0; i < mode.size(); ++i) {
-                        (*keep)[i] = mode[i] == "AIR" || mode[i] == "REG AIR";
+                      const auto& qty = b.column(1).doubles();
+                      const auto& brand = b.column(6).strings();
+                      const auto& size = b.column(7).ints();
+                      for (size_t i = 0; i < qty.size(); ++i) {
+                        bool p1 = brand[i] == "Brand#12" && qty[i] <= 11 &&
+                                  size[i] <= 5;
+                        bool p2 = brand[i] == "Brand#23" && qty[i] >= 10 &&
+                                  qty[i] <= 20 && size[i] <= 10;
+                        bool p3 = brand[i] == "Brand#34" && qty[i] >= 20 &&
+                                  qty[i] <= 30 && size[i] <= 15;
+                        (*keep)[i] = p1 || p2 || p3;
                       }
                     });
-  Src part = t.part->Scan({kPPartkey, kPBrand, kPSize});
-  Src joined = Join(std::move(line), std::move(part), {0}, {0});
-  Src flt = Filter(std::move(joined),
-                   [](const Batch& b, std::vector<uint8_t>* keep) {
-                     const auto& qty = b.column(1).doubles();
-                     const auto& brand = b.column(6).strings();
-                     const auto& size = b.column(7).ints();
-                     for (size_t i = 0; i < qty.size(); ++i) {
-                       bool p1 = brand[i] == "Brand#12" && qty[i] <= 11 &&
-                                 size[i] <= 5;
-                       bool p2 = brand[i] == "Brand#23" && qty[i] >= 10 &&
-                                 qty[i] <= 20 && size[i] <= 10;
-                       bool p3 = brand[i] == "Brand#34" && qty[i] >= 20 &&
-                                 qty[i] <= 30 && size[i] <= 15;
-                       (*keep)[i] = p1 || p2 || p3;
-                     }
-                   });
-  Src proj = Project(std::move(flt), {Revenue(2, 3)});
+  Plan proj = Project(std::move(flt), {Revenue(2, 3)});
   return Summarize(Agg(std::move(proj), {}, {{AggKind::kSum, 0}}));
 }
 
 // Q20: potential part promotion: suppliers with surplus stock.
-StatusOr<QueryResult> Q20(const TpchTables& t) {
+StatusOr<QueryResult> Q20(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1994, 1, 1), hi = DayNumber(1995, 1, 1) - 1;
-  Src part = Filter(t.part->Scan({kPPartkey, kPName}),
-                    [](const Batch& b, std::vector<uint8_t>* keep) {
-                      const auto& names = b.column(1).strings();
-                      for (size_t i = 0; i < names.size(); ++i) {
-                        (*keep)[i] =
-                            names[i].rfind("forest", 0) == 0 ||
-                            names[i].find("azure") != std::string::npos;
-                      }
-                    });
-  Src line = Filter(t.lineitem->Scan({kLPartkey, kLSuppkey, kLQuantity,
-                                      kLShipdate}),
-                    Int64Between(3, lo, hi));
-  Src line_part = Join(std::move(line), std::move(part), {0}, {0},
-                       JoinKind::kLeftSemi);
-  Src per_supp = Agg(std::move(line_part), {1}, {{AggKind::kSum, 2}});
-  Src supp = t.supplier->Scan({kSSuppkey, kSNationkey});
-  Src joined = Join(std::move(per_supp), std::move(supp), {0}, {0});
+  Plan part = Filter(Scan(o, t.part, {kPPartkey, kPName}),
+                     [](const Batch& b, std::vector<uint8_t>* keep) {
+                       const auto& names = b.column(1).strings();
+                       for (size_t i = 0; i < names.size(); ++i) {
+                         (*keep)[i] =
+                             names[i].rfind("forest", 0) == 0 ||
+                             names[i].find("azure") != std::string::npos;
+                       }
+                     });
+  Plan line = Filter(Scan(o, t.lineitem,
+                          {kLPartkey, kLSuppkey, kLQuantity, kLShipdate}),
+                     Int64Between(3, lo, hi));
+  Plan line_part = Join(std::move(line), std::move(part), {0}, {0},
+                        JoinKind::kLeftSemi);
+  Plan per_supp = Agg(std::move(line_part), {1}, {{AggKind::kSum, 2}});
+  Plan supp = Scan(o, t.supplier, {kSSuppkey, kSNationkey});
+  Plan joined = Join(std::move(per_supp), std::move(supp), {0}, {0});
   return Summarize(Sort(std::move(joined), {{0}}));
 }
 
 // Q21: suppliers who kept orders waiting.
-StatusOr<QueryResult> Q21(const TpchTables& t) {
-  Src ord = Filter(t.orders->Scan({kOOrderkey, kOOrderstatus}),
-                   StringEquals(1, "F"));
-  Src line = Filter(t.lineitem->Scan({kLOrderkey, kLSuppkey, kLCommitdate,
-                                      kLReceiptdate}),
-                    [](const Batch& b, std::vector<uint8_t>* keep) {
-                      const auto& commit = b.column(2).ints();
-                      const auto& receipt = b.column(3).ints();
-                      for (size_t i = 0; i < commit.size(); ++i) {
-                        (*keep)[i] = receipt[i] > commit[i];
-                      }
-                    });
-  Src joined = Join(std::move(line), std::move(ord), {0}, {0},
-                    JoinKind::kLeftSemi);
-  Src agg = Agg(std::move(joined), {1}, {{AggKind::kCount, 0}});
+StatusOr<QueryResult> Q21(const TpchTables& t, const QueryOptions& o) {
+  Plan ord = Filter(Scan(o, t.orders, {kOOrderkey, kOOrderstatus}),
+                    StringEquals(1, "F"));
+  Plan line = Filter(Scan(o, t.lineitem,
+                          {kLOrderkey, kLSuppkey, kLCommitdate,
+                           kLReceiptdate}),
+                     [](const Batch& b, std::vector<uint8_t>* keep) {
+                       const auto& commit = b.column(2).ints();
+                       const auto& receipt = b.column(3).ints();
+                       for (size_t i = 0; i < commit.size(); ++i) {
+                         (*keep)[i] = receipt[i] > commit[i];
+                       }
+                     });
+  Plan joined = Join(std::move(line), std::move(ord), {0}, {0},
+                     JoinKind::kLeftSemi);
+  Plan agg = Agg(std::move(joined), {1}, {{AggKind::kCount, 0}});
   return Summarize(Sort(std::move(agg), {{1, true}, {0}}, 100));
 }
 
 // Q22: global sales opportunity: well-off customers without orders.
-StatusOr<QueryResult> Q22(const TpchTables& t) {
-  Src cust = Filter(t.customer->Scan({kCCustkey, kCNationkey, kCAcctbal}),
-                    DoubleInRange(2, 0.0, 1e18));
-  Src ord = t.orders->Scan({kOCustkey});
-  Src anti = Join(std::move(cust), std::move(ord), {0}, {0},
-                  JoinKind::kLeftAnti);
-  Src agg = Agg(std::move(anti), {1},
-                {{AggKind::kCount, 0}, {AggKind::kSum, 2}});
+StatusOr<QueryResult> Q22(const TpchTables& t, const QueryOptions& o) {
+  Plan cust = Filter(Scan(o, t.customer,
+                          {kCCustkey, kCNationkey, kCAcctbal}),
+                     DoubleInRange(2, 0.0, 1e18));
+  Plan ord = Scan(o, t.orders, {kOCustkey});
+  Plan anti = Join(std::move(cust), std::move(ord), {0}, {0},
+                   JoinKind::kLeftAnti);
+  Plan agg = Agg(std::move(anti), {1},
+                 {{AggKind::kCount, 0}, {AggKind::kSum, 2}});
   return Summarize(Sort(std::move(agg), {{0}}));
 }
 
@@ -563,52 +656,53 @@ bool QueryTouchesUpdatedTables(int q) {
   return q != 2 && q != 11 && q != 16;
 }
 
-StatusOr<QueryResult> RunTpchQuery(int q, const TpchTables& tables) {
+StatusOr<QueryResult> RunTpchQuery(int q, const TpchTables& tables,
+                                   const QueryOptions& opts) {
   switch (q) {
     case 1:
-      return Q1(tables);
+      return Q1(tables, opts);
     case 2:
-      return Q2(tables);
+      return Q2(tables, opts);
     case 3:
-      return Q3(tables);
+      return Q3(tables, opts);
     case 4:
-      return Q4(tables);
+      return Q4(tables, opts);
     case 5:
-      return Q5(tables);
+      return Q5(tables, opts);
     case 6:
-      return Q6(tables);
+      return Q6(tables, opts);
     case 7:
-      return Q7(tables);
+      return Q7(tables, opts);
     case 8:
-      return Q8(tables);
+      return Q8(tables, opts);
     case 9:
-      return Q9(tables);
+      return Q9(tables, opts);
     case 10:
-      return Q10(tables);
+      return Q10(tables, opts);
     case 11:
-      return Q11(tables);
+      return Q11(tables, opts);
     case 12:
-      return Q12(tables);
+      return Q12(tables, opts);
     case 13:
-      return Q13(tables);
+      return Q13(tables, opts);
     case 14:
-      return Q14(tables);
+      return Q14(tables, opts);
     case 15:
-      return Q15(tables);
+      return Q15(tables, opts);
     case 16:
-      return Q16(tables);
+      return Q16(tables, opts);
     case 17:
-      return Q17(tables);
+      return Q17(tables, opts);
     case 18:
-      return Q18(tables);
+      return Q18(tables, opts);
     case 19:
-      return Q19(tables);
+      return Q19(tables, opts);
     case 20:
-      return Q20(tables);
+      return Q20(tables, opts);
     case 21:
-      return Q21(tables);
+      return Q21(tables, opts);
     case 22:
-      return Q22(tables);
+      return Q22(tables, opts);
     default:
       return Status::InvalidArgument("unknown TPC-H query number");
   }

@@ -21,8 +21,21 @@ struct QueryResult {
   double checksum = 0.0;
 };
 
+/// Query execution knobs. The default (1 thread) builds the unchanged
+/// serial operator tree; more threads run each query's scan fragments
+/// (scan -> filter -> project -> join probe -> partial agg / build) as
+/// parallel pipelines inside the morsel workers (exec/pipeline.h), with
+/// order-insensitive delivery — the result multiset is identical, group
+/// order and floating-point summation order are not.
+struct QueryOptions {
+  int num_threads = 1;
+  /// Morsel granularity; 0 auto-tunes (AutoMorselRows).
+  size_t morsel_rows = 0;
+};
+
 /// Runs query `q` (1-22). InvalidArgument for unknown numbers.
-StatusOr<QueryResult> RunTpchQuery(int q, const TpchTables& tables);
+StatusOr<QueryResult> RunTpchQuery(int q, const TpchTables& tables,
+                                   const QueryOptions& opts = {});
 
 /// True if query `q` scans lineitem or orders.
 bool QueryTouchesUpdatedTables(int q);

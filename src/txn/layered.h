@@ -71,6 +71,39 @@ inline uint64_t LayeredRowCount(uint64_t stable_rows,
   return static_cast<uint64_t>(static_cast<int64_t>(stable_rows) + delta);
 }
 
+/// Plans the merge scan over a snapshot layer stack: the serial merge
+/// cursor at one thread, or morsels + a per-morsel source factory for
+/// the parallel pipelines — the shared planning step of the transaction
+/// Scan() paths and Table::PlanMorsels. A zero `morsel_rows` auto-tunes
+/// the granularity from the chunk size and the stack's delta entry
+/// density (AutoMorselRows). All layers must stay unmodified while the
+/// plan's sources are consumed.
+inline MorselPlan LayeredMorselPlan(const ColumnStore& store,
+                                    std::vector<const Pdt*> layers,
+                                    std::vector<ColumnId> projection,
+                                    std::vector<SidRange> ranges,
+                                    const ScanOptions& scan_opts) {
+  MorselPlan plan;
+  plan.options = scan_opts;
+  size_t entries = 0;
+  for (const Pdt* layer : layers) entries += layer->EntryCount();
+  if (!ResolveMorselPlan(&ranges, store.num_rows(),
+                         store.options().chunk_rows, entries, &plan)) {
+    plan.serial = MakeMergeScan(store, std::move(layers),
+                                std::move(projection), std::move(ranges));
+    return plan;
+  }
+  const ColumnStore* store_ptr = &store;
+  plan.factory =
+      [store_ptr, layers = std::move(layers),
+       projection = std::move(projection)](
+          size_t, const SidRange& morsel, bool final_morsel) {
+        return MakeMorselMergeScan(*store_ptr, layers, projection, morsel,
+                                   final_morsel);
+      };
+  return plan;
+}
+
 /// Merge scan over a snapshot layer stack, serial or morsel-parallel
 /// according to `scan_opts` — the shared implementation of the
 /// transaction Scan() paths. All layers must stay unmodified while the
@@ -79,29 +112,9 @@ inline std::unique_ptr<BatchSource> LayeredScan(
     const ColumnStore& store, std::vector<const Pdt*> layers,
     std::vector<ColumnId> projection, std::vector<SidRange> ranges,
     const ScanOptions& scan_opts) {
-  const int threads = scan_opts.num_threads <= 0
-                          ? ThreadPool::DefaultThreads()
-                          : scan_opts.num_threads;
-  if (threads <= 1) {
-    return MakeMergeScan(store, std::move(layers), std::move(projection),
-                         std::move(ranges));
-  }
-  if (ranges.empty()) ranges.push_back(SidRange{0, store.num_rows()});
-  std::vector<SidRange> morsels =
-      SplitIntoMorsels(ranges, scan_opts.morsel_rows);
-  if (morsels.empty()) morsels.push_back(SidRange{0, 0});
-  ScanOptions opts = scan_opts;
-  opts.num_threads = threads;
-  const ColumnStore* store_ptr = &store;
-  MorselSourceFactory factory =
-      [store_ptr, layers = std::move(layers),
-       projection = std::move(projection)](
-          size_t, const SidRange& morsel, bool final_morsel) {
-        return MakeMorselMergeScan(*store_ptr, layers, projection, morsel,
-                                   final_morsel);
-      };
-  return std::make_unique<ParallelScanSource>(std::move(morsels),
-                                              std::move(factory), opts);
+  return MakeScanSource(LayeredMorselPlan(store, std::move(layers),
+                                          std::move(projection),
+                                          std::move(ranges), scan_opts));
 }
 
 }  // namespace internal

@@ -163,6 +163,19 @@ std::unique_ptr<BatchSource> Transaction::Scan(
                                scan_opts);
 }
 
+MorselPlan Transaction::PlanMorsels(std::vector<ColumnId> projection,
+                                    const KeyBounds* bounds,
+                                    const ScanOptions& scan_opts) const {
+  std::vector<SidRange> ranges;
+  if (bounds != nullptr) {
+    ranges = mgr_->table()->sparse_index().LookupRange(bounds->lo,
+                                                       bounds->hi);
+  }
+  return internal::LayeredMorselPlan(mgr_->table()->store(), Layers(),
+                                     std::move(projection),
+                                     std::move(ranges), scan_opts);
+}
+
 StatusOr<Tuple> Transaction::GetByKey(const std::vector<Value>& key) const {
   // Point reads feed update logic, so they see the full update domain
   // (including an active Query-PDT); Scan() is the protected read path.

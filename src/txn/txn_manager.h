@@ -50,6 +50,13 @@ class Transaction {
   std::unique_ptr<BatchSource> Scan(std::vector<ColumnId> projection,
                                     const KeyBounds* bounds = nullptr,
                                     const ScanOptions& scan_opts = {}) const;
+  /// The same snapshot scan as a morsel plan, feeding the parallel
+  /// pipelines (exec/pipeline.h) — operator fragments then run inside
+  /// the scan workers over the immutable layer stack. The update
+  /// caveats of Scan() apply.
+  MorselPlan PlanMorsels(std::vector<ColumnId> projection,
+                         const KeyBounds* bounds = nullptr,
+                         const ScanOptions& scan_opts = {}) const;
   StatusOr<Tuple> GetByKey(const std::vector<Value>& key) const;
   uint64_t RowCount() const;
 

@@ -10,6 +10,14 @@ int ThreadPool::DefaultThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+ThreadPool& ThreadPool::Global() {
+  // Function-local static: constructed on first parallel scan, drained
+  // and joined during static destruction (all scans are gone by then —
+  // sources are owned by query objects destroyed before exit).
+  static ThreadPool pool(DefaultThreads());
+  return pool;
+}
+
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
   threads_.reserve(static_cast<size_t>(num_threads));
@@ -72,16 +80,48 @@ void ParallelFor(int num_threads, size_t begin, size_t end,
     for (size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  std::atomic<size_t> next{begin};
-  ThreadPool pool(static_cast<int>(workers));
-  for (size_t t = 0; t < workers; ++t) {
-    pool.Submit([&next, end, &fn] {
-      for (size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < end;) {
-        fn(i);
+  // Tasks own this state by shared_ptr and check `finished` before
+  // touching anything, so the caller waits only for tasks that actually
+  // started — a pool saturated by other queries cannot stall the return
+  // (the caller has already drained every index itself by then).
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<size_t> next;
+    size_t end;
+    std::function<void(size_t)> fn;
+    size_t active = 0;
+    bool finished = false;
+  };
+  auto sh = std::make_shared<Shared>();
+  sh->next = begin;
+  sh->end = end;
+  sh->fn = fn;
+  auto drain = [](Shared* s) {
+    for (size_t i;
+         (i = s->next.fetch_add(1, std::memory_order_relaxed)) < s->end;) {
+      s->fn(i);
+    }
+  };
+  ThreadPool& pool = ThreadPool::Global();
+  for (size_t t = 1; t < workers; ++t) {
+    pool.Submit([sh, drain] {
+      {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        if (sh->finished) return;
+        ++sh->active;
       }
+      drain(sh.get());
+      std::lock_guard<std::mutex> lock(sh->mu);
+      if (--sh->active == 0) sh->cv.notify_all();
     });
   }
-  pool.WaitIdle();
+  // The caller participates, so the loop completes even when the global
+  // pool is saturated by other queries.
+  drain(sh.get());
+  std::unique_lock<std::mutex> lock(sh->mu);
+  sh->cv.wait(lock, [&sh] { return sh->active == 0; });
+  sh->finished = true;
 }
 
 }  // namespace pdtstore

@@ -39,6 +39,18 @@ class ThreadPool {
   /// report 0 on exotic platforms).
   static int DefaultThreads();
 
+  /// The process-wide worker pool shared by every parallel scan and
+  /// pipeline (lazily constructed, sized to the hardware). Scans no
+  /// longer spawn a private pool: `ScanOptions::num_threads` caps how
+  /// many of these workers one query fragment occupies, so concurrent
+  /// queries share the same threads. Submitted tasks must tolerate
+  /// running arbitrarily late (workers are FIFO across all queries) and
+  /// must observe their own cancellation flags; progress-critical work
+  /// additionally runs on the submitting thread (see the consumer-help
+  /// loop in exec/parallel_scan.cc), so a busy pool degrades throughput,
+  /// never liveness.
+  static ThreadPool& Global();
+
  private:
   void WorkerLoop();
 
@@ -52,9 +64,12 @@ class ThreadPool {
 };
 
 /// Applies `fn` to every index in [begin, end) using up to `num_threads`
-/// workers (<= 0: DefaultThreads()). Indices are claimed dynamically from
-/// a shared atomic counter, so unevenly-sized work items still balance.
-/// Runs inline when one worker suffices. `fn` must be thread-safe.
+/// workers (<= 0: DefaultThreads()) drawn from the shared global pool,
+/// with the calling thread participating — every index completes even if
+/// the pool is fully occupied by other queries. Indices are claimed
+/// dynamically from a shared atomic counter, so unevenly-sized work items
+/// still balance. Runs inline when one worker suffices. `fn` must be
+/// thread-safe.
 void ParallelFor(int num_threads, size_t begin, size_t end,
                  const std::function<void(size_t)>& fn);
 
