@@ -35,8 +35,10 @@
 #include "bench_util.h"
 #include "db/database.h"
 #include "exec/parallel_scan.h"
+#include "exec/pipeline.h"
 #include "tpch/queries.h"
 #include "tpch/tpch_gen.h"
+#include "tpch/tpch_schema.h"
 #include "tpch/update_stream.h"
 #include "util/thread_pool.h"
 
@@ -267,6 +269,126 @@ void RunThreadSweep(const GenOptions& gen, double fraction,
   std::printf("\n");
 }
 
+// Row count + checksum digest of a drained source (the Summarize
+// analogue for the micro-sweeps below).
+struct DrainDigest {
+  size_t rows = 0;
+  double checksum = 0;
+};
+
+DrainDigest Drain(BatchSource* src) {
+  DrainDigest d;
+  Batch batch;
+  while (true) {
+    auto more = src->Next(&batch, kDefaultBatchSize);
+    if (!more.ok()) {
+      std::fprintf(stderr, "drain failed: %s\n",
+                   more.status().ToString().c_str());
+      std::abort();
+    }
+    if (!*more) break;
+    d.rows += batch.num_rows();
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      const ColumnVector& col = batch.column(c);
+      if (col.type() == TypeId::kInt64) {
+        for (int64_t v : col.ints()) d.checksum += static_cast<double>(v);
+      } else if (col.type() == TypeId::kDouble) {
+        for (double v : col.doubles()) d.checksum += v;
+      }
+    }
+  }
+  return d;
+}
+
+bool DigestsAgree(const DrainDigest& a, const DrainDigest& b) {
+  return a.rows == b.rows &&
+         std::abs(a.checksum - b.checksum) <=
+             1e-6 * (1.0 + std::abs(a.checksum));
+}
+
+// Dedicated thread sweep over the two new breakers: a full ORDER BY of
+// lineitem through IntoSortBuild (per-worker runs + loser-tree merge)
+// and a partitioned orders-build / lineitem-probe join. t == 1 runs the
+// serial tree (SortNode / single-partition build) and is the agreement
+// reference for every other thread count.
+void RunSortJoinSweep(const GenOptions& gen, double fraction,
+                      const std::vector<int>& threads,
+                      JsonResultWriter* json) {
+  std::printf(
+      "=== sort / join-build sweep (PDT, uncompressed, hot) ===\n");
+  auto streams_or = tpch::MakeUpdateStreams(gen, 2, fraction);
+  if (!streams_or.ok()) {
+    std::fprintf(stderr, "streams failed\n");
+    std::abort();
+  }
+  Scenario pdt = BuildScenario("PDT", gen, DeltaBackend::kPdt,
+                               /*compression=*/false, &*streams_or);
+  Table* line = pdt.tables.lineitem;
+  Table* ord = pdt.tables.orders;
+  const std::vector<ColumnId> sort_cols{tpch::kLOrderkey, tpch::kLShipdate,
+                                        tpch::kLExtendedprice};
+  const std::vector<ColumnId> probe_cols{tpch::kLOrderkey,
+                                         tpch::kLExtendedprice};
+  const std::vector<ColumnId> build_cols{tpch::kOOrderkey,
+                                         tpch::kOTotalprice};
+  auto run_sort = [&](int t) {
+    ScanOptions so;
+    so.num_threads = t;
+    so.ordered = false;
+    Pipeline pipe(line->PlanMorsels(sort_cols, nullptr, so));
+    auto src = std::move(pipe).IntoSortBuild({{1, false}, {0, false}});
+    return Drain(src.get());
+  };
+  auto run_join = [&](int t) {
+    ScanOptions so;
+    so.num_threads = t;
+    so.ordered = false;
+    auto bpipe =
+        std::make_unique<Pipeline>(ord->PlanMorsels(build_cols, nullptr,
+                                                    so));
+    auto handle = Pipeline::IntoJoinBuild(std::move(bpipe), {0});
+    Pipeline probe(line->PlanMorsels(probe_cols, nullptr, so));
+    probe.Probe(handle, {0});
+    auto src = std::move(probe).Exchange();
+    return Drain(src.get());
+  };
+  // Warm the chunk caches so the sweep measures CPU, not decode — and
+  // keep these serial-tree digests as the agreement reference for
+  // every thread count (independent of which counts --threads lists).
+  const DrainDigest sort_ref = run_sort(1);
+  const DrainDigest join_ref = run_join(1);
+  std::printf("%-8s %-12s %-12s %-10s %-10s\n", "threads", "sort_ms",
+              "join_ms", "sort_rows", "check");
+  for (int t : threads) {
+    Stopwatch sw;
+    DrainDigest s = run_sort(t);
+    double sort_ms = sw.ElapsedMillis();
+    sw.Reset();
+    DrainDigest j = run_join(t);
+    double join_ms = sw.ElapsedMillis();
+    const bool agree =
+        DigestsAgree(s, sort_ref) && DigestsAgree(j, join_ref);
+    std::printf("%-8d %-12.1f %-12.1f %-10zu %s\n", t, sort_ms, join_ms,
+                s.rows, agree ? "ok" : "MISMATCH");
+    if (json != nullptr) {
+      char key[48];
+      std::snprintf(key, sizeof(key), "t%d_sort_ms", t);
+      json->Metric("sort_join_build", key, sort_ms);
+      std::snprintf(key, sizeof(key), "t%d_join_build_ms", t);
+      json->Metric("sort_join_build", key, join_ms);
+      std::snprintf(key, sizeof(key), "t%d_agree", t);
+      json->Metric("sort_join_build", key, agree ? 1.0 : 0.0);
+    }
+  }
+  if (json != nullptr) {
+    json->Metric("sort_join_build", "sort_rows",
+                 static_cast<double>(sort_ref.rows));
+    json->Metric("sort_join_build", "join_rows",
+                 static_cast<double>(join_ref.rows));
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace pdtstore
@@ -281,7 +403,7 @@ int main(int argc, char** argv) {
   double bandwidth = std::strtod(
       FlagValue(argc, argv, "bandwidth-mb", "150").c_str(), nullptr);
   std::string config = FlagValue(argc, argv, "config", "both");
-  auto threads = ParseIntList(FlagValue(argc, argv, "threads", "1,2,4"));
+  auto threads = ParseIntList(FlagValue(argc, argv, "threads", "1,2,4,8"));
   const std::string json_path =
       FlagValue(argc, argv, "json", "BENCH_fig19.json");
   std::printf(
@@ -298,6 +420,7 @@ int main(int argc, char** argv) {
   }
   if (!threads.empty()) {
     RunThreadSweep(gen, fraction, threads, &json);
+    RunSortJoinSweep(gen, fraction, threads, &json);
   }
   std::printf(
       "Expectation (paper): io_vdt > io_pdt ~= io_clean (VDT must read "

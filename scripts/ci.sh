@@ -24,22 +24,43 @@ echo "== bench smoke (tiny sizes) =="
 "$BUILD_DIR/bench_fig17_mergescan_scaling" --sizes=20000 --rates=0,1 \
     --threads=1,2,4 --json="$BUILD_DIR/BENCH_fig17_smoke.json"
 "$BUILD_DIR/bench_fig19_tpch" --sf=0.01 --config=uncompressed \
-    --threads=1,2 --json="$BUILD_DIR/BENCH_fig19_smoke.json"
+    --threads=1,2,4,8 --json="$BUILD_DIR/BENCH_fig19_smoke.json"
+
+# Differential-fuzz provenance: the ctest stage above already ran the
+# fixed-seed smoke batch (differential_fuzz_test's default iterations);
+# the TSan stage below runs a longer batch from FUZZ_SEED. Record the
+# seed in the bench artifact so any CI failure is a one-line repro:
+#   PDT_FUZZ_SEED=<seed> PDT_FUZZ_ITERS=1 ./differential_fuzz_test
+FUZZ_SEED="${PDT_FUZZ_SEED:-20260731}"
+FUZZ_ITERS="${PDT_FUZZ_ITERS:-200}"
+# Non-numeric overrides would corrupt the JSON artifact (and silently
+# confuse the fuzz binary): fall back to the defaults.
+[[ "$FUZZ_SEED" =~ ^[0-9]+$ ]] || FUZZ_SEED=20260731
+[[ "$FUZZ_ITERS" =~ ^[0-9]+$ ]] || FUZZ_ITERS=200
+cat > "$BUILD_DIR/BENCH_fuzz.json" <<EOF
+{"differential_fuzz": {"seed": ${FUZZ_SEED}, "tsan_iters": ${FUZZ_ITERS}}}
+EOF
 
 if [[ "${PDTSTORE_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== tsan build + parallel scan/pipeline tests =="
-  # ThreadSanitizer over the morsel-driven parallel scan and the
-  # pipeline layer on top of it: the subsystems with cross-thread shared
-  # state (exchange queues, the shared process pool, partial-agg merges,
-  # the published join table, buffer pool, shared read-only PDT layers).
+  echo "== tsan build + parallel scan/pipeline/sort/join + fuzz tests =="
+  # ThreadSanitizer over the subsystems with cross-thread shared state:
+  # exchange queues, the shared process pool, partial-agg merges, the
+  # partitioned join build + published table, per-worker sort runs, the
+  # buffer pool and shared read-only PDT layers — plus the long
+  # differential fuzz batch (FUZZ_ITERS seeded iterations).
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
       -DPDTSTORE_BUILD_BENCHES=OFF -DPDTSTORE_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j "$(nproc)" \
-      --target parallel_scan_test pipeline_test
+      --target parallel_scan_test pipeline_test parallel_sort_join_test \
+      differential_fuzz_test
   (cd "$TSAN_DIR" && \
-      ctest --output-on-failure -R "parallel_scan_test|pipeline_test")
+      ctest --output-on-failure \
+          -R "parallel_scan_test|pipeline_test|parallel_sort_join_test")
+  (cd "$TSAN_DIR" && \
+      PDT_FUZZ_SEED="$FUZZ_SEED" PDT_FUZZ_ITERS="$FUZZ_ITERS" \
+          ./differential_fuzz_test)
 fi
 
 echo "CI OK"

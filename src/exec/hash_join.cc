@@ -5,23 +5,40 @@
 namespace pdtstore {
 
 JoinTable JoinTable::Build(Batch build_rows, std::vector<size_t> keys) {
+  // An exhausted build side materializes to a column-less batch; leave
+  // the table empty rather than indexing its key columns.
+  std::vector<uint64_t> hashes;
+  const size_t n = build_rows.num_rows();
+  if (n > 0) {
+    hashes.assign(n, kHashSeed);
+    for (size_t k : keys) {
+      build_rows.column(k).HashColumn(hashes.data());
+    }
+  }
+  return BuildWithHashes(std::move(build_rows), std::move(keys),
+                         std::move(hashes));
+}
+
+JoinTable JoinTable::BuildWithHashes(Batch build_rows,
+                                     std::vector<size_t> keys,
+                                     std::vector<uint64_t> hashes) {
   JoinTable t;
   t.rows = std::move(build_rows);
   t.key_cols = std::move(keys);
-  // An exhausted build side materializes to a column-less batch; leave
-  // the table empty rather than indexing its key columns.
   const size_t n = t.rows.num_rows();
   if (n > 0) {
-    std::vector<uint64_t> hashes(n, kHashSeed);
-    for (size_t k : t.key_cols) {
-      t.rows.column(k).HashColumn(hashes.data());
-    }
     t.buckets.reserve(n);
     for (size_t row = 0; row < n; ++row) {
       t.buckets[hashes[row]].push_back(static_cast<uint32_t>(row));
     }
   }
   return t;
+}
+
+size_t PartitionedJoinTable::TotalRows() const {
+  size_t n = 0;
+  for (const JoinTable& p : parts) n += p.rows.num_rows();
+  return n;
 }
 
 bool JoinTable::KeysEqual(const std::vector<size_t>& probe_keys,
@@ -37,10 +54,21 @@ bool JoinTable::KeysEqual(const std::vector<size_t>& probe_keys,
   return true;
 }
 
-void ProbeJoinBatch(const JoinTable& table,
+void ProbeJoinBatch(const PartitionedJoinTable& table,
                     const std::vector<size_t>& probe_keys, JoinKind kind,
                     const Batch& in, Batch* out, JoinProbeScratch* scratch) {
   const size_t n = in.num_rows();
+  // The build-column layout for the output proto: any partition that
+  // carries columns (empty partitions of a partitioned build still do;
+  // a fully empty serial build side materializes column-less, and the
+  // inner output then has probe columns only, as before partitioning).
+  const JoinTable* layout_part = &table.parts[0];
+  for (const JoinTable& p : table.parts) {
+    if (p.rows.num_columns() > 0) {
+      layout_part = &p;
+      break;
+    }
+  }
   if (!scratch->proto_init) {
     std::vector<ColumnId> ids;
     for (size_t c = 0; c < in.num_columns(); ++c) {
@@ -48,10 +76,10 @@ void ProbeJoinBatch(const JoinTable& table,
       scratch->out_proto.columns().emplace_back(in.column(c).type());
     }
     if (kind == JoinKind::kInner) {
-      for (size_t c = 0; c < table.rows.num_columns(); ++c) {
+      for (size_t c = 0; c < layout_part->rows.num_columns(); ++c) {
         ids.push_back(static_cast<ColumnId>(in.num_columns() + c));
         scratch->out_proto.columns().emplace_back(
-            table.rows.column(c).type());
+            layout_part->rows.column(c).type());
       }
     }
     scratch->out_proto.set_column_ids(std::move(ids));
@@ -59,42 +87,88 @@ void ProbeJoinBatch(const JoinTable& table,
   }
   out->ResetLike(scratch->out_proto);
 
-  // One bulk hash pass per key column, then per-row bucket probes.
+  // One bulk hash pass per key column, then per-row bucket probes
+  // against the row's hash partition.
   scratch->hashes.assign(n, kHashSeed);
   for (size_t k : probe_keys) {
     in.column(k).HashColumn(scratch->hashes.data());
   }
 
   if (kind == JoinKind::kInner) {
-    scratch->probe_sel.clear();
-    scratch->build_sel.clear();
-    for (size_t row = 0; row < n; ++row) {
-      auto it = table.buckets.find(scratch->hashes[row]);
-      if (it == table.buckets.end()) continue;
-      for (uint32_t b : it->second) {
-        if (table.KeysEqual(probe_keys, in, row, b)) {
-          scratch->probe_sel.push_back(static_cast<uint32_t>(row));
-          scratch->build_sel.push_back(b);
+    if (table.parts.size() == 1) {
+      // Single partition (every serial join): the pre-partitioned pass,
+      // byte-identical output.
+      const JoinTable& part = table.parts[0];
+      scratch->probe_sel.clear();
+      scratch->build_sel.clear();
+      for (size_t row = 0; row < n; ++row) {
+        auto it = part.buckets.find(scratch->hashes[row]);
+        if (it == part.buckets.end()) continue;
+        for (uint32_t b : it->second) {
+          if (part.KeysEqual(probe_keys, in, row, b)) {
+            scratch->probe_sel.push_back(static_cast<uint32_t>(row));
+            scratch->build_sel.push_back(b);
+          }
         }
       }
-    }
-    for (size_t c = 0; c < in.num_columns(); ++c) {
-      out->column(c).AppendGather(in.column(c), scratch->probe_sel);
-    }
-    for (size_t c = 0; c < table.rows.num_columns(); ++c) {
-      out->column(in.num_columns() + c)
-          .AppendGather(table.rows.column(c), scratch->build_sel);
+      for (size_t c = 0; c < in.num_columns(); ++c) {
+        out->column(c).AppendGather(in.column(c), scratch->probe_sel);
+      }
+      for (size_t c = 0; c < part.rows.num_columns(); ++c) {
+        out->column(in.num_columns() + c)
+            .AppendGather(part.rows.column(c), scratch->build_sel);
+      }
+    } else {
+      // Partitioned: route rows once, then gather per partition so
+      // build_sel indices stay partition-local. Output rows come out
+      // grouped by partition (probe order within each group) — the
+      // parallel pipelines deliver unordered anyway.
+      scratch->part_rows.resize(table.parts.size());
+      for (SelVector& pr : scratch->part_rows) pr.clear();
+      for (size_t row = 0; row < n; ++row) {
+        scratch->part_rows[table.PartitionOf(scratch->hashes[row])]
+            .push_back(static_cast<uint32_t>(row));
+      }
+      scratch->probe_sel.clear();
+      for (size_t p = 0; p < table.parts.size(); ++p) {
+        const JoinTable& part = table.parts[p];
+        if (part.buckets.empty()) continue;
+        scratch->build_sel.clear();
+        const size_t probe_base = scratch->probe_sel.size();
+        for (uint32_t row : scratch->part_rows[p].indices()) {
+          auto it = part.buckets.find(scratch->hashes[row]);
+          if (it == part.buckets.end()) continue;
+          for (uint32_t b : it->second) {
+            if (part.KeysEqual(probe_keys, in, row, b)) {
+              scratch->probe_sel.push_back(row);
+              scratch->build_sel.push_back(b);
+            }
+          }
+        }
+        if (scratch->probe_sel.size() == probe_base) continue;
+        for (size_t c = 0; c < part.rows.num_columns(); ++c) {
+          out->column(in.num_columns() + c)
+              .AppendGather(part.rows.column(c), scratch->build_sel);
+        }
+      }
+      for (size_t c = 0; c < in.num_columns(); ++c) {
+        out->column(c).AppendGather(in.column(c), scratch->probe_sel);
+      }
     }
   } else {
-    // Semi/anti: mark matches, then compact survivors column-wise.
+    // Semi/anti: mark matches, then compact survivors column-wise. Each
+    // probe row is emitted at most once regardless of duplicate build
+    // matches.
     const uint8_t want = kind == JoinKind::kLeftSemi ? 1 : 0;
     scratch->keep.assign(n, 0);
     for (size_t row = 0; row < n; ++row) {
+      const uint64_t h = scratch->hashes[row];
+      const JoinTable& part = table.parts[table.PartitionOf(h)];
       uint8_t matched = 0;
-      auto it = table.buckets.find(scratch->hashes[row]);
-      if (it != table.buckets.end()) {
+      auto it = part.buckets.find(h);
+      if (it != part.buckets.end()) {
         for (uint32_t b : it->second) {
-          if (table.KeysEqual(probe_keys, in, row, b)) {
+          if (part.KeysEqual(probe_keys, in, row, b)) {
             matched = 1;
             break;
           }
@@ -111,26 +185,31 @@ void ProbeJoinBatch(const JoinTable& table,
 // ---------------------------------------------------------------------
 
 JoinBuildHandle::JoinBuildHandle(std::unique_ptr<BatchSource> build_source,
-                                 std::vector<size_t> build_keys)
-    : build_keys_(std::move(build_keys)) {
+                                 std::vector<size_t> build_keys) {
   // Shared-ptr capture: std::function requires copyability.
   std::shared_ptr<BatchSource> src = std::move(build_source);
-  producer_ = [src]() { return MaterializeAll(src.get()); };
+  producer_ = [src, keys = std::move(build_keys)]()
+      -> StatusOr<PartitionedJoinTable> {
+    PDT_ASSIGN_OR_RETURN(Batch rows, MaterializeAll(src.get()));
+    PartitionedJoinTable t;
+    t.parts.push_back(JoinTable::Build(std::move(rows), keys));
+    return t;
+  };
 }
 
-JoinBuildHandle::JoinBuildHandle(std::function<StatusOr<Batch>()> producer,
-                                 std::vector<size_t> build_keys)
-    : producer_(std::move(producer)), build_keys_(std::move(build_keys)) {}
+JoinBuildHandle::JoinBuildHandle(
+    std::function<StatusOr<PartitionedJoinTable>()> producer)
+    : producer_(std::move(producer)) {}
 
-StatusOr<const JoinTable*> JoinBuildHandle::Resolve() {
+StatusOr<const PartitionedJoinTable*> JoinBuildHandle::Resolve() {
   if (!resolved_) {
     resolved_ = true;
-    StatusOr<Batch> rows = producer_();
+    StatusOr<PartitionedJoinTable> table = producer_();
     producer_ = nullptr;  // release the build source / pipeline
-    if (!rows.ok()) {
-      error_ = rows.status();
+    if (!table.ok()) {
+      error_ = table.status();
     } else {
-      table_ = JoinTable::Build(std::move(*rows), build_keys_);
+      table_ = std::move(*table);
     }
   }
   if (!error_.ok()) return error_;

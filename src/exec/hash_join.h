@@ -4,11 +4,14 @@
 // hashed with one bulk HashColumn pass per key column and matches are
 // compacted with selection-vector gathers. Inner or left-semi/anti.
 //
-// The build side is factored into an immutable JoinTable behind a
-// JoinBuildHandle (the publish barrier): the parallel pipeline
-// (exec/pipeline.h) builds it with per-worker collection and probes it
-// from many workers lock-free, while the serial HashJoinNode keeps its
-// pre-pipeline behavior through the same structures.
+// The build side is factored into an immutable PartitionedJoinTable —
+// P >= 1 independent JoinTable partitions addressed by a hash-derived
+// partition function — behind a JoinBuildHandle (the publish barrier).
+// The parallel pipeline (exec/pipeline.h) partitions build rows by hash
+// inside the collect workers and finalizes the P partitions in
+// parallel; probes route each row by the same partition function and
+// share the whole structure lock-free. The serial HashJoinNode builds a
+// single partition, byte-identical to the pre-partitioned behavior.
 #ifndef PDTSTORE_EXEC_HASH_JOIN_H_
 #define PDTSTORE_EXEC_HASH_JOIN_H_
 
@@ -24,9 +27,9 @@ namespace pdtstore {
 /// Join flavor.
 enum class JoinKind { kInner, kLeftSemi, kLeftAnti };
 
-/// The materialized build side of a hash join: build rows plus a bucket
-/// table keyed by the combined key hash. Immutable once built, so probe
-/// workers share it without locks.
+/// One partition of the materialized build side: build rows plus a
+/// bucket table keyed by the combined key hash. Immutable once built, so
+/// probe workers share it without locks.
 struct JoinTable {
   Batch rows;
   std::vector<size_t> key_cols;
@@ -34,11 +37,39 @@ struct JoinTable {
   std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
 
   static JoinTable Build(Batch build_rows, std::vector<size_t> keys);
+  /// Build with the combined key hashes already computed (hashes[i] for
+  /// row i) — the partitioned collect path hashes rows once to route
+  /// them and reuses the values here.
+  static JoinTable BuildWithHashes(Batch build_rows,
+                                   std::vector<size_t> keys,
+                                   std::vector<uint64_t> hashes);
 
   /// Typed key equality between a probe row and a build row (the
   /// verify-on-collision step).
   bool KeysEqual(const std::vector<size_t>& probe_keys, const Batch& probe,
                  size_t probe_row, size_t build_row) const;
+};
+
+/// The partition function both the build collect and the probe use.
+/// High hash bits, so the choice is independent of the low bits the
+/// per-partition bucket maps key on; P == 1 short-circuits.
+inline size_t JoinPartitionOf(uint64_t hash, size_t num_partitions) {
+  return num_partitions == 1 ? 0 : (hash >> 32) % num_partitions;
+}
+
+/// The published build side: P >= 1 hash partitions. Build and probe
+/// agree on PartitionOf, so a probe row only ever touches one
+/// partition's buckets. P == 1 (every serial join) behaves exactly like
+/// the single-table join.
+struct PartitionedJoinTable {
+  std::vector<JoinTable> parts;
+
+  size_t num_partitions() const { return parts.size(); }
+  size_t TotalRows() const;
+
+  size_t PartitionOf(uint64_t hash) const {
+    return JoinPartitionOf(hash, parts.size());
+  }
 };
 
 /// Per-thread probe scratch (allocation-free steady state).
@@ -47,42 +78,47 @@ struct JoinProbeScratch {
   SelVector probe_sel;
   SelVector build_sel;
   std::vector<uint8_t> keep;
+  std::vector<SelVector> part_rows;  // probe rows routed per partition
   Batch out_proto;  // output layout, built once, reused via ResetLike
   bool proto_init = false;
 };
 
 /// Probes `in` against `table`, filling `*out` (reset to the output
 /// layout): inner gathers probe then build columns; semi/anti compact
-/// surviving probe rows. Thread-safe across distinct scratch objects.
-void ProbeJoinBatch(const JoinTable& table,
+/// surviving probe rows (each probe row emitted at most once no matter
+/// how many build rows match). Thread-safe across distinct scratch
+/// objects. Inner matches for one probe row come out in that row's
+/// partition's build order.
+void ProbeJoinBatch(const PartitionedJoinTable& table,
                     const std::vector<size_t>& probe_keys, JoinKind kind,
                     const Batch& in, Batch* out, JoinProbeScratch* scratch);
 
-/// Deferred join build side: resolves to an immutable JoinTable on first
-/// use and caches it — the pipeline's build barrier. Resolution happens
-/// on the probing consumer's thread before probe workers start (see
-/// PipelineOp::Prepare); the handle itself is not thread-safe, sharing
-/// one across concurrently-starting probes requires external order.
+/// Deferred join build side: resolves to an immutable
+/// PartitionedJoinTable on first use and caches it — the pipeline's
+/// build barrier. Resolution happens on the probing consumer's thread
+/// before probe workers start (see PipelineOp::Prepare); the handle
+/// itself is not thread-safe, sharing one across concurrently-starting
+/// probes requires external order.
 class JoinBuildHandle {
  public:
-  /// Build side drained from a serial source (MaterializeAll).
+  /// Build side drained from a serial source (MaterializeAll) into a
+  /// single partition — the serial join's unchanged shape.
   JoinBuildHandle(std::unique_ptr<BatchSource> build_source,
                   std::vector<size_t> build_keys);
-  /// Build side produced by an arbitrary producer (the parallel build
-  /// pipeline; see Pipeline::IntoJoinBuild).
-  JoinBuildHandle(std::function<StatusOr<Batch>()> producer,
-                  std::vector<size_t> build_keys);
+  /// Build side produced by an arbitrary producer (the parallel
+  /// partitioned build pipeline; see Pipeline::IntoJoinBuild).
+  explicit JoinBuildHandle(
+      std::function<StatusOr<PartitionedJoinTable>()> producer);
 
   /// Runs the build on first call; later calls return the cached table
   /// (or the cached failure).
-  StatusOr<const JoinTable*> Resolve();
+  StatusOr<const PartitionedJoinTable*> Resolve();
 
  private:
-  std::function<StatusOr<Batch>()> producer_;
-  std::vector<size_t> build_keys_;
+  std::function<StatusOr<PartitionedJoinTable>()> producer_;
   bool resolved_ = false;
   Status error_ = Status::OK();
-  JoinTable table_;
+  PartitionedJoinTable table_;
 };
 
 /// Equi-join on (probe_keys[i] == build_keys[i]). Output columns: all
@@ -109,7 +145,7 @@ class HashJoinNode : public BatchSource {
   std::shared_ptr<JoinBuildHandle> build_;
   std::vector<size_t> probe_keys_;
   JoinKind kind_;
-  const JoinTable* table_ = nullptr;  // resolved on first Next
+  const PartitionedJoinTable* table_ = nullptr;  // resolved on first Next
   JoinProbeScratch scratch_;
 };
 

@@ -10,7 +10,10 @@
 // workers and the exchange is the pipeline breaker, not the scan.
 //
 // The consumer stays a plain single-threaded BatchSource: pull-based
-// operators (sort, final agg) sit on top unchanged. Two delivery modes:
+// operators sit on top unchanged — though the formerly serial breakers
+// now have parallel forms of their own (exec/pipeline.h): per-worker
+// pre-aggregation, the hash-partitioned join build, and per-worker
+// sorted runs merged by a loser tree. Two delivery modes:
 //   * ordered   — morsel outputs are emitted in morsel (= SID) order, so
 //                 SID/RID-ordered consumers see exactly the sequence the
 //                 single-threaded scan (or serial fragment) would produce;

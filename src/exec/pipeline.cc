@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <mutex>
+#include <numeric>
 
 #include "exec/operator.h"
 #include "util/thread_pool.h"
@@ -108,7 +109,7 @@ class JoinProbeOp : public PipelineOp {
   std::shared_ptr<JoinBuildHandle> build_;
   std::vector<size_t> probe_keys_;
   JoinKind kind_;
-  const JoinTable* table_ = nullptr;  // set by Prepare
+  const PartitionedJoinTable* table_ = nullptr;  // set by Prepare
 };
 
 // ---------------------------------------------------------------------
@@ -168,8 +169,14 @@ void RunPipelineWorker(const std::shared_ptr<RunShared>& rs) {
         status = ops[i]->Execute(&local, op_states[i].get());
       }
       if (!status.ok() || local.num_rows() == 0) continue;
-      status = rs->sink->Sink(&local, sink_state.get());
+      status = rs->sink->Sink(&local, sink_state.get(), m);
     }
+  }
+  if (status.ok()) {
+    // Per-worker post-processing (e.g. sorting this worker's run)
+    // happens before the serializing lock, so it runs in parallel
+    // across workers.
+    status = rs->sink->Finish(sink_state.get());
   }
 
   std::lock_guard<std::mutex> lock(rs->mu);
@@ -211,8 +218,11 @@ Status RunPipeline(MorselPlan* plan,
       }
       PDT_RETURN_NOT_OK(st);
       if (local.num_rows() == 0) continue;
-      PDT_RETURN_NOT_OK(sink->Sink(&local, sink_state.get()));
+      // The whole serial stream counts as morsel 0: it already is the
+      // serial sequence.
+      PDT_RETURN_NOT_OK(sink->Sink(&local, sink_state.get(), 0));
     }
+    PDT_RETURN_NOT_OK(sink->Finish(sink_state.get()));
     return sink->Combine(sink_state.get());
   }
 
@@ -225,9 +235,7 @@ Status RunPipeline(MorselPlan* plan,
   const size_t helpers = std::min<size_t>(
       threads > 0 ? static_cast<size_t>(threads - 1) : 0,
       plan->morsels.size());
-  for (size_t i = 0; i < helpers; ++i) {
-    ThreadPool::Global().Submit([rs] { RunPipelineWorker(rs); });
-  }
+  ThreadPool::Global().SubmitMany(helpers, [rs] { RunPipelineWorker(rs); });
   // The driver always participates, so the pipeline finishes even when
   // the shared pool is saturated by concurrent queries.
   RunPipelineWorker(rs);
@@ -308,7 +316,7 @@ class PartialAggSink : public PipelineSink {
     return std::make_unique<State>(group_by_, aggs_);
   }
 
-  Status Sink(Batch* batch, PipelineOpState* state) override {
+  Status Sink(Batch* batch, PipelineOpState* state, size_t) override {
     return static_cast<State*>(state)->partial.Absorb(*batch);
   }
 
@@ -356,26 +364,175 @@ class ParallelAggSource : public BatchSource {
 };
 
 // ---------------------------------------------------------------------
-// Join-build breaker.
+// Join-build breaker (hash-partitioned).
 // ---------------------------------------------------------------------
 
-class CollectSink : public PipelineSink {
+void AppendRows(Batch* into, const Batch& b) {
+  for (size_t c = 0; c < into->num_columns(); ++c) {
+    into->column(c).AppendRange(b.column(c), 0, b.num_rows());
+  }
+}
+
+// Partition count for a parallel join build: enough partitions that the
+// finalize (concatenate + hash) load-balances across the workers even
+// when key hashes skew, capped so tiny builds don't shatter.
+size_t AutoJoinPartitions(int num_threads) {
+  if (num_threads <= 1) return 1;
+  size_t p = 1;
+  while (p < 2 * static_cast<size_t>(num_threads)) p <<= 1;
+  return std::min<size_t>(p, 64);
+}
+
+/// Workers hash each collected batch's key columns once and route the
+/// rows into P per-worker partition batches (gathers). Combine hands
+/// the per-worker slices over; Finalize then concatenates and hashes
+/// the P partitions in parallel (ParallelFor) into the published
+/// PartitionedJoinTable, reusing the collect-time hashes.
+class PartitionedCollectSink : public PipelineSink {
  public:
+  PartitionedCollectSink(std::vector<size_t> keys, size_t num_partitions)
+      : keys_(std::move(keys)), num_partitions_(num_partitions) {}
+
   struct State : PipelineOpState {
-    Batch rows;
-    bool first = true;
+    bool init = false;
+    std::vector<Batch> parts;
+    std::vector<std::vector<uint64_t>> part_hashes;
+    std::vector<uint64_t> row_hashes;  // scratch
+    std::vector<SelVector> route;      // scratch
   };
 
   std::unique_ptr<PipelineOpState> MakeState() const override {
     return std::make_unique<State>();
   }
 
-  Status Sink(Batch* batch, PipelineOpState* state) override {
+  Status Sink(Batch* batch, PipelineOpState* state, size_t) override {
     State* s = static_cast<State*>(state);
-    // Copies: the worker keeps recycling `batch`'s storage on its next
-    // pull (ResetLike), so the rows must be duplicated here.
+    const size_t n = batch->num_rows();
+    if (!s->init) {
+      s->parts.resize(num_partitions_);
+      // Copies below: the worker keeps recycling `batch`'s storage on
+      // its next pull (ResetLike), so collected rows must be duplicated.
+      for (Batch& p : s->parts) p.ResetLike(*batch);
+      s->part_hashes.resize(num_partitions_);
+      s->route.resize(num_partitions_);
+      s->init = true;
+    }
+    s->row_hashes.assign(n, kHashSeed);
+    for (size_t k : keys_) {
+      batch->column(k).HashColumn(s->row_hashes.data());
+    }
+    if (num_partitions_ == 1) {
+      AppendRows(&s->parts[0], *batch);
+      s->part_hashes[0].insert(s->part_hashes[0].end(),
+                               s->row_hashes.begin(), s->row_hashes.end());
+      return Status::OK();
+    }
+    for (SelVector& r : s->route) r.clear();
+    for (size_t row = 0; row < n; ++row) {
+      s->route[JoinPartitionOf(s->row_hashes[row], num_partitions_)]
+          .push_back(static_cast<uint32_t>(row));
+    }
+    for (size_t p = 0; p < num_partitions_; ++p) {
+      if (s->route[p].empty()) continue;
+      s->parts[p].AppendGather(*batch, s->route[p]);
+      for (uint32_t row : s->route[p].indices()) {
+        s->part_hashes[p].push_back(s->row_hashes[row]);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Combine(PipelineOpState* state) override {
+    State* s = static_cast<State*>(state);
+    if (!s->init) return Status::OK();
+    // The per-worker state dies here: move, don't copy — this runs
+    // under the runner's serializing mutex.
+    slices_.push_back({std::move(s->parts), std::move(s->part_hashes)});
+    return Status::OK();
+  }
+
+  /// Builds the published table: for each partition, concatenate every
+  /// worker's slice and hash it into a JoinTable — independent per
+  /// partition, so the partitions build in parallel.
+  PartitionedJoinTable Finalize(int num_threads) {
+    PartitionedJoinTable t;
+    t.parts.resize(num_partitions_);
+    ParallelFor(num_threads, 0, num_partitions_, [&](size_t p) {
+      Batch rows;
+      std::vector<uint64_t> hashes;
+      bool first = true;
+      for (WorkerSlices& ws : slices_) {
+        if (ws.parts[p].num_rows() == 0 && !first) continue;
+        if (first) {
+          rows = std::move(ws.parts[p]);
+          hashes = std::move(ws.hashes[p]);
+          first = false;
+        } else {
+          AppendRows(&rows, ws.parts[p]);
+          hashes.insert(hashes.end(), ws.hashes[p].begin(),
+                        ws.hashes[p].end());
+        }
+      }
+      t.parts[p] = JoinTable::BuildWithHashes(std::move(rows), keys_,
+                                              std::move(hashes));
+    });
+    slices_.clear();
+    return t;
+  }
+
+ private:
+  struct WorkerSlices {
+    std::vector<Batch> parts;
+    std::vector<std::vector<uint64_t>> hashes;
+  };
+
+  std::vector<size_t> keys_;
+  size_t num_partitions_;
+  std::vector<WorkerSlices> slices_;
+};
+
+// ---------------------------------------------------------------------
+// Sort breaker.
+// ---------------------------------------------------------------------
+
+/// Workers collect rows tagged with (morsel index, row-within-morsel) —
+/// the serial scan order — then sort their runs in Finish(), which runs
+/// per worker *outside* the serializing lock: run sorting itself is
+/// parallel. Combine just moves the sorted runs into the shared list
+/// for the consumer's loser-tree merge.
+class SortBuildSink : public PipelineSink {
+ public:
+  SortBuildSink(std::vector<SortKey> keys, size_t limit)
+      : keys_(std::move(keys)), limit_(limit) {}
+
+  struct State : PipelineOpState {
+    Batch rows;
+    std::vector<uint64_t> seq;
+    bool first = true;
+    size_t cur_morsel = static_cast<size_t>(-1);
+    uint64_t local = 0;
+    SortedRun run;  // produced by Finish
+  };
+
+  std::unique_ptr<PipelineOpState> MakeState() const override {
+    return std::make_unique<State>();
+  }
+
+  Status Sink(Batch* batch, PipelineOpState* state, size_t morsel) override {
+    State* s = static_cast<State*>(state);
+    if (morsel != s->cur_morsel) {
+      // A morsel is processed by exactly one worker, contiguously, so a
+      // fresh row counter per morsel yields globally unique tags in
+      // serial scan order.
+      s->cur_morsel = morsel;
+      s->local = 0;
+    }
+    const uint64_t base = static_cast<uint64_t>(morsel) << kSeqMorselShift;
+    for (size_t i = 0; i < batch->num_rows(); ++i) {
+      s->seq.push_back(base | s->local++);
+    }
     if (s->first) {
-      s->rows = *batch;
+      s->rows = *batch;  // copy: the worker recycles batch storage
       s->first = false;
     } else {
       AppendRows(&s->rows, *batch);
@@ -383,31 +540,75 @@ class CollectSink : public PipelineSink {
     return Status::OK();
   }
 
-  Status Combine(PipelineOpState* state) override {
+  Status Finish(PipelineOpState* state) override {
     State* s = static_cast<State*>(state);
     if (s->first) return Status::OK();
-    // The per-worker state dies here: move, don't copy — this runs
-    // under the runner's serializing mutex.
-    if (all_first_) {
-      all_ = std::move(s->rows);
-      all_first_ = false;
-    } else {
-      AppendRows(&all_, s->rows);
+    SelVector perm;
+    perm.indices().resize(s->rows.num_rows());
+    std::iota(perm.indices().begin(), perm.indices().end(), 0);
+    // (keys, seq) is a strict total order — no stability needed.
+    std::sort(perm.indices().begin(), perm.indices().end(),
+              [&](uint32_t a, uint32_t b) {
+      int c = CompareRowsByKeys(keys_, s->rows, a, s->rows, b);
+      if (c != 0) return c < 0;
+      return s->seq[a] < s->seq[b];
+    });
+    // Top-k: rows beyond the limit can never appear in the merged
+    // output, whatever the other runs hold.
+    if (limit_ > 0 && perm.size() > limit_) perm.indices().resize(limit_);
+    s->run.rows.set_column_ids(s->rows.column_ids());
+    for (size_t c = 0; c < s->rows.num_columns(); ++c) {
+      s->run.rows.columns().emplace_back(s->rows.column(c).type());
     }
+    s->run.rows.AppendGather(s->rows, perm);
+    s->run.seq.reserve(perm.size());
+    for (uint32_t i : perm.indices()) s->run.seq.push_back(s->seq[i]);
+    s->rows.Clear();
+    s->seq.clear();
     return Status::OK();
   }
 
-  Batch TakeRows() { return std::move(all_); }
-
- private:
-  static void AppendRows(Batch* into, const Batch& b) {
-    for (size_t c = 0; c < into->num_columns(); ++c) {
-      into->column(c).AppendRange(b.column(c), 0, b.num_rows());
-    }
+  Status Combine(PipelineOpState* state) override {
+    State* s = static_cast<State*>(state);
+    if (s->run.rows.num_rows() > 0) runs_.push_back(std::move(s->run));
+    return Status::OK();
   }
 
-  Batch all_;
-  bool all_first_ = true;
+  std::vector<SortedRun> TakeRuns() { return std::move(runs_); }
+
+ private:
+  std::vector<SortKey> keys_;
+  size_t limit_;
+  std::vector<SortedRun> runs_;
+};
+
+/// Lazy parallel sort: runs the pipeline into per-worker sorted runs on
+/// the first pull, then streams the loser-tree merge.
+class ParallelSortSource : public BatchSource {
+ public:
+  ParallelSortSource(MorselPlan plan,
+                     std::vector<std::unique_ptr<PipelineOp>> ops,
+                     std::vector<SortKey> keys, size_t limit)
+      : plan_(std::move(plan)),
+        ops_(std::move(ops)),
+        keys_(std::move(keys)),
+        limit_(limit) {}
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override {
+    if (!merger_) {
+      SortBuildSink sink(keys_, limit_);
+      PDT_RETURN_NOT_OK(RunPipeline(&plan_, ops_, &sink));
+      merger_ = std::make_unique<RunMerger>(sink.TakeRuns(), keys_, limit_);
+    }
+    return merger_->Next(out, max_rows);
+  }
+
+ private:
+  MorselPlan plan_;
+  std::vector<std::unique_ptr<PipelineOp>> ops_;
+  std::vector<SortKey> keys_;
+  size_t limit_;
+  std::unique_ptr<RunMerger> merger_;
 };
 
 }  // namespace
@@ -461,21 +662,43 @@ std::unique_ptr<BatchSource> Pipeline::Aggregate(
                                              std::move(aggs));
 }
 
+std::unique_ptr<BatchSource> Pipeline::IntoSortBuild(
+    std::vector<SortKey> keys, size_t limit) && {
+  if (plan_.serial != nullptr) {
+    // One thread: the unchanged serial materializing sort.
+    return std::make_unique<SortNode>(
+        std::make_unique<OpChainSource>(std::move(plan_.serial),
+                                        std::move(ops_)),
+        std::move(keys), limit);
+  }
+  return std::make_unique<ParallelSortSource>(
+      std::move(plan_), std::move(ops_), std::move(keys), limit);
+}
+
 std::shared_ptr<JoinBuildHandle> Pipeline::IntoJoinBuild(
-    std::unique_ptr<Pipeline> pipeline, std::vector<size_t> build_keys) {
+    std::unique_ptr<Pipeline> pipeline, std::vector<size_t> build_keys,
+    size_t num_partitions) {
   std::shared_ptr<Pipeline> pipe = std::move(pipeline);
-  auto producer = [pipe]() -> StatusOr<Batch> {
+  auto producer = [pipe, keys = std::move(build_keys),
+                   num_partitions]() -> StatusOr<PartitionedJoinTable> {
     if (pipe->plan_.serial != nullptr) {
+      // One thread: materialize and hash a single partition — the
+      // serial join's unchanged shape.
       OpChainSource chain(std::move(pipe->plan_.serial),
                           std::move(pipe->ops_));
-      return MaterializeAll(&chain);
+      PDT_ASSIGN_OR_RETURN(Batch rows, MaterializeAll(&chain));
+      PartitionedJoinTable t;
+      t.parts.push_back(JoinTable::Build(std::move(rows), keys));
+      return t;
     }
-    CollectSink sink;
+    const int threads = pipe->plan_.options.num_threads;
+    const size_t parts =
+        num_partitions > 0 ? num_partitions : AutoJoinPartitions(threads);
+    PartitionedCollectSink sink(keys, parts);
     PDT_RETURN_NOT_OK(RunPipeline(&pipe->plan_, pipe->ops_, &sink));
-    return sink.TakeRows();
+    return sink.Finalize(threads);
   };
-  return std::make_shared<JoinBuildHandle>(std::move(producer),
-                                           std::move(build_keys));
+  return std::make_shared<JoinBuildHandle>(std::move(producer));
 }
 
 }  // namespace pdtstore

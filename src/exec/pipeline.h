@@ -8,9 +8,17 @@
 //                      output to a pulling consumer (ordered or not);
 //   * Aggregate      — per-worker partial (pre-)aggregation tables,
 //                      merged into one result at finalize;
-//   * IntoJoinBuild  — per-worker build-side collection, concatenated
-//                      and published as an immutable hash table that
-//                      probe workers then share lock-free.
+//   * IntoJoinBuild  — per-worker hash-partitioned build-side
+//                      collection: workers route rows into P partitions
+//                      during collect, the P JoinTable partitions
+//                      finalize in parallel, and the published
+//                      immutable table is probed lock-free with rows
+//                      routed by the same partition function;
+//   * IntoSortBuild  — per-worker sorted runs (each worker sorts its
+//                      own collected rows before the merge barrier),
+//                      merged by a k-way loser tree that breaks key
+//                      ties by source morsel order — the exact sequence
+//                      of the serial stable sort.
 //
 // Stateful operators are split into shared, read-only-after-publish
 // state (predicates, expressions, the join table) and per-worker
@@ -31,6 +39,7 @@
 #include "exec/hash_join.h"
 #include "exec/parallel_scan.h"
 #include "exec/project.h"
+#include "exec/sort.h"
 
 namespace pdtstore {
 
@@ -73,14 +82,24 @@ std::unique_ptr<PipelineOp> MakeJoinProbeOp(
     JoinKind kind = JoinKind::kInner);
 
 /// A run-to-completion sink: the pipeline-breaker side of Aggregate /
-/// IntoJoinBuild. Sink() runs on workers with per-worker state;
-/// Combine() merges one worker's state into the shared result and is
-/// serialized by the runner.
+/// IntoJoinBuild / IntoSortBuild. Sink() runs on workers with
+/// per-worker state (`morsel` is the index of the morsel the batch came
+/// from — monotone per worker, and morsels partition the scan in SID
+/// order, so (morsel, arrival) reconstructs the serial sequence);
+/// Finish() runs once per worker after its last morsel, still on the
+/// worker and still unserialized — per-worker post-processing (e.g.
+/// sorting a run) parallelizes here; Combine() then merges the worker's
+/// state into the shared result under the runner's serialization.
 class PipelineSink {
  public:
   virtual ~PipelineSink() = default;
   virtual std::unique_ptr<PipelineOpState> MakeState() const = 0;
-  virtual Status Sink(Batch* batch, PipelineOpState* state) = 0;
+  virtual Status Sink(Batch* batch, PipelineOpState* state,
+                      size_t morsel) = 0;
+  virtual Status Finish(PipelineOpState* state) {
+    (void)state;
+    return Status::OK();
+  }
   virtual Status Combine(PipelineOpState* state) = 0;
 };
 
@@ -137,11 +156,30 @@ class Pipeline {
   std::unique_ptr<BatchSource> Aggregate(std::vector<size_t> group_by,
                                          std::vector<AggSpec> aggs) &&;
 
-  /// Breaker: collect the fragment's rows as a join build side. The
-  /// returned handle resolves (runs this pipeline, concatenates worker
-  /// outputs, hashes, publishes) on first use.
+  /// Breaker: full sort of the fragment's output (optional LIMIT /
+  /// top-k, 0 = unlimited). Workers collect rows tagged with their
+  /// source morsel order and sort their runs in parallel; the consumer
+  /// merges with a loser tree whose key ties fall back to the tags, so
+  /// the emitted sequence equals the serial SortNode's stable sort of
+  /// the serial fragment — exactly, when the fragment itself is
+  /// order-deterministic (filter / project / semi- and anti-probe
+  /// are). An upstream parallel *inner* probe is not: its batch output
+  /// is grouped by build partition, so any key-tie group may come out
+  /// permuted (and a LIMIT cutting through such a tie group may pick
+  /// different tied rows than the serial tree) — only the multiset is
+  /// guaranteed there. Runs lazily on the first Next() pull. The
+  /// serial plan shape is the unchanged SortNode.
+  std::unique_ptr<BatchSource> IntoSortBuild(std::vector<SortKey> keys,
+                                             size_t limit = 0) &&;
+
+  /// Breaker: collect the fragment's rows as a hash-partitioned join
+  /// build side. Workers route rows into `num_partitions` partitions
+  /// (0 = auto: scales with the pipeline's worker count) while
+  /// collecting; the partitions are finalized (concatenated + hashed)
+  /// in parallel and published on first use of the returned handle.
   static std::shared_ptr<JoinBuildHandle> IntoJoinBuild(
-      std::unique_ptr<Pipeline> pipeline, std::vector<size_t> build_keys);
+      std::unique_ptr<Pipeline> pipeline, std::vector<size_t> build_keys,
+      size_t num_partitions = 0);
 
  private:
   MorselPlan plan_;

@@ -1,4 +1,16 @@
-// SortNode: full materializing sort with optional LIMIT (top-k).
+// Sorting: the serial materializing SortNode (with optional LIMIT /
+// top-k) plus the pieces of the parallel sort path (exec/pipeline.h's
+// IntoSortBuild breaker): SortedRun — one worker's key-ordered run with
+// the source-order sequence tags that make ties deterministic — and
+// RunMerger, a k-way loser-tree merge over such runs.
+//
+// Stability contract: the serial SortNode is a stable sort over its
+// input sequence. The parallel path reproduces exactly that order by
+// tagging every row with a 64-bit sequence number derived from (morsel
+// index, row within morsel) — the serial scan order, since morsels
+// partition the scan in SID order — sorting each per-worker run by
+// (keys, seq), and breaking merge ties by seq. Key-equal rows therefore
+// come out in serial scan order no matter which worker carried them.
 #ifndef PDTSTORE_EXEC_SORT_H_
 #define PDTSTORE_EXEC_SORT_H_
 
@@ -15,7 +27,66 @@ struct SortKey {
   bool descending = false;
 };
 
-/// Materializing sort with optional limit (0 = unlimited).
+/// Compares row `a` of `ab` with row `b` of `bb` under `keys`;
+/// 0 on full key equality.
+int CompareRowsByKeys(const std::vector<SortKey>& keys, const Batch& ab,
+                      size_t a, const Batch& bb, size_t b);
+
+/// One sorted run of the parallel sort: rows already ordered by
+/// (keys, seq), where seq[i] is row i's source-order tag
+/// ((morsel_index << kSeqMorselShift) | row-within-morsel). Tags are
+/// globally unique, so (keys, seq) is a strict total order.
+struct SortedRun {
+  Batch rows;
+  std::vector<uint64_t> seq;
+};
+
+/// Row-within-morsel bits of a sequence tag; a morsel would need more
+/// than 2^40 output rows (far beyond in-memory batch limits) to
+/// overflow into the morsel-index bits.
+constexpr int kSeqMorselShift = 40;
+
+/// K-way merge of SortedRuns with a loser tree: each pop costs one
+/// leaf-to-root replay (log2 K comparisons) instead of a K-wide scan.
+/// Ties are impossible at the tree (seq is unique), so the merge is
+/// deterministic: it emits exactly the sequence a serial stable sort of
+/// the concatenated source would. Consecutive winners from one run are
+/// appended as a range (one TypeId dispatch), not row-at-a-time.
+class RunMerger {
+ public:
+  /// `limit` == 0 means unlimited; otherwise at most `limit` rows are
+  /// emitted in total. Empty runs are dropped on entry.
+  RunMerger(std::vector<SortedRun> runs, std::vector<SortKey> keys,
+            size_t limit = 0);
+
+  /// Appends up to `max_rows` merged rows into `*out` (reset to the run
+  /// layout). Returns false at end of stream.
+  bool Next(Batch* out, size_t max_rows);
+
+ private:
+  // True if run a's current row orders strictly before run b's.
+  // Exhausted runs (and the kSentinel pseudo-run) order last.
+  bool RunLess(size_t a, size_t b) const;
+  // Replays the path from run r's leaf to the root, updating losers and
+  // winner_.
+  void Adjust(size_t r);
+
+  static constexpr size_t kSentinel = static_cast<size_t>(-1);
+
+  std::vector<SortedRun> runs_;
+  std::vector<SortKey> keys_;
+  size_t limit_;
+  size_t emitted_ = 0;
+  std::vector<size_t> cursor_;  // per run: next row to emit
+  std::vector<size_t> tree_;    // internal nodes: loser run index
+  size_t winner_ = kSentinel;
+};
+
+/// Materializing sort with optional limit (0 = unlimited). Stable: rows
+/// with equal keys keep their input order. Emits by gathering slices of
+/// the sorted order directly from the materialized input — no second
+/// full-size sorted copy, and the pull loop reuses the output batch's
+/// storage (Batch::ResetLike).
 class SortNode : public BatchSource {
  public:
   SortNode(std::unique_ptr<BatchSource> input, std::vector<SortKey> keys,
@@ -29,7 +100,10 @@ class SortNode : public BatchSource {
   std::vector<SortKey> keys_;
   size_t limit_;
   bool built_ = false;
-  std::unique_ptr<BatchSource> emitter_;
+  Batch all_;         // materialized input; emitted via gathers
+  SelVector order_;   // sorted (limit-truncated) row order
+  SelVector slice_;   // per-pull gather scratch (reused)
+  size_t pos_ = 0;    // emit cursor into order_
 };
 
 }  // namespace pdtstore

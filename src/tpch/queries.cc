@@ -108,7 +108,13 @@ Src Finish(Plan in) {
   return std::move(in.src);
 }
 
+// ORDER BY [LIMIT]: an open pipeline ends in the IntoSortBuild breaker
+// (per-worker sorted runs, loser-tree merge); a serial chain keeps the
+// materializing SortNode.
 Src Sort(Plan in, std::vector<SortKey> keys, size_t limit = 0) {
+  if (in.pipe) {
+    return std::move(*in.pipe).IntoSortBuild(std::move(keys), limit);
+  }
   return std::make_unique<SortNode>(Finish(std::move(in)), std::move(keys),
                                     limit);
 }
@@ -550,15 +556,20 @@ StatusOr<QueryResult> Q17(const TpchTables& t, const QueryOptions& o) {
   return Summarize(Agg(std::move(flt), {}, {{AggKind::kSum, 2}}));
 }
 
-// Q18: large volume customers.
+// Q18: large volume customers. The orders scan stays the probe side so
+// the plan is one open pipeline — probe fragment straight into the
+// parallel sort breaker — with the (small) large-order aggregate as the
+// build side.
 StatusOr<QueryResult> Q18(const TpchTables& t, const QueryOptions& o) {
   Plan line = Scan(o, t.lineitem, {kLOrderkey, kLQuantity});
   Plan per_order = Agg(std::move(line), {0}, {{AggKind::kSum, 1}});
   Plan big = Filter(std::move(per_order), DoubleInRange(1, 250.0, 1e18));
   Plan ord = Scan(o, t.orders,
                   {kOOrderkey, kOCustkey, kOOrderdate, kOTotalprice});
-  Plan joined = Join(std::move(big), std::move(ord), {0}, {0});
-  return Summarize(Sort(std::move(joined), {{5, true}, {4}}, 100));
+  Plan joined = Join(std::move(ord), std::move(big), {0}, {0});
+  // Output: orders columns then (orderkey, sum_qty); totalprice is 3,
+  // orderdate 2.
+  return Summarize(Sort(std::move(joined), {{3, true}, {2}}, 100));
 }
 
 // Q19: discounted revenue (disjunctive part/lineitem predicates).
@@ -613,7 +624,11 @@ StatusOr<QueryResult> Q20(const TpchTables& t, const QueryOptions& o) {
                         JoinKind::kLeftSemi);
   Plan per_supp = Agg(std::move(line_part), {1}, {{AggKind::kSum, 2}});
   Plan supp = Scan(o, t.supplier, {kSSuppkey, kSNationkey});
-  Plan joined = Join(std::move(per_supp), std::move(supp), {0}, {0});
+  // Probe from the supplier scan pipeline (per-supplier sums as the
+  // build side) so the ORDER BY runs through the parallel sort breaker;
+  // suppkey is unique on both sides, so the join multiset is the same
+  // either way.
+  Plan joined = Join(std::move(supp), std::move(per_supp), {0}, {0});
   return Summarize(Sort(std::move(joined), {{0}}));
 }
 

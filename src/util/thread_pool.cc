@@ -43,6 +43,19 @@ void ThreadPool::Submit(std::function<void()> fn) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::SubmitMany(size_t n, const std::function<void()>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n; ++i) queue_.push_back(fn);
+  }
+  if (n == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+}
+
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
@@ -103,19 +116,16 @@ void ParallelFor(int num_threads, size_t begin, size_t end,
       s->fn(i);
     }
   };
-  ThreadPool& pool = ThreadPool::Global();
-  for (size_t t = 1; t < workers; ++t) {
-    pool.Submit([sh, drain] {
-      {
-        std::lock_guard<std::mutex> lock(sh->mu);
-        if (sh->finished) return;
-        ++sh->active;
-      }
-      drain(sh.get());
+  ThreadPool::Global().SubmitMany(workers - 1, [sh, drain] {
+    {
       std::lock_guard<std::mutex> lock(sh->mu);
-      if (--sh->active == 0) sh->cv.notify_all();
-    });
-  }
+      if (sh->finished) return;
+      ++sh->active;
+    }
+    drain(sh.get());
+    std::lock_guard<std::mutex> lock(sh->mu);
+    if (--sh->active == 0) sh->cv.notify_all();
+  });
   // The caller participates, so the loop completes even when the global
   // pool is saturated by other queries.
   drain(sh.get());

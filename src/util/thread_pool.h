@@ -32,6 +32,11 @@ class ThreadPool {
   /// Enqueues `fn` for execution on some worker.
   void Submit(std::function<void()> fn);
 
+  /// Enqueues `n` copies of `fn` under one lock acquisition and a
+  /// single wake-all — the fan-out path of pipeline runners and
+  /// ParallelFor, which otherwise pay one lock + notify per helper.
+  void SubmitMany(size_t n, const std::function<void()>& fn);
+
   /// Blocks until every submitted task has finished.
   void WaitIdle();
 
