@@ -17,6 +17,7 @@
 
 #include "bench_util.h"
 #include "columnstore/batch.h"
+#include "columnstore/keep_bitmap.h"
 #include "columnstore/sel_vector.h"
 #include "exec/hash_agg.h"
 #include "exec/operator.h"
@@ -109,6 +110,62 @@ double FilterKernelMs(const void* p) {
     const Batch& in = (*a->slices)[s];
     out.ResetLike(in);
     out.AppendFiltered(in, (*a->keeps)[s].data());
+    total += out.num_rows();
+  }
+  double ms = sw.ElapsedMillis();
+  if (total == 0) std::abort();
+  return ms;
+}
+
+// ------------------------------------------------------------------
+// Keep-bitmap vs byte-keep ablation: the full predicate path as
+// FilterNode runs it — evaluate the predicate over each batch, expand
+// the keep vector to a selection, compact survivors — with the keep
+// vector held as a byte per row (the pre-bitmap engine) vs packed to
+// 1 bit per row (KeepBitmap: word stores, word-at-a-time FromKeep).
+// Swept across selectivities, since the byte path's cost is flat while
+// the bitmap path's expansion cost scales with survivors.
+// ------------------------------------------------------------------
+
+struct KeepPathArgs {
+  const std::vector<Batch>* slices;
+  int64_t threshold;  // keep rows with col0 <= threshold
+};
+
+double KeepByteMs(const void* p) {
+  const auto* a = static_cast<const KeepPathArgs*>(p);
+  Stopwatch sw;
+  Batch out;
+  std::vector<uint8_t> keep;
+  size_t total = 0;
+  for (const Batch& in : *a->slices) {
+    const auto& v = in.column(0).ints();
+    keep.assign(v.size(), 0);
+    for (size_t i = 0; i < v.size(); ++i) {
+      keep[i] = v[i] <= a->threshold;
+    }
+    out.ResetLike(in);
+    out.AppendFiltered(in, keep.data());
+    total += out.num_rows();
+  }
+  double ms = sw.ElapsedMillis();
+  if (total == 0) std::abort();
+  return ms;
+}
+
+double KeepBitmapMs(const void* p) {
+  const auto* a = static_cast<const KeepPathArgs*>(p);
+  Stopwatch sw;
+  Batch out;
+  KeepBitmap keep;
+  size_t total = 0;
+  for (const Batch& in : *a->slices) {
+    const auto& v = in.column(0).ints();
+    keep.Reset(v.size());
+    const int64_t threshold = a->threshold;
+    keep.FillFrom([&](size_t i) { return v[i] <= threshold; });
+    out.ResetLike(in);
+    out.AppendFiltered(in, keep);
     total += out.num_rows();
   }
   double ms = sw.ElapsedMillis();
@@ -304,6 +361,26 @@ int main(int argc, char** argv) {
     Report(&json, "selection_gather", sel.size(),
            BestOf(reps, GatherBaselineMs, &gargs),
            BestOf(reps, GatherKernelMs, &gargs));
+
+    // Keep-bitmap ablation: byte-per-row keep (baseline) vs 1-bit
+    // KeepBitmap (kernel) over the same sliced predicate+compaction
+    // path, at 1% / 50% / 99% selectivity. Column 0 values are uniform
+    // in [0, 2^24), so a threshold at the selectivity quantile keeps
+    // roughly that fraction of rows.
+    struct { const char* name; double selectivity; } sweeps[] = {
+        {"keep_bitmap_sel1", 0.01},
+        {"keep_bitmap_sel50", 0.50},
+        {"keep_bitmap_sel99", 0.99},
+    };
+    for (const auto& sweep : sweeps) {
+      KeepPathArgs kargs{
+          &slices,
+          static_cast<int64_t>(sweep.selectivity * double{1 << 24})};
+      (void)KeepByteMs(&kargs);  // warm
+      (void)KeepBitmapMs(&kargs);
+      Report(&json, sweep.name, rows, BestOf(reps, KeepByteMs, &kargs),
+             BestOf(reps, KeepBitmapMs, &kargs));
+    }
   }
 
   {

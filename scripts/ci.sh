@@ -9,6 +9,38 @@ BUILD_DIR="${1:-build}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
+echo "== docs check =="
+# The docs can't silently rot: README.md must exist (non-empty), DESIGN.md
+# must lead with the architecture overview, and every intra-doc anchor
+# (DESIGN.md's TOC plus README links into DESIGN.md) must resolve to a
+# real heading. Slugs follow the GitHub rule: lowercase, punctuation
+# stripped (underscores kept), spaces to hyphens.
+[[ -s README.md ]] || { echo "docs check FAILED: README.md missing or empty"; exit 1; }
+grep -q '^## Architecture overview' DESIGN.md \
+    || { echo "docs check FAILED: DESIGN.md lacks '## Architecture overview'"; exit 1; }
+slugs="$(grep -E '^#{1,4} ' DESIGN.md | sed -E 's/^#+ +//' \
+    | tr '[:upper:]' '[:lower:]' | sed -E 's/[^a-z0-9_ -]//g; s/ /-/g')"
+# `|| true`: a doc legitimately may have no links; grep's no-match exit
+# status must not kill the script under set -e before the loop runs.
+anchors="$( { grep -oE '\]\(#[A-Za-z0-9_-]+\)' DESIGN.md \
+                  | sed -E 's/^\]\(#//; s/\)$//' || true;
+              grep -oE '\]\(DESIGN\.md#[A-Za-z0-9_-]+\)' README.md \
+                  | sed -E 's/^\]\(DESIGN\.md#//; s/\)$//' || true; } \
+            | sort -u)"
+docs_ok=1
+resolved=0
+while IFS= read -r anchor; do
+  [[ -z "$anchor" ]] && continue
+  if grep -qxF "$anchor" <<<"$slugs"; then
+    resolved=$((resolved + 1))
+  else
+    echo "docs check FAILED: anchor '#$anchor' has no DESIGN.md heading"
+    docs_ok=0
+  fi
+done <<<"$anchors"
+[[ "$docs_ok" == 1 ]] || exit 1
+echo "docs OK ($resolved anchors resolved)"
+
 echo "== configure =="
 cmake -B "$BUILD_DIR" -S .
 

@@ -1,5 +1,7 @@
 #include "columnstore/batch.h"
 
+#include <cassert>
+
 namespace pdtstore {
 
 Batch Batch::ForSchema(const Schema& schema,
@@ -68,8 +70,17 @@ void Batch::AppendGather(const Batch& other, const SelVector& sel) {
   }
 }
 
-void Batch::AppendFiltered(const Batch& other, const uint8_t* keep) {
+void Batch::AppendFiltered(const Batch& other, const KeepBitmap& keep) {
+  // A stale (unReset) bitmap would gather out of bounds.
+  assert(keep.size() == other.num_rows());
   // Build the selection once, then gather every column through it.
+  SelVector sel = SelVector::FromKeep(keep);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendGather(other.columns_[c], sel);
+  }
+}
+
+void Batch::AppendFiltered(const Batch& other, const uint8_t* keep) {
   SelVector sel = SelVector::FromKeep(keep, other.num_rows());
   for (size_t c = 0; c < columns_.size(); ++c) {
     columns_[c].AppendGather(other.columns_[c], sel);

@@ -66,7 +66,10 @@ class Batch {
   /// Appends rows other[sel[0]], other[sel[1]], ... column-wise (same
   /// layout); one TypeId dispatch per column, not per value.
   void AppendGather(const Batch& other, const SelVector& sel);
-  /// Appends every row i of `other` with keep[i] != 0, column-wise.
+  /// Appends every kept row of `other`, column-wise: the bitmap is
+  /// expanded to a selection once, then every column gathers through it.
+  void AppendFiltered(const Batch& other, const KeepBitmap& keep);
+  /// Byte-per-row reference path (tests / bench ablation only).
   void AppendFiltered(const Batch& other, const uint8_t* keep);
 
  private:

@@ -151,11 +151,17 @@ void ColumnVector::AppendGather(const ColumnVector& other,
 }
 
 void ColumnVector::AppendFiltered(const ColumnVector& other,
+                                  const KeepBitmap& keep) {
+  assert(keep.size() <= other.size());
+  // Word-at-a-time selection build + branchless gather beats a
+  // per-element conditional copy on unpredictable bitmaps (one
+  // miss-prone pass total, not one per column when called batch-wide).
+  AppendGather(other, SelVector::FromKeep(keep));
+}
+
+void ColumnVector::AppendFiltered(const ColumnVector& other,
                                   const uint8_t* keep, size_t n) {
   assert(n <= other.size());
-  // Branchless selection build + branchless gather beats a per-element
-  // conditional copy on unpredictable bitmaps (one miss-prone pass
-  // total, not one per column when called batch-wide).
   AppendGather(other, SelVector::FromKeep(keep, n));
 }
 

@@ -48,8 +48,10 @@ class ColumnVector {
 
   /// Appends other[sel[0]], other[sel[1]], ... (same type).
   void AppendGather(const ColumnVector& other, const SelVector& sel);
-  /// Appends every other[i] in [0, n) with keep[i] != 0 (same type);
-  /// n must be <= other.size().
+  /// Appends every kept row of `other` (same type); keep.size() must be
+  /// <= other.size().
+  void AppendFiltered(const ColumnVector& other, const KeepBitmap& keep);
+  /// Byte-per-row reference path (tests / bench ablation only).
   void AppendFiltered(const ColumnVector& other, const uint8_t* keep,
                       size_t n);
   /// Mixes a hash of element i into out[i] for all i in [0, size()).

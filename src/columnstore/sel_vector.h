@@ -1,28 +1,79 @@
 // Selection vector: the index list that ties the engine's typed kernels
-// together (MonetDB/X100 style). A predicate or join produces row indices
-// into a source batch; gather kernels then copy whole columns at once,
+// together (MonetDB/X100 style). A predicate or join produces a
+// KeepBitmap over a source batch; SelVector::FromKeep expands it to row
+// indices once, and gather kernels then copy whole columns at once,
 // dispatching on TypeId once per batch instead of once per value.
-// The kernel contract is documented in DESIGN.md ("Selection-vector
-// kernels").
+//
+// == Kernel contract (with KeepBitmap, see keep_bitmap.h) ==
+//
+// * A SelVector lists row indices in output order; duplicates (join
+//   matches) and non-monotonic order (sorts) are allowed. Indices are
+//   32-bit: a selection always targets an in-memory batch or
+//   materialized pipeline intermediate, far below 2^32 rows.
+// * FromKeep(KeepBitmap) is the only bitmap -> selection conversion on
+//   the hot path. It walks the bitmap word-at-a-time: all-zeros words
+//   are skipped with one compare, all-ones words append 64 consecutive
+//   indices without touching individual bits (valid because tail bits
+//   past size() are zero by the bitmap contract, so a full word is
+//   always 64 real rows), and mixed words extract set bits with
+//   ctz + clear-lowest. Cost scales with words plus survivors, not
+//   rows.
+// * Fusion rule: predicates combine on the bitmap (word-wise AND/OR),
+//   never on selections — expand with FromKeep exactly once, after the
+//   last predicate folded in.
+// * The byte-per-row overload FromKeep(const uint8_t*, n) is the
+//   pre-bitmap reference implementation; it survives for differential
+//   tests and the byte-vs-bitmap bench ablation and is not called by
+//   any operator.
 #ifndef PDTSTORE_COLUMNSTORE_SEL_VECTOR_H_
 #define PDTSTORE_COLUMNSTORE_SEL_VECTOR_H_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
+
+#include "columnstore/keep_bitmap.h"
 
 namespace pdtstore {
 
 /// Row indices selected from a source batch, in output order (may repeat
-/// for joins, may be non-monotonic for sorts). Indices are 32-bit: a
-/// selection always targets an in-memory batch or materialized pipeline
-/// intermediate, far below 2^32 rows.
+/// for joins, may be non-monotonic for sorts).
 class SelVector {
  public:
   SelVector() = default;
 
-  /// Builds the selection of all i in [0, n) with keep[i] != 0, in one
-  /// branchless pass (unconditional write, conditional advance) — an
-  /// unpredictable keep bitmap costs no branch misses.
+  /// Expands a keep bitmap into the selection of its set rows, ascending.
+  /// Word-at-a-time: zero words skip, all-ones words bulk-append 64
+  /// consecutive indices, mixed words run a ctz loop over set bits.
+  static SelVector FromKeep(const KeepBitmap& keep) {
+    SelVector sel;
+    const size_t n = keep.size();
+    sel.idx_.resize(n);
+    uint32_t* out = sel.idx_.data();
+    size_t m = 0;
+    const uint64_t* words = keep.words();
+    const size_t num_words = keep.num_words();
+    for (size_t w = 0; w < num_words; ++w) {
+      uint64_t word = words[w];
+      if (word == 0) continue;
+      const uint32_t base = static_cast<uint32_t>(w << 6);
+      if (word == ~uint64_t{0}) {
+        for (uint32_t b = 0; b < 64; ++b) out[m + b] = base + b;
+        m += 64;
+        continue;
+      }
+      while (word != 0) {
+        out[m++] = base + static_cast<uint32_t>(std::countr_zero(word));
+        word &= word - 1;  // clear lowest set bit
+      }
+    }
+    sel.idx_.resize(m);
+    return sel;
+  }
+
+  /// Reference path (byte-per-row keep): one branchless pass
+  /// (unconditional write, conditional advance). Kept for differential
+  /// tests and the bench ablation; operators use the bitmap overload.
   static SelVector FromKeep(const uint8_t* keep, size_t n) {
     SelVector sel;
     sel.idx_.resize(n);

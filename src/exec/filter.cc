@@ -2,62 +2,89 @@
 
 namespace pdtstore {
 
+void EvalConjunction(const std::vector<VecPredicate>& preds, const Batch& b,
+                     KeepBitmap* keep, KeepBitmap* tmp) {
+  const size_t n = b.num_rows();
+  if (preds.empty()) {
+    // The identity element of conjunction: an empty AND keeps all rows.
+    keep->ResetAllSet(n);
+    return;
+  }
+  keep->Reset(n);
+  preds[0](b, keep);
+  for (size_t p = 1; p < preds.size(); ++p) {
+    if (keep->None()) return;  // conjunction already empty
+    tmp->Reset(n);
+    preds[p](b, tmp);
+    keep->And(*tmp);
+  }
+}
+
 StatusOr<bool> FilterNode::Next(Batch* out, size_t max_rows) {
-  Batch in;
   while (true) {
-    PDT_ASSIGN_OR_RETURN(bool more, input_->Next(&in, max_rows));
+    PDT_ASSIGN_OR_RETURN(bool more, input_->Next(&in_, max_rows));
     if (!more) return false;
-    keep_.assign(in.num_rows(), 0);
-    predicate_(in, &keep_);
+    EvalConjunction(predicates_, in_, &keep_, &tmp_);
+    if (keep_.None()) continue;  // entirely filtered out: pull again
+    if (keep_.All()) {
+      // Everything survives: hand the input batch over without the
+      // expand + gather pass (the all-ones word fast path's big win).
+      std::swap(*out, in_);
+      return true;
+    }
     // Compact survivors column-wise: one typed kernel per column rather
     // than a type dispatch per surviving value.
-    out->ResetLike(in);
-    out->set_start_rid(in.start_rid());
-    out->AppendFiltered(in, keep_.data());
-    if (out->num_rows() > 0) return true;
-    // Entirely filtered out: pull the next input batch.
+    out->ResetLike(in_);
+    out->set_start_rid(in_.start_rid());
+    out->AppendFiltered(in_, keep_);
+    return true;
   }
 }
 
 VecPredicate Int64Between(size_t idx, int64_t lo, int64_t hi) {
-  return [idx, lo, hi](const Batch& b, std::vector<uint8_t>* keep) {
-    const auto& v = b.column(idx).ints();
-    for (size_t i = 0; i < v.size(); ++i) {
-      (*keep)[i] = (v[i] >= lo && v[i] <= hi) ? 1 : 0;
-    }
+  return [idx, lo, hi](const Batch& b, KeepBitmap* keep) {
+    const int64_t* v = b.column(idx).ints().data();
+    keep->FillFrom([&](size_t i) { return v[i] >= lo && v[i] <= hi; });
   };
 }
 
 VecPredicate DoubleInRange(size_t idx, double lo, double hi) {
-  return [idx, lo, hi](const Batch& b, std::vector<uint8_t>* keep) {
-    const auto& v = b.column(idx).doubles();
-    for (size_t i = 0; i < v.size(); ++i) {
-      (*keep)[i] = (v[i] >= lo && v[i] < hi) ? 1 : 0;
-    }
+  return [idx, lo, hi](const Batch& b, KeepBitmap* keep) {
+    const double* v = b.column(idx).doubles().data();
+    keep->FillFrom([&](size_t i) { return v[i] >= lo && v[i] < hi; });
   };
 }
 
 VecPredicate StringEquals(size_t idx, std::string s) {
-  return [idx, s = std::move(s)](const Batch& b,
-                                 std::vector<uint8_t>* keep) {
-    const auto& v = b.column(idx).strings();
-    for (size_t i = 0; i < v.size(); ++i) {
-      (*keep)[i] = (v[i] == s) ? 1 : 0;
-    }
+  return [idx, s = std::move(s)](const Batch& b, KeepBitmap* keep) {
+    const std::string* v = b.column(idx).strings().data();
+    keep->FillFrom([&](size_t i) { return v[i] == s; });
   };
 }
 
+// The combinator closures are shared read-only across pipeline workers
+// (one FilterOp, many threads), so the fold scratch must be call-local
+// — no mutable captured state.
+
 VecPredicate And(std::vector<VecPredicate> preds) {
-  return [preds = std::move(preds)](const Batch& b,
-                                    std::vector<uint8_t>* keep) {
-    std::vector<uint8_t> acc(b.num_rows(), 1);
-    std::vector<uint8_t> tmp;
-    for (const auto& p : preds) {
-      tmp.assign(b.num_rows(), 0);
-      p(b, &tmp);
-      for (size_t i = 0; i < acc.size(); ++i) acc[i] &= tmp[i];
+  return [preds = std::move(preds)](const Batch& b, KeepBitmap* keep) {
+    KeepBitmap tmp;
+    EvalConjunction(preds, b, keep, &tmp);
+  };
+}
+
+VecPredicate Or(std::vector<VecPredicate> preds) {
+  return [preds = std::move(preds)](const Batch& b, KeepBitmap* keep) {
+    const size_t n = b.num_rows();
+    if (preds.empty()) return;
+    preds[0](b, keep);
+    KeepBitmap tmp;
+    for (size_t p = 1; p < preds.size(); ++p) {
+      if (keep->All()) return;  // disjunction already saturated
+      tmp.Reset(n);
+      preds[p](b, &tmp);
+      keep->Or(tmp);
     }
-    *keep = std::move(acc);
   };
 }
 

@@ -1,5 +1,9 @@
 // FilterNode: vectorized selection. The predicate marks surviving rows of
-// a whole batch at once; survivors are compacted into the output batch.
+// a whole batch at once in a 1-bit-per-row KeepBitmap; survivors are
+// compacted into the output batch through one selection-vector gather.
+// Multi-predicate filters fold their bitmaps word-wise (AND/OR) before
+// the single expansion — no intermediate selection or compacted batch is
+// materialized (see keep_bitmap.h for the bitmap contract).
 #ifndef PDTSTORE_EXEC_FILTER_H_
 #define PDTSTORE_EXEC_FILTER_H_
 
@@ -8,29 +12,59 @@
 #include <vector>
 
 #include "columnstore/batch.h"
+#include "columnstore/keep_bitmap.h"
 
 namespace pdtstore {
 
-/// Vector-at-a-time predicate: set keep[i] for surviving rows. `keep`
-/// arrives sized to the batch and zero-initialized.
-using VecPredicate =
-    std::function<void(const Batch&, std::vector<uint8_t>* keep)>;
+/// Vector-at-a-time predicate: set the keep bit of surviving rows.
+/// `keep` arrives Reset to the batch's row count (all bits zero); the
+/// predicate writes each row's verdict at most once — row-at-a-time via
+/// KeepBitmap::SetTo, or 64 rows per store via words()/FillFrom.
+/// A predicate is shared read-only across pipeline workers and invoked
+/// concurrently: it must not carry mutable state (scratch belongs to
+/// the caller's per-worker state, or on the callee's stack).
+/// Predicates must also be *total* over the batch: fusion (And/Or,
+/// fused FilterNode conjunctions, stacked Pipeline::Filter calls) folds
+/// bitmaps without compacting between conjuncts, so a predicate may be
+/// evaluated on rows another conjunct rejects — it must not crash or
+/// invoke UB on them (its verdict there is discarded by the AND).
+using VecPredicate = std::function<void(const Batch&, KeepBitmap* keep)>;
 
-/// Selection operator.
+/// Evaluates the conjunction of `preds` over `b` into `*keep` (resized
+/// here): the first predicate writes `*keep` directly, each later one
+/// writes `*tmp` and folds in with a word-wise And. Stops early once
+/// the accumulator has no survivors; an empty `preds` keeps every row
+/// (the identity of conjunction). `tmp` is caller-owned scratch so the
+/// steady state is allocation-free.
+void EvalConjunction(const std::vector<VecPredicate>& preds, const Batch& b,
+                     KeepBitmap* keep, KeepBitmap* tmp);
+
+/// Selection operator. Accepts one predicate or a fused conjunction;
+/// either way the input batch is compacted exactly once.
 class FilterNode : public BatchSource {
  public:
   FilterNode(std::unique_ptr<BatchSource> input, VecPredicate predicate)
-      : input_(std::move(input)), predicate_(std::move(predicate)) {}
+      : input_(std::move(input)) {
+    predicates_.push_back(std::move(predicate));
+  }
+  FilterNode(std::unique_ptr<BatchSource> input,
+             std::vector<VecPredicate> predicates)
+      : input_(std::move(input)), predicates_(std::move(predicates)) {}
 
   StatusOr<bool> Next(Batch* out, size_t max_rows) override;
 
  private:
   std::unique_ptr<BatchSource> input_;
-  VecPredicate predicate_;
-  std::vector<uint8_t> keep_;  // reused across batches
+  std::vector<VecPredicate> predicates_;
+  Batch in_;          // reused across pulls
+  KeepBitmap keep_;   // reused across batches
+  KeepBitmap tmp_;    // conjunction scratch
 };
 
 // --- predicate helpers (composable building blocks for query kernels) ---
+// The typed helpers emit bitmap words directly: 64 comparison verdicts
+// are packed into one register and stored with a single write, so the
+// inner loops carry no per-row branches or byte stores.
 
 /// col(idx) within [lo, hi] (inclusive; int64 columns).
 VecPredicate Int64Between(size_t idx, int64_t lo, int64_t hi);
@@ -38,8 +72,10 @@ VecPredicate Int64Between(size_t idx, int64_t lo, int64_t hi);
 VecPredicate DoubleInRange(size_t idx, double lo, double hi);
 /// col(idx) == s (string columns).
 VecPredicate StringEquals(size_t idx, std::string s);
-/// Conjunction of predicates.
+/// Conjunction of predicates (word-wise AND, early-exit on empty).
 VecPredicate And(std::vector<VecPredicate> preds);
+/// Disjunction of predicates (word-wise OR, early-exit on all-set).
+VecPredicate Or(std::vector<VecPredicate> preds);
 
 }  // namespace pdtstore
 

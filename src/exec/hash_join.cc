@@ -156,27 +156,27 @@ void ProbeJoinBatch(const PartitionedJoinTable& table,
       }
     }
   } else {
-    // Semi/anti: mark matches, then compact survivors column-wise. Each
-    // probe row is emitted at most once regardless of duplicate build
-    // matches.
-    const uint8_t want = kind == JoinKind::kLeftSemi ? 1 : 0;
-    scratch->keep.assign(n, 0);
+    // Semi/anti: mark matches in the keep bitmap, then compact
+    // survivors column-wise through one expansion. Each probe row is
+    // emitted at most once regardless of duplicate build matches.
+    const bool want = kind == JoinKind::kLeftSemi;
+    scratch->keep.Reset(n);
     for (size_t row = 0; row < n; ++row) {
       const uint64_t h = scratch->hashes[row];
       const JoinTable& part = table.parts[table.PartitionOf(h)];
-      uint8_t matched = 0;
+      bool matched = false;
       auto it = part.buckets.find(h);
       if (it != part.buckets.end()) {
         for (uint32_t b : it->second) {
           if (part.KeysEqual(probe_keys, in, row, b)) {
-            matched = 1;
+            matched = true;
             break;
           }
         }
       }
-      scratch->keep[row] = (matched == want);
+      scratch->keep.SetTo(row, matched == want);
     }
-    out->AppendFiltered(in, scratch->keep.data());
+    out->AppendFiltered(in, scratch->keep);
   }
 }
 

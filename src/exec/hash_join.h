@@ -77,7 +77,7 @@ struct JoinProbeScratch {
   std::vector<uint64_t> hashes;
   SelVector probe_sel;
   SelVector build_sel;
-  std::vector<uint8_t> keep;
+  KeepBitmap keep;  // semi/anti survivor bits, 1 bit per probe row
   std::vector<SelVector> part_rows;  // probe rows routed per partition
   Batch out_proto;  // output layout, built once, reused via ResetLike
   bool proto_init = false;

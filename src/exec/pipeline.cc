@@ -18,11 +18,13 @@ namespace {
 
 class FilterOp : public PipelineOp {
  public:
-  explicit FilterOp(VecPredicate predicate)
-      : predicate_(std::move(predicate)) {}
+  explicit FilterOp(VecPredicate predicate) {
+    predicates_.push_back(std::move(predicate));
+  }
 
   struct State : PipelineOpState {
-    std::vector<uint8_t> keep;
+    KeepBitmap keep;
+    KeepBitmap tmp;
     Batch out;
   };
 
@@ -32,18 +34,25 @@ class FilterOp : public PipelineOp {
 
   Status Execute(Batch* batch, PipelineOpState* state) const override {
     State* s = static_cast<State*>(state);
-    s->keep.assign(batch->num_rows(), 0);
-    predicate_(*batch, &s->keep);
+    EvalConjunction(predicates_, *batch, &s->keep, &s->tmp);
+    if (s->keep.All()) return Status::OK();  // batch passes untouched
     s->out.ResetLike(*batch);
     s->out.set_start_rid(batch->start_rid());
-    s->out.AppendFiltered(*batch, s->keep.data());
+    if (!s->keep.None()) s->out.AppendFiltered(*batch, s->keep);
     // The consumed input batch becomes next round's output scratch.
     std::swap(*batch, s->out);
     return Status::OK();
   }
 
+  bool FuseFilter(VecPredicate* predicate) override {
+    // Build-time only: the fused conjunction folds bitmaps word-wise in
+    // Execute, so stacked Pipeline::Filter calls compact the batch once.
+    predicates_.push_back(std::move(*predicate));
+    return true;
+  }
+
  private:
-  VecPredicate predicate_;
+  std::vector<VecPredicate> predicates_;
 };
 
 class ProjectOp : public PipelineOp {
@@ -621,6 +630,8 @@ Pipeline::Pipeline(MorselPlan plan) : plan_(std::move(plan)) {}
 Pipeline::~Pipeline() = default;
 
 Pipeline& Pipeline::Filter(VecPredicate predicate) {
+  // Stacked filters fuse into the preceding filter op's conjunction.
+  if (!ops_.empty() && ops_.back()->FuseFilter(&predicate)) return *this;
   return Add(MakeFilterOp(std::move(predicate)));
 }
 

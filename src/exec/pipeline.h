@@ -69,9 +69,21 @@ class PipelineOp {
   /// Transforms *batch in place (possibly to zero rows). Must be
   /// thread-safe across distinct `state` objects.
   virtual Status Execute(Batch* batch, PipelineOpState* state) const = 0;
+
+  /// Build-time fusion hook: a filter op absorbs `predicate` into its
+  /// word-wise conjunction and returns true; every other op declines.
+  /// Called only while the pipeline is under construction (before any
+  /// worker exists), so no synchronization is needed.
+  virtual bool FuseFilter(VecPredicate* predicate) {
+    (void)predicate;
+    return false;
+  }
 };
 
 /// Vectorized selection as a pipeline fragment (FilterNode's kernel).
+/// Consecutive Pipeline::Filter calls fuse into one op: the predicates'
+/// keep bitmaps are folded word-wise (AND) and the batch is compacted
+/// once, with no intermediate selection or batch materialized.
 std::unique_ptr<PipelineOp> MakeFilterOp(VecPredicate predicate);
 /// Projection / expression evaluation (ProjectNode's kernel).
 std::unique_ptr<PipelineOp> MakeProjectOp(std::vector<ColumnExpr> exprs);
@@ -139,6 +151,11 @@ class Pipeline {
   Pipeline(Pipeline&&) = default;
   Pipeline& operator=(Pipeline&&) = default;
 
+  /// Appends a filter fragment. Consecutive Filter calls fuse into one
+  /// op whose predicates fold word-wise on the keep bitmap with a
+  /// single compaction — so a later predicate may be evaluated on rows
+  /// an earlier one rejected (predicates must be total over the batch;
+  /// see the VecPredicate contract in exec/filter.h).
   Pipeline& Filter(VecPredicate predicate);
   Pipeline& Project(std::vector<ColumnExpr> exprs);
   Pipeline& Probe(std::shared_ptr<JoinBuildHandle> build,

@@ -5,8 +5,13 @@ namespace pdtstore {
 std::unique_ptr<BatchSource> TableScanNode(const Table& table,
                                            std::vector<ColumnId> projection,
                                            const KeyBounds* bounds,
-                                           const ScanOptions& scan_opts) {
-  return table.Scan(std::move(projection), bounds, scan_opts);
+                                           const ScanOptions& scan_opts,
+                                           VecPredicate predicate) {
+  std::unique_ptr<BatchSource> scan =
+      table.Scan(std::move(projection), bounds, scan_opts);
+  if (predicate == nullptr) return scan;
+  return std::make_unique<FilterNode>(std::move(scan),
+                                      std::move(predicate));
 }
 
 }  // namespace pdtstore

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "db/table.h"
+#include "exec/filter.h"
 
 namespace pdtstore {
 
@@ -14,10 +15,19 @@ namespace pdtstore {
 /// kernels can construct restricted scans in one expression. `scan_opts`
 /// selects the serial or morsel-parallel scan; pipelines that do not
 /// depend on row order (filter/agg) can pass `ordered = false`.
+///
+/// A non-null `predicate` wraps the scan in a FilterNode on the
+/// consuming side: with the default serial `scan_opts`, every merged
+/// batch is filtered through the KeepBitmap predicate path at the scan
+/// boundary, so fully-filtered batches never reach downstream
+/// operators. With a parallel ScanOptions the filter still runs on the
+/// consumer thread, *after* the exchange — push the predicate into the
+/// morsel workers with Pipeline::Filter when that matters.
 std::unique_ptr<BatchSource> TableScanNode(const Table& table,
                                            std::vector<ColumnId> projection,
                                            const KeyBounds* bounds = nullptr,
-                                           const ScanOptions& scan_opts = {});
+                                           const ScanOptions& scan_opts = {},
+                                           VecPredicate predicate = nullptr);
 
 }  // namespace pdtstore
 

@@ -228,12 +228,11 @@ StatusOr<QueryResult> Q4(const TpchTables& t, const QueryOptions& o) {
   Plan ord_flt = Filter(std::move(ord), Int64Between(0, lo, hi));
   Plan late = Filter(Scan(o, t.lineitem,
                           {kLOrderkey, kLCommitdate, kLReceiptdate}),
-                     [](const Batch& b, std::vector<uint8_t>* keep) {
+                     [](const Batch& b, KeepBitmap* keep) {
                        const auto& commit = b.column(1).ints();
                        const auto& receipt = b.column(2).ints();
-                       for (size_t i = 0; i < commit.size(); ++i) {
-                         (*keep)[i] = commit[i] < receipt[i];
-                       }
+                       keep->FillFrom(
+                           [&](size_t i) { return commit[i] < receipt[i]; });
                      });
   Plan semi = Join(std::move(ord_flt), std::move(late), {1}, {0},
                    JoinKind::kLeftSemi);
@@ -344,12 +343,11 @@ StatusOr<QueryResult> Q8(const TpchTables& t, const QueryOptions& o) {
 // Q9: product type profit measure, by year.
 StatusOr<QueryResult> Q9(const TpchTables& t, const QueryOptions& o) {
   Plan part = Filter(Scan(o, t.part, {kPPartkey, kPName}),
-                     [](const Batch& b, std::vector<uint8_t>* keep) {
+                     [](const Batch& b, KeepBitmap* keep) {
                        const auto& names = b.column(1).strings();
-                       for (size_t i = 0; i < names.size(); ++i) {
-                         (*keep)[i] =
-                             names[i].find("green") != std::string::npos;
-                       }
+                       keep->FillFrom([&](size_t i) {
+                         return names[i].find("green") != std::string::npos;
+                       });
                      });
   Plan line = Scan(o, t.lineitem,
                    {kLOrderkey, kLPartkey, kLQuantity, kLExtendedprice,
@@ -431,17 +429,18 @@ StatusOr<QueryResult> Q12(const TpchTables& t, const QueryOptions& o) {
       Scan(o, t.lineitem,
            {kLOrderkey, kLShipmode, kLCommitdate, kLReceiptdate,
             kLShipdate}),
-      [lo, hi](const Batch& b, std::vector<uint8_t>* keep) {
-        const auto& mode = b.column(1).strings();
-        const auto& commit = b.column(2).ints();
-        const auto& receipt = b.column(3).ints();
-        const auto& ship = b.column(4).ints();
-        for (size_t i = 0; i < mode.size(); ++i) {
-          (*keep)[i] = (mode[i] == "MAIL" || mode[i] == "SHIP") &&
-                       commit[i] < receipt[i] && ship[i] < commit[i] &&
-                       receipt[i] >= lo && receipt[i] <= hi;
-        }
-      });
+      // Disjunction and conjunction both fold word-wise on the bitmap:
+      // one compaction for the whole predicate tree.
+      And({Or({StringEquals(1, "MAIL"), StringEquals(1, "SHIP")}),
+           [lo, hi](const Batch& b, KeepBitmap* keep) {
+             const auto& commit = b.column(2).ints();
+             const auto& receipt = b.column(3).ints();
+             const auto& ship = b.column(4).ints();
+             keep->FillFrom([&](size_t i) {
+               return commit[i] < receipt[i] && ship[i] < commit[i] &&
+                      receipt[i] >= lo && receipt[i] <= hi;
+             });
+           }}));
   Plan ord = Scan(o, t.orders, {kOOrderkey, kOOrderpriority});
   Plan joined = Join(std::move(line), std::move(ord), {0}, {0});
   Plan proj = Project(std::move(joined),
@@ -514,16 +513,16 @@ StatusOr<QueryResult> Q15(const TpchTables& t, const QueryOptions& o) {
 // Q16: parts/supplier relationship (no updated tables).
 StatusOr<QueryResult> Q16(const TpchTables& t, const QueryOptions& o) {
   Plan part = Filter(Scan(o, t.part, {kPPartkey, kPBrand, kPType, kPSize}),
-                     [](const Batch& b, std::vector<uint8_t>* keep) {
+                     [](const Batch& b, KeepBitmap* keep) {
                        const auto& brand = b.column(1).strings();
                        const auto& size = b.column(3).ints();
-                       for (size_t i = 0; i < brand.size(); ++i) {
-                         (*keep)[i] = brand[i] != "Brand#45" &&
-                                      (size[i] == 9 || size[i] == 19 ||
-                                       size[i] == 49 || size[i] == 3 ||
-                                       size[i] == 36 || size[i] == 14 ||
-                                       size[i] == 23 || size[i] == 45);
-                       }
+                       keep->FillFrom([&](size_t i) {
+                         return brand[i] != "Brand#45" &&
+                                (size[i] == 9 || size[i] == 19 ||
+                                 size[i] == 49 || size[i] == 3 ||
+                                 size[i] == 36 || size[i] == 14 ||
+                                 size[i] == 23 || size[i] == 45);
+                       });
                      });
   Plan agg = Agg(std::move(part), {1, 3}, {{AggKind::kCount, 0}});
   return Summarize(Sort(std::move(agg), {{2, true}, {0}}));
@@ -546,12 +545,11 @@ StatusOr<QueryResult> Q17(const TpchTables& t, const QueryOptions& o) {
   Plan pass2 = P(std::make_unique<VectorSource>(filtered));
   Plan joined = Join(std::move(pass2), std::move(avg), {0}, {0});
   Plan flt = Filter(std::move(joined),
-                    [](const Batch& b, std::vector<uint8_t>* keep) {
+                    [](const Batch& b, KeepBitmap* keep) {
                       const auto& qty = b.column(1).doubles();
                       const auto& avg_q = b.column(4).doubles();
-                      for (size_t i = 0; i < qty.size(); ++i) {
-                        (*keep)[i] = qty[i] < 0.2 * avg_q[i];
-                      }
+                      keep->FillFrom(
+                          [&](size_t i) { return qty[i] < 0.2 * avg_q[i]; });
                     });
   return Summarize(Agg(std::move(flt), {}, {{AggKind::kSum, 2}}));
 }
@@ -577,29 +575,24 @@ StatusOr<QueryResult> Q19(const TpchTables& t, const QueryOptions& o) {
   Plan line = Filter(Scan(o, t.lineitem,
                           {kLPartkey, kLQuantity, kLExtendedprice,
                            kLDiscount, kLShipmode}),
-                     [](const Batch& b, std::vector<uint8_t>* keep) {
-                       const auto& mode = b.column(4).strings();
-                       for (size_t i = 0; i < mode.size(); ++i) {
-                         (*keep)[i] =
-                             mode[i] == "AIR" || mode[i] == "REG AIR";
-                       }
-                     });
+                     Or({StringEquals(4, "AIR"),
+                         StringEquals(4, "REG AIR")}));
   Plan part = Scan(o, t.part, {kPPartkey, kPBrand, kPSize});
   Plan joined = Join(std::move(line), std::move(part), {0}, {0});
   Plan flt = Filter(std::move(joined),
-                    [](const Batch& b, std::vector<uint8_t>* keep) {
+                    [](const Batch& b, KeepBitmap* keep) {
                       const auto& qty = b.column(1).doubles();
                       const auto& brand = b.column(6).strings();
                       const auto& size = b.column(7).ints();
-                      for (size_t i = 0; i < qty.size(); ++i) {
+                      keep->FillFrom([&](size_t i) {
                         bool p1 = brand[i] == "Brand#12" && qty[i] <= 11 &&
                                   size[i] <= 5;
                         bool p2 = brand[i] == "Brand#23" && qty[i] >= 10 &&
                                   qty[i] <= 20 && size[i] <= 10;
                         bool p3 = brand[i] == "Brand#34" && qty[i] >= 20 &&
                                   qty[i] <= 30 && size[i] <= 15;
-                        (*keep)[i] = p1 || p2 || p3;
-                      }
+                        return p1 || p2 || p3;
+                      });
                     });
   Plan proj = Project(std::move(flt), {Revenue(2, 3)});
   return Summarize(Agg(std::move(proj), {}, {{AggKind::kSum, 0}}));
@@ -609,13 +602,12 @@ StatusOr<QueryResult> Q19(const TpchTables& t, const QueryOptions& o) {
 StatusOr<QueryResult> Q20(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1994, 1, 1), hi = DayNumber(1995, 1, 1) - 1;
   Plan part = Filter(Scan(o, t.part, {kPPartkey, kPName}),
-                     [](const Batch& b, std::vector<uint8_t>* keep) {
+                     [](const Batch& b, KeepBitmap* keep) {
                        const auto& names = b.column(1).strings();
-                       for (size_t i = 0; i < names.size(); ++i) {
-                         (*keep)[i] =
-                             names[i].rfind("forest", 0) == 0 ||
-                             names[i].find("azure") != std::string::npos;
-                       }
+                       keep->FillFrom([&](size_t i) {
+                         return names[i].rfind("forest", 0) == 0 ||
+                                names[i].find("azure") != std::string::npos;
+                       });
                      });
   Plan line = Filter(Scan(o, t.lineitem,
                           {kLPartkey, kLSuppkey, kLQuantity, kLShipdate}),
@@ -639,12 +631,11 @@ StatusOr<QueryResult> Q21(const TpchTables& t, const QueryOptions& o) {
   Plan line = Filter(Scan(o, t.lineitem,
                           {kLOrderkey, kLSuppkey, kLCommitdate,
                            kLReceiptdate}),
-                     [](const Batch& b, std::vector<uint8_t>* keep) {
+                     [](const Batch& b, KeepBitmap* keep) {
                        const auto& commit = b.column(2).ints();
                        const auto& receipt = b.column(3).ints();
-                       for (size_t i = 0; i < commit.size(); ++i) {
-                         (*keep)[i] = receipt[i] > commit[i];
-                       }
+                       keep->FillFrom(
+                           [&](size_t i) { return receipt[i] > commit[i]; });
                      });
   Plan joined = Join(std::move(line), std::move(ord), {0}, {0},
                      JoinKind::kLeftSemi);

@@ -231,11 +231,12 @@ TEST(OperatorEquivalenceTest, FilterMatchesRowAtATime) {
     FilterNode node(std::make_unique<VectorSource>(input), predicate);
     auto got = Drain(&node);
 
-    std::vector<uint8_t> keep(rows, 0);
+    KeepBitmap keep;
+    keep.Reset(rows);
     if (rows > 0) predicate(input, &keep);
     std::vector<Tuple> want;
     for (size_t i = 0; i < rows; ++i) {
-      if (keep[i]) want.push_back(input.RowAsTuple(i));
+      if (keep.Test(i)) want.push_back(input.RowAsTuple(i));
     }
     ExpectRowsEqual(got, want);
   }
@@ -347,8 +348,14 @@ TEST(OperatorEquivalenceTest, BatchGatherAndFilterHelpers) {
   Random rng(8);
   Batch input = RandomBatch(60, &rng);
   std::vector<uint8_t> keep(60);
-  for (auto& k : keep) k = rng.Uniform(2);
+  KeepBitmap bitmap;
+  bitmap.Reset(60);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    keep[i] = static_cast<uint8_t>(rng.Uniform(2));
+    bitmap.SetTo(i, keep[i] != 0);
+  }
 
+  // The byte-keep reference path and the bitmap path must agree.
   Batch filtered;
   filtered.set_column_ids(input.column_ids());
   for (size_t c = 0; c < input.num_columns(); ++c) {
@@ -356,18 +363,26 @@ TEST(OperatorEquivalenceTest, BatchGatherAndFilterHelpers) {
   }
   filtered.AppendFiltered(input, keep.data());
 
+  Batch bit_filtered;
+  bit_filtered.set_column_ids(input.column_ids());
+  for (size_t c = 0; c < input.num_columns(); ++c) {
+    bit_filtered.columns().emplace_back(input.column(c).type());
+  }
+  bit_filtered.AppendFiltered(input, bitmap);
+
   Batch gathered;
   gathered.set_column_ids(input.column_ids());
   for (size_t c = 0; c < input.num_columns(); ++c) {
     gathered.columns().emplace_back(input.column(c).type());
   }
-  gathered.AppendGather(input, SelVector::FromKeep(keep.data(), 60));
+  gathered.AppendGather(input, SelVector::FromKeep(bitmap));
 
   std::vector<Tuple> want;
   for (size_t i = 0; i < 60; ++i) {
     if (keep[i]) want.push_back(input.RowAsTuple(i));
   }
   ExpectRowsEqual(BatchRows(filtered), want);
+  ExpectRowsEqual(BatchRows(bit_filtered), want);
   ExpectRowsEqual(BatchRows(gathered), want);
 }
 

@@ -188,9 +188,9 @@ inline VecPredicate RandomPredicate(Random* rng) {
   switch (rng->Uniform(4)) {
     case 0: {
       const int64_t m = 2 + static_cast<int64_t>(rng->Uniform(5));
-      return [m](const Batch& b, std::vector<uint8_t>* keep) {
+      return [m](const Batch& b, KeepBitmap* keep) {
         const auto& v = b.column(1).ints();
-        for (size_t i = 0; i < v.size(); ++i) (*keep)[i] = v[i] % m == 0;
+        keep->FillFrom([&](size_t i) { return v[i] % m == 0; });
       };
     }
     case 1: {
@@ -203,11 +203,10 @@ inline VecPredicate RandomPredicate(Random* rng) {
     }
     default: {
       const char c = static_cast<char>('a' + rng->Uniform(26));
-      return [c](const Batch& b, std::vector<uint8_t>* keep) {
+      return [c](const Batch& b, KeepBitmap* keep) {
         const auto& s = b.column(3).strings();
-        for (size_t i = 0; i < s.size(); ++i) {
-          (*keep)[i] = !s[i].empty() && s[i][0] <= c;
-        }
+        keep->FillFrom(
+            [&](size_t i) { return !s[i].empty() && s[i][0] <= c; });
       };
     }
   }
@@ -274,7 +273,24 @@ inline FuzzPlanResult RunFuzzPlan(uint64_t plan_seed, const FuzzSource& src,
     }
   };
 
-  if (rng.Bernoulli(0.6)) add_filter(RandomPredicate(&rng));
+  // Multi-predicate filters: the serial tree chains one FilterNode per
+  // predicate (materializing each intermediate), while stacked
+  // Pipeline::Filter calls fuse into one word-wise bitmap conjunction
+  // with a single compaction — the differential check proves the fused
+  // path equivalent. Occasionally the predicates arrive pre-combined
+  // through And()/Or() so those fold paths fuzz too.
+  if (rng.Bernoulli(0.6)) {
+    const uint64_t nfilters = 1 + rng.Uniform(3);  // 1..3 stacked filters
+    for (uint64_t f = 0; f < nfilters; ++f) {
+      add_filter(RandomPredicate(&rng));
+    }
+  } else if (rng.Bernoulli(0.3)) {
+    std::vector<VecPredicate> preds;
+    preds.push_back(RandomPredicate(&rng));
+    preds.push_back(RandomPredicate(&rng));
+    add_filter(rng.Bernoulli(0.5) ? And(std::move(preds))
+                                  : Or(std::move(preds)));
+  }
   bool projected = false;
   if (rng.Bernoulli(0.5)) {
     add_project(RandomProjection(&rng));

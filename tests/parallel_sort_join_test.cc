@@ -189,9 +189,9 @@ TEST(ParallelSortTest, ExactSerialSequenceAcrossThreadCounts) {
 TEST(ParallelSortTest, DescendingMultiKeyAndFilteredInput) {
   auto table = BuildUpdatedTable(DeltaBackend::kPdt, 1500, 700, 23);
   auto cols = AllColumns(table->schema());
-  auto even = [](const Batch& b, std::vector<uint8_t>* keep) {
+  auto even = [](const Batch& b, KeepBitmap* keep) {
     const auto& v = b.column(1).ints();
-    for (size_t i = 0; i < v.size(); ++i) (*keep)[i] = v[i] % 2 == 0;
+    keep->FillFrom([&](size_t i) { return v[i] % 2 == 0; });
   };
   auto serial = Collect(std::make_unique<SortNode>(
       std::make_unique<ProjectNode>(
@@ -257,8 +257,8 @@ TEST(ParallelSortTest, HostilePdtStatesAndEmptyResults) {
 
     // Nothing survives the filter: empty sort output, no rows, no hang.
     Pipeline none(table->PlanMorsels(cols, nullptr, PipeOpts(threads)));
-    none.Filter([](const Batch&, std::vector<uint8_t>* keep) {
-      std::fill(keep->begin(), keep->end(), 0);
+    none.Filter([](const Batch&, KeepBitmap* keep) {
+      (void)keep;  // arrives all-zero: keep nothing
     });
     EXPECT_TRUE(Collect(std::move(none).IntoSortBuild({{0}})).empty());
   }
@@ -338,8 +338,8 @@ TEST(PartitionedJoinTest, EmptyBuildSide) {
   auto build_table = BuildUpdatedTable(DeltaBackend::kPdt, 200, 100, 53);
   auto pcols = AllColumns(probe_table->schema());
   auto bcols = AllColumns(build_table->schema());
-  auto nothing = [](const Batch&, std::vector<uint8_t>* keep) {
-    std::fill(keep->begin(), keep->end(), 0);
+  auto nothing = [](const Batch&, KeepBitmap* keep) {
+    (void)keep;  // arrives all-zero: keep nothing
   };
   for (JoinKind kind :
        {JoinKind::kInner, JoinKind::kLeftSemi, JoinKind::kLeftAnti}) {

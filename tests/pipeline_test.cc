@@ -90,9 +90,9 @@ ScanOptions PipeOpts(int threads, size_t morsel_rows = 64) {
 
 // Keeps every row whose payload (column 1) is even.
 VecPredicate EvenPayload() {
-  return [](const Batch& b, std::vector<uint8_t>* keep) {
+  return [](const Batch& b, KeepBitmap* keep) {
     const auto& v = b.column(1).ints();
-    for (size_t i = 0; i < v.size(); ++i) (*keep)[i] = (v[i] % 2 == 0);
+    keep->FillFrom([&](size_t i) { return v[i] % 2 == 0; });
   };
 }
 
@@ -176,9 +176,9 @@ TEST(PipelineTest, GlobalAggregationIncludingEmptyInput) {
     // A predicate nothing survives: the parallel global aggregation must
     // still emit the single all-zero row the serial engine emits.
     Pipeline empty(table->PlanMorsels(cols, nullptr, PipeOpts(threads)));
-    empty.Filter([](const Batch& b, std::vector<uint8_t>* keep) {
+    empty.Filter([](const Batch& b, KeepBitmap* keep) {
       (void)b;
-      std::fill(keep->begin(), keep->end(), 0);
+      (void)keep;  // arrives all-zero: keep nothing
     });
     auto zero = Collect(std::move(empty).Aggregate(
         {}, {{AggKind::kSum, 1}, {AggKind::kCount, 0}}));
