@@ -84,6 +84,10 @@ void PrintHelp() {
       "  tables\n"
       "  .threads [N]              scan worker threads for select\n"
       "                            (1 = serial; shows current when bare)\n"
+      "  .open <dir>               open (or create) a persistent database;\n"
+      "                            replays its WAL and continues where it left off\n"
+      "  .save                     durable checkpoint of the open database\n"
+      "                            (atomic manifest swap, then WAL truncation)\n"
       "  help | quit\n");
 }
 
@@ -113,8 +117,8 @@ class Shell {
       return Status::OK();
     }
     if (cmd == "tables") {
-      for (const auto& name : db_.TableNames()) {
-        Table* tbl = *db_.GetTable(name);
+      for (const auto& name : db_->TableNames()) {
+        Table* tbl = *db_->GetTable(name);
         std::printf("  %s(%s)  rows=%llu delta=%zu entries\n", name.c_str(),
                     tbl->schema().ToString().c_str(),
                     static_cast<unsigned long long>(tbl->RowCount()),
@@ -141,8 +145,26 @@ class Shell {
                                : " (serial)");
       return Status::OK();
     }
+    if (cmd == ".open") {
+      if (t.size() != 2) return Status::InvalidArgument("usage: .open <dir>");
+      PDT_ASSIGN_OR_RETURN(auto db, Database::Open(t[1]));
+      db_ = std::move(db);
+      if (db_->read_only()) {
+        std::printf("  WARNING: opened read-only: %s\n",
+                    db_->recovery_status().ToString().c_str());
+      }
+      std::printf("  opened %s (%zu tables, wal records=%zu)\n",
+                  t[1].c_str(), db_->TableNames().size(),
+                  db_->wal() != nullptr ? db_->wal()->RecordCount() : 0);
+      return Status::OK();
+    }
+    if (cmd == ".save") {
+      PDT_RETURN_NOT_OK(db_->Save());
+      std::printf("  checkpoint committed\n");
+      return Status::OK();
+    }
     if (cmd == "io") {
-      const IoStats& io = db_.io_stats();
+      const IoStats& io = db_->io_stats();
       std::printf("  bytes_read=%llu chunks_read=%llu hits=%llu\n",
                   static_cast<unsigned long long>(io.bytes_read),
                   static_cast<unsigned long long>(io.chunks_read),
@@ -151,7 +173,7 @@ class Shell {
     }
     if (t.size() < 2) return Status::InvalidArgument("missing table name");
     if (cmd == "create") return Create(t);
-    PDT_ASSIGN_OR_RETURN(Table * table, db_.GetTable(t[1]));
+    PDT_ASSIGN_OR_RETURN(Table * table, db_->GetTable(t[1]));
     if (cmd == "load") return Load(table, t);
     if (cmd == "insert") return Insert(table, t);
     if (cmd == "delete") return Delete(table, t);
@@ -225,7 +247,7 @@ class Shell {
     PDT_ASSIGN_OR_RETURN(Schema schema, Schema::Make(cols, sk));
     PDT_ASSIGN_OR_RETURN(
         Table * table,
-        db_.CreateTable(t[1],
+        db_->CreateTable(t[1],
                         std::make_shared<const Schema>(std::move(schema))));
     // Start usable immediately: load an empty stable image.
     PDT_RETURN_NOT_OK(table->Load({}));
@@ -234,12 +256,27 @@ class Shell {
     return Status::OK();
   }
 
+  // On a persistent database, updates run as WAL-logged transactions so
+  // they survive a crash (durable at commit, not just at `.save`); an
+  // in-memory database takes the direct path.
+  Status Transactional(Table* table,
+                       const std::function<Status(Transaction*)>& fn) {
+    PDT_ASSIGN_OR_RETURN(TxnManager * mgr, db_->Txn(table->name()));
+    auto txn = mgr->Begin();
+    PDT_RETURN_NOT_OK(fn(txn.get()));
+    return txn->Commit();
+  }
+
+  bool UseTxnPath(const Table* table) const {
+    return db_->persistent() && table->pdt() != nullptr;
+  }
+
   Status Load(Table* table, const std::vector<std::string>& t) {
     size_t ncols = table->schema().num_columns();
     if ((t.size() - 2) % ncols != 0) {
       return Status::InvalidArgument("value count not a multiple of arity");
     }
-    size_t inserted = 0;
+    std::vector<Tuple> tuples;
     for (size_t pos = 2; pos + ncols <= t.size(); pos += ncols) {
       Tuple tuple;
       for (ColumnId c = 0; c < ncols; ++c) {
@@ -247,10 +284,22 @@ class Shell {
                              ParseValue(table->schema(), c, t[pos + c]));
         tuple.push_back(std::move(v));
       }
-      PDT_RETURN_NOT_OK(table->Insert(tuple));
-      ++inserted;
+      tuples.push_back(std::move(tuple));
     }
-    std::printf("  inserted %zu rows\n", inserted);
+    if (UseTxnPath(table)) {
+      // One transaction (and one fsync) for the whole batch.
+      PDT_RETURN_NOT_OK(Transactional(table, [&](Transaction* txn) {
+        for (const Tuple& tuple : tuples) {
+          PDT_RETURN_NOT_OK(txn->Insert(tuple));
+        }
+        return Status::OK();
+      }));
+    } else {
+      for (const Tuple& tuple : tuples) {
+        PDT_RETURN_NOT_OK(table->Insert(tuple));
+      }
+    }
+    std::printf("  inserted %zu rows\n", tuples.size());
     return Status::OK();
   }
 
@@ -264,11 +313,19 @@ class Shell {
                            ParseValue(table->schema(), c, t[2 + c]));
       tuple.push_back(std::move(v));
     }
+    if (UseTxnPath(table)) {
+      return Transactional(
+          table, [&](Transaction* txn) { return txn->Insert(tuple); });
+    }
     return table->Insert(tuple);
   }
 
   Status Delete(Table* table, const std::vector<std::string>& t) {
     PDT_ASSIGN_OR_RETURN(auto key, ParseKey(table->schema(), t, 2));
+    if (UseTxnPath(table)) {
+      return Transactional(
+          table, [&](Transaction* txn) { return txn->DeleteByKey(key); });
+    }
     return table->DeleteByKey(key);
   }
 
@@ -280,6 +337,11 @@ class Shell {
     PDT_ASSIGN_OR_RETURN(ColumnId col, table->schema().ColumnIndex(t[2]));
     PDT_ASSIGN_OR_RETURN(Value v, ParseValue(table->schema(), col, t[3]));
     PDT_ASSIGN_OR_RETURN(auto key, ParseKey(table->schema(), t, 4));
+    if (UseTxnPath(table)) {
+      return Transactional(table, [&](Transaction* txn) {
+        return txn->ModifyByKey(key, col, v);
+      });
+    }
     return table->ModifyByKey(key, col, v);
   }
 
@@ -300,7 +362,7 @@ class Shell {
     return Status::OK();
   }
 
-  Database db_;
+  std::unique_ptr<Database> db_ = std::make_unique<Database>();
   int threads_ = 1;
 };
 

@@ -57,6 +57,8 @@ echo "== bench smoke (tiny sizes) =="
     --threads=1,2,4 --json="$BUILD_DIR/BENCH_fig17_smoke.json"
 "$BUILD_DIR/bench_fig19_tpch" --sf=0.01 --config=uncompressed \
     --threads=1,2,4,8 --json="$BUILD_DIR/BENCH_fig19_smoke.json"
+"$BUILD_DIR/bench_wal_group_commit" --txns=800 --threads=1,4 \
+    --json="$BUILD_DIR/BENCH_wal.json"
 
 # Differential-fuzz provenance: the ctest stage above already ran the
 # fixed-seed smoke batch (differential_fuzz_test's default iterations);
@@ -69,8 +71,16 @@ FUZZ_ITERS="${PDT_FUZZ_ITERS:-200}"
 # confuse the fuzz binary): fall back to the defaults.
 [[ "$FUZZ_SEED" =~ ^[0-9]+$ ]] || FUZZ_SEED=20260731
 [[ "$FUZZ_ITERS" =~ ^[0-9]+$ ]] || FUZZ_ITERS=200
+# Same provenance scheme for the crash-recovery fuzzer (ASan stage below
+# runs CRASH_ITERS seeded iterations); repro:
+#   PDT_CRASH_SEED=<seed> PDT_CRASH_ITERS=1 ./crash_recovery_fuzz_test
+CRASH_SEED="${PDT_CRASH_SEED:-20260808}"
+CRASH_ITERS="${PDT_CRASH_ITERS:-200}"
+[[ "$CRASH_SEED" =~ ^[0-9]+$ ]] || CRASH_SEED=20260808
+[[ "$CRASH_ITERS" =~ ^[0-9]+$ ]] || CRASH_ITERS=200
 cat > "$BUILD_DIR/BENCH_fuzz.json" <<EOF
-{"differential_fuzz": {"seed": ${FUZZ_SEED}, "tsan_iters": ${FUZZ_ITERS}}}
+{"differential_fuzz": {"seed": ${FUZZ_SEED}, "tsan_iters": ${FUZZ_ITERS}},
+ "crash_recovery_fuzz": {"seed": ${CRASH_SEED}, "asan_iters": ${CRASH_ITERS}}}
 EOF
 
 if [[ "${PDTSTORE_SKIP_TSAN:-0}" != "1" ]]; then
@@ -93,6 +103,26 @@ if [[ "${PDTSTORE_SKIP_TSAN:-0}" != "1" ]]; then
   (cd "$TSAN_DIR" && \
       PDT_FUZZ_SEED="$FUZZ_SEED" PDT_FUZZ_ITERS="$FUZZ_ITERS" \
           ./differential_fuzz_test)
+fi
+
+if [[ "${PDTSTORE_SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== asan build + durability/crash-recovery tests =="
+  # AddressSanitizer over the durability path: the WAL frame codec and
+  # recovery scanner parse attacker-shaped (torn / bit-flipped) bytes,
+  # and the crash fuzzer tears writes at arbitrary offsets — exactly
+  # where an out-of-bounds read would hide. CRASH_ITERS seeded
+  # iterations of the fuzzer run under ASan.
+  ASAN_DIR="${BUILD_DIR}-asan"
+  cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address" \
+      -DPDTSTORE_BUILD_BENCHES=OFF -DPDTSTORE_BUILD_EXAMPLES=OFF
+  cmake --build "$ASAN_DIR" -j "$(nproc)" \
+      --target wal_test durability_test crash_recovery_fuzz_test
+  (cd "$ASAN_DIR" && \
+      ctest --output-on-failure -R "wal_test|durability_test")
+  (cd "$ASAN_DIR" && \
+      PDT_CRASH_SEED="$CRASH_SEED" PDT_CRASH_ITERS="$CRASH_ITERS" \
+          ./crash_recovery_fuzz_test)
 fi
 
 echo "CI OK"

@@ -1,10 +1,181 @@
 #include "db/database.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace pdtstore {
 
 Database::Database(DatabaseOptions options)
     : options_(options),
       pool_(std::make_shared<BufferPool>(options.buffer_pool_bytes)) {}
+
+std::string Database::WalFileName(uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal.%06" PRIu64, epoch);
+  return buf;
+}
+
+void Database::Degrade(const Status& why) {
+  if (read_only_) return;  // first cause wins
+  read_only_ = true;
+  recovery_status_ = why;
+  for (auto& [name, table] : tables_) table->SetReadOnly();
+}
+
+Status Database::ReplayInto(Table* table) {
+  // A throwaway manager with NO wal attached: replaying through a
+  // manager wired to the WAL being replayed would append each replayed
+  // commit back onto it.
+  TxnManagerOptions opts = options_.txn_defaults;
+  opts.txn_id_counter = nullptr;
+  TxnManager recovery_mgr(table, /*wal=*/nullptr, opts);
+  PDT_RETURN_NOT_OK(recovery_mgr.Recover(*wal_));
+  // Fold the recovered Write-PDT into the table before the manager dies.
+  return recovery_mgr.PropagateAndMaybeCheckpoint();
+}
+
+StatusOr<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                   DatabaseOptions options) {
+  FileSystem* fs = options.fs != nullptr ? options.fs : FileSystem::Default();
+  auto db = std::make_unique<Database>(options);
+  db->dir_ = dir;
+  db->fs_ = fs;
+  db->wal_ = std::make_unique<Wal>();
+  PDT_RETURN_NOT_OK(fs->CreateDir(dir));
+
+  auto manifest = ReadManifest(fs, dir);
+  if (!manifest.ok() &&
+      manifest.status().code() == StatusCode::kNotFound) {
+    // Fresh directory: establish the root pointer before doing anything
+    // else, so a half-created database is still a valid (empty) one.
+    db->manifest_.epoch = 0;
+    db->manifest_.wal_file = WalFileName(0);
+    PDT_RETURN_NOT_OK(WriteManifest(fs, dir, db->manifest_));
+  } else if (!manifest.ok()) {
+    // The root pointer itself is untrustworthy: nothing can be loaded.
+    db->Degrade(manifest.status());
+    return db;
+  } else {
+    db->manifest_ = std::move(*manifest);
+    for (const ManifestTable& t : db->manifest_.tables) {
+      auto schema = Schema::Make(t.columns, t.sort_key);
+      if (!schema.ok()) {
+        db->Degrade(schema.status());
+        return db;
+      }
+      TableOptions topts = options.table_defaults;
+      topts.backend = t.backend;
+      topts.store.chunk_rows = static_cast<size_t>(t.chunk_rows);
+      topts.store.compression = t.compression;
+      auto table = std::make_unique<Table>(
+          t.name, std::make_shared<const Schema>(std::move(*schema)), topts,
+          db->pool_);
+      if (!t.image_file.empty()) {
+        Status st =
+            LoadTableImage(fs, db->PathOf(t.image_file), table.get());
+        if (st.ok() && table->store().num_rows() != t.row_count) {
+          st = Status::Corruption("table image row count mismatch for " +
+                                  t.name);
+        }
+        if (!st.ok()) {
+          db->tables_[t.name] = std::move(table);
+          db->Degrade(st);
+          return db;
+        }
+      }
+      db->tables_[t.name] = std::move(table);
+    }
+  }
+
+  // Recover the WAL: accept the committed prefix, truncate a torn tail,
+  // refuse mid-log corruption.
+  auto stats = db->wal_->RecoverFrom(fs, db->PathOf(db->manifest_.wal_file));
+  if (!stats.ok()) {
+    db->Degrade(stats.status());
+    return db;
+  }
+  // Replay the committed transactions into each table.
+  if (db->wal_->RecordCount() > 0) {
+    for (auto& [name, table] : db->tables_) {
+      Status st = db->ReplayInto(table.get());
+      if (!st.ok()) {
+        db->Degrade(st);
+        return db;
+      }
+    }
+  }
+  // Attach the durable sink; new commits append after the replayed
+  // frames in the same segment.
+  auto writer =
+      WalWriter::Open(fs, db->PathOf(db->manifest_.wal_file), false);
+  if (!writer.ok()) {
+    db->Degrade(writer.status());
+    return db;
+  }
+  db->wal_writer_ = std::move(*writer);
+  db->wal_->MarkAllFlushed();
+  return db;
+}
+
+Status Database::Save() {
+  if (!persistent()) {
+    return Status::InvalidArgument("Save() requires a database dir");
+  }
+  if (read_only_) return recovery_status_;
+  // Quiesce: fold every Write-PDT into its table (refuses if any
+  // transactions are still active).
+  for (auto& [name, mgr] : managers_) {
+    PDT_RETURN_NOT_OK(mgr->PropagateAndMaybeCheckpoint());
+  }
+  Manifest next;
+  next.epoch = manifest_.epoch + 1;
+  next.wal_file = WalFileName(next.epoch);
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".img.%06" PRIu64, next.epoch);
+  for (auto& [name, table] : tables_) {
+    // Absorb the delta into the stable image, then write it out. Images
+    // get fresh epoch-stamped names: an old image is never overwritten,
+    // so a crash below leaves the previous checkpoint intact.
+    PDT_RETURN_NOT_OK(table->Checkpoint());
+    ManifestTable t;
+    t.name = name;
+    t.backend = table->options().backend;
+    t.columns = table->schema().columns();
+    t.sort_key = table->schema().sort_key();
+    t.chunk_rows = table->options().store.chunk_rows;
+    t.compression = table->options().store.compression;
+    t.row_count = table->store().num_rows();
+    if (t.row_count > 0) {
+      t.image_file = name + suffix;
+      PDT_RETURN_NOT_OK(
+          SaveTableImage(fs_, PathOf(t.image_file), *table));
+    }
+    next.tables.push_back(std::move(t));
+  }
+  // Create the next epoch's (empty) WAL segment before the manifest can
+  // point at it.
+  PDT_ASSIGN_OR_RETURN(auto new_writer,
+                       WalWriter::Open(fs_, PathOf(next.wal_file), true));
+  PDT_RETURN_NOT_OK(new_writer->Sync());
+  // THE COMMIT POINT: after this rename the new checkpoint is the
+  // database; before it, the old manifest + old WAL still are.
+  PDT_RETURN_NOT_OK(WriteManifest(fs_, dir_, next));
+  // Only now is it safe to drop the log the images absorbed.
+  Manifest old = std::move(manifest_);
+  manifest_ = std::move(next);
+  wal_->Truncate();
+  wal_writer_ = std::move(new_writer);
+  for (auto& [name, mgr] : managers_) {
+    mgr->SetWalWriter(wal_writer_.get());
+  }
+  // Best-effort cleanup of the previous epoch's files; leftovers are
+  // unreferenced and harmless.
+  (void)fs_->DeleteFile(PathOf(old.wal_file));
+  for (const ManifestTable& t : old.tables) {
+    if (!t.image_file.empty()) (void)fs_->DeleteFile(PathOf(t.image_file));
+  }
+  return Status::OK();
+}
 
 StatusOr<Table*> Database::CreateTable(const std::string& name,
                                        std::shared_ptr<const Schema> schema) {
@@ -14,6 +185,10 @@ StatusOr<Table*> Database::CreateTable(const std::string& name,
 StatusOr<Table*> Database::CreateTable(const std::string& name,
                                        std::shared_ptr<const Schema> schema,
                                        TableOptions options) {
+  if (read_only_) {
+    return Status::InvalidArgument("database is read-only: " +
+                                   recovery_status_.message());
+  }
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table exists: " + name);
   }
@@ -21,6 +196,25 @@ StatusOr<Table*> Database::CreateTable(const std::string& name,
       std::make_unique<Table>(name, std::move(schema), options, pool_);
   Table* ptr = table.get();
   tables_[name] = std::move(table);
+  if (persistent()) {
+    // Make the DDL durable: re-point the manifest at the same epoch's
+    // files plus the new (empty) table.
+    ManifestTable t;
+    t.name = name;
+    t.backend = options.backend;
+    t.columns = ptr->schema().columns();
+    t.sort_key = ptr->schema().sort_key();
+    t.chunk_rows = options.store.chunk_rows;
+    t.compression = options.store.compression;
+    Manifest next = manifest_;
+    next.tables.push_back(std::move(t));
+    Status st = WriteManifest(fs_, dir_, next);
+    if (!st.ok()) {
+      tables_.erase(name);
+      return st;
+    }
+    manifest_ = std::move(next);
+  }
   return ptr;
 }
 
@@ -31,8 +225,35 @@ StatusOr<Table*> Database::GetTable(const std::string& name) const {
 }
 
 Status Database::DropTable(const std::string& name) {
+  if (read_only_) {
+    return Status::InvalidArgument("database is read-only: " +
+                                   recovery_status_.message());
+  }
   if (tables_.erase(name) == 0) return Status::NotFound("no table " + name);
+  managers_.erase(name);
   return Status::OK();
+}
+
+StatusOr<TxnManager*> Database::Txn(const std::string& name) {
+  if (read_only_) {
+    return Status::InvalidArgument("database is read-only: " +
+                                   recovery_status_.message());
+  }
+  auto it = managers_.find(name);
+  if (it != managers_.end()) return it->second.get();
+  PDT_ASSIGN_OR_RETURN(Table * table, GetTable(name));
+  if (table->pdt() == nullptr) {
+    return Status::InvalidArgument(
+        "transactions require the PDT backend: " + name);
+  }
+  TxnManagerOptions opts = options_.txn_defaults;
+  opts.txn_id_counter = &txn_ids_;  // shared id space across tables
+  if (wal_ == nullptr) wal_ = std::make_unique<Wal>();
+  auto mgr = std::make_unique<TxnManager>(table, wal_.get(), opts);
+  if (wal_writer_ != nullptr) mgr->SetWalWriter(wal_writer_.get());
+  TxnManager* ptr = mgr.get();
+  managers_[name] = std::move(mgr);
+  return ptr;
 }
 
 std::vector<std::string> Database::TableNames() const {

@@ -159,7 +159,15 @@ StatusOr<Tuple> Table::GetTupleByKey(const std::vector<Value>& key) const {
 // Updates.
 // ---------------------------------------------------------------------
 
+namespace {
+Status ReadOnlyError(const std::string& name) {
+  return Status::InvalidArgument("table " + name +
+                                 " is read-only (recovery degraded)");
+}
+}  // namespace
+
 Status Table::Insert(const Tuple& tuple) {
+  if (read_only_) return ReadOnlyError(name_);
   PDT_RETURN_NOT_OK(schema_->ValidateTuple(tuple));
   std::vector<Value> key = schema_->ExtractSortKey(tuple);
   PDT_ASSIGN_OR_RETURN(bool exists, ContainsKey(key));
@@ -177,6 +185,7 @@ Status Table::Insert(const Tuple& tuple) {
 }
 
 Status Table::DeleteAt(Rid rid) {
+  if (read_only_) return ReadOnlyError(name_);
   if (!pdt_) return Status::InvalidArgument("positional delete needs PDT");
   if (rid >= RowCount()) return Status::OutOfRange("rid out of range");
   PDT_ASSIGN_OR_RETURN(auto key, MergedSortKey(rid));
@@ -184,6 +193,7 @@ Status Table::DeleteAt(Rid rid) {
 }
 
 Status Table::ModifyAt(Rid rid, ColumnId col, const Value& v) {
+  if (read_only_) return ReadOnlyError(name_);
   if (!pdt_) return Status::InvalidArgument("positional modify needs PDT");
   if (rid >= RowCount()) return Status::OutOfRange("rid out of range");
   if (schema_->IsSortKeyColumn(col)) {
@@ -197,6 +207,7 @@ Status Table::ModifyAt(Rid rid, ColumnId col, const Value& v) {
 }
 
 Status Table::DeleteByKey(const std::vector<Value>& key) {
+  if (read_only_) return ReadOnlyError(name_);
   if (pdt_) {
     PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
     return pdt_->AddDelete(rid, key);
@@ -209,6 +220,7 @@ Status Table::DeleteByKey(const std::vector<Value>& key) {
 
 Status Table::ModifyByKey(const std::vector<Value>& key, ColumnId col,
                           const Value& v) {
+  if (read_only_) return ReadOnlyError(name_);
   if (pdt_) {
     PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
     return ModifyAt(rid, col, v);
@@ -306,6 +318,7 @@ MorselPlan Table::PlanMorsels(std::vector<ColumnId> projection,
 // ---------------------------------------------------------------------
 
 Status Table::Checkpoint() {
+  if (read_only_) return ReadOnlyError(name_);
   // Materialize the merged image column-wise...
   std::vector<ColumnId> all_cols(schema_->num_columns());
   for (ColumnId i = 0; i < all_cols.size(); ++i) all_cols[i] = i;

@@ -137,6 +137,13 @@ class Table {
   /// Heap footprint of the differential structure.
   size_t DeltaMemoryBytes() const;
 
+  /// Degrades the table to read-only: every direct mutation (and
+  /// Checkpoint) fails with InvalidArgument. Used when recovery
+  /// cannot reconstruct a trustworthy state — reads stay available,
+  /// writes that could compound the damage do not.
+  void SetReadOnly() { read_only_ = true; }
+  bool read_only() const { return read_only_; }
+
  private:
   // First stable SID with SK >= key (binary search over stable storage).
   StatusOr<Sid> StableLowerBound(const std::vector<Value>& key) const;
@@ -154,6 +161,7 @@ class Table {
   std::unique_ptr<Pdt> pdt_;
   std::unique_ptr<Vdt> vdt_;
   bool loaded_ = false;
+  bool read_only_ = false;
 };
 
 }  // namespace pdtstore

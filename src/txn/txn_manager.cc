@@ -210,7 +210,12 @@ Status Transaction::Commit() {
     return Status::InvalidArgument(
         "finish the active Query-PDT before committing");
   }
-  return mgr_->CommitLocked(this);
+  uint64_t durable_upto = 0;
+  PDT_RETURN_NOT_OK(mgr_->CommitLocked(this, &durable_upto));
+  // Group commit: wait for the WAL to reach disk outside the commit
+  // lock, so concurrent committers pile into one fsync.
+  if (durable_upto > 0) return mgr_->SyncWal(durable_upto);
+  return Status::OK();
 }
 
 void Transaction::Abort() {
@@ -251,7 +256,9 @@ std::unique_ptr<Transaction> TxnManager::Begin() {
   std::shared_ptr<const Pdt> read_alias(table_->pdt(),
                                         [](const Pdt*) {});
   ++active_;
-  uint64_t id = next_txn_id_++;
+  uint64_t id = opts_.txn_id_counter != nullptr
+                    ? opts_.txn_id_counter->fetch_add(1) + 1
+                    : next_txn_id_++;
   return std::unique_ptr<Transaction>(
       new Transaction(this, id, clock_, std::move(read_alias),
                       write_snapshot_));
@@ -273,8 +280,36 @@ void TxnManager::FinishLocked(Transaction* txn) {
   txn->finished_ = true;
 }
 
-Status TxnManager::CommitLocked(Transaction* txn) {
+void TxnManager::SetWalWriter(WalWriter* writer) {
   std::lock_guard<std::mutex> lock(mu_);
+  // The durability watermark itself lives in the (possibly shared) Wal
+  // and is established by whoever loaded or truncated it (RecoverFrom,
+  // Truncate, MarkAllFlushed) — resetting it here could falsely mark
+  // another manager's in-flight commit durable.
+  writer_ = writer;
+}
+
+Status TxnManager::wal_status() const {
+  return wal_ != nullptr ? wal_->health() : Status::OK();
+}
+
+Status TxnManager::SyncWal(uint64_t upto) {
+  return wal_->SyncTo(writer_, upto);
+}
+
+Status TxnManager::CommitLocked(Transaction* txn, uint64_t* durable_upto) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *durable_upto = 0;
+  if (writer_ != nullptr) {
+    // A manager whose WAL sink failed can no longer promise durability:
+    // refuse the commit up front.
+    Status health = wal_->health();
+    if (!health.ok()) {
+      FinishLocked(txn);
+      ++aborted_count_;
+      return health;
+    }
+  }
   // Serialize against every overlapping committed transaction, in commit
   // order (Alg. 9 lines 2-9).
   Status conflict = Status::OK();
@@ -303,6 +338,25 @@ Status TxnManager::CommitLocked(Transaction* txn) {
       wal_->Append(r);
     }
     wal_->LogCommit(txn->id_);
+    if (writer_ != nullptr) {
+      if (opts_.group_commit) {
+        // Publish the frames now; the caller waits for durability up to
+        // this offset outside the commit lock (SyncWal).
+        *durable_upto = wal_->SizeBytes();
+      } else {
+        // Per-commit durability: flush and fsync this commit's frames
+        // before acknowledging, still under the commit lock — every
+        // commit pays its own fsync (the ablation baseline).
+        Status st = wal_->SyncTo(writer_, wal_->SizeBytes());
+        if (!st.ok()) {
+          // Not durable: fail the commit without applying it in memory
+          // (the WAL health is already poisoned).
+          FinishLocked(txn);
+          ++aborted_count_;
+          return st;
+        }
+      }
+    }
   }
   // Fold into the master Write-PDT (Alg. 9 line 12).
   Status st = write_->Propagate(*txn->trans_);
@@ -342,7 +396,13 @@ Status TxnManager::PropagateAndMaybeCheckpoint() {
     write_snapshot_.reset();
     write_snapshot_time_ = 0;
   }
-  if (table_->pdt()->EntryCount() > opts_.read_pdt_max_entries) {
+  // With a durable WAL attached, in-place checkpointing here would
+  // rewrite the stable image without the manifest commit protocol —
+  // replaying the (still durable) log over the new image would then
+  // apply every absorbed update twice. Durable checkpointing is
+  // Database::Save's job; this fast path is for in-memory managers.
+  if (writer_ == nullptr &&
+      table_->pdt()->EntryCount() > opts_.read_pdt_max_entries) {
     PDT_RETURN_NOT_OK(table_->Checkpoint());
     if (wal_ != nullptr) {
       wal_->LogCheckpoint(table_->name());
@@ -353,9 +413,30 @@ Status TxnManager::PropagateAndMaybeCheckpoint() {
 }
 
 Status TxnManager::Recover(const Wal& wal) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (&wal == wal_) {
+      // Replaying a WAL through a manager that appends to that same WAL
+      // would grow the log under the replay cursor.
+      return Status::InvalidArgument(
+          "cannot recover from the manager's own WAL");
+    }
+    // Recovery only makes sense into a pristine manager: a second run,
+    // or a run after transaction activity, would apply updates twice.
+    if (recovered_) {
+      return Status::InvalidArgument("Recover already ran on this manager");
+    }
+    if (committed_count_ + aborted_count_ > 0 || active_ > 0 ||
+        !write_->Empty() || !table_->pdt()->Empty()) {
+      return Status::InvalidArgument(
+          "Recover requires a pristine transaction manager");
+    }
+    recovered_ = true;
+  }
   // Group records per transaction; apply committed ones in commit order.
   std::map<uint64_t, std::vector<WalRecord>> pending;
   Status apply_status = Status::OK();
+  const std::string& my_table = table_->name();
   Status st = wal.Replay([&](const WalRecord& r) -> Status {
     switch (r.type) {
       case WalRecordType::kBegin:
@@ -364,7 +445,9 @@ Status TxnManager::Recover(const Wal& wal) {
       case WalRecordType::kInsert:
       case WalRecordType::kDelete:
       case WalRecordType::kModify:
-        pending[r.txn_id].push_back(r);
+        // Several tables can share one log; each manager replays only
+        // the records addressed to its table.
+        if (r.table == my_table) pending[r.txn_id].push_back(r);
         break;
       case WalRecordType::kAbort:
         pending.erase(r.txn_id);
@@ -372,6 +455,11 @@ Status TxnManager::Recover(const Wal& wal) {
       case WalRecordType::kCommit: {
         auto it = pending.find(r.txn_id);
         if (it == pending.end()) break;
+        if (it->second.empty()) {
+          // The transaction touched only other tables.
+          pending.erase(it);
+          break;
+        }
         auto txn = Begin();
         for (const WalRecord& op : it->second) {
           Status op_st;

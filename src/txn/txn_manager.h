@@ -16,6 +16,7 @@
 #ifndef PDTSTORE_TXN_TXN_MANAGER_H_
 #define PDTSTORE_TXN_TXN_MANAGER_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -121,6 +122,18 @@ struct TxnManagerOptions {
   size_t write_pdt_max_entries = 4096;
   /// Checkpoint the table when the Read-PDT exceeds this many entries.
   size_t read_pdt_max_entries = 1 << 20;
+  /// Group commit (only meaningful with a WalWriter attached): commits
+  /// publish their redo frames under the commit lock, then wait for
+  /// durability together — one leader flushes and fsyncs the batch on
+  /// behalf of every waiter. When false, each commit flushes and fsyncs
+  /// its own frames before returning (the ablation baseline).
+  bool group_commit = true;
+  /// When several per-table managers share one WAL, they must also share
+  /// a transaction-id source — concurrent transactions with colliding
+  /// ids would be merged by replay. Database wires all its managers to
+  /// one counter; a standalone manager can leave this null and allocate
+  /// ids locally.
+  std::atomic<uint64_t>* txn_id_counter = nullptr;
 };
 
 /// Manages transactions over one PDT-backed Table.
@@ -132,8 +145,25 @@ class TxnManager {
   /// Starts a snapshot-isolated transaction.
   std::unique_ptr<Transaction> Begin();
 
+  /// Attaches the durable sink that commits must reach before returning
+  /// OK. The writer must outlive the manager (or be detached with
+  /// nullptr). The WAL's durability watermark is not touched — load or
+  /// truncate the Wal first so it knows which bytes are already on
+  /// disk. A later flush or fsync failure is sticky (Wal::health()):
+  /// the manager refuses every subsequent commit with that status,
+  /// because it can no longer promise durability.
+  void SetWalWriter(WalWriter* writer);
+
+  /// The sticky WAL health status: OK until a flush or fsync failed.
+  Status wal_status() const;
+
   /// Replays a WAL into the table (recovery): applies all updates of
   /// committed transactions, in commit order, skipping aborted ones.
+  /// Data records addressed to other tables are ignored (several tables
+  /// may share one log); begin/commit/abort markers are global. Runs at
+  /// most once, and only on a pristine manager — a second call, or a
+  /// call after any transaction activity, returns InvalidArgument
+  /// instead of double-applying updates.
   Status Recover(const Wal& wal);
 
   /// Propagates Write-PDT -> Read-PDT and, if the Read-PDT is large,
@@ -151,7 +181,12 @@ class TxnManager {
   friend class Transaction;
 
   // Commit path (Alg. 9), called under lock from Transaction::Commit.
-  Status CommitLocked(Transaction* txn);
+  // On success `*durable_upto` is the WAL offset this commit must see
+  // durable before acknowledging (0 = nothing to wait for).
+  Status CommitLocked(Transaction* txn, uint64_t* durable_upto);
+  // Blocks until the WAL is durable through `upto` (group-commit wait:
+  // the first waiter becomes the flush leader).
+  Status SyncWal(uint64_t upto);
   void FinishLocked(Transaction* txn);
   void ReleaseOverlapsLocked(Transaction* txn, size_t upto);
 
@@ -166,6 +201,10 @@ class TxnManager {
   Table* table_;
   Wal* wal_;
   TxnManagerOptions opts_;
+  // Durable sink; the group-commit state itself lives in the (possibly
+  // shared) Wal, so managers logging to one file agree on durability.
+  WalWriter* writer_ = nullptr;
+  bool recovered_ = false;
   mutable std::mutex mu_;
   std::unique_ptr<Pdt> write_;           // master Write-PDT
   std::shared_ptr<const Pdt> write_snapshot_;  // cache: copy of write_

@@ -1,13 +1,15 @@
 #include "txn/wal.h"
 
-#include <cstdio>
 #include <cstring>
 
 #include "storage/encoding.h"
+#include "util/crc32c.h"
 
 namespace pdtstore {
 
 namespace {
+
+// --- value codec (logical payload encoding) ---
 
 void PutValue(std::string* out, const Value& v) {
   out->push_back(static_cast<char>(v.type()));
@@ -32,7 +34,14 @@ void PutValue(std::string* out, const Value& v) {
 
 Status GetValue(const std::string& in, size_t* pos, Value* v) {
   if (*pos >= in.size()) return Status::Corruption("truncated WAL value");
-  TypeId type = static_cast<TypeId>(in[*pos]);
+  // Validate the tag before casting: `in[*pos]` is char, and on signed-
+  // char platforms a corrupt 0x80+ byte sign-extends to a negative that
+  // a blind static_cast would turn into a bogus out-of-range TypeId.
+  const uint8_t tag = static_cast<uint8_t>(in[*pos]);
+  if (tag > static_cast<uint8_t>(TypeId::kString)) {
+    return Status::Corruption("bad WAL value type");
+  }
+  TypeId type = static_cast<TypeId>(tag);
   ++*pos;
   uint64_t raw;
   PDT_RETURN_NOT_OK(GetVarint64(in, pos, &raw));
@@ -47,7 +56,9 @@ Status GetValue(const std::string& in, size_t* pos, Value* v) {
       return Status::OK();
     }
     case TypeId::kString: {
-      if (*pos + raw > in.size()) {
+      // Overflow-safe bound: `*pos + raw` could wrap for a corrupt
+      // near-2^64 length.
+      if (raw > in.size() - *pos) {
         return Status::Corruption("truncated WAL string");
       }
       *v = Value(in.substr(*pos, raw));
@@ -66,6 +77,9 @@ void PutValues(std::string* out, const std::vector<Value>& vs) {
 Status GetValues(const std::string& in, size_t* pos, std::vector<Value>* vs) {
   uint64_t n;
   PDT_RETURN_NOT_OK(GetVarint64(in, pos, &n));
+  if (n > in.size() - *pos) {
+    return Status::Corruption("bad WAL value count");
+  }
   vs->clear();
   vs->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -76,29 +90,231 @@ Status GetValues(const std::string& in, size_t* pos, std::vector<Value>* vs) {
   return Status::OK();
 }
 
-}  // namespace
-
-uint64_t Wal::Append(const WalRecord& record) {
-  uint64_t lsn = buffer_.size();
-  buffer_.push_back(static_cast<char>(record.type));
-  PutVarint64(&buffer_, record.txn_id);
-  PutVarint64(&buffer_, record.table.size());
-  buffer_.append(record.table);
+void EncodePayload(std::string* out, const WalRecord& record) {
+  out->push_back(static_cast<char>(record.type));
+  PutVarint64(out, record.txn_id);
+  PutVarint64(out, record.table.size());
+  out->append(record.table);
   switch (record.type) {
     case WalRecordType::kInsert:
-      PutValues(&buffer_, record.tuple);
+      PutValues(out, record.tuple);
       break;
     case WalRecordType::kDelete:
-      PutValues(&buffer_, record.key);
+      PutValues(out, record.key);
       break;
     case WalRecordType::kModify:
-      PutValues(&buffer_, record.key);
-      PutVarint64(&buffer_, record.column);
-      PutValue(&buffer_, record.value);
+      PutValues(out, record.key);
+      PutVarint64(out, record.column);
+      PutValue(out, record.value);
       break;
     default:
       break;
   }
+}
+
+Status DecodePayload(const std::string& payload, WalRecord* r) {
+  if (payload.empty()) return Status::Corruption("empty WAL record");
+  size_t pos = 0;
+  r->type = static_cast<WalRecordType>(payload[pos]);
+  ++pos;
+  PDT_RETURN_NOT_OK(GetVarint64(payload, &pos, &r->txn_id));
+  uint64_t tlen;
+  PDT_RETURN_NOT_OK(GetVarint64(payload, &pos, &tlen));
+  if (tlen > payload.size() - pos) {
+    return Status::Corruption("truncated WAL table name");
+  }
+  r->table = payload.substr(pos, tlen);
+  pos += tlen;
+  switch (r->type) {
+    case WalRecordType::kInsert:
+      PDT_RETURN_NOT_OK(GetValues(payload, &pos, &r->tuple));
+      break;
+    case WalRecordType::kDelete:
+      PDT_RETURN_NOT_OK(GetValues(payload, &pos, &r->key));
+      break;
+    case WalRecordType::kModify: {
+      PDT_RETURN_NOT_OK(GetValues(payload, &pos, &r->key));
+      uint64_t col;
+      PDT_RETURN_NOT_OK(GetVarint64(payload, &pos, &col));
+      r->column = static_cast<ColumnId>(col);
+      PDT_RETURN_NOT_OK(GetValue(payload, &pos, &r->value));
+      break;
+    }
+    case WalRecordType::kBegin:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+    case WalRecordType::kCheckpoint:
+      break;
+    default:
+      return Status::Corruption("bad WAL record type");
+  }
+  if (pos != payload.size()) {
+    return Status::Corruption("trailing bytes in WAL record");
+  }
+  return Status::OK();
+}
+
+// --- framing ---
+
+constexpr size_t kFrameHeader = 16;         // u32 len + u32 crc + u64 lsn
+constexpr uint32_t kMaxFrameLen = 1u << 30;  // sanity bound on corrupt lens
+
+void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint32_t GetFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t GetFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Walks the framed stream, calling `fn` per intact record. With
+/// `tolerate_tail`, a torn final frame stops the scan cleanly
+/// (`*tail_truncated` set, `*valid_bytes` = intact prefix); corruption
+/// anywhere before the tail is always a hard error. Without it, any
+/// anomaly is Corruption.
+// True if an intact frame — CRC valid and LSN proving its position —
+// starts at any offset in [from, buffer.size()). Used to classify a bad
+// frame: a torn write only ever damages the very end of the log, so
+// finding real frames after the damage proves mid-log corruption. The
+// LSN filter makes the scan cheap (8 bytes must equal their own offset
+// before a CRC is ever computed).
+bool ValidFrameAfter(const std::string& buffer, size_t from) {
+  for (size_t q = from; q + kFrameHeader <= buffer.size(); ++q) {
+    if (GetFixed64(buffer.data() + q + 8) != q) continue;
+    const uint32_t len = GetFixed32(buffer.data() + q);
+    if (len > kMaxFrameLen || len > buffer.size() - q - kFrameHeader) {
+      continue;
+    }
+    const uint32_t crc = GetFixed32(buffer.data() + q + 4);
+    if (Crc32c(buffer.data() + q + 8, 8 + len) == crc) return true;
+  }
+  return false;
+}
+
+Status ScanFrames(const std::string& buffer, bool tolerate_tail,
+                  uint64_t* valid_bytes, bool* tail_truncated,
+                  const std::function<Status(const WalRecord&)>& fn) {
+  size_t pos = 0;
+  if (tail_truncated != nullptr) *tail_truncated = false;
+  while (pos < buffer.size()) {
+    const size_t remaining = buffer.size() - pos;
+    bool torn = false;
+    std::string torn_reason;
+    if (remaining < kFrameHeader) {
+      torn = true;
+      torn_reason = "truncated WAL frame header";
+    } else {
+      const uint32_t len = GetFixed32(buffer.data() + pos);
+      if (len > kMaxFrameLen || len > remaining - kFrameHeader) {
+        // A torn header often reads as a garbage length; only a frame
+        // overshooting the end of the log can be a tail.
+        torn = true;
+        torn_reason = "truncated WAL frame body";
+      } else {
+        const uint32_t crc = GetFixed32(buffer.data() + pos + 4);
+        const uint64_t lsn = GetFixed64(buffer.data() + pos + 8);
+        const uint32_t actual =
+            Crc32c(buffer.data() + pos + 8, 8 + len);  // lsn || payload
+        if (actual != crc) {
+          if (pos + kFrameHeader + len == buffer.size()) {
+            // Bad checksum on the final frame: a torn write.
+            torn = true;
+            torn_reason = "bad checksum on final WAL frame";
+          } else {
+            return Status::Corruption(
+                "WAL frame checksum mismatch mid-log at offset " +
+                std::to_string(pos));
+          }
+        } else if (lsn != pos) {
+          // An intact frame claiming a different offset is not a torn
+          // write — it is misplaced (stale or relocated) data.
+          return Status::Corruption("WAL frame LSN mismatch at offset " +
+                                    std::to_string(pos));
+        } else {
+          WalRecord r;
+          PDT_RETURN_NOT_OK(DecodePayload(
+              buffer.substr(pos + kFrameHeader, len), &r));
+          PDT_RETURN_NOT_OK(fn(r));
+          pos += kFrameHeader + len;
+          if (valid_bytes != nullptr) *valid_bytes = pos;
+          continue;
+        }
+      }
+    }
+    if (torn) {
+      if (!tolerate_tail) return Status::Corruption(torn_reason);
+      // A tear leaves nothing real behind it. An intact frame after the
+      // damage (proven in place by its checksummed LSN) means this is
+      // mid-log corruption wearing a torn disguise — e.g. a length
+      // field flipped to overshoot the log — and truncating here would
+      // silently drop the committed frames that follow.
+      if (ValidFrameAfter(buffer, pos + 1)) {
+        return Status::Corruption(torn_reason +
+                                  " with intact frames after it");
+      }
+      if (tail_truncated != nullptr) *tail_truncated = true;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// WalWriter.
+// ---------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(FileSystem* fs,
+                                                     const std::string& path,
+                                                     bool truncate) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  PDT_ASSIGN_OR_RETURN(auto file, fs->NewWritableFile(path, truncate));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file), path));
+}
+
+Status WalWriter::Append(std::string_view bytes) {
+  return file_->Append(bytes);
+}
+
+Status WalWriter::Sync() {
+  ++sync_count_;
+  return file_->Sync();
+}
+
+// ---------------------------------------------------------------------
+// Wal.
+// ---------------------------------------------------------------------
+
+uint64_t Wal::Append(const WalRecord& record) {
+  std::string payload;
+  EncodePayload(&payload, record);
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t lsn = buffer_.size();
+  PutFixed32(&buffer_, static_cast<uint32_t>(payload.size()));
+  // CRC spans (lsn || payload) so a frame also vouches for its position.
+  std::string checked;
+  checked.reserve(8 + payload.size());
+  PutFixed64(&checked, lsn);
+  checked.append(payload);
+  PutFixed32(&buffer_, Crc32c(checked.data(), checked.size()));
+  buffer_.append(checked);
   ++record_count_;
   return lsn;
 }
@@ -165,77 +381,167 @@ uint64_t Wal::LogCheckpoint(const std::string& table) {
 }
 
 Status Wal::Replay(const std::function<Status(const WalRecord&)>& fn) const {
-  size_t pos = 0;
-  while (pos < buffer_.size()) {
-    WalRecord r;
-    r.type = static_cast<WalRecordType>(buffer_[pos]);
-    ++pos;
-    PDT_RETURN_NOT_OK(GetVarint64(buffer_, &pos, &r.txn_id));
-    uint64_t tlen;
-    PDT_RETURN_NOT_OK(GetVarint64(buffer_, &pos, &tlen));
-    if (pos + tlen > buffer_.size()) {
-      return Status::Corruption("truncated WAL table name");
-    }
-    r.table = buffer_.substr(pos, tlen);
-    pos += tlen;
-    switch (r.type) {
-      case WalRecordType::kInsert:
-        PDT_RETURN_NOT_OK(GetValues(buffer_, &pos, &r.tuple));
-        break;
-      case WalRecordType::kDelete:
-        PDT_RETURN_NOT_OK(GetValues(buffer_, &pos, &r.key));
-        break;
-      case WalRecordType::kModify: {
-        PDT_RETURN_NOT_OK(GetValues(buffer_, &pos, &r.key));
-        uint64_t col;
-        PDT_RETURN_NOT_OK(GetVarint64(buffer_, &pos, &col));
-        r.column = static_cast<ColumnId>(col);
-        PDT_RETURN_NOT_OK(GetValue(buffer_, &pos, &r.value));
-        break;
-      }
-      case WalRecordType::kBegin:
-      case WalRecordType::kCommit:
-      case WalRecordType::kAbort:
-      case WalRecordType::kCheckpoint:
-        break;
-      default:
-        return Status::Corruption("bad WAL record type");
-    }
-    PDT_RETURN_NOT_OK(fn(r));
+  // Snapshot the buffer so the (possibly reentrant) callback never runs
+  // under the buffer lock.
+  std::string snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = buffer_;
   }
-  return Status::OK();
+  return ScanFrames(snapshot, /*tolerate_tail=*/false, nullptr, nullptr, fn);
 }
 
 void Wal::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
   buffer_.clear();
   record_count_ = 0;
+  flushed_bytes_ = 0;
+  durable_bytes_ = 0;
+  health_ = Status::OK();
 }
 
-Status Wal::WriteToFile(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
-  std::fclose(f);
-  if (n != buffer_.size()) return Status::IOError("short WAL write");
+std::string Wal::TakeUnflushed(uint64_t* end_offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string chunk = buffer_.substr(flushed_bytes_);
+  flushed_bytes_ = buffer_.size();
+  if (end_offset != nullptr) *end_offset = buffer_.size();
+  return chunk;
+}
+
+void Wal::MarkAllFlushed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  flushed_bytes_ = buffer_.size();
+  durable_bytes_ = buffer_.size();
+  health_ = Status::OK();
+}
+
+uint64_t Wal::flushed_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushed_bytes_;
+}
+
+uint64_t Wal::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_.size();
+}
+
+size_t Wal::RecordCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return record_count_;
+}
+
+Status Wal::health() const {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  return health_;
+}
+
+Status Wal::SyncTo(WalWriter* writer, uint64_t upto) {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  for (;;) {
+    if (!health_.ok()) return health_;
+    if (durable_bytes_ >= upto) return Status::OK();
+    if (flushing_) {
+      // A leader is already at the disk; ride on its fsync.
+      flush_cv_.wait(lock);
+      continue;
+    }
+    // Become the leader: flush everything buffered so far, on behalf of
+    // every committer currently waiting.
+    flushing_ = true;
+    lock.unlock();
+    uint64_t end = 0;
+    std::string chunk = TakeUnflushed(&end);
+    Status st = Status::OK();
+    if (!chunk.empty()) {
+      st = writer->Append(chunk);
+      if (st.ok()) st = writer->Sync();
+    }
+    lock.lock();
+    flushing_ = false;
+    if (st.ok()) {
+      if (end > durable_bytes_) durable_bytes_ = end;
+    } else {
+      health_ = st;
+    }
+    flush_cv_.notify_all();
+  }
+}
+
+Status Wal::WriteToFile(const std::string& path, FileSystem* fs) const {
+  if (fs == nullptr) fs = FileSystem::Default();
+  std::string snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = buffer_;
+  }
+  PDT_ASSIGN_OR_RETURN(auto file,
+                       fs->NewWritableFile(path, /*truncate=*/true));
+  PDT_RETURN_NOT_OK(file->Append(snapshot));
+  PDT_RETURN_NOT_OK(file->Sync());
+  return file->Close();
+}
+
+Status Wal::LoadFromFile(const std::string& path, FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  std::string bytes;
+  PDT_RETURN_NOT_OK(fs->ReadFileToString(path, &bytes));
+  // Strict validation (and record recount) before adopting the buffer.
+  size_t count = 0;
+  PDT_RETURN_NOT_OK(ScanFrames(bytes, /*tolerate_tail=*/false, nullptr,
+                               nullptr, [&count](const WalRecord&) {
+                                 ++count;
+                                 return Status::OK();
+                               }));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  buffer_ = std::move(bytes);
+  record_count_ = count;
+  flushed_bytes_ = buffer_.size();
+  durable_bytes_ = buffer_.size();
+  health_ = Status::OK();
   return Status::OK();
 }
 
-Status Wal::LoadFromFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  buffer_.resize(static_cast<size_t>(size));
-  size_t n = std::fread(buffer_.data(), 1, buffer_.size(), f);
-  std::fclose(f);
-  if (n != buffer_.size()) return Status::IOError("short WAL read");
-  // Recount records.
-  record_count_ = 0;
-  return Replay([this](const WalRecord&) {
-    ++record_count_;
-    return Status::OK();
-  });
+StatusOr<WalRecoveryStats> Wal::RecoverFrom(FileSystem* fs,
+                                            const std::string& path) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  WalRecoveryStats stats;
+  PDT_ASSIGN_OR_RETURN(bool exists, fs->FileExists(path));
+  if (!exists) {
+    Truncate();
+    return stats;
+  }
+  std::string bytes;
+  PDT_RETURN_NOT_OK(fs->ReadFileToString(path, &bytes));
+  size_t count = 0;
+  bool torn = false;
+  uint64_t valid = 0;
+  PDT_RETURN_NOT_OK(ScanFrames(bytes, /*tolerate_tail=*/true, &valid, &torn,
+                               [&count](const WalRecord&) {
+                                 ++count;
+                                 return Status::OK();
+                               }));
+  if (torn) {
+    // Cut the torn tail on disk too, so the next append continues the
+    // frame stream at the offset the LSNs claim.
+    PDT_RETURN_NOT_OK(fs->TruncateFile(path, valid));
+    bytes.resize(valid);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> flush_lock(flush_mu_);
+    buffer_ = std::move(bytes);
+    record_count_ = count;
+    flushed_bytes_ = buffer_.size();
+    durable_bytes_ = buffer_.size();
+    health_ = Status::OK();
+  }
+  stats.valid_bytes = valid;
+  stats.records = count;
+  stats.tail_truncated = torn;
+  return stats;
 }
 
 }  // namespace pdtstore

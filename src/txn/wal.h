@@ -3,15 +3,35 @@
 // point being that WAL I/O is sequential and does not limit throughput,
 // unlike in-place columnar updates. Records are logical (key-addressed)
 // so replay works regardless of how positions shifted.
+//
+// On-disk format (v2): every record is one self-checking frame
+//
+//   [u32 payload_len][u32 crc32c(lsn || payload)][u64 lsn][payload]
+//
+// with the LSN equal to the frame's byte offset in the log, so a frame
+// also proves it sits where it was written. Recovery distinguishes two
+// corruption shapes: a bad or incomplete frame that reaches the end of
+// the log is a *torn tail* — the expected residue of a crash mid-append
+// — and is truncated away, recovering the committed prefix; a bad frame with
+// valid data after it is mid-log corruption and is reported as
+// Corruption, never silently dropped. The self-proving LSN is what makes
+// the distinction decidable even when a corrupt length field hides the
+// next frame boundary: recovery rescans for any intact frame sitting at
+// its claimed offset, and only calls the damage a tail if none exists.
 #ifndef PDTSTORE_TXN_WAL_H_
 #define PDTSTORE_TXN_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "columnstore/schema.h"
+#include "util/file.h"
 #include "util/status.h"
 
 namespace pdtstore {
@@ -38,14 +58,52 @@ struct WalRecord {
   Value value;              ///< kModify
 };
 
-/// Append-only log with varint/length-prefixed binary encoding, an
-/// in-memory buffer, and optional file persistence. Single-writer.
+/// Append-only sink for framed WAL bytes: a WritableFile opened in
+/// append mode plus an explicit Sync() — the durability point commits
+/// wait on. Counts fsyncs so the group-commit ablation can report
+/// syncs-per-transaction honestly.
+class WalWriter {
+ public:
+  static StatusOr<std::unique_ptr<WalWriter>> Open(FileSystem* fs,
+                                                   const std::string& path,
+                                                   bool truncate = false);
+
+  Status Append(std::string_view bytes);
+  Status Sync();
+
+  uint64_t sync_count() const { return sync_count_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, std::string path)
+      : file_(std::move(file)), path_(std::move(path)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  std::string path_;
+  uint64_t sync_count_ = 0;
+};
+
+/// What loading a WAL segment from disk found.
+struct WalRecoveryStats {
+  uint64_t valid_bytes = 0;   ///< bytes of intact committed frames
+  size_t records = 0;         ///< records in the valid prefix
+  bool tail_truncated = false;  ///< a torn tail was cut off
+};
+
+/// The logical log: an in-memory buffer of checksummed frames, appended
+/// at commit and flushed/synced through a WalWriter. Thread-safe: several
+/// per-table transaction managers may share one log, so appends and the
+/// flush bookkeeping are internally synchronized, and the group-commit
+/// protocol (SyncTo) lives here — durability state must be shared by
+/// everyone writing the same file, or one manager could acknowledge a
+/// commit on the strength of another manager's not-yet-synced flush.
 class Wal {
  public:
   Wal() = default;
 
-  /// Appends a record; returns its LSN (byte offset). The record is
-  /// encoded immediately (simulating the sequential WAL write).
+  /// Appends a record as one frame; returns its LSN (byte offset). The
+  /// record is encoded immediately (the sequential WAL write); file
+  /// flushing is explicit and separate.
   uint64_t Append(const WalRecord& record);
 
   /// Convenience appenders.
@@ -61,23 +119,71 @@ class Wal {
   uint64_t LogAbort(uint64_t txn_id);
   uint64_t LogCheckpoint(const std::string& table);
 
-  /// Invokes `fn` for every record in LSN order. Decoding failures abort
-  /// the replay with Corruption.
+  /// Invokes `fn` for every record in LSN order, verifying every frame
+  /// checksum. Strict: any corruption (including a torn tail) aborts
+  /// with Corruption.
   Status Replay(const std::function<Status(const WalRecord&)>& fn) const;
 
   /// Drops all records up to the current end (after a checkpoint).
   void Truncate();
 
-  /// Persists the buffer to a file / restores it.
-  Status WriteToFile(const std::string& path) const;
-  Status LoadFromFile(const std::string& path);
+  /// Persists the whole buffer to a file / restores it (strict — no
+  /// tail tolerance; recovery uses RecoverFrom).
+  Status WriteToFile(const std::string& path,
+                     FileSystem* fs = nullptr) const;
+  Status LoadFromFile(const std::string& path, FileSystem* fs = nullptr);
 
-  uint64_t SizeBytes() const { return buffer_.size(); }
-  size_t RecordCount() const { return record_count_; }
+  /// Crash-recovery load: reads the segment at `path`, accepts the
+  /// longest intact frame prefix, truncates a torn tail both in memory
+  /// and on disk (so later appends land at the right offset), and
+  /// reports mid-log corruption as Corruption. A missing file is an
+  /// empty log.
+  StatusOr<WalRecoveryStats> RecoverFrom(FileSystem* fs,
+                                         const std::string& path);
+
+  // --- durability (group commit) ---
+
+  /// Blocks until the log is durable through offset `upto` via `writer`:
+  /// the first waiter becomes the flush leader, appends and fsyncs the
+  /// whole unflushed suffix once, and every committer waiting at that
+  /// moment rides on the same fsync. A flush or fsync failure is sticky
+  /// (see health()): once durability cannot be promised, every later
+  /// SyncTo fails with the same status.
+  Status SyncTo(WalWriter* writer, uint64_t upto);
+
+  /// The sticky durability status: OK until a flush or fsync failed.
+  Status health() const;
+
+  /// Marks everything currently buffered as flushed AND durable (bytes
+  /// just loaded from disk), and clears the sticky health status. Only
+  /// valid at a quiet point — no commit in flight.
+  void MarkAllFlushed();
+  uint64_t flushed_bytes() const;
+
+  /// Returns the framed bytes appended since the last take and marks
+  /// them flushed; `*end_offset` receives the log size they extend to.
+  /// (Exposed for tests; SyncTo is the production path.)
+  std::string TakeUnflushed(uint64_t* end_offset);
+
+  uint64_t SizeBytes() const;
+  size_t RecordCount() const;
 
  private:
+  // Buffer state. Held only for short, non-blocking operations.
+  mutable std::mutex mu_;
   std::string buffer_;
   size_t record_count_ = 0;
+  uint64_t flushed_bytes_ = 0;
+
+  // Durability state, under its own lock so committers can wait for an
+  // fsync without stalling appends. Lock order: mu_ before flush_mu_;
+  // the flush leader drops flush_mu_ before taking mu_ to grab the
+  // unflushed suffix, so it never holds both.
+  mutable std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  uint64_t durable_bytes_ = 0;
+  bool flushing_ = false;
+  Status health_ = Status::OK();
 };
 
 }  // namespace pdtstore

@@ -1,0 +1,57 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace pdtstore {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+struct Crc32cTables {
+  // tables[k][b]: CRC of byte b followed by k zero bytes — the standard
+  // slicing construction (process 8 input bytes per iteration).
+  uint32_t t[8][256];
+
+  Crc32cTables() {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1u)));
+      }
+      t[0][b] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t b = 0; b < 256; ++b) {
+        t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xFF];
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto& t = Tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~crc;
+  while (n >= 8) {
+    c ^= static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+    c = t[7][c & 0xFF] ^ t[6][(c >> 8) & 0xFF] ^ t[5][(c >> 16) & 0xFF] ^
+        t[4][c >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = (c >> 8) ^ t[0][(c ^ *p++) & 0xFF];
+  }
+  return ~c;
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli): the checksum guarding every durable artifact —
+// WAL frames, the checkpoint MANIFEST and table image files. Software
+// slicing-by-8 implementation; the polynomial matches SSE4.2's crc32
+// instruction so a hardware path can be swapped in without changing any
+// on-disk byte.
+#ifndef PDTSTORE_UTIL_CRC32C_H_
+#define PDTSTORE_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pdtstore {
+
+/// Extends `crc` (the value returned by a previous call, or 0 for the
+/// first chunk) over `data[0, n)`.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of one contiguous buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_UTIL_CRC32C_H_

@@ -1,0 +1,303 @@
+#include "util/file.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace pdtstore {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+// ---------------------------------------------------------------------
+// POSIX implementation.
+// ---------------------------------------------------------------------
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* f, std::string path)
+      : f_(f), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (f_ == nullptr) return Status::IOError("file closed: " + path_);
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return ErrnoStatus("write", path_);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (f_ == nullptr) return Status::IOError("file closed: " + path_);
+    if (std::fflush(f_) != 0) return ErrnoStatus("fflush", path_);
+    if (::fsync(::fileno(f_)) != 0) return ErrnoStatus("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (f_ == nullptr) return Status::OK();
+    int rc = std::fclose(f_);
+    f_ = nullptr;
+    if (rc != 0) return ErrnoStatus("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* f_;
+  std::string path_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    std::FILE* f = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (f == nullptr) return ErrnoStatus("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(f, path));
+  }
+
+  Status ReadFileToString(const std::string& path, std::string* out) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return ErrnoStatus("open", path);
+    // Checked seek/tell (ftell returns -1 on error, e.g. for a pipe);
+    // an unchecked -1 would be resized into a ~SIZE_MAX allocation.
+    Status st = Status::OK();
+    long size = -1;
+    if (std::fseek(f, 0, SEEK_END) != 0 || (size = std::ftell(f)) < 0 ||
+        std::fseek(f, 0, SEEK_SET) != 0) {
+      st = ErrnoStatus("seek", path);
+    } else {
+      out->resize(static_cast<size_t>(size));
+      if (std::fread(out->data(), 1, out->size(), f) != out->size()) {
+        st = ErrnoStatus("read", path);
+      }
+    }
+    std::fclose(f);
+    if (!st.ok()) out->clear();
+    return st;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) return ErrnoStatus("remove", path);
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<bool> FileExists(const std::string& path) override {
+    struct ::stat st;
+    if (::stat(path.c_str(), &st) == 0) return true;
+    if (errno == ENOENT || errno == ENOTDIR) return false;
+    return ErrnoStatus("stat", path);
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+      return Status::OK();
+    }
+    return ErrnoStatus("mkdir", path);
+  }
+};
+
+}  // namespace
+
+FileSystem* FileSystem::Default() {
+  static PosixFileSystem fs;
+  return &fs;
+}
+
+// ---------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------
+
+/// Buffers appends in memory; Sync pushes them through the parent fs'
+/// crash budget (possibly tearing) into the base file.
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(FaultInjectingFs* fs,
+                     std::unique_ptr<WritableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    PDT_RETURN_NOT_OK(fs_->CheckAliveLocked());
+    pending_.append(data);
+    return Status::OK();
+  }
+
+  Status Sync() override { return Persist(/*sync=*/true); }
+
+  // Close flushes buffered bytes without the durability barrier; the
+  // crash model still meters them (an OS may write cached pages at any
+  // moment, so a crash point inside them must be representable).
+  Status Close() override {
+    Status st = Persist(/*sync=*/false);
+    Status cl = base_->Close();
+    return st.ok() ? cl : st;
+  }
+
+ private:
+  Status Persist(bool sync) {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    PDT_RETURN_NOT_OK(fs_->CheckAliveLocked());
+    if (sync && fs_->fail_next_sync_) {
+      // Failed fsync: the page cache is gone, the process lives on.
+      fs_->fail_next_sync_ = false;
+      pending_.clear();
+      return Status::IOError("injected fsync failure");
+    }
+    uint64_t budget = fs_->crash_after_bytes_;
+    if (budget != FaultInjectingFs::kNoFault && pending_.size() > budget) {
+      // The machine dies mid-write: persist the prefix (torn write).
+      std::string_view torn(pending_.data(), static_cast<size_t>(budget));
+      (void)base_->Append(torn);
+      (void)base_->Sync();
+      fs_->bytes_persisted_ += budget;
+      fs_->crashed_ = true;
+      pending_.clear();
+      return Status::IOError("injected crash (torn write)");
+    }
+    PDT_RETURN_NOT_OK(base_->Append(pending_));
+    if (sync) PDT_RETURN_NOT_OK(base_->Sync());
+    fs_->bytes_persisted_ += pending_.size();
+    if (budget != FaultInjectingFs::kNoFault) {
+      fs_->crash_after_bytes_ = budget - pending_.size();
+    }
+    pending_.clear();
+    return Status::OK();
+  }
+
+  FaultInjectingFs* fs_;
+  std::unique_ptr<WritableFile> base_;
+  std::string pending_;
+};
+
+FaultInjectingFs::FaultInjectingFs(FileSystem* base) : base_(base) {}
+
+void FaultInjectingFs::ScheduleCrashAfterBytes(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_after_bytes_ = n;
+}
+
+void FaultInjectingFs::ScheduleCrashAtRename(int k, RenameCrash where) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_rename_ = k;
+  rename_crash_where_ = where;
+}
+
+void FaultInjectingFs::FailNextSync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_next_sync_ = true;
+}
+
+bool FaultInjectingFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjectingFs::bytes_persisted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_persisted_;
+}
+
+Status FaultInjectingFs::CheckAliveLocked() const {
+  if (crashed_) return Status::IOError("injected crash (machine is down)");
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectingFs::NewWritableFile(
+    const std::string& path, bool truncate) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PDT_RETURN_NOT_OK(CheckAliveLocked());
+  }
+  PDT_ASSIGN_OR_RETURN(auto base, base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectingFile>(this, std::move(base)));
+}
+
+Status FaultInjectingFs::ReadFileToString(const std::string& path,
+                                          std::string* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PDT_RETURN_NOT_OK(CheckAliveLocked());
+  }
+  return base_->ReadFileToString(path, out);
+}
+
+Status FaultInjectingFs::RenameFile(const std::string& from,
+                                    const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PDT_RETURN_NOT_OK(CheckAliveLocked());
+    if (crash_at_rename_ > 0 && --crash_at_rename_ == 0) {
+      crashed_ = true;
+      if (rename_crash_where_ == RenameCrash::kBefore) {
+        return Status::IOError("injected crash (before rename)");
+      }
+      // Apply the rename, then die: the commit took effect but the
+      // caller never learns of it.
+      (void)base_->RenameFile(from, to);
+      return Status::IOError("injected crash (after rename)");
+    }
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingFs::DeleteFile(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PDT_RETURN_NOT_OK(CheckAliveLocked());
+  }
+  return base_->DeleteFile(path);
+}
+
+Status FaultInjectingFs::TruncateFile(const std::string& path,
+                                      uint64_t size) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PDT_RETURN_NOT_OK(CheckAliveLocked());
+  }
+  return base_->TruncateFile(path, size);
+}
+
+StatusOr<bool> FaultInjectingFs::FileExists(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PDT_RETURN_NOT_OK(CheckAliveLocked());
+  }
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingFs::CreateDir(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PDT_RETURN_NOT_OK(CheckAliveLocked());
+  }
+  return base_->CreateDir(path);
+}
+
+}  // namespace pdtstore

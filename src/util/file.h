@@ -1,0 +1,139 @@
+// File-system abstraction under all durable state (WAL segments, the
+// checkpoint MANIFEST, table image files). Two implementations:
+//
+//   - the default POSIX one, where Sync() is a real fflush+fsync and
+//     RenameFile is the atomic commit primitive, and
+//   - FaultInjectingFs, which models a machine that can lose power:
+//     appended bytes live in a "page cache" until Sync() persists them,
+//     and a scheduled crash cuts persistence mid-stream at an exact byte
+//     (tearing whatever frame straddles it) or around a rename. After
+//     the crash every operation fails; reopening the directory with a
+//     clean file system is the simulated restart.
+//
+// The durability contract every caller relies on: bytes are guaranteed
+// on disk only after a successful Sync(); RenameFile atomically replaces
+// the target (either the old or the new file survives a crash, never a
+// mixture); nothing else is promised.
+#ifndef PDTSTORE_UTIL_FILE_H_
+#define PDTSTORE_UTIL_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace pdtstore {
+
+/// Sequential output file. Append buffers; Sync is the durability point.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  /// Forces everything appended so far to stable storage.
+  virtual Status Sync() = 0;
+  /// Flushes buffers and closes. Data not Sync()ed may still be lost.
+  virtual Status Close() = 0;
+};
+
+/// Minimal file-system interface: everything the durability layer needs,
+/// nothing more.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for writing; `truncate` empties an existing file,
+  /// otherwise writes append after the current end.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Reads the whole file into `*out` (replaced).
+  virtual Status ReadFileToString(const std::string& path,
+                                  std::string* out) = 0;
+
+  /// Atomically renames `from` onto `to`, replacing it. The commit
+  /// primitive of the checkpoint protocol.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Truncates `path` to `size` bytes (used to drop a torn WAL tail).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  virtual StatusOr<bool> FileExists(const std::string& path) = 0;
+
+  /// Creates a directory; succeeds if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// The process-wide POSIX file system.
+  static FileSystem* Default();
+};
+
+// ---------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------
+
+/// Where a scheduled crash lands relative to a rename.
+enum class RenameCrash {
+  kBefore,  ///< crash with the rename not applied (temp file orphaned)
+  kAfter,   ///< rename applied, then crash (caller never sees success)
+};
+
+/// A FileSystem wrapper that injects crashes and I/O faults at exact
+/// points, for the crash-recovery fuzzer. Thread-safe. Faults:
+///
+///   ScheduleCrashAfterBytes(n) — the machine dies once n more bytes
+///     have been persisted (across all files). The n-byte prefix of
+///     whatever was being synced survives — a torn write if the cut
+///     falls inside a WAL frame — and every later operation fails.
+///   ScheduleCrashAtRename(k, where) — the machine dies at the k-th
+///     (1-based) RenameFile from now, before or after it takes effect.
+///   FailNextSync() — the next Sync() reports failure and drops the
+///     not-yet-persisted bytes (lost page cache), without crashing.
+///
+/// Because appended bytes only reach the base file system through
+/// Sync()/Close(), the surviving directory contents are exactly what a
+/// real crash could leave behind under the contract above.
+class FaultInjectingFs : public FileSystem {
+ public:
+  explicit FaultInjectingFs(FileSystem* base);
+
+  void ScheduleCrashAfterBytes(uint64_t n);
+  void ScheduleCrashAtRename(int k, RenameCrash where);
+  void FailNextSync();
+
+  bool crashed() const;
+  uint64_t bytes_persisted() const;
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  StatusOr<bool> FileExists(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectingFile;
+
+  Status CheckAliveLocked() const;
+
+  FileSystem* base_;
+  mutable std::mutex mu_;
+  bool crashed_ = false;
+  uint64_t bytes_persisted_ = 0;
+  // Active faults; kNoFault = disarmed.
+  static constexpr uint64_t kNoFault = ~0ULL;
+  uint64_t crash_after_bytes_ = kNoFault;  // remaining persist budget
+  int crash_at_rename_ = 0;                // countdown; 0 = disarmed
+  RenameCrash rename_crash_where_ = RenameCrash::kBefore;
+  bool fail_next_sync_ = false;
+};
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_UTIL_FILE_H_

@@ -206,6 +206,95 @@ TEST_F(TxnTest, WalRecoveryReproducesCommittedState) {
   EXPECT_EQ(TxnScan(*check, *schema_), expected);
 }
 
+TEST_F(TxnTest, RecoverIsIdempotent) {
+  // Regression: a second Recover on the same manager must refuse rather
+  // than double-apply every committed update.
+  {
+    auto t = mgr_->Begin();
+    ASSERT_TRUE(t->Insert({"Berlin", "cloth", "Y", 5}).ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  Table fresh("inventory", schema_, TableOptions{});
+  ASSERT_TRUE(fresh.Load(InventoryRows()).ok());
+  TxnManager fresh_mgr(&fresh, nullptr);
+  ASSERT_TRUE(fresh_mgr.Recover(wal_).ok());
+  Status again = fresh_mgr.Recover(wal_);
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument) << again.ToString();
+  auto check = fresh_mgr.Begin();
+  EXPECT_EQ(TxnScan(*check, *schema_).size(), 6u);  // applied exactly once
+}
+
+TEST_F(TxnTest, RecoverRefusesManagerWithHistory) {
+  // Recovery only makes sense into a pristine manager: one that already
+  // processed commits would re-apply them on top of live state.
+  Wal other;
+  other.LogBegin(1);
+  other.LogInsert(1, "inventory", {"Oslo", "bench", "N", 1});
+  other.LogCommit(1);
+  {
+    auto t = mgr_->Begin();
+    ASSERT_TRUE(t->Insert({"Berlin", "cloth", "Y", 5}).ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  Status st = mgr_->Recover(other);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+  // Recovering a manager from its own attached WAL is always refused —
+  // replaying would append the replayed commits back onto the log.
+  Table fresh("inventory", schema_, TableOptions{});
+  ASSERT_TRUE(fresh.Load(InventoryRows()).ok());
+  TxnManager self_mgr(&fresh, &wal_);
+  EXPECT_EQ(self_mgr.Recover(wal_).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TxnTest, RecoveryHandlesInterleavedAbortAndCommit) {
+  // Interleaved begin/abort/commit markers across transactions: only
+  // the committed transactions' effects may surface after recovery.
+  Wal log;
+  log.LogBegin(1);
+  log.LogBegin(2);
+  log.LogInsert(1, "inventory", {"Oslo", "bench", "N", 1});
+  log.LogInsert(2, "inventory", {"Bergen", "rack", "Y", 3});
+  log.LogBegin(3);
+  log.LogInsert(3, "inventory", {"Tromso", "bin", "N", 2});
+  log.LogCommit(2);
+  log.LogAbort(1);
+  log.LogCheckpoint("inventory");  // informational; replay skips it
+  log.LogCommit(3);
+  // Txn 4 began but neither committed nor aborted (in-flight at crash):
+  // its updates must be dropped.
+  log.LogBegin(4);
+  log.LogInsert(4, "inventory", {"Vardo", "box", "N", 9});
+
+  Table fresh("inventory", schema_, TableOptions{});
+  ASSERT_TRUE(fresh.Load(InventoryRows()).ok());
+  TxnManager fresh_mgr(&fresh, nullptr);
+  ASSERT_TRUE(fresh_mgr.Recover(log).ok());
+  auto check = fresh_mgr.Begin();
+  auto rows = TxnScan(*check, *schema_);
+  EXPECT_EQ(rows.size(), 7u);  // 5 base + txns 2 and 3
+  for (const Tuple& r : rows) {
+    EXPECT_NE(r[0], Value("Oslo"));   // aborted
+    EXPECT_NE(r[0], Value("Vardo"));  // in-flight, never committed
+  }
+}
+
+TEST_F(TxnTest, RecoveryIgnoresOtherTablesRecords) {
+  // Several tables share one log; replay into this manager must apply
+  // only the records addressed to its table.
+  Wal log;
+  log.LogBegin(1);
+  log.LogInsert(1, "inventory", {"Oslo", "bench", "N", 1});
+  log.LogInsert(1, "orders", {"not-even-the-right-schema"});
+  log.LogCommit(1);
+
+  Table fresh("inventory", schema_, TableOptions{});
+  ASSERT_TRUE(fresh.Load(InventoryRows()).ok());
+  TxnManager fresh_mgr(&fresh, nullptr);
+  ASSERT_TRUE(fresh_mgr.Recover(log).ok());
+  auto check = fresh_mgr.Begin();
+  EXPECT_EQ(TxnScan(*check, *schema_).size(), 6u);
+}
+
 TEST_F(TxnTest, ManyConcurrentTransactionsRandomized) {
   // Interleaved transactions on disjoint keys must all commit and the
   // result must match a serial replay.
