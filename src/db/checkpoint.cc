@@ -49,12 +49,8 @@ namespace {
 constexpr char kManifestMagic[9] = "PDTMANIF";
 constexpr char kImageMagic[9] = "PDTIMG01";
 
-void PutFixed32(std::string* out, uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
-  out->append(buf, 4);
-}
-
+// Fixed-width header fields use the explicit little-endian codecs from
+// storage/encoding.h, so checkpoint files mean the same bytes anywhere.
 std::string FrameFile(const char magic[9], const std::string& payload) {
   std::string out(magic, 8);
   PutFixed32(&out, static_cast<uint32_t>(payload.size()));
@@ -70,9 +66,8 @@ StatusOr<std::string> UnframeFile(const char magic[9],
   if (bytes.size() < 16 || std::memcmp(bytes.data(), magic, 8) != 0) {
     return Status::Corruption("bad " + what + " header");
   }
-  uint32_t len, crc;
-  std::memcpy(&len, bytes.data() + 8, 4);
-  std::memcpy(&crc, bytes.data() + 12, 4);
+  const uint32_t len = DecodeFixed32(bytes.data() + 8);
+  const uint32_t crc = DecodeFixed32(bytes.data() + 12);
   if (len != bytes.size() - 16) {
     return Status::Corruption("bad " + what + " length");
   }
@@ -106,8 +101,13 @@ Status WriteFileAtomic(FileSystem* fs, const std::string& path,
   PDT_RETURN_NOT_OK(file->Sync());
   PDT_RETURN_NOT_OK(file->Close());
   // The rename is the commit point: readers see the old file or the new
-  // one, never a partial write.
-  return fs->RenameFile(tmp, path);
+  // one, never a partial write. On POSIX the rename itself is not
+  // crash-durable until the parent directory is fsynced — without it, a
+  // power cut can keep later writes (say, the old WAL's deletion) while
+  // losing this rename, leaving the old manifest pointing at files that
+  // no longer exist.
+  PDT_RETURN_NOT_OK(fs->RenameFile(tmp, path));
+  return fs->SyncDir(DirnameOf(path));
 }
 
 Status WriteManifest(FileSystem* fs, const std::string& dir,

@@ -87,9 +87,31 @@ StatusOr<std::unique_ptr<Database>> Database::Open(const std::string& dir,
     }
   }
 
+  // A manifest from epoch > 0 was written by Save(), which creates and
+  // fsyncs the segment *and its directory entry* before the manifest
+  // rename commits. If that segment is now missing, directory state from
+  // before the checkpoint leaked through the crash (or someone deleted
+  // the log): treating it as an empty log would silently drop every
+  // commit since the checkpoint, so refuse instead. Epoch 0 is exempt —
+  // a fresh database writes its manifest before the segment exists.
+  const std::string wal_path = db->PathOf(db->manifest_.wal_file);
+  if (db->manifest_.epoch > 0) {
+    auto wal_exists = fs->FileExists(wal_path);
+    if (!wal_exists.ok()) {
+      db->Degrade(wal_exists.status());
+      return db;
+    }
+    if (!*wal_exists) {
+      db->Degrade(Status::Corruption("manifest epoch " +
+                                     std::to_string(db->manifest_.epoch) +
+                                     " names missing WAL segment " +
+                                     db->manifest_.wal_file));
+      return db;
+    }
+  }
   // Recover the WAL: accept the committed prefix, truncate a torn tail,
   // refuse mid-log corruption.
-  auto stats = db->wal_->RecoverFrom(fs, db->PathOf(db->manifest_.wal_file));
+  auto stats = db->wal_->RecoverFrom(fs, wal_path);
   if (!stats.ok()) {
     db->Degrade(stats.status());
     return db;
@@ -105,14 +127,20 @@ StatusOr<std::unique_ptr<Database>> Database::Open(const std::string& dir,
     }
   }
   // Attach the durable sink; new commits append after the replayed
-  // frames in the same segment.
-  auto writer =
-      WalWriter::Open(fs, db->PathOf(db->manifest_.wal_file), false);
+  // frames in the same segment. Opening may have just created the
+  // epoch-0 segment, so pin its directory entry down too.
+  auto writer = WalWriter::Open(fs, wal_path, false);
   if (!writer.ok()) {
     db->Degrade(writer.status());
     return db;
   }
+  Status dir_st = fs->SyncDir(dir);
+  if (!dir_st.ok()) {
+    db->Degrade(dir_st);
+    return db;
+  }
   db->wal_writer_ = std::move(*writer);
+  db->wal_->SetWriter(db->wal_writer_.get());
   db->wal_->MarkAllFlushed();
   return db;
 }
@@ -122,6 +150,13 @@ Status Database::Save() {
     return Status::InvalidArgument("Save() requires a database dir");
   }
   if (read_only_) return recovery_status_;
+  // Deliberately no wal_->health() check: a poisoned log means some
+  // acknowledgements could not be issued, but the updates themselves are
+  // applied in memory. Save writes fresh files and commits them with the
+  // manifest rename, so a successful Save re-establishes durability —
+  // any applied-but-unacknowledged commit then survives reopen, which is
+  // the commit-prefix contract's "ack lost" case (a commit may prove
+  // durable even though its caller saw an error).
   // Quiesce: fold every Write-PDT into its table (refuses if any
   // transactions are still active).
   for (auto& [name, mgr] : managers_) {
@@ -157,6 +192,10 @@ Status Database::Save() {
   PDT_ASSIGN_OR_RETURN(auto new_writer,
                        WalWriter::Open(fs_, PathOf(next.wal_file), true));
   PDT_RETURN_NOT_OK(new_writer->Sync());
+  // The new segment's directory entry must be durable BEFORE the
+  // manifest can name it — otherwise a crash after the manifest rename
+  // could recover an epoch whose WAL vanished with the unsynced entry.
+  PDT_RETURN_NOT_OK(fs_->SyncDir(dir_));
   // THE COMMIT POINT: after this rename the new checkpoint is the
   // database; before it, the old manifest + old WAL still are.
   PDT_RETURN_NOT_OK(WriteManifest(fs_, dir_, next));
@@ -165,6 +204,7 @@ Status Database::Save() {
   manifest_ = std::move(next);
   wal_->Truncate();
   wal_writer_ = std::move(new_writer);
+  wal_->SetWriter(wal_writer_.get());
   for (auto& [name, mgr] : managers_) {
     mgr->SetWalWriter(wal_writer_.get());
   }

@@ -48,15 +48,9 @@ Status GetVarint64(const std::string& in, size_t* pos, uint64_t* v) {
 
 namespace {
 
-void PutFixed64(std::string* out, uint64_t v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out->append(buf, 8);
-}
-
 Status GetFixed64(const std::string& in, size_t* pos, uint64_t* v) {
   if (*pos + 8 > in.size()) return Status::Corruption("truncated fixed64");
-  std::memcpy(v, in.data() + *pos, 8);
+  *v = DecodeFixed64(in.data() + *pos);
   *pos += 8;
   return Status::OK();
 }

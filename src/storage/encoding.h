@@ -38,6 +38,40 @@ Status DecodeColumn(const std::string& bytes, TypeId type, Encoding encoding,
 /// dict; otherwise plain. With `compression_enabled == false` always plain.
 Encoding ChooseEncoding(const ColumnVector& col, bool compression_enabled);
 
+// --- fixed-width helpers (exposed for the WAL and checkpoint formats) ---
+// All fixed-width on-disk integers are explicit little-endian, so WAL
+// segments, MANIFESTs and table images mean the same bytes on every
+// host. The byte-shift codecs compile to single loads/stores on LE.
+
+inline void PutFixed32(std::string* out, uint32_t v) {
+  const char buf[4] = {
+      static_cast<char>(v), static_cast<char>(v >> 8),
+      static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* out, uint64_t v) {
+  const char buf[8] = {
+      static_cast<char>(v),       static_cast<char>(v >> 8),
+      static_cast<char>(v >> 16), static_cast<char>(v >> 24),
+      static_cast<char>(v >> 32), static_cast<char>(v >> 40),
+      static_cast<char>(v >> 48), static_cast<char>(v >> 56)};
+  out->append(buf, 8);
+}
+
+/// Reads a little-endian u32/u64 at `p` (caller checks bounds).
+inline uint32_t DecodeFixed32(const char* p) {
+  const uint8_t* b = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  return static_cast<uint64_t>(DecodeFixed32(p)) |
+         (static_cast<uint64_t>(DecodeFixed32(p + 4)) << 32);
+}
+
 // --- varint helpers (exposed for tests and the WAL) ---
 
 /// Appends an unsigned LEB128 varint.

@@ -285,8 +285,12 @@ void TxnManager::SetWalWriter(WalWriter* writer) {
   // The durability watermark itself lives in the (possibly shared) Wal
   // and is established by whoever loaded or truncated it (RecoverFrom,
   // Truncate, MarkAllFlushed) — resetting it here could falsely mark
-  // another manager's in-flight commit durable.
+  // another manager's in-flight commit durable. The writer pointer also
+  // lives in the Wal (shared by every manager on this log, and kept
+  // stable under in-flight flushes); writer_ here only records that
+  // this manager commits durably.
   writer_ = writer;
+  if (wal_ != nullptr) wal_->SetWriter(writer);
 }
 
 Status TxnManager::wal_status() const {
@@ -294,7 +298,7 @@ Status TxnManager::wal_status() const {
 }
 
 Status TxnManager::SyncWal(uint64_t upto) {
-  return wal_->SyncTo(writer_, upto);
+  return wal_->SyncTo(upto);
 }
 
 Status TxnManager::CommitLocked(Transaction* txn, uint64_t* durable_upto) {
@@ -347,7 +351,7 @@ Status TxnManager::CommitLocked(Transaction* txn, uint64_t* durable_upto) {
         // Per-commit durability: flush and fsync this commit's frames
         // before acknowledging, still under the commit lock — every
         // commit pays its own fsync (the ablation baseline).
-        Status st = wal_->SyncTo(writer_, wal_->SizeBytes());
+        Status st = wal_->SyncTo(wal_->SizeBytes());
         if (!st.ok()) {
           // Not durable: fail the commit without applying it in memory
           // (the WAL health is already poisoned).

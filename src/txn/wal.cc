@@ -158,30 +158,8 @@ Status DecodePayload(const std::string& payload, WalRecord* r) {
 
 constexpr size_t kFrameHeader = 16;         // u32 len + u32 crc + u64 lsn
 constexpr uint32_t kMaxFrameLen = 1u << 30;  // sanity bound on corrupt lens
-
-void PutFixed32(std::string* out, uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
-  out->append(buf, 4);
-}
-
-void PutFixed64(std::string* out, uint64_t v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out->append(buf, 8);
-}
-
-uint32_t GetFixed32(const char* p) {
-  uint32_t v;
-  std::memcpy(&v, p, 4);
-  return v;
-}
-
-uint64_t GetFixed64(const char* p) {
-  uint64_t v;
-  std::memcpy(&v, p, 8);
-  return v;
-}
+// Fixed-width frame fields use the explicit little-endian codecs from
+// storage/encoding.h, so a segment reads identically on any host.
 
 /// Walks the framed stream, calling `fn` per intact record. With
 /// `tolerate_tail`, a torn final frame stops the scan cleanly
@@ -196,12 +174,12 @@ uint64_t GetFixed64(const char* p) {
 // before a CRC is ever computed).
 bool ValidFrameAfter(const std::string& buffer, size_t from) {
   for (size_t q = from; q + kFrameHeader <= buffer.size(); ++q) {
-    if (GetFixed64(buffer.data() + q + 8) != q) continue;
-    const uint32_t len = GetFixed32(buffer.data() + q);
+    if (DecodeFixed64(buffer.data() + q + 8) != q) continue;
+    const uint32_t len = DecodeFixed32(buffer.data() + q);
     if (len > kMaxFrameLen || len > buffer.size() - q - kFrameHeader) {
       continue;
     }
-    const uint32_t crc = GetFixed32(buffer.data() + q + 4);
+    const uint32_t crc = DecodeFixed32(buffer.data() + q + 4);
     if (Crc32c(buffer.data() + q + 8, 8 + len) == crc) return true;
   }
   return false;
@@ -220,15 +198,15 @@ Status ScanFrames(const std::string& buffer, bool tolerate_tail,
       torn = true;
       torn_reason = "truncated WAL frame header";
     } else {
-      const uint32_t len = GetFixed32(buffer.data() + pos);
+      const uint32_t len = DecodeFixed32(buffer.data() + pos);
       if (len > kMaxFrameLen || len > remaining - kFrameHeader) {
         // A torn header often reads as a garbage length; only a frame
         // overshooting the end of the log can be a tail.
         torn = true;
         torn_reason = "truncated WAL frame body";
       } else {
-        const uint32_t crc = GetFixed32(buffer.data() + pos + 4);
-        const uint64_t lsn = GetFixed64(buffer.data() + pos + 8);
+        const uint32_t crc = DecodeFixed32(buffer.data() + pos + 4);
+        const uint64_t lsn = DecodeFixed64(buffer.data() + pos + 8);
         const uint32_t actual =
             Crc32c(buffer.data() + pos + 8, 8 + len);  // lsn || payload
         if (actual != crc) {
@@ -392,8 +370,16 @@ Status Wal::Replay(const std::function<Status(const WalRecord&)>& fn) const {
 }
 
 void Wal::Truncate() {
+  std::unique_lock<std::mutex> flush_lock(flush_mu_);
+  // Drain: a committer may still be waiting (or flushing) for an offset
+  // in the log we are about to erase. Truncating under it would strand
+  // its wait on an offset durable_bytes_ can never reach again (a
+  // busy-spin) and would let the caller swap the writer out from under
+  // the leader's flush. Waiters always progress on their own (one of
+  // them is or becomes the leader), so this terminates.
+  flush_cv_.wait(flush_lock,
+                 [this] { return sync_waiters_ == 0 && !flushing_; });
   std::lock_guard<std::mutex> lock(mu_);
-  std::lock_guard<std::mutex> flush_lock(flush_mu_);
   buffer_.clear();
   record_count_ = 0;
   flushed_bytes_ = 0;
@@ -410,8 +396,8 @@ std::string Wal::TakeUnflushed(uint64_t* end_offset) {
 }
 
 void Wal::MarkAllFlushed() {
-  std::lock_guard<std::mutex> lock(mu_);
   std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   flushed_bytes_ = buffer_.size();
   durable_bytes_ = buffer_.size();
   health_ = Status::OK();
@@ -437,19 +423,52 @@ Status Wal::health() const {
   return health_;
 }
 
-Status Wal::SyncTo(WalWriter* writer, uint64_t upto) {
+void Wal::SetWriter(WalWriter* writer) {
   std::unique_lock<std::mutex> lock(flush_mu_);
+  // Never swap the sink while a leader is appending through it.
+  flush_cv_.wait(lock, [this] { return !flushing_; });
+  writer_ = writer;
+}
+
+bool Wal::has_writer() const {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  return writer_ != nullptr;
+}
+
+Status Wal::SyncTo(uint64_t upto) {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  ++sync_waiters_;
+  Status result = Status::OK();
   for (;;) {
-    if (!health_.ok()) return health_;
-    if (durable_bytes_ >= upto) return Status::OK();
+    if (!health_.ok()) {
+      result = health_;
+      break;
+    }
+    if (durable_bytes_ >= upto) break;
+    if (upto > SizeBytes()) {
+      // Offsets only ever grow — unless Truncate() ran since `upto` was
+      // handed out. Truncation is only legal after a durable checkpoint
+      // absorbed every buffered frame, so the records this caller is
+      // waiting on are durable via that checkpoint; returning OK here
+      // (instead of spinning for an offset the log can never reach
+      // again) is the truthful answer.
+      break;
+    }
+    if (writer_ == nullptr) {
+      result = Status::InvalidArgument("no WAL writer attached");
+      break;
+    }
     if (flushing_) {
       // A leader is already at the disk; ride on its fsync.
       flush_cv_.wait(lock);
       continue;
     }
     // Become the leader: flush everything buffered so far, on behalf of
-    // every committer currently waiting.
+    // every committer currently waiting. The writer pointer stays valid
+    // while flushing_ is set (SetWriter waits on it), and Truncate
+    // cannot run under us (it drains sync_waiters_ first).
     flushing_ = true;
+    WalWriter* writer = writer_;
     lock.unlock();
     uint64_t end = 0;
     std::string chunk = TakeUnflushed(&end);
@@ -462,11 +481,24 @@ Status Wal::SyncTo(WalWriter* writer, uint64_t upto) {
     flushing_ = false;
     if (st.ok()) {
       if (end > durable_bytes_) durable_bytes_ = end;
+      if (durable_bytes_ < upto && chunk.empty()) {
+        // Nothing left to flush, no truncation (caught above), and the
+        // target is still ahead: the flush watermark was moved without
+        // durability (e.g. a bare TakeUnflushed). Fail this wait loudly
+        // instead of spinning at 100% CPU; the log itself is healthy.
+        result = Status::Internal(
+            "SyncTo target is beyond the flushable log");
+        flush_cv_.notify_all();
+        break;
+      }
     } else {
       health_ = st;
     }
     flush_cv_.notify_all();
   }
+  --sync_waiters_;
+  if (sync_waiters_ == 0) flush_cv_.notify_all();  // wake a draining Truncate
+  return result;
 }
 
 Status Wal::WriteToFile(const std::string& path, FileSystem* fs) const {
@@ -494,8 +526,8 @@ Status Wal::LoadFromFile(const std::string& path, FileSystem* fs) {
                                  ++count;
                                  return Status::OK();
                                }));
-  std::lock_guard<std::mutex> lock(mu_);
   std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   buffer_ = std::move(bytes);
   record_count_ = count;
   flushed_bytes_ = buffer_.size();
@@ -530,8 +562,8 @@ StatusOr<WalRecoveryStats> Wal::RecoverFrom(FileSystem* fs,
     bytes.resize(valid);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
     std::lock_guard<std::mutex> flush_lock(flush_mu_);
+    std::lock_guard<std::mutex> lock(mu_);
     buffer_ = std::move(bytes);
     record_count_ = count;
     flushed_bytes_ = buffer_.size();

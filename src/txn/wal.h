@@ -124,7 +124,11 @@ class Wal {
   /// with Corruption.
   Status Replay(const std::function<Status(const WalRecord&)>& fn) const;
 
-  /// Drops all records up to the current end (after a checkpoint).
+  /// Drops all records up to the current end. Only legal after every
+  /// buffered record was absorbed into a durable checkpoint. Blocks
+  /// until in-flight SyncTo waits have drained, so no committer is left
+  /// waiting on an offset the truncation erased (and the writer can be
+  /// swapped safely afterwards).
   void Truncate();
 
   /// Persists the whole buffer to a file / restores it (strict — no
@@ -143,13 +147,23 @@ class Wal {
 
   // --- durability (group commit) ---
 
-  /// Blocks until the log is durable through offset `upto` via `writer`:
-  /// the first waiter becomes the flush leader, appends and fsyncs the
-  /// whole unflushed suffix once, and every committer waiting at that
-  /// moment rides on the same fsync. A flush or fsync failure is sticky
-  /// (see health()): once durability cannot be promised, every later
-  /// SyncTo fails with the same status.
-  Status SyncTo(WalWriter* writer, uint64_t upto);
+  /// Attaches (or swaps) the durable sink SyncTo flushes through. The
+  /// writer lives here, not in the per-table managers, so a swap cannot
+  /// race an in-flight flush: SetWriter blocks until no flush is using
+  /// the old writer. Call with the log quiet or freshly truncated.
+  void SetWriter(WalWriter* writer);
+  bool has_writer() const;
+
+  /// Blocks until the log is durable through offset `upto`: the first
+  /// waiter becomes the flush leader, appends and fsyncs the whole
+  /// unflushed suffix once, and every committer waiting at that moment
+  /// rides on the same fsync. A flush or fsync failure is sticky (see
+  /// health()): once durability cannot be promised, every later SyncTo
+  /// fails with the same status. If the log was truncated after `upto`
+  /// was handed out (a checkpoint absorbed those frames and committed
+  /// durably before dropping them), SyncTo returns OK — the records are
+  /// durable via the checkpoint, not this segment's fsync.
+  Status SyncTo(uint64_t upto);
 
   /// The sticky durability status: OK until a flush or fsync failed.
   Status health() const;
@@ -176,13 +190,16 @@ class Wal {
   uint64_t flushed_bytes_ = 0;
 
   // Durability state, under its own lock so committers can wait for an
-  // fsync without stalling appends. Lock order: mu_ before flush_mu_;
-  // the flush leader drops flush_mu_ before taking mu_ to grab the
-  // unflushed suffix, so it never holds both.
+  // fsync without stalling appends. Lock order: flush_mu_ before mu_
+  // (quiet-point ops hold both); the flush leader drops flush_mu_
+  // before taking mu_ to grab the unflushed suffix, so it never holds
+  // both, and Append takes only mu_.
   mutable std::mutex flush_mu_;
   std::condition_variable flush_cv_;
+  WalWriter* writer_ = nullptr;  ///< stable while flushing_ is set
   uint64_t durable_bytes_ = 0;
   bool flushing_ = false;
+  size_t sync_waiters_ = 0;  ///< SyncTo calls in flight (Truncate drains)
   Status health_ = Status::OK();
 };
 

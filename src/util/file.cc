@@ -1,14 +1,23 @@
 #include "util/file.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 namespace pdtstore {
+
+std::string DirnameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
 
 namespace {
 
@@ -104,6 +113,14 @@ class PosixFileSystem : public FileSystem {
     if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
       return ErrnoStatus("truncate", path);
     }
+    // The new length is file metadata: fsync the file so a crash cannot
+    // resurrect the cut-off bytes (recovery appends at this offset, and
+    // a resurrected tail would shift every later frame off its LSN).
+    int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) return ErrnoStatus("open-for-fsync", path);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync", path);
     return Status::OK();
   }
 
@@ -119,6 +136,15 @@ class PosixFileSystem : public FileSystem {
       return Status::OK();
     }
     return ErrnoStatus("mkdir", path);
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus("open-dir", path);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync-dir", path);
+    return Status::OK();
   }
 };
 
@@ -171,13 +197,16 @@ class FaultInjectingFile : public WritableFile {
     }
     uint64_t budget = fs_->crash_after_bytes_;
     if (budget != FaultInjectingFs::kNoFault && pending_.size() > budget) {
-      // The machine dies mid-write: persist the prefix (torn write).
+      // The machine dies mid-write: persist the prefix (torn write),
+      // then lose every directory entry that was never SyncDir'ed —
+      // including, possibly, this very file's name.
       std::string_view torn(pending_.data(), static_cast<size_t>(budget));
       (void)base_->Append(torn);
       (void)base_->Sync();
       fs_->bytes_persisted_ += budget;
       fs_->crashed_ = true;
       pending_.clear();
+      fs_->LoseUnsyncedDirOpsLocked();
       return Status::IOError("injected crash (torn write)");
     }
     PDT_RETURN_NOT_OK(base_->Append(pending_));
@@ -228,13 +257,57 @@ Status FaultInjectingFs::CheckAliveLocked() const {
   return Status::OK();
 }
 
+void FaultInjectingFs::RestoreFile(const std::string& path,
+                                   const std::string& contents) {
+  auto f = base_->NewWritableFile(path, /*truncate=*/true);
+  if (!f.ok()) return;
+  (void)(*f)->Append(contents);
+  (void)(*f)->Sync();
+  (void)(*f)->Close();
+}
+
+void FaultInjectingFs::LoseUnsyncedDirOpsLocked() {
+  // Newest-first, so chained ops (create tmp, rename tmp -> target)
+  // unwind in order. Undo is best-effort against the base fs.
+  for (auto it = pending_dir_ops_.rbegin(); it != pending_dir_ops_.rend();
+       ++it) {
+    switch (it->kind) {
+      case PendingDirOp::kCreate:
+        (void)base_->DeleteFile(it->path);
+        break;
+      case PendingDirOp::kRename:
+        if (it->path_existed) {
+          RestoreFile(it->path, it->saved_path);
+        } else {
+          (void)base_->DeleteFile(it->path);
+        }
+        RestoreFile(it->from, it->saved_from);
+        break;
+      case PendingDirOp::kDelete:
+        RestoreFile(it->path, it->saved_path);
+        break;
+    }
+  }
+  pending_dir_ops_.clear();
+}
+
 StatusOr<std::unique_ptr<WritableFile>> FaultInjectingFs::NewWritableFile(
     const std::string& path, bool truncate) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    PDT_RETURN_NOT_OK(CheckAliveLocked());
-  }
+  std::lock_guard<std::mutex> lock(mu_);
+  PDT_RETURN_NOT_OK(CheckAliveLocked());
+  PDT_ASSIGN_OR_RETURN(bool existed, base_->FileExists(path));
   PDT_ASSIGN_OR_RETURN(auto base, base_->NewWritableFile(path, truncate));
+  if (!existed) {
+    // A brand-new name is a directory entry: until SyncDir on the
+    // parent, a crash erases it — even if the file's *bytes* were
+    // fsynced. (Opening an existing file, truncating or appending,
+    // touches only the inode; file Sync covers that.)
+    PendingDirOp op;
+    op.kind = PendingDirOp::kCreate;
+    op.dir = DirnameOf(path);
+    op.path = path;
+    pending_dir_ops_.push_back(std::move(op));
+  }
   return std::unique_ptr<WritableFile>(
       std::make_unique<FaultInjectingFile>(this, std::move(base)));
 }
@@ -250,29 +323,51 @@ Status FaultInjectingFs::ReadFileToString(const std::string& path,
 
 Status FaultInjectingFs::RenameFile(const std::string& from,
                                     const std::string& to) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    PDT_RETURN_NOT_OK(CheckAliveLocked());
-    if (crash_at_rename_ > 0 && --crash_at_rename_ == 0) {
-      crashed_ = true;
-      if (rename_crash_where_ == RenameCrash::kBefore) {
-        return Status::IOError("injected crash (before rename)");
-      }
-      // Apply the rename, then die: the commit took effect but the
-      // caller never learns of it.
-      (void)base_->RenameFile(from, to);
-      return Status::IOError("injected crash (after rename)");
+  std::lock_guard<std::mutex> lock(mu_);
+  PDT_RETURN_NOT_OK(CheckAliveLocked());
+  if (crash_at_rename_ > 0 && --crash_at_rename_ == 0) {
+    crashed_ = true;
+    if (rename_crash_where_ == RenameCrash::kBefore) {
+      // The machine dies with the rename never issued; everything else
+      // still unsynced dies with it.
+      LoseUnsyncedDirOpsLocked();
+      return Status::IOError("injected crash (before rename)");
     }
+    // kAfter: this rename reached disk (by definition of the fault),
+    // but the caller never learns of it — and every *other* unsynced
+    // entry change is still lost (the rollback tolerates the source
+    // file having been renamed away).
+    (void)base_->RenameFile(from, to);
+    LoseUnsyncedDirOpsLocked();
+    return Status::IOError("injected crash (after rename)");
   }
-  return base_->RenameFile(from, to);
+  // Save both sides for rollback before the live view changes.
+  PendingDirOp op;
+  op.kind = PendingDirOp::kRename;
+  op.dir = DirnameOf(to);
+  op.path = to;
+  op.from = from;
+  PDT_ASSIGN_OR_RETURN(op.path_existed, base_->FileExists(to));
+  if (op.path_existed) {
+    PDT_RETURN_NOT_OK(base_->ReadFileToString(to, &op.saved_path));
+  }
+  PDT_RETURN_NOT_OK(base_->ReadFileToString(from, &op.saved_from));
+  PDT_RETURN_NOT_OK(base_->RenameFile(from, to));
+  pending_dir_ops_.push_back(std::move(op));
+  return Status::OK();
 }
 
 Status FaultInjectingFs::DeleteFile(const std::string& path) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    PDT_RETURN_NOT_OK(CheckAliveLocked());
-  }
-  return base_->DeleteFile(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  PDT_RETURN_NOT_OK(CheckAliveLocked());
+  PendingDirOp op;
+  op.kind = PendingDirOp::kDelete;
+  op.dir = DirnameOf(path);
+  op.path = path;
+  PDT_RETURN_NOT_OK(base_->ReadFileToString(path, &op.saved_path));
+  PDT_RETURN_NOT_OK(base_->DeleteFile(path));
+  pending_dir_ops_.push_back(std::move(op));
+  return Status::OK();
 }
 
 Status FaultInjectingFs::TruncateFile(const std::string& path,
@@ -298,6 +393,19 @@ Status FaultInjectingFs::CreateDir(const std::string& path) {
     PDT_RETURN_NOT_OK(CheckAliveLocked());
   }
   return base_->CreateDir(path);
+}
+
+Status FaultInjectingFs::SyncDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PDT_RETURN_NOT_OK(CheckAliveLocked());
+  // Every journaled entry change under this directory is now durable.
+  pending_dir_ops_.erase(
+      std::remove_if(pending_dir_ops_.begin(), pending_dir_ops_.end(),
+                     [&path](const PendingDirOp& op) {
+                       return op.dir == path;
+                     }),
+      pending_dir_ops_.end());
+  return base_->SyncDir(path);
 }
 
 }  // namespace pdtstore

@@ -13,7 +13,10 @@
 // The durability contract every caller relies on: bytes are guaranteed
 // on disk only after a successful Sync(); RenameFile atomically replaces
 // the target (either the old or the new file survives a crash, never a
-// mixture); nothing else is promised.
+// mixture); a *directory entry* change (a file created, renamed over, or
+// deleted) is guaranteed durable only after SyncDir() on its parent
+// directory — fsyncing a file persists its bytes, not its name; nothing
+// else is promised.
 #ifndef PDTSTORE_UTIL_FILE_H_
 #define PDTSTORE_UTIL_FILE_H_
 
@@ -22,10 +25,15 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.h"
 
 namespace pdtstore {
+
+/// The parent directory of `path` ("." when it has no slash). Used to
+/// pick the SyncDir target after a rename/create/delete.
+std::string DirnameOf(const std::string& path);
 
 /// Sequential output file. Append buffers; Sync is the durability point.
 class WritableFile {
@@ -60,8 +68,16 @@ class FileSystem {
 
   virtual Status DeleteFile(const std::string& path) = 0;
 
-  /// Truncates `path` to `size` bytes (used to drop a torn WAL tail).
+  /// Truncates `path` to `size` bytes (used to drop a torn WAL tail)
+  /// and makes the truncation durable (it is file metadata, so the file
+  /// itself is fsynced; no SyncDir needed).
   virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Fsyncs the directory itself, making every entry change inside it
+  /// (created / renamed / deleted files) durable. The second half of the
+  /// checkpoint commit protocol: RenameFile orders the swap, SyncDir
+  /// persists it.
+  virtual Status SyncDir(const std::string& path) = 0;
 
   virtual StatusOr<bool> FileExists(const std::string& path) = 0;
 
@@ -97,6 +113,16 @@ enum class RenameCrash {
 /// Because appended bytes only reach the base file system through
 /// Sync()/Close(), the surviving directory contents are exactly what a
 /// real crash could leave behind under the contract above.
+///
+/// Directory entries are modeled too: a create, rename or delete is
+/// visible immediately (the live OS view) but journaled as *unsynced*
+/// until SyncDir() runs on its parent directory; a crash rolls every
+/// still-unsynced entry change back — the file reappears, the rename
+/// reverts, the created file vanishes (even if its *bytes* were
+/// fsynced: fsyncing a file does not persist its name). A durable-paths
+/// bug that skips SyncDir therefore loses data under this fs just as it
+/// would on real POSIX. The one exception is a RenameCrash::kAfter
+/// rename, which by definition reached disk before the machine died.
 class FaultInjectingFs : public FileSystem {
  public:
   explicit FaultInjectingFs(FileSystem* base);
@@ -116,16 +142,34 @@ class FaultInjectingFs : public FileSystem {
   Status TruncateFile(const std::string& path, uint64_t size) override;
   StatusOr<bool> FileExists(const std::string& path) override;
   Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
 
  private:
   friend class FaultInjectingFile;
 
+  // One not-yet-SyncDir'ed directory entry change, with enough saved
+  // state to roll it back when the machine dies.
+  struct PendingDirOp {
+    enum Kind { kCreate, kRename, kDelete } kind;
+    std::string dir;         ///< parent directory (the SyncDir target)
+    std::string path;        ///< the affected entry (rename: `to`)
+    std::string from;        ///< rename only: the source entry
+    bool path_existed = false;   ///< did `path` exist before the op
+    std::string saved_path;      ///< prior contents of `path`, if it existed
+    std::string saved_from;      ///< rename only: prior contents of `from`
+  };
+
   Status CheckAliveLocked() const;
+  // Rolls back every journaled (unsynced) directory op, newest first.
+  // Called at crash time; undo goes straight to the base fs.
+  void LoseUnsyncedDirOpsLocked();
+  void RestoreFile(const std::string& path, const std::string& contents);
 
   FileSystem* base_;
   mutable std::mutex mu_;
   bool crashed_ = false;
   uint64_t bytes_persisted_ = 0;
+  std::vector<PendingDirOp> pending_dir_ops_;
   // Active faults; kNoFault = disarmed.
   static constexpr uint64_t kNoFault = ~0ULL;
   uint64_t crash_after_bytes_ = kNoFault;  // remaining persist budget

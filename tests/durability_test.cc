@@ -97,6 +97,9 @@ TEST(FaultInjectingFsTest, CrashAfterBytesTearsTheWrite) {
   ASSERT_TRUE(fs.CreateDir(dir).ok());
   auto f = fs.NewWritableFile(dir + "/f", true);
   ASSERT_TRUE(f.ok());
+  // Pin the new file's directory entry; otherwise the crash legitimately
+  // loses the whole file, not just the torn suffix.
+  ASSERT_TRUE(fs.SyncDir(dir).ok());
   ASSERT_TRUE((*f)->Append("0123456789").ok());
   fs.ScheduleCrashAfterBytes(4);
   EXPECT_FALSE((*f)->Sync().ok());
@@ -142,6 +145,7 @@ TEST(FaultInjectingFsTest, RenameCrashBeforeLeavesTargetUntouched) {
   };
   write(dir + "/old", "old");
   write(dir + "/new", "new");
+  ASSERT_TRUE(fs.SyncDir(dir).ok());  // setup entries are durable
   fs.ScheduleCrashAtRename(1, RenameCrash::kBefore);
   EXPECT_FALSE(fs.RenameFile(dir + "/new", dir + "/old").ok());
   EXPECT_TRUE(fs.crashed());
@@ -164,6 +168,7 @@ TEST(FaultInjectingFsTest, RenameCrashAfterAppliesTheRenameFirst) {
   };
   write(dir + "/old", "old");
   write(dir + "/new", "new");
+  ASSERT_TRUE(fs.SyncDir(dir).ok());  // setup entries are durable
   fs.ScheduleCrashAtRename(1, RenameCrash::kAfter);
   // The caller never learns the rename happened — the classic
   // committed-but-unacknowledged window.
@@ -172,6 +177,100 @@ TEST(FaultInjectingFsTest, RenameCrashAfterAppliesTheRenameFirst) {
   ASSERT_TRUE(
       FileSystem::Default()->ReadFileToString(dir + "/old", &got).ok());
   EXPECT_EQ(got, "new");
+}
+
+TEST(FaultInjectingFsTest, UnsyncedDirectoryEntriesAreLostAtCrash) {
+  std::string dir = FreshDir("fi_direntry");
+  FaultInjectingFs fs(FileSystem::Default());
+  ASSERT_TRUE(fs.CreateDir(dir).ok());
+  auto write = [&](const std::string& p, const std::string& s) {
+    auto f = fs.NewWritableFile(p, true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(s).ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  };
+  // "kept" gets its directory entry fsynced; "lost" only gets a file
+  // fsync, which persists bytes + inode but not the entry naming them.
+  write(dir + "/kept", "kept");
+  ASSERT_TRUE(fs.SyncDir(dir).ok());
+  write(dir + "/lost", "lost");
+  // Power cut mid-write elsewhere: every unsynced directory op rolls
+  // back with it.
+  auto f = fs.NewWritableFile(dir + "/probe", true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("xy").ok());
+  fs.ScheduleCrashAfterBytes(1);
+  EXPECT_FALSE((*f)->Sync().ok());
+  EXPECT_TRUE(fs.crashed());
+  std::string got;
+  EXPECT_TRUE(
+      FileSystem::Default()->ReadFileToString(dir + "/kept", &got).ok());
+  EXPECT_EQ(got, "kept");
+  auto lost = FileSystem::Default()->FileExists(dir + "/lost");
+  ASSERT_TRUE(lost.ok());
+  EXPECT_FALSE(*lost);
+  auto probe = FileSystem::Default()->FileExists(dir + "/probe");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(*probe);
+}
+
+TEST(FaultInjectingFsTest, UnsyncedRenameRollsBackAtCrash) {
+  std::string dir = FreshDir("fi_ren_unsynced");
+  FaultInjectingFs fs(FileSystem::Default());
+  ASSERT_TRUE(fs.CreateDir(dir).ok());
+  auto write = [&](const std::string& p, const std::string& s) {
+    auto f = fs.NewWritableFile(p, true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(s).ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  };
+  write(dir + "/src", "new");
+  write(dir + "/dst", "old");
+  ASSERT_TRUE(fs.SyncDir(dir).ok());
+  // The rename succeeds but its directory entry is never fsynced: a
+  // crash reverts it, resurrecting the replaced target. This is exactly
+  // the failure a manifest commit without SyncDir would hit.
+  ASSERT_TRUE(fs.RenameFile(dir + "/src", dir + "/dst").ok());
+  auto f = fs.NewWritableFile(dir + "/probe", true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("xy").ok());
+  fs.ScheduleCrashAfterBytes(1);
+  EXPECT_FALSE((*f)->Sync().ok());
+  std::string got;
+  ASSERT_TRUE(
+      FileSystem::Default()->ReadFileToString(dir + "/dst", &got).ok());
+  EXPECT_EQ(got, "old");
+  ASSERT_TRUE(
+      FileSystem::Default()->ReadFileToString(dir + "/src", &got).ok());
+  EXPECT_EQ(got, "new");
+}
+
+TEST(FaultInjectingFsTest, SyncDirMakesRenameCrashDurable) {
+  std::string dir = FreshDir("fi_dirsync_ren");
+  FaultInjectingFs fs(FileSystem::Default());
+  ASSERT_TRUE(fs.CreateDir(dir).ok());
+  auto f = fs.NewWritableFile(dir + "/a", true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("payload").ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+  ASSERT_TRUE((*f)->Close().ok());
+  ASSERT_TRUE(fs.RenameFile(dir + "/a", dir + "/b").ok());
+  ASSERT_TRUE(fs.SyncDir(dir).ok());
+  // Crash after the SyncDir: both the creation and the rename stick.
+  auto g = fs.NewWritableFile(dir + "/probe", true);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE((*g)->Append("xy").ok());
+  fs.ScheduleCrashAfterBytes(1);
+  EXPECT_FALSE((*g)->Sync().ok());
+  std::string got;
+  EXPECT_TRUE(
+      FileSystem::Default()->ReadFileToString(dir + "/b", &got).ok());
+  EXPECT_EQ(got, "payload");
+  auto a = FileSystem::Default()->FileExists(dir + "/a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(*a);
 }
 
 // ---------------------------------------------------------------------
@@ -561,6 +660,97 @@ TEST(DatabaseDurabilityTest, GroupCommitAcknowledgedCommitsSurviveReopen) {
   ASSERT_TRUE(table.ok());
   EXPECT_EQ(TableRows(*table).size(),
             static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(DatabaseDurabilityTest, MissingWalNamedByManifestIsCorruption) {
+  std::string dir = FreshDir("db_missing_wal");
+  std::string wal_file;
+  {
+    auto db = Database::Open(dir);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->CreateTable("inventory", InventorySchema()).ok());
+    ASSERT_TRUE((*db)->Save().ok());  // epoch 1: Save created the WAL
+    ASSERT_TRUE(
+        CommitInsert(db->get(), "inventory", {"Oslo", "bench", "N", 1})
+            .ok());
+  }
+  // Simulate lost directory state: the manifest survived but the WAL
+  // segment it names did not. Treating that as an empty log would
+  // silently drop the committed insert.
+  auto m = ReadManifest(FileSystem::Default(), dir);
+  ASSERT_TRUE(m.ok());
+  ASSERT_GT(m->epoch, 0u);
+  ASSERT_TRUE(
+      FileSystem::Default()->DeleteFile(dir + "/" + m->wal_file).ok());
+  auto db = Database::Open(dir);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->read_only());
+  EXPECT_EQ((*db)->recovery_status().code(), StatusCode::kCorruption)
+      << (*db)->recovery_status().ToString();
+}
+
+TEST(DatabaseDurabilityTest, SaveAfterFsyncFailureRestoresDurability) {
+  std::string dir = FreshDir("db_save_after_failsync");
+  FaultInjectingFs fs(FileSystem::Default());
+  DatabaseOptions opts;
+  opts.fs = &fs;
+  opts.txn_defaults.group_commit = true;
+  {
+    auto db = Database::Open(dir, opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->CreateTable("inventory", InventorySchema()).ok());
+    ASSERT_TRUE(
+        CommitInsert(db->get(), "inventory", {"Oslo", "bench", "N", 1})
+            .ok());
+    // Group commit applies the transaction in memory under the commit
+    // lock and syncs afterwards: a failed fsync loses only the ack.
+    fs.FailNextSync();
+    EXPECT_FALSE(
+        CommitInsert(db->get(), "inventory", {"Bergen", "rack", "Y", 3})
+            .ok());
+    auto mgr = (*db)->Txn("inventory");
+    ASSERT_TRUE(mgr.ok());
+    EXPECT_FALSE((*mgr)->wal_status().ok());  // log is poisoned
+    // Save must still be possible: it writes fresh files and its
+    // manifest rename re-establishes durability for everything applied,
+    // including the unacknowledged commit (the "ack lost" case).
+    ASSERT_TRUE((*db)->Save().ok());
+    EXPECT_TRUE((*mgr)->wal_status().ok());
+    // And the fresh segment accepts new commits again.
+    ASSERT_TRUE(
+        CommitInsert(db->get(), "inventory", {"Tromso", "bin", "N", 2})
+            .ok());
+  }
+  auto db = Database::Open(dir);
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE((*db)->read_only()) << (*db)->recovery_status().ToString();
+  auto table = (*db)->GetTable("inventory");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(TableRows(*table).size(), 3u);
+}
+
+TEST(WalSyncToTest, StaleOffsetAfterTruncateReturnsOkInsteadOfSpinning) {
+  std::string dir = FreshDir("wal_stale_syncto");
+  FileSystem* fs = FileSystem::Default();
+  ASSERT_TRUE(fs->CreateDir(dir).ok());
+  auto writer = WalWriter::Open(fs, dir + "/wal", true);
+  ASSERT_TRUE(writer.ok());
+  Wal wal;
+  wal.SetWriter(writer->get());
+  wal.LogBegin(1);
+  wal.LogCommit(1);
+  const uint64_t upto = wal.SizeBytes();
+  ASSERT_GT(upto, 0u);
+  // A checkpoint absorbed the log and truncated it while a committer
+  // still held this offset. The records are durable via the checkpoint:
+  // SyncTo must acknowledge, not busy-wait for bytes that will never
+  // exist again.
+  wal.Truncate();
+  EXPECT_TRUE(wal.SyncTo(upto).ok());
+  // A fresh append still flushes through the writer normally.
+  wal.LogBegin(2);
+  wal.LogCommit(2);
+  EXPECT_TRUE(wal.SyncTo(wal.SizeBytes()).ok());
 }
 
 TEST(DatabaseDurabilityTest, FreshDirectoryIsImmediatelyReopenable) {
