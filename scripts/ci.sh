@@ -60,6 +60,29 @@ echo "== bench smoke (tiny sizes) =="
 "$BUILD_DIR/bench_wal_group_commit" --txns=800 --threads=1,4 \
     --json="$BUILD_DIR/BENCH_wal.json"
 
+echo "== bench key check =="
+# The committed BENCH_exec.json is the record of what the exec benches
+# report; a code change must not silently drop an entry (e.g. deleting
+# an ablation while its recorded numbers still look current). Every
+# bench name in the committed artifact must be produced by the current
+# binaries (bench_exec_kernels, plus bench_fig17's parallel_merge_scan
+# entry that gets merged in).
+produced="$( { grep -o '"name": "[^"]*"' "$BUILD_DIR/BENCH_exec_smoke.json" || true;
+               grep -o '"name": "[^"]*"' "$BUILD_DIR/BENCH_fig17_smoke.json" || true; } \
+             | sed -E 's/"name": "([^"]*)"/\1/' | sort -u)"
+keys_ok=1
+while IFS= read -r name; do
+  [[ -z "$name" ]] && continue
+  if ! grep -qxF "$name" <<<"$produced"; then
+    echo "bench key check FAILED: committed BENCH_exec.json entry '$name'" \
+         "is no longer produced by the benches"
+    keys_ok=0
+  fi
+done <<<"$(grep -o '"name": "[^"]*"' BENCH_exec.json \
+             | sed -E 's/"name": "([^"]*)"/\1/' | sort -u)"
+[[ "$keys_ok" == 1 ]] || exit 1
+echo "bench keys OK"
+
 # Differential-fuzz provenance: the ctest stage above already ran the
 # fixed-seed smoke batch (differential_fuzz_test's default iterations);
 # the TSan stage below runs a longer batch from FUZZ_SEED. Record the
@@ -116,10 +139,15 @@ if [[ "${PDTSTORE_SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=address" \
       -DPDTSTORE_BUILD_BENCHES=OFF -DPDTSTORE_BUILD_EXAMPLES=OFF
+  # The compressed-execution suite also runs here: borrowed spans over
+  # pool-owned chunk memory and dictionary-code reads are exactly the
+  # pointer arithmetic ASan exists to check.
   cmake --build "$ASAN_DIR" -j "$(nproc)" \
-      --target wal_test durability_test crash_recovery_fuzz_test
+      --target wal_test durability_test crash_recovery_fuzz_test \
+      compressed_exec_test
   (cd "$ASAN_DIR" && \
-      ctest --output-on-failure -R "wal_test|durability_test")
+      ctest --output-on-failure \
+          -R "wal_test|durability_test|compressed_exec_test")
   (cd "$ASAN_DIR" && \
       PDT_CRASH_SEED="$CRASH_SEED" PDT_CRASH_ITERS="$CRASH_ITERS" \
           ./crash_recovery_fuzz_test)

@@ -109,6 +109,24 @@ class KeepBitmap {
     }
   }
 
+  /// Sets every bit of [begin, end) word-wise (ORs; bits in the range
+  /// must still be zero, same contract as SetTo). The run-at-a-time
+  /// producer path for RLE predicates: one compare per run, then a word
+  /// fill here instead of per-row stores. end <= size().
+  void SetRange(size_t begin, size_t end) {
+    if (begin >= end) return;
+    const size_t wb = begin >> 6, we = (end - 1) >> 6;
+    const uint64_t first = ~uint64_t{0} << (begin & 63);
+    const uint64_t last = TailMask(end);  // low (end & 63) bits, all if 0
+    if (wb == we) {
+      words_[wb] |= first & last;
+      return;
+    }
+    words_[wb] |= first;
+    for (size_t w = wb + 1; w < we; ++w) words_[w] = ~uint64_t{0};
+    words_[we] |= last;
+  }
+
   /// Number of set bits (word-wise popcount).
   size_t CountSet() const {
     size_t n = 0;

@@ -96,8 +96,9 @@ class Database {
   Wal* wal() { return wal_.get(); }
 
   BufferPool* buffer_pool() const { return pool_.get(); }
-  const IoStats& io_stats() const { return pool_->stats(); }
-  void ResetIoStats() { pool_->mutable_stats()->Reset(); }
+  /// Snapshot of the pool's I/O counters (safe mid-scan; see BufferPool).
+  IoStats io_stats() const { return pool_->stats(); }
+  void ResetIoStats() { pool_->ResetStats(); }
   /// Empties the decoded-chunk cache: the next scans run "cold".
   void DropCaches() { pool_->EvictAll(); }
 

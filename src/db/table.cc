@@ -254,6 +254,13 @@ MorselPlan Table::PlanMorsels(std::vector<ColumnId> projection,
   if (bounds != nullptr) {
     ranges = sparse_index_.LookupRange(bounds->lo, bounds->hi);
   }
+  if (!pdt_) {
+    // VDT: zone pruning needs no entry check — the insert map carries
+    // full tuples and its drain is key-fenced, never positional (the
+    // PDT path prunes inside LayeredMorselPlan, entry-checked).
+    ranges = PruneRangesWithZoneMaps(*store_, {}, std::move(ranges),
+                                     scan_opts.zone_filters, projection);
+  }
   if (pdt_) {
     // Serial or morsel-parallel over the single-layer stack — the same
     // shared planning step the transaction scan paths use.

@@ -66,12 +66,23 @@ class FilterNode : public BatchSource {
 // are packed into one register and stored with a single write, so the
 // inner loops carry no per-row branches or byte stores.
 
+// On compressed-execution columns the helpers evaluate directly on the
+// encoded form: RLE-sidecar columns test one value per run and word-fill
+// the kept ranges; dictionary columns resolve string predicates against
+// the (small) dictionary once and test integer codes per row. Plain
+// columns take the classic per-row kernels. Results are identical.
+
 /// col(idx) within [lo, hi] (inclusive; int64 columns).
 VecPredicate Int64Between(size_t idx, int64_t lo, int64_t hi);
 /// col(idx) within [lo, hi) (double columns).
 VecPredicate DoubleInRange(size_t idx, double lo, double hi);
 /// col(idx) == s (string columns).
 VecPredicate StringEquals(size_t idx, std::string s);
+/// fn(col(idx)) for an arbitrary string match (contains/prefix/...). On
+/// dictionary columns fn runs once per distinct entry, not once per row.
+/// fn is shared read-only across workers: it must be pure.
+VecPredicate StringMatch(size_t idx,
+                         std::function<bool(const std::string&)> fn);
 /// Conjunction of predicates (word-wise AND, early-exit on empty).
 VecPredicate And(std::vector<VecPredicate> preds);
 /// Disjunction of predicates (word-wise OR, early-exit on all-set).

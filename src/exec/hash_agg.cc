@@ -156,10 +156,10 @@ Status AggregationState::Absorb(const Batch& in) {
       }
     };
     if (col.type() == TypeId::kInt64) {
-      const int64_t* v = col.ints().data();
+      const int64_t* v = col.ints_data();
       update([v](size_t i) { return static_cast<double>(v[i]); });
     } else {
-      const double* v = col.doubles().data();
+      const double* v = col.doubles_data();
       update([v](size_t i) { return v[i]; });
     }
   }

@@ -76,7 +76,13 @@ bool ResolveMorselPlan(std::vector<SidRange>* ranges, uint64_t table_rows,
         chunk_rows, span, delta_entries, plan->options.num_threads);
   }
   plan->morsels = SplitIntoMorsels(*ranges, plan->options.morsel_rows);
-  if (plan->morsels.empty()) plan->morsels.push_back(SidRange{0, 0});
+  if (plan->morsels.empty()) {
+    // No stable rows to scan (empty table, or zone pruning dropped
+    // everything): keep one empty morsel at the end position so
+    // trailing/pending inserts still have a final morsel to ride with.
+    const Sid end = ranges->empty() ? 0 : ranges->back().end;
+    plan->morsels.push_back(SidRange{end, end});
+  }
   return true;
 }
 

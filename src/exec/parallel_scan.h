@@ -50,6 +50,19 @@ class PipelineOpState;
 /// Also the upper bound of the auto-tuned size (AutoMorselRows).
 constexpr size_t kDefaultMorselRows = 64 * 1024;
 
+/// Pruning-only hint for zone-map chunk skipping: the caller promises
+/// its predicate rejects every row of `col` outside [lo, hi] (both
+/// inclusive, typed like the column). Planning drops chunks whose
+/// min/max metadata proves no overlap (exec/zone_prune.h) — they are
+/// never fetched or decoded, and are charged to the buffer pool's skip
+/// counters instead of its read counters. Hints never replace the real
+/// predicate: the scan output is unchanged, only dead I/O disappears.
+struct ZoneFilter {
+  ColumnId col = 0;
+  Value lo;
+  Value hi;
+};
+
 /// Scan execution knobs, plumbed through Table::Scan and the transaction
 /// scan paths. The default (1 thread) is the unchanged serial scan.
 struct ScanOptions {
@@ -64,6 +77,8 @@ struct ScanOptions {
   size_t morsel_rows = 0;
   /// Rows per batch a worker pulls from its merge cursor.
   size_t batch_rows = kDefaultBatchSize;
+  /// Zone-map pruning hints (see ZoneFilter). Empty = no pruning.
+  std::vector<ZoneFilter> zone_filters;
 };
 
 /// Derives a morsel granularity from the storage chunk size, the scanned

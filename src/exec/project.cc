@@ -24,11 +24,13 @@ ColumnExpr ColumnRef(size_t idx) {
 ColumnExpr Revenue(size_t price_idx, size_t discount_idx) {
   return [price_idx, discount_idx](const Batch& b) {
     ColumnVector out(TypeId::kDouble);
-    const auto& price = b.column(price_idx).doubles();
-    const auto& disc = b.column(discount_idx).doubles();
-    out.doubles().resize(price.size());
-    for (size_t i = 0; i < price.size(); ++i) {
-      out.doubles()[i] = price[i] * (1.0 - disc[i]);
+    const size_t n = b.column(price_idx).size();
+    const double* price = b.column(price_idx).doubles_data();
+    const double* disc = b.column(discount_idx).doubles_data();
+    auto& vals = out.doubles();
+    vals.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = price[i] * (1.0 - disc[i]);
     }
     return out;
   };
@@ -37,12 +39,14 @@ ColumnExpr Revenue(size_t price_idx, size_t discount_idx) {
 ColumnExpr Charge(size_t price_idx, size_t discount_idx, size_t tax_idx) {
   return [price_idx, discount_idx, tax_idx](const Batch& b) {
     ColumnVector out(TypeId::kDouble);
-    const auto& price = b.column(price_idx).doubles();
-    const auto& disc = b.column(discount_idx).doubles();
-    const auto& tax = b.column(tax_idx).doubles();
-    out.doubles().resize(price.size());
-    for (size_t i = 0; i < price.size(); ++i) {
-      out.doubles()[i] = price[i] * (1.0 - disc[i]) * (1.0 + tax[i]);
+    const size_t n = b.column(price_idx).size();
+    const double* price = b.column(price_idx).doubles_data();
+    const double* disc = b.column(discount_idx).doubles_data();
+    const double* tax = b.column(tax_idx).doubles_data();
+    auto& vals = out.doubles();
+    vals.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = price[i] * (1.0 - disc[i]) * (1.0 + tax[i]);
     }
     return out;
   };

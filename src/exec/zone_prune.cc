@@ -1,0 +1,99 @@
+#include "exec/zone_prune.h"
+
+#include <algorithm>
+
+namespace pdtstore {
+
+namespace {
+
+// True if the zone map of chunk `ci` proves no row can satisfy every
+// filter. Conservative: a filter whose type disagrees with the chunk
+// metadata never prunes.
+bool ZoneExcludes(const ColumnStore& store, size_t ci,
+                  const std::vector<ZoneFilter>& filters) {
+  for (const ZoneFilter& f : filters) {
+    if (f.col >= store.schema().num_columns()) continue;
+    const Chunk& meta = store.chunk_meta(f.col, ci);
+    if (meta.row_count == 0) continue;
+    if (meta.min_value.type() != f.lo.type() ||
+        meta.max_value.type() != f.hi.type()) {
+      continue;
+    }
+    if (meta.max_value < f.lo || f.hi < meta.min_value) return true;
+  }
+  return false;
+}
+
+// True if any layer entry maps into stable range [lo, hi). Walking up
+// is only valid while the range is entry-free in every lower layer:
+// the positional shift into the next domain is then the constant
+// prefix delta at `lo`.
+bool LayersTouch(const std::vector<const Pdt*>& layers, uint64_t lo,
+                 uint64_t hi) {
+  for (const Pdt* layer : layers) {
+    if (layer == nullptr || layer->EntryCount() == 0) continue;
+    Pdt::Cursor c = layer->SeekSid(static_cast<Sid>(lo));
+    if (c.Valid() && c.sid() < hi) return true;
+    const int64_t delta = c.delta_before();
+    lo = static_cast<uint64_t>(static_cast<int64_t>(lo) + delta);
+    hi = static_cast<uint64_t>(static_cast<int64_t>(hi) + delta);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<SidRange> PruneRangesWithZoneMaps(
+    const ColumnStore& store, const std::vector<const Pdt*>& layers,
+    std::vector<SidRange> ranges, const std::vector<ZoneFilter>& filters,
+    const std::vector<ColumnId>& projection) {
+  if (filters.empty() || store.num_rows() == 0) return ranges;
+  if (ranges.empty()) ranges.push_back(SidRange{0, store.num_rows()});
+
+  std::vector<SidRange> kept;
+  uint64_t chunks_skipped = 0;
+  uint64_t bytes_skipped = 0;
+  // Inserts at the scan's end position ride as the final morsel's
+  // trailing run (sid == scan_end; the table end for unbounded scans),
+  // so pruning the last segment must also prove that position empty —
+  // interior segment boundaries hand their entries to the next morsel
+  // and need no such guard.
+  const Sid scan_end = ranges.back().end;
+  for (const SidRange& r : ranges) {
+    Sid cur = r.begin;
+    while (cur < r.end) {
+      const size_t ci = store.ChunkIndexForSid(cur);
+      const Sid cend = store.ChunkSidRange(ci).second;
+      const Sid seg_end = std::min<Sid>(r.end, cend);
+      // The zone map speaks for the whole chunk, hence for any
+      // sub-range of it; the entry check only needs the scanned piece.
+      const uint64_t check_end =
+          seg_end == scan_end ? static_cast<uint64_t>(seg_end) + 1
+                              : static_cast<uint64_t>(seg_end);
+      if (ZoneExcludes(store, ci, filters) &&
+          !LayersTouch(layers, cur, check_end)) {
+        chunks_skipped += projection.size();
+        for (ColumnId col : projection) {
+          bytes_skipped += store.chunk_meta(col, ci).DiskBytes();
+        }
+      } else if (!kept.empty() && kept.back().end == cur) {
+        kept.back().end = seg_end;
+      } else {
+        kept.push_back(SidRange{cur, seg_end});
+      }
+      cur = seg_end;
+    }
+  }
+  if (chunks_skipped > 0) {
+    store.buffer_pool()->NoteSkipped(chunks_skipped, bytes_skipped);
+  }
+  if (kept.empty()) {
+    // Everything pruned: an explicit empty range at the scan's end
+    // keeps the plan out of the "empty list = whole table" convention
+    // and still anchors insert emission at the original end position.
+    kept.push_back(SidRange{scan_end, scan_end});
+  }
+  return kept;
+}
+
+}  // namespace pdtstore

@@ -1,0 +1,50 @@
+// Zone-map chunk pruning for morsel planning: drops whole chunk ranges
+// the per-chunk min/max metadata proves cannot satisfy a scan's
+// ZoneFilter hints, so dead chunks are never fetched (or decoded)
+// at all. Pruned chunks are charged to the BufferPool's skip counters,
+// making the saved I/O visible in IoStats.
+//
+// Soundness with differential updates: a PDT layer patches stable rows
+// positionally, so a chunk may only be dropped when *no* layer entry
+// (insert / delete / modify) maps into its SID range — a modify could
+// rewrite the very column the zone map excludes, and an insert is a new
+// tuple the zone map knows nothing about. The check walks the layer
+// stack bottom-up, shifting the range into each layer's domain by the
+// prefix delta of the layers below (the same positional algebra as
+// MakeMorselMergeScan). The scan's final segment additionally guards
+// its end position: inserts parked there (sid == scan end; the table
+// end for unbounded scans) ride as the final morsel's trailing run, so
+// an entry at that position blocks pruning the segment. VDT scans pass
+// an empty layer list — the VDT keys whole tuples (inserts carry full
+// rows, deletes are harmless no-match markers) and its insert drain is
+// key-fenced, independent of stable coverage, so only the zone test
+// applies.
+#ifndef PDTSTORE_EXEC_ZONE_PRUNE_H_
+#define PDTSTORE_EXEC_ZONE_PRUNE_H_
+
+#include <vector>
+
+#include "exec/parallel_scan.h"
+#include "pdt/pdt.h"
+#include "storage/column_store.h"
+
+namespace pdtstore {
+
+/// Removes from `ranges` every chunk-aligned piece whose zone map
+/// disproves all rows against `filters` and which no `layers` entry
+/// touches. `ranges` follows the scan convention (empty = whole table);
+/// the result is never empty — if everything is pruned it is a single
+/// empty range at the scan's original end position, which scans no
+/// stable rows but still anchors trailing-insert emission and stays
+/// clear of the "empty means whole table" convention. Skipped chunks are counted into the store's
+/// BufferPool skip stats with the disk bytes of the `projection`
+/// columns that were never fetched. With no filters, returns `ranges`
+/// unchanged.
+std::vector<SidRange> PruneRangesWithZoneMaps(
+    const ColumnStore& store, const std::vector<const Pdt*>& layers,
+    std::vector<SidRange> ranges, const std::vector<ZoneFilter>& filters,
+    const std::vector<ColumnId>& projection);
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_EXEC_ZONE_PRUNE_H_

@@ -44,7 +44,13 @@ StatusOr<bool> StableScanSource::Next(Batch* out, size_t max_rows) {
   out->set_start_rid(cur_sid_);
   for (size_t i = 0; i < projection_.size(); ++i) {
     PDT_ASSIGN_OR_RETURN(auto data, store_->FetchChunk(projection_[i], ci));
-    out->column(i).AppendRange(*data, cur_sid_ - cstart, end - cstart);
+    // Zero-copy: the batch column becomes a view over the pool's decoded
+    // chunk (pinned by the shared_ptr), instead of memcpy-ing the rows
+    // into per-query storage. Downstream operators that mutate the batch
+    // detach via copy-on-write; pure readers never copy. Batches never
+    // span chunks, so a dictionary chunk's codes stay valid batch-wide.
+    out->column(i).BorrowFrom(std::move(data), cur_sid_ - cstart,
+                              end - cur_sid_);
   }
   cur_sid_ = end;
   return true;
@@ -80,9 +86,13 @@ StatusOr<bool> PdtMergeSource::FillInput(size_t max_rows) {
   if (buf_.start_rid() != in_pos_) {
     // Discontinuity (restricted scan skipped a SID range): re-seek. The
     // cursor's delta_before is the global prefix delta at the new
-    // position, so emitted RIDs remain globally correct.
+    // position, so emitted RIDs remain globally correct. The caller must
+    // flush any rows already gathered before consuming this batch — a
+    // batch's RIDs are contiguous from start_rid, so output assembled
+    // across the jump would hide the gap from the next layer up.
     in_pos_ = buf_.start_rid();
     cursor_ = pdt_->SeekSid(in_pos_);
+    input_jumped_ = true;
   }
   return true;
 }
@@ -119,6 +129,12 @@ StatusOr<bool> PdtMergeSource::Next(Batch* out, size_t max_rows) {
     if (!input_done_ && buf_off_ >= buf_.num_rows()) {
       PDT_ASSIGN_OR_RETURN(bool more, FillInput(max_rows));
       (void)more;
+      if (input_jumped_) {
+        input_jumped_ = false;
+        // The input skipped ahead (pruned range): end this batch at the
+        // gap so downstream positional consumers see the discontinuity.
+        if (out->num_rows() > 0) break;
+      }
     }
     const bool have_row = buf_off_ < buf_.num_rows();
     const bool have_entry = cursor_.Valid();
@@ -202,7 +218,10 @@ std::unique_ptr<BatchSource> MakeMergeScan(const ColumnStore& store,
   std::unique_ptr<BatchSource> source = std::make_unique<StableScanSource>(
       &store, projection, std::move(ranges));
   for (const Pdt* layer : layers) {
-    if (layer == nullptr) continue;
+    // An empty layer is an identity mapping: skipping it keeps the scan a
+    // bare StableScanSource (borrowed, zero-copy batches) after
+    // checkpoints wipe the deltas.
+    if (layer == nullptr || layer->EntryCount() == 0) continue;
     source = std::make_unique<PdtMergeSource>(std::move(source), layer,
                                               projection);
   }
@@ -220,7 +239,9 @@ std::unique_ptr<BatchSource> MakeMorselMergeScan(
   // the prefix delta of every lower layer.
   Sid start_pos = morsel.begin;
   for (const Pdt* layer : layers) {
-    if (layer == nullptr) continue;
+    // Empty layer = identity mapping (prefix delta 0, no trailing
+    // inserts): skip it so post-checkpoint morsels stay zero-copy.
+    if (layer == nullptr || layer->EntryCount() == 0) continue;
     source = std::make_unique<PdtMergeSource>(std::move(source), layer,
                                               projection, start_pos,
                                               final_morsel);

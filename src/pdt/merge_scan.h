@@ -84,6 +84,10 @@ class PdtMergeSource : public BatchSource {
   size_t buf_off_ = 0;
   Rid in_pos_ = 0;     // input-domain position of buf_[buf_off_]
   bool input_done_ = false;
+  // Set by FillInput on an input RID discontinuity (zone-pruned gap):
+  // the batch being assembled must flush before the post-gap rows, so
+  // this layer's output RIDs stay contiguous within every batch.
+  bool input_jumped_ = false;
   bool emit_trailing_inserts_ = true;
   Pdt::Cursor cursor_;
 };

@@ -3,12 +3,12 @@
 namespace pdtstore {
 
 StatusOr<std::shared_ptr<const ColumnVector>> BufferPool::Fetch(
-    uint64_t key, const Chunk& chunk) {
+    uint64_t key, const Chunk& chunk, bool keep_encoded) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      ++stats_.hits;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       lru_.erase(it->second.lru_it);
       lru_.push_front(key);
       it->second.lru_it = lru_.begin();
@@ -20,21 +20,21 @@ StatusOr<std::shared_ptr<const ColumnVector>> BufferPool::Fetch(
   // chunks in parallel; a racing decode of the same chunk is resolved
   // below (first insert wins, the loser's copy is dropped).
   auto decoded = std::make_shared<ColumnVector>();
-  PDT_RETURN_NOT_OK(DecodeChunk(chunk, decoded.get()));
+  PDT_RETURN_NOT_OK(DecodeChunk(chunk, decoded.get(), keep_encoded));
   size_t bytes = decoded->ByteSize();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Lost the decode race: serve the winner's entry as a hit,
     // including the LRU touch.
-    ++stats_.hits;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     lru_.erase(it->second.lru_it);
     lru_.push_front(key);
     it->second.lru_it = lru_.begin();
     return it->second.data;
   }
-  stats_.bytes_read += chunk.DiskBytes();
-  ++stats_.chunks_read;
+  bytes_read_.fetch_add(chunk.DiskBytes(), std::memory_order_relaxed);
+  chunks_read_.fetch_add(1, std::memory_order_relaxed);
   lru_.push_front(key);
   entries_[key] = Entry{decoded, bytes, lru_.begin()};
   cached_bytes_ += bytes;

@@ -5,6 +5,7 @@
 #ifndef PDTSTORE_STORAGE_BUFFER_POOL_H_
 #define PDTSTORE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -16,11 +17,13 @@
 
 namespace pdtstore {
 
-/// Counters of simulated disk traffic since the last Reset.
+/// Snapshot of simulated disk traffic since the last ResetStats.
 struct IoStats {
-  uint64_t bytes_read = 0;   ///< encoded bytes pulled from "disk"
-  uint64_t chunks_read = 0;  ///< number of chunk reads (seeks)
-  uint64_t hits = 0;         ///< pool hits (no I/O)
+  uint64_t bytes_read = 0;      ///< encoded bytes pulled from "disk"
+  uint64_t chunks_read = 0;     ///< number of chunk reads (seeks)
+  uint64_t hits = 0;            ///< pool hits (no I/O)
+  uint64_t chunks_skipped = 0;  ///< chunks zone-map-pruned, never fetched
+  uint64_t bytes_skipped = 0;   ///< encoded bytes of pruned chunks
 
   void Reset() { *this = IoStats{}; }
 };
@@ -30,7 +33,11 @@ struct IoStats {
 /// scan's workers can pull chunks concurrently (one lock acquisition per
 /// chunk, i.e. per tens of thousands of rows — not a hot path). The
 /// returned shared_ptrs keep decoded chunks alive across evictions.
-/// stats() reads are unsynchronized: read them only while no scan runs.
+///
+/// I/O counters are relaxed atomics, so stats() may be sampled mid-scan
+/// (benches poll it while workers fetch): each counter is individually
+/// exact, and the snapshot is a consistent-enough view for accounting —
+/// there is no cross-counter invariant a reader could observe torn.
 class BufferPool {
  public:
   /// `capacity_bytes` bounds the decoded footprint; 0 = unbounded.
@@ -39,14 +46,40 @@ class BufferPool {
 
   /// Returns the decoded values of `chunk`, from cache or by "reading"
   /// (miss: counts chunk.DiskBytes() into the I/O stats and decodes).
-  StatusOr<std::shared_ptr<const ColumnVector>> Fetch(uint64_t key,
-                                                      const Chunk& chunk);
+  /// With `keep_encoded`, a miss decodes to the compressed-execution
+  /// representation (dictionary codes / RLE sidecar) instead of plain
+  /// values; the flag must be stable per pool key (it is: it comes from
+  /// per-store options baked into the key space).
+  StatusOr<std::shared_ptr<const ColumnVector>> Fetch(
+      uint64_t key, const Chunk& chunk, bool keep_encoded = false);
 
   /// Drops all cached chunks: the next scan is fully "cold".
   void EvictAll();
 
-  const IoStats& stats() const { return stats_; }
-  IoStats* mutable_stats() { return &stats_; }
+  /// Records `chunks` chunks (`bytes` encoded bytes) proven dead by zone
+  /// maps during morsel planning and therefore never fetched.
+  void NoteSkipped(uint64_t chunks, uint64_t bytes) {
+    chunks_skipped_.fetch_add(chunks, std::memory_order_relaxed);
+    bytes_skipped_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the I/O counters (safe to call mid-scan).
+  IoStats stats() const {
+    IoStats s;
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.chunks_read = chunks_read_.load(std::memory_order_relaxed);
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.chunks_skipped = chunks_skipped_.load(std::memory_order_relaxed);
+    s.bytes_skipped = bytes_skipped_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    bytes_read_.store(0, std::memory_order_relaxed);
+    chunks_read_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+    chunks_skipped_.store(0, std::memory_order_relaxed);
+    bytes_skipped_.store(0, std::memory_order_relaxed);
+  }
 
   size_t cached_bytes() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -71,7 +104,11 @@ class BufferPool {
   size_t cached_bytes_ = 0;
   std::unordered_map<uint64_t, Entry> entries_;
   std::list<uint64_t> lru_;  // front = most recent
-  IoStats stats_;
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> chunks_read_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> chunks_skipped_{0};
+  std::atomic<uint64_t> bytes_skipped_{0};
 };
 
 }  // namespace pdtstore

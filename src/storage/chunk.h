@@ -34,8 +34,17 @@ struct Chunk {
 StatusOr<Chunk> BuildChunk(const ColumnVector& values, Sid start_sid,
                            bool compression);
 
-/// Decodes a chunk's payload back to values.
-Status DecodeChunk(const Chunk& chunk, ColumnVector* out);
+/// As BuildChunk but with a caller-chosen encoding (fuzz / test hook).
+/// Falls back to plain when the encoding cannot represent the values
+/// (wrong type, FOR range too wide).
+StatusOr<Chunk> BuildChunkForced(const ColumnVector& values, Sid start_sid,
+                                 Encoding forced);
+
+/// Decodes a chunk's payload back to values. With `keep_encoded`, the
+/// output keeps the compressed-execution representation (dictionary
+/// codes, RLE run sidecar) where the encoding supports it.
+Status DecodeChunk(const Chunk& chunk, ColumnVector* out,
+                   bool keep_encoded = false);
 
 }  // namespace pdtstore
 

@@ -63,9 +63,16 @@ Status ColumnStore::BulkLoadColumns(std::vector<ColumnVector> columns) {
     for (ColumnId c = 0; c < columns.size(); ++c) {
       ColumnVector slice(columns[c].type());
       slice.AppendRange(columns[c], start, end);
-      PDT_ASSIGN_OR_RETURN(Chunk chunk,
-                           BuildChunk(slice, start, options_.compression));
-      columns_[c].push_back(std::move(chunk));
+      if (c < options_.forced_encodings.size()) {
+        PDT_ASSIGN_OR_RETURN(
+            Chunk chunk,
+            BuildChunkForced(slice, start, options_.forced_encodings[c]));
+        columns_[c].push_back(std::move(chunk));
+      } else {
+        PDT_ASSIGN_OR_RETURN(Chunk chunk,
+                             BuildChunk(slice, start, options_.compression));
+        columns_[c].push_back(std::move(chunk));
+      }
     }
   }
   num_rows_ = n;
@@ -95,7 +102,8 @@ StatusOr<std::shared_ptr<const ColumnVector>> ColumnStore::FetchChunk(
   if (col >= columns_.size() || ci >= columns_[col].size()) {
     return Status::OutOfRange("chunk index out of range");
   }
-  return pool_->Fetch(ChunkKey(col, ci), columns_[col][ci]);
+  return pool_->Fetch(ChunkKey(col, ci), columns_[col][ci],
+                      options_.encoded_exec);
 }
 
 StatusOr<Value> ColumnStore::GetValue(ColumnId col, Sid sid) const {

@@ -19,6 +19,16 @@ namespace pdtstore {
 struct ColumnStoreOptions {
   size_t chunk_rows = 16384;   ///< values per chunk per column
   bool compression = true;     ///< choose encodings vs always-plain
+  /// Decode chunks to the compressed-execution representation (live
+  /// dictionary codes, RLE run sidecars) instead of plain copies. False
+  /// is the decoded differential-reference path; results are identical.
+  bool encoded_exec = true;
+  /// Per-column encoding overrides for bulk load (empty = ChooseEncoding
+  /// per chunk). Columns beyond the vector's size auto-choose; an
+  /// encoding a chunk cannot support (type mismatch, FOR range too wide)
+  /// falls back to plain. Used by the differential fuzzer to force
+  /// plain/RLE/dict/FOR coverage.
+  std::vector<Encoding> forced_encodings;
 };
 
 /// Immutable chunked columnar table image.

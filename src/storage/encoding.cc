@@ -70,21 +70,23 @@ Status GetLengthPrefixed(const std::string& in, size_t* pos,
   return Status::OK();
 }
 
-// Appends one value of `col[i]` in plain form.
+// Appends one value of `col[i]` in plain form. Reads through the
+// representation-resolving spans: checkpoint hands us columns that may be
+// borrowed from pool chunks or still carrying dictionary codes.
 void PutOnePlain(std::string* out, const ColumnVector& col, size_t i) {
   switch (col.type()) {
     case TypeId::kInt64:
-      PutFixed64(out, static_cast<uint64_t>(col.ints()[i]));
+      PutFixed64(out, static_cast<uint64_t>(col.ints_data()[i]));
       break;
     case TypeId::kDouble: {
       uint64_t bits;
-      double d = col.doubles()[i];
+      double d = col.doubles_data()[i];
       std::memcpy(&bits, &d, 8);
       PutFixed64(out, bits);
       break;
     }
     case TypeId::kString:
-      PutLengthPrefixed(out, col.strings()[i]);
+      PutLengthPrefixed(out, col.StringAt(i));
       break;
   }
 }
@@ -141,8 +143,9 @@ Status EncodeDeltaVarint(const ColumnVector& col, std::string* out) {
     return Status::InvalidArgument("delta encoding requires INT64");
   }
   int64_t prev = 0;
+  const int64_t* vals = col.ints_data();
   for (size_t i = 0; i < col.size(); ++i) {
-    int64_t v = col.ints()[i];
+    int64_t v = vals[i];
     PutVarint64(out, ZigZagEncode(v - prev));
     prev = v;
   }
@@ -157,8 +160,8 @@ Status EncodeDict(const ColumnVector& col, std::string* out) {
   std::vector<const std::string*> order;
   std::vector<uint64_t> codes;
   codes.reserve(col.size());
-  for (const auto& s : col.strings()) {
-    auto [it, inserted] = dict.emplace(s, dict.size());
+  for (size_t i = 0; i < col.size(); ++i) {
+    auto [it, inserted] = dict.emplace(col.StringAt(i), dict.size());
     if (inserted) order.push_back(&it->first);
     codes.push_back(it->second);
   }
@@ -176,12 +179,13 @@ Status EncodeForBitPack(const ColumnVector& col, std::string* out) {
   if (col.type() != TypeId::kInt64) {
     return Status::InvalidArgument("FOR encoding requires INT64");
   }
-  const auto& v = col.ints();
-  int64_t min_v = v.empty() ? 0 : v[0];
+  const int64_t* v = col.ints_data();
+  const size_t n = col.size();
+  int64_t min_v = n == 0 ? 0 : v[0];
   int64_t max_v = min_v;
-  for (int64_t x : v) {
-    min_v = std::min(min_v, x);
-    max_v = std::max(max_v, x);
+  for (size_t i = 0; i < n; ++i) {
+    min_v = std::min(min_v, v[i]);
+    max_v = std::max(max_v, v[i]);
   }
   uint64_t range = static_cast<uint64_t>(max_v) - static_cast<uint64_t>(min_v);
   int width = 1;
@@ -196,8 +200,8 @@ Status EncodeForBitPack(const ColumnVector& col, std::string* out) {
   out->push_back(static_cast<char>(width));
   uint64_t acc = 0;
   int acc_bits = 0;  // < 8 between values
-  for (int64_t x : v) {
-    uint64_t off = static_cast<uint64_t>(x) - static_cast<uint64_t>(min_v);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t off = static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(min_v);
     acc |= off << acc_bits;
     acc_bits += width;
     while (acc_bits >= 8) {
@@ -249,10 +253,15 @@ Status DecodePlain(const std::string& in, size_t count, ColumnVector* out) {
   return Status::OK();
 }
 
-Status DecodeRle(const std::string& in, size_t count, ColumnVector* out) {
+Status DecodeRle(const std::string& in, size_t count, ColumnVector* out,
+                 bool keep_encoded) {
   size_t pos = 0;
   size_t produced = 0;
   ColumnVector one(out->type());
+  // Values always materialize plain; with keep_encoded the run layout is
+  // additionally recorded as an RleRuns sidecar so predicate kernels can
+  // evaluate one compare per run.
+  std::vector<uint32_t> ends;
   while (produced < count) {
     uint64_t run;
     PDT_RETURN_NOT_OK(GetVarint64(in, &pos, &run));
@@ -261,6 +270,12 @@ Status DecodeRle(const std::string& in, size_t count, ColumnVector* out) {
     if (produced + run > count) return Status::Corruption("RLE overrun");
     for (uint64_t k = 0; k < run; ++k) out->AppendFrom(one, 0);
     produced += run;
+    if (keep_encoded) ends.push_back(static_cast<uint32_t>(produced));
+  }
+  if (keep_encoded && count > 0 && count <= UINT32_MAX) {
+    auto runs = std::make_shared<RleRuns>();
+    runs->ends = std::move(ends);
+    out->SetRleRuns(std::move(runs));
   }
   return Status::OK();
 }
@@ -278,13 +293,38 @@ Status DecodeDeltaVarint(const std::string& in, size_t count,
   return Status::OK();
 }
 
-Status DecodeDict(const std::string& in, size_t count, ColumnVector* out) {
+Status DecodeDict(const std::string& in, size_t count, ColumnVector* out,
+                  bool keep_encoded) {
   size_t pos = 0;
   uint64_t dict_size;
   PDT_RETURN_NOT_OK(GetVarint64(in, &pos, &dict_size));
+  if (dict_size > in.size()) return Status::Corruption("dict size overflow");
   std::vector<std::string> dict(dict_size);
   for (auto& s : dict) {
     PDT_RETURN_NOT_OK(GetLengthPrefixed(in, &pos, &s));
+  }
+  if (keep_encoded) {
+    // Keep the dictionary live: the column becomes a uint32 code vector
+    // plus a shared StringDict with per-entry hashes precomputed once
+    // here, so every downstream group-by/join over this chunk hashes by
+    // array lookup.
+    auto shared = std::make_shared<StringDict>();
+    shared->hashes.reserve(dict.size());
+    for (const auto& s : dict) {
+      shared->hashes.push_back(HashBytes(s.data(), s.size()));
+    }
+    shared->values = std::move(dict);
+    const size_t nvals = shared->values.size();
+    out->AdoptDict(std::move(shared));
+    auto& codes = out->codes();
+    codes.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t code;
+      PDT_RETURN_NOT_OK(GetVarint64(in, &pos, &code));
+      if (code >= nvals) return Status::Corruption("dict code overflow");
+      codes.push_back(static_cast<uint32_t>(code));
+    }
+    return Status::OK();
   }
   for (size_t i = 0; i < count; ++i) {
     uint64_t code;
@@ -316,14 +356,14 @@ Status EncodeColumn(const ColumnVector& col, Encoding encoding,
 }
 
 Status DecodeColumn(const std::string& bytes, TypeId type, Encoding encoding,
-                    size_t count, ColumnVector* out) {
+                    size_t count, ColumnVector* out, bool keep_encoded) {
   *out = ColumnVector(type);
   out->Reserve(count);
   switch (encoding) {
     case Encoding::kPlain:
       return DecodePlain(bytes, count, out);
     case Encoding::kRle:
-      return DecodeRle(bytes, count, out);
+      return DecodeRle(bytes, count, out, keep_encoded);
     case Encoding::kDeltaVarint:
       if (type != TypeId::kInt64) {
         return Status::InvalidArgument("delta decoding requires INT64");
@@ -333,7 +373,7 @@ Status DecodeColumn(const std::string& bytes, TypeId type, Encoding encoding,
       if (type != TypeId::kString) {
         return Status::InvalidArgument("dict decoding requires STRING");
       }
-      return DecodeDict(bytes, count, out);
+      return DecodeDict(bytes, count, out, keep_encoded);
     case Encoding::kForBitPack:
       if (type != TypeId::kInt64) {
         return Status::InvalidArgument("FOR decoding requires INT64");
@@ -358,10 +398,11 @@ Encoding ChooseEncoding(const ColumnVector& col, bool compression_enabled) {
   if (col.type() == TypeId::kInt64 && sorted) return Encoding::kDeltaVarint;
   if (col.type() == TypeId::kInt64) {
     // Narrow-range unsorted integers: frame-of-reference bit packing.
-    int64_t min_v = col.ints()[0], max_v = min_v;
-    for (int64_t x : col.ints()) {
-      min_v = std::min(min_v, x);
-      max_v = std::max(max_v, x);
+    const int64_t* v = col.ints_data();
+    int64_t min_v = v[0], max_v = min_v;
+    for (size_t i = 0; i < n; ++i) {
+      min_v = std::min(min_v, v[i]);
+      max_v = std::max(max_v, v[i]);
     }
     uint64_t range =
         static_cast<uint64_t>(max_v) - static_cast<uint64_t>(min_v);
@@ -370,9 +411,14 @@ Encoding ChooseEncoding(const ColumnVector& col, bool compression_enabled) {
     if (width <= 32) return Encoding::kForBitPack;
   }
   if (col.type() == TypeId::kString) {
+    // A column still in dictionary representation is dictionary-friendly
+    // by construction.
+    if (col.is_dict() && col.dict()->values.size() <= n / 4) {
+      return Encoding::kDict;
+    }
     std::unordered_map<std::string, int> distinct;
     for (size_t i = 0; i < n && distinct.size() <= n / 4; ++i) {
-      distinct.emplace(col.strings()[i], 0);
+      distinct.emplace(col.StringAt(i), 0);
     }
     if (distinct.size() <= n / 4) return Encoding::kDict;
   }

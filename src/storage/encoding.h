@@ -30,8 +30,13 @@ Status EncodeColumn(const ColumnVector& col, Encoding encoding,
 
 /// Decodes `bytes` (produced by EncodeColumn with the same encoding and a
 /// column of `count` values of type `type`) into `*out` (replaced).
+/// With `keep_encoded`, dictionary chunks decode to live code vectors
+/// (shared StringDict + precomputed hashes) and RLE chunks carry an
+/// RleRuns sidecar — the compressed-execution representations; values are
+/// identical either way.
 Status DecodeColumn(const std::string& bytes, TypeId type, Encoding encoding,
-                    size_t count, ColumnVector* out);
+                    size_t count, ColumnVector* out,
+                    bool keep_encoded = false);
 
 /// Picks a cheap, effective encoding for the chunk by sampling: sorted
 /// int64 -> delta-varint; heavy runs -> RLE; low-cardinality strings ->

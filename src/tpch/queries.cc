@@ -41,14 +41,17 @@ ScanOptions PipeScanOptions(const QueryOptions& o) {
 }
 
 Plan Scan(const QueryOptions& o, Table* table, std::vector<ColumnId> proj,
-          const KeyBounds* bounds = nullptr) {
+          const KeyBounds* bounds = nullptr,
+          std::vector<ZoneFilter> zone_filters = {}) {
+  ScanOptions so = PipeScanOptions(o);
+  so.zone_filters = std::move(zone_filters);
   if (o.num_threads > 1) {
     Plan p;
     p.pipe = std::make_unique<Pipeline>(
-        table->PlanMorsels(std::move(proj), bounds, PipeScanOptions(o)));
+        table->PlanMorsels(std::move(proj), bounds, so));
     return p;
   }
-  return P(table->Scan(std::move(proj), bounds));
+  return P(table->Scan(std::move(proj), bounds, so));
 }
 
 Plan Filter(Plan in, VecPredicate p) {
@@ -130,11 +133,13 @@ StatusOr<QueryResult> Summarize(Src src) {
     for (size_t c = 0; c < batch.num_columns(); ++c) {
       const ColumnVector& col = batch.column(c);
       if (col.type() == TypeId::kInt64) {
-        for (int64_t v : col.ints()) {
-          result.checksum += static_cast<double>(v);
+        const int64_t* v = col.ints_data();
+        for (size_t i = 0; i < col.size(); ++i) {
+          result.checksum += static_cast<double>(v[i]);
         }
       } else if (col.type() == TypeId::kDouble) {
-        for (double v : col.doubles()) result.checksum += v;
+        const double* v = col.doubles_data();
+        for (size_t i = 0; i < col.size(); ++i) result.checksum += v[i];
       }
     }
   }
@@ -177,10 +182,12 @@ StatusOr<QueryResult> Q2(const TpchTables& t, const QueryOptions& o) {
   Plan proj = Project(std::move(flt),
                       {ColumnRef(0), [](const Batch& b) {
                          ColumnVector out(TypeId::kInt64);
-                         const auto& pk = b.column(0).ints();
-                         out.ints().resize(pk.size());
-                         for (size_t i = 0; i < pk.size(); ++i) {
-                           out.ints()[i] = 1 + (pk[i] % 25);
+                         const size_t n = b.column(0).size();
+                         const int64_t* pk = b.column(0).ints_data();
+                         auto& vals = out.ints();
+                         vals.resize(n);
+                         for (size_t i = 0; i < n; ++i) {
+                           vals[i] = 1 + (pk[i] % 25);
                          }
                          return out;
                        }});
@@ -229,8 +236,8 @@ StatusOr<QueryResult> Q4(const TpchTables& t, const QueryOptions& o) {
   Plan late = Filter(Scan(o, t.lineitem,
                           {kLOrderkey, kLCommitdate, kLReceiptdate}),
                      [](const Batch& b, KeepBitmap* keep) {
-                       const auto& commit = b.column(1).ints();
-                       const auto& receipt = b.column(2).ints();
+                       const int64_t* commit = b.column(1).ints_data();
+                       const int64_t* receipt = b.column(2).ints_data();
                        keep->FillFrom(
                            [&](size_t i) { return commit[i] < receipt[i]; });
                      });
@@ -264,19 +271,24 @@ StatusOr<QueryResult> Q5(const TpchTables& t, const QueryOptions& o) {
 // poster-child for merge CPU overhead).
 StatusOr<QueryResult> Q6(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1994, 1, 1), hi = DayNumber(1995, 1, 1) - 1;
+  // The shipdate conjunct doubles as a zone-map pruning hint: chunks
+  // whose min/max date range misses [lo, hi] are never fetched.
   Plan scan = Scan(o, t.lineitem,
-                   {kLShipdate, kLDiscount, kLQuantity, kLExtendedprice});
+                   {kLShipdate, kLDiscount, kLQuantity, kLExtendedprice},
+                   nullptr, {{kLShipdate, Value(lo), Value(hi)}});
   Plan flt = Filter(std::move(scan),
                     And({Int64Between(0, lo, hi),
                          DoubleInRange(1, 0.05, 0.0701),
                          DoubleInRange(2, 0.0, 24.0)}));
   Plan proj = Project(std::move(flt), {[](const Batch& b) {
     ColumnVector out(TypeId::kDouble);
-    const auto& price = b.column(3).doubles();
-    const auto& disc = b.column(1).doubles();
-    out.doubles().resize(price.size());
-    for (size_t i = 0; i < price.size(); ++i) {
-      out.doubles()[i] = price[i] * disc[i];
+    const size_t n = b.column(3).size();
+    const double* price = b.column(3).doubles_data();
+    const double* disc = b.column(1).doubles_data();
+    auto& vals = out.doubles();
+    vals.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = price[i] * disc[i];
     }
     return out;
   }});
@@ -298,10 +310,12 @@ StatusOr<QueryResult> Q7(const TpchTables& t, const QueryOptions& o) {
   Plan joined = Join(std::move(line_supp), std::move(ord), {0}, {0});
   Plan proj = Project(std::move(joined), {[](const Batch& b) {
                         ColumnVector out(TypeId::kInt64);
-                        const auto& d = b.column(2).ints();
-                        out.ints().resize(d.size());
-                        for (size_t i = 0; i < d.size(); ++i) {
-                          out.ints()[i] = 1992 + d[i] / 365;
+                        const size_t n = b.column(2).size();
+                        const int64_t* d = b.column(2).ints_data();
+                        auto& vals = out.ints();
+                        vals.resize(n);
+                        for (size_t i = 0; i < n; ++i) {
+                          vals[i] = 1992 + d[i] / 365;
                         }
                         return out;
                       },
@@ -327,10 +341,12 @@ StatusOr<QueryResult> Q8(const TpchTables& t, const QueryOptions& o) {
   Plan joined = Join(std::move(line_part), std::move(ord), {0}, {1});
   Plan proj = Project(std::move(joined), {[](const Batch& b) {
                         ColumnVector out(TypeId::kInt64);
-                        const auto& d = b.column(4).ints();
-                        out.ints().resize(d.size());
-                        for (size_t i = 0; i < d.size(); ++i) {
-                          out.ints()[i] = 1992 + d[i] / 365;
+                        const size_t n = b.column(4).size();
+                        const int64_t* d = b.column(4).ints_data();
+                        auto& vals = out.ints();
+                        vals.resize(n);
+                        for (size_t i = 0; i < n; ++i) {
+                          vals[i] = 1992 + d[i] / 365;
                         }
                         return out;
                       },
@@ -342,13 +358,12 @@ StatusOr<QueryResult> Q8(const TpchTables& t, const QueryOptions& o) {
 
 // Q9: product type profit measure, by year.
 StatusOr<QueryResult> Q9(const TpchTables& t, const QueryOptions& o) {
+  // StringMatch runs the substring test once per dictionary entry on
+  // dict-encoded part names, not once per row.
   Plan part = Filter(Scan(o, t.part, {kPPartkey, kPName}),
-                     [](const Batch& b, KeepBitmap* keep) {
-                       const auto& names = b.column(1).strings();
-                       keep->FillFrom([&](size_t i) {
-                         return names[i].find("green") != std::string::npos;
-                       });
-                     });
+                     StringMatch(1, [](const std::string& name) {
+                       return name.find("green") != std::string::npos;
+                     }));
   Plan line = Scan(o, t.lineitem,
                    {kLOrderkey, kLPartkey, kLQuantity, kLExtendedprice,
                     kLDiscount});
@@ -358,22 +373,26 @@ StatusOr<QueryResult> Q9(const TpchTables& t, const QueryOptions& o) {
   Plan joined = Join(std::move(line_part), std::move(ord), {0}, {0});
   Plan proj = Project(std::move(joined), {[](const Batch& b) {
                         ColumnVector out(TypeId::kInt64);
-                        const auto& d = b.column(6).ints();
-                        out.ints().resize(d.size());
-                        for (size_t i = 0; i < d.size(); ++i) {
-                          out.ints()[i] = 1992 + d[i] / 365;
+                        const size_t n = b.column(6).size();
+                        const int64_t* d = b.column(6).ints_data();
+                        auto& vals = out.ints();
+                        vals.resize(n);
+                        for (size_t i = 0; i < n; ++i) {
+                          vals[i] = 1992 + d[i] / 365;
                         }
                         return out;
                       },
                       [](const Batch& b) {
                         // profit ~ revenue - supplycost*qty
                         ColumnVector out(TypeId::kDouble);
-                        const auto& price = b.column(3).doubles();
-                        const auto& disc = b.column(4).doubles();
-                        const auto& qty = b.column(2).doubles();
-                        out.doubles().resize(price.size());
-                        for (size_t i = 0; i < price.size(); ++i) {
-                          out.doubles()[i] =
+                        const size_t n = b.column(3).size();
+                        const double* price = b.column(3).doubles_data();
+                        const double* disc = b.column(4).doubles_data();
+                        const double* qty = b.column(2).doubles_data();
+                        auto& vals = out.doubles();
+                        vals.resize(n);
+                        for (size_t i = 0; i < n; ++i) {
+                          vals[i] =
                               price[i] * (1.0 - disc[i]) - 500.0 * qty[i];
                         }
                         return out;
@@ -409,10 +428,12 @@ StatusOr<QueryResult> Q11(const TpchTables& t, const QueryOptions& o) {
   Plan proj = Project(std::move(part),
                       {ColumnRef(0), ColumnRef(1), [](const Batch& b) {
                          ColumnVector out(TypeId::kInt64);
-                         const auto& pk = b.column(0).ints();
-                         out.ints().resize(pk.size());
-                         for (size_t i = 0; i < pk.size(); ++i) {
-                           out.ints()[i] = 1 + (pk[i] % 25);
+                         const size_t n = b.column(0).size();
+                         const int64_t* pk = b.column(0).ints_data();
+                         auto& vals = out.ints();
+                         vals.resize(n);
+                         for (size_t i = 0; i < n; ++i) {
+                           vals[i] = 1 + (pk[i] % 25);
                          }
                          return out;
                        }});
@@ -433,9 +454,9 @@ StatusOr<QueryResult> Q12(const TpchTables& t, const QueryOptions& o) {
       // one compaction for the whole predicate tree.
       And({Or({StringEquals(1, "MAIL"), StringEquals(1, "SHIP")}),
            [lo, hi](const Batch& b, KeepBitmap* keep) {
-             const auto& commit = b.column(2).ints();
-             const auto& receipt = b.column(3).ints();
-             const auto& ship = b.column(4).ints();
+             const int64_t* commit = b.column(2).ints_data();
+             const int64_t* receipt = b.column(3).ints_data();
+             const int64_t* ship = b.column(4).ints_data();
              keep->FillFrom([&](size_t i) {
                return commit[i] < receipt[i] && ship[i] < commit[i] &&
                       receipt[i] >= lo && receipt[i] <= hi;
@@ -447,13 +468,14 @@ StatusOr<QueryResult> Q12(const TpchTables& t, const QueryOptions& o) {
                       {ColumnRef(1), [](const Batch& b) {
                          // high-priority indicator
                          ColumnVector out(TypeId::kInt64);
-                         const auto& prio = b.column(6).strings();
-                         out.ints().resize(prio.size());
-                         for (size_t i = 0; i < prio.size(); ++i) {
-                           out.ints()[i] = (prio[i] == "1-URGENT" ||
-                                            prio[i] == "2-HIGH")
-                                               ? 1
-                                               : 0;
+                         const ColumnVector& prio = b.column(6);
+                         const size_t n = prio.size();
+                         auto& vals = out.ints();
+                         vals.resize(n);
+                         for (size_t i = 0; i < n; ++i) {
+                           const std::string& p = prio.StringAt(i);
+                           vals[i] =
+                               (p == "1-URGENT" || p == "2-HIGH") ? 1 : 0;
                          }
                          return out;
                        }});
@@ -482,13 +504,16 @@ StatusOr<QueryResult> Q14(const TpchTables& t, const QueryOptions& o) {
   Plan proj = Project(std::move(joined), {[](const Batch& b) {
                         // promo revenue
                         ColumnVector out(TypeId::kDouble);
-                        const auto& price = b.column(1).doubles();
-                        const auto& disc = b.column(2).doubles();
-                        const auto& type = b.column(5).strings();
-                        out.doubles().resize(price.size());
-                        for (size_t i = 0; i < price.size(); ++i) {
-                          bool promo = type[i].rfind("PROMO", 0) == 0;
-                          out.doubles()[i] =
+                        const size_t n = b.column(1).size();
+                        const double* price = b.column(1).doubles_data();
+                        const double* disc = b.column(2).doubles_data();
+                        const ColumnVector& type = b.column(5);
+                        auto& vals = out.doubles();
+                        vals.resize(n);
+                        for (size_t i = 0; i < n; ++i) {
+                          bool promo =
+                              type.StringAt(i).rfind("PROMO", 0) == 0;
+                          vals[i] =
                               promo ? price[i] * (1.0 - disc[i]) : 0.0;
                         }
                         return out;
@@ -514,10 +539,10 @@ StatusOr<QueryResult> Q15(const TpchTables& t, const QueryOptions& o) {
 StatusOr<QueryResult> Q16(const TpchTables& t, const QueryOptions& o) {
   Plan part = Filter(Scan(o, t.part, {kPPartkey, kPBrand, kPType, kPSize}),
                      [](const Batch& b, KeepBitmap* keep) {
-                       const auto& brand = b.column(1).strings();
-                       const auto& size = b.column(3).ints();
+                       const ColumnVector& brand = b.column(1);
+                       const int64_t* size = b.column(3).ints_data();
                        keep->FillFrom([&](size_t i) {
-                         return brand[i] != "Brand#45" &&
+                         return brand.StringAt(i) != "Brand#45" &&
                                 (size[i] == 9 || size[i] == 19 ||
                                  size[i] == 49 || size[i] == 3 ||
                                  size[i] == 36 || size[i] == 14 ||
@@ -546,8 +571,8 @@ StatusOr<QueryResult> Q17(const TpchTables& t, const QueryOptions& o) {
   Plan joined = Join(std::move(pass2), std::move(avg), {0}, {0});
   Plan flt = Filter(std::move(joined),
                     [](const Batch& b, KeepBitmap* keep) {
-                      const auto& qty = b.column(1).doubles();
-                      const auto& avg_q = b.column(4).doubles();
+                      const double* qty = b.column(1).doubles_data();
+                      const double* avg_q = b.column(4).doubles_data();
                       keep->FillFrom(
                           [&](size_t i) { return qty[i] < 0.2 * avg_q[i]; });
                     });
@@ -581,15 +606,16 @@ StatusOr<QueryResult> Q19(const TpchTables& t, const QueryOptions& o) {
   Plan joined = Join(std::move(line), std::move(part), {0}, {0});
   Plan flt = Filter(std::move(joined),
                     [](const Batch& b, KeepBitmap* keep) {
-                      const auto& qty = b.column(1).doubles();
-                      const auto& brand = b.column(6).strings();
-                      const auto& size = b.column(7).ints();
+                      const double* qty = b.column(1).doubles_data();
+                      const ColumnVector& brand = b.column(6);
+                      const int64_t* size = b.column(7).ints_data();
                       keep->FillFrom([&](size_t i) {
-                        bool p1 = brand[i] == "Brand#12" && qty[i] <= 11 &&
+                        const std::string& bd = brand.StringAt(i);
+                        bool p1 = bd == "Brand#12" && qty[i] <= 11 &&
                                   size[i] <= 5;
-                        bool p2 = brand[i] == "Brand#23" && qty[i] >= 10 &&
+                        bool p2 = bd == "Brand#23" && qty[i] >= 10 &&
                                   qty[i] <= 20 && size[i] <= 10;
-                        bool p3 = brand[i] == "Brand#34" && qty[i] >= 20 &&
+                        bool p3 = bd == "Brand#34" && qty[i] >= 20 &&
                                   qty[i] <= 30 && size[i] <= 15;
                         return p1 || p2 || p3;
                       });
@@ -601,14 +627,13 @@ StatusOr<QueryResult> Q19(const TpchTables& t, const QueryOptions& o) {
 // Q20: potential part promotion: suppliers with surplus stock.
 StatusOr<QueryResult> Q20(const TpchTables& t, const QueryOptions& o) {
   int64_t lo = DayNumber(1994, 1, 1), hi = DayNumber(1995, 1, 1) - 1;
+  // On dictionary-encoded part names the match runs once per distinct
+  // entry rather than once per row.
   Plan part = Filter(Scan(o, t.part, {kPPartkey, kPName}),
-                     [](const Batch& b, KeepBitmap* keep) {
-                       const auto& names = b.column(1).strings();
-                       keep->FillFrom([&](size_t i) {
-                         return names[i].rfind("forest", 0) == 0 ||
-                                names[i].find("azure") != std::string::npos;
-                       });
-                     });
+                     StringMatch(1, [](const std::string& name) {
+                       return name.rfind("forest", 0) == 0 ||
+                              name.find("azure") != std::string::npos;
+                     }));
   Plan line = Filter(Scan(o, t.lineitem,
                           {kLPartkey, kLSuppkey, kLQuantity, kLShipdate}),
                      Int64Between(3, lo, hi));
@@ -632,8 +657,8 @@ StatusOr<QueryResult> Q21(const TpchTables& t, const QueryOptions& o) {
                           {kLOrderkey, kLSuppkey, kLCommitdate,
                            kLReceiptdate}),
                      [](const Batch& b, KeepBitmap* keep) {
-                       const auto& commit = b.column(2).ints();
-                       const auto& receipt = b.column(3).ints();
+                       const int64_t* commit = b.column(2).ints_data();
+                       const int64_t* receipt = b.column(3).ints_data();
                        keep->FillFrom(
                            [&](size_t i) { return receipt[i] > commit[i]; });
                      });

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "exec/parallel_scan.h"
+#include "exec/zone_prune.h"
 #include "pdt/merge_scan.h"
 #include "pdt/pdt.h"
 #include "storage/column_store.h"
@@ -87,8 +88,21 @@ inline MorselPlan LayeredMorselPlan(const ColumnStore& store,
   plan.options = scan_opts;
   size_t entries = 0;
   for (const Pdt* layer : layers) entries += layer->EntryCount();
+  // Zone-map pruning first, so skipped chunks shape the morsel split
+  // (dead chunks are never fetched — serial or parallel).
+  ranges = PruneRangesWithZoneMaps(store, layers, std::move(ranges),
+                                   scan_opts.zone_filters, projection);
   if (!ResolveMorselPlan(&ranges, store.num_rows(),
                          store.options().chunk_rows, entries, &plan)) {
+    if (ranges.size() == 1 && ranges[0].begin == ranges[0].end) {
+      // Everything pruned: MakeMergeScan would start the layer cursors
+      // at position 0 (the stable scan never emits a batch to re-seek
+      // on), so build the one empty-range source positioned at the scan
+      // end directly — it emits exactly the trailing inserts.
+      plan.serial = MakeMorselMergeScan(store, layers, projection,
+                                        ranges[0], /*final_morsel=*/true);
+      return plan;
+    }
     plan.serial = MakeMergeScan(store, std::move(layers),
                                 std::move(projection), std::move(ranges));
     return plan;

@@ -72,17 +72,17 @@ int VdtMergeScan::CompareRowToKey(size_t row,
     int c;
     switch (col.type()) {
       case TypeId::kInt64: {
-        int64_t a = col.ints()[row], b = key[k].AsInt64();
+        int64_t a = col.ints_data()[row], b = key[k].AsInt64();
         c = a < b ? -1 : (a > b ? 1 : 0);
         break;
       }
       case TypeId::kDouble: {
-        double a = col.doubles()[row], b = key[k].AsDouble();
+        double a = col.doubles_data()[row], b = key[k].AsDouble();
         c = a < b ? -1 : (a > b ? 1 : 0);
         break;
       }
       default: {
-        int r = col.strings()[row].compare(key[k].AsString());
+        int r = col.StringAt(row).compare(key[k].AsString());
         c = r < 0 ? -1 : (r > 0 ? 1 : 0);
         break;
       }

@@ -1,11 +1,17 @@
 // Differential fuzzing of the parallel pipeline engine: every seeded
-// iteration builds a random table (random size / chunking / backend),
-// applies a random PDT/VDT update workload (sometimes through a
-// multi-layer transaction stack), draws a random plan (filter / project
-// / partitioned join / aggregation / sort / exchange), and runs it as
-// the serial operator tree and as 2/4/8-thread pipelines. Results must
-// agree: the exact serial sequence where the engine promises it
-// (ordered exchange, deterministic sort), the multiset everywhere else.
+// iteration builds a random table (random size / chunking / backend /
+// per-column encoding mix), applies a random PDT/VDT update workload
+// (sometimes through a multi-layer transaction stack), draws a random
+// plan (filter / project / partitioned join / aggregation / sort /
+// exchange), and runs it four ways: the serial operator tree and
+// 2/4/8-thread pipelines over the compressed-execution table, plus a
+// serial reference over a byte-identical decoded twin (encoded_exec
+// off, zone-pruning hints off) built from a copy of the same Random.
+// Results must agree: the exact serial sequence where the engine
+// promises it (ordered exchange, deterministic sort), the multiset
+// everywhere else. Because the decoded reference never sees borrowed
+// spans, dictionary codes, RLE run predicates, or chunk pruning, any
+// compressed-execution divergence shows up as a mismatch.
 //
 // Knobs (environment):
 //   PDT_FUZZ_SEED   base seed (default 20260731)
@@ -39,23 +45,48 @@ uint64_t EnvOr(const char* name, uint64_t fallback) {
 // One full iteration from one seed. Returns false (with a recorded
 // failure) if any thread count disagreed with the serial tree.
 void RunIteration(uint64_t seed) {
+  // Two identical decision streams: `rng` drives the compressed-
+  // execution source, `rng_dec` its decoded twin. Random is a small
+  // value type, so the copy freezes the stream and both builds make
+  // exactly the same table / workload / txn choices — only the storage
+  // representation differs.
   Random rng(seed);
-  FuzzSource src = MakeFuzzSource(&rng);
+  Random rng_dec = rng;
+  FuzzSource src = MakeFuzzSource(&rng, /*encoded_exec=*/true);
+  FuzzSource dec = MakeFuzzSource(&rng_dec, /*encoded_exec=*/false);
   ASSERT_NE(src.table, nullptr);
+  ASSERT_NE(dec.table, nullptr);
   // Join build side: a second, smaller table (no txn stack).
   std::unique_ptr<Table> build =
-      MakeFuzzTable(&rng, DeltaBackend::kPdt, 60, 250);
+      MakeFuzzTable(&rng, DeltaBackend::kPdt, 60, 250, /*encoded_exec=*/true);
+  std::unique_ptr<Table> build_dec = MakeFuzzTable(
+      &rng_dec, DeltaBackend::kPdt, 60, 250, /*encoded_exec=*/false);
   ASSERT_NE(build, nullptr);
+  ASSERT_NE(build_dec, nullptr);
 
   // Several plans per table amortize the build cost; each plan seed is
   // derived, so a plan failure still reproduces from the iteration seed.
   const int plans = 3;
   for (int p = 0; p < plans; ++p) {
     const uint64_t plan_seed = seed ^ (0x9E3779B97F4A7C15ULL * (p + 1));
-    FuzzPlanResult ref = RunFuzzPlan(plan_seed, src, build.get(), 1);
+    // Reference: serial tree over the decoded twin, pruning hints off —
+    // the plain row-at-a-time semantics everything else must match.
+    FuzzPlanResult ref = RunFuzzPlan(plan_seed, dec, build_dec.get(), 1,
+                                     /*zone_hints=*/false);
     ASSERT_TRUE(ref.status.ok()) << ref.status.ToString();
     std::vector<Tuple> ref_sorted = ref.rows;
     SortTuples(&ref_sorted);
+
+    // Serial over the encoded source must reproduce the decoded serial
+    // sequence exactly: same plan, same row order, different
+    // representation (and possibly pruned chunks).
+    FuzzPlanResult enc = RunFuzzPlan(plan_seed, src, build.get(), 1);
+    ASSERT_TRUE(enc.status.ok())
+        << enc.status.ToString() << " (plan " << p << ", encoded serial)";
+    EXPECT_EQ(enc.rows, ref.rows)
+        << "encoded vs decoded serial mismatch, plan " << p;
+    if (::testing::Test::HasFailure()) return;
+
     for (int threads : {2, 4, 8}) {
       FuzzPlanResult got = RunFuzzPlan(plan_seed, src, build.get(), threads);
       ASSERT_TRUE(got.status.ok())

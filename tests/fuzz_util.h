@@ -51,7 +51,8 @@ inline Tuple FuzzRow(int64_t key, Random* rng) {
 inline std::unique_ptr<Table> MakeFuzzTable(Random* rng,
                                             DeltaBackend backend,
                                             uint64_t min_rows,
-                                            uint64_t max_rows) {
+                                            uint64_t max_rows,
+                                            bool encoded_exec = true) {
   const int64_t n =
       static_cast<int64_t>(min_rows + rng->Uniform(max_rows - min_rows + 1));
   TableOptions opts;
@@ -59,6 +60,21 @@ inline std::unique_ptr<Table> MakeFuzzTable(Random* rng,
   const size_t chunk_choices[] = {32, 64, 128, 256};
   opts.store.chunk_rows = chunk_choices[rng->Uniform(4)];
   opts.pdt.fanout = 4 + 4 * rng->Uniform(3);  // 4 / 8 / 12
+  // Compressed execution vs the decoded differential reference. The
+  // flag is a caller decision, not an rng draw, so copying the Random
+  // builds a byte-identical twin table in the other representation.
+  opts.store.encoded_exec = encoded_exec;
+  if (rng->Bernoulli(0.5)) {
+    // Half the tables force a per-column encoding mix (unsupported
+    // picks fall back to plain inside BuildChunkForced) so RLE run
+    // sidecars and dictionary code paths fuzz even where the size
+    // heuristics would choose differently.
+    const Encoding choices[] = {Encoding::kPlain, Encoding::kRle,
+                                Encoding::kDict, Encoding::kForBitPack};
+    for (int c = 0; c < 4; ++c) {
+      opts.store.forced_encodings.push_back(choices[rng->Uniform(4)]);
+    }
+  }
   auto table = std::make_unique<Table>("fuzz", FuzzSchema(), opts);
   std::vector<Tuple> rows;
   rows.reserve(n);
@@ -126,14 +142,15 @@ struct FuzzSource {
 
 /// Builds the iteration's scan source: PDT (sometimes through a txn
 /// stack) or VDT backend.
-inline FuzzSource MakeFuzzSource(Random* rng) {
+inline FuzzSource MakeFuzzSource(Random* rng, bool encoded_exec = true) {
   FuzzSource src;
   const double pick = rng->NextDouble();
   if (pick < 0.2) {
-    src.table = MakeFuzzTable(rng, DeltaBackend::kVdt, 200, 700);
+    src.table =
+        MakeFuzzTable(rng, DeltaBackend::kVdt, 200, 700, encoded_exec);
     return src;
   }
-  src.table = MakeFuzzTable(rng, DeltaBackend::kPdt, 200, 900);
+  src.table = MakeFuzzTable(rng, DeltaBackend::kPdt, 200, 900, encoded_exec);
   if (pick < 0.55 && src.table != nullptr) {
     // Multi-layer stack: one committed transaction (propagated into the
     // Read/Write layers), then an open one whose Trans-PDT the scan
@@ -189,7 +206,7 @@ inline VecPredicate RandomPredicate(Random* rng) {
     case 0: {
       const int64_t m = 2 + static_cast<int64_t>(rng->Uniform(5));
       return [m](const Batch& b, KeepBitmap* keep) {
-        const auto& v = b.column(1).ints();
+        const int64_t* v = b.column(1).ints_data();
         keep->FillFrom([&](size_t i) { return v[i] % m == 0; });
       };
     }
@@ -203,10 +220,20 @@ inline VecPredicate RandomPredicate(Random* rng) {
     }
     default: {
       const char c = static_cast<char>('a' + rng->Uniform(26));
+      // Half the time through the dict-aware StringMatch helper (one
+      // verdict per distinct entry on dictionary columns), half through
+      // a raw per-row lambda over StringAt.
+      if (rng->Bernoulli(0.5)) {
+        return StringMatch(3, [c](const std::string& s) {
+          return !s.empty() && s[0] <= c;
+        });
+      }
       return [c](const Batch& b, KeepBitmap* keep) {
-        const auto& s = b.column(3).strings();
-        keep->FillFrom(
-            [&](size_t i) { return !s[i].empty() && s[i][0] <= c; });
+        const ColumnVector& col = b.column(3);
+        keep->FillFrom([&](size_t i) {
+          const std::string& s = col.StringAt(i);
+          return !s.empty() && s[0] <= c;
+        });
       };
     }
   }
@@ -220,9 +247,11 @@ inline std::vector<ColumnExpr> RandomProjection(Random* rng) {
   return {ColumnRef(0),
           [m](const Batch& b) {
             ColumnVector out(TypeId::kInt64);
-            const auto& v = b.column(1).ints();
-            out.ints().resize(v.size());
-            for (size_t i = 0; i < v.size(); ++i) out.ints()[i] = v[i] % m;
+            const size_t n = b.column(1).size();
+            const int64_t* v = b.column(1).ints_data();
+            auto& vals = out.ints();
+            vals.resize(n);
+            for (size_t i = 0; i < n; ++i) vals[i] = v[i] % m;
             return out;
           },
           ColumnRef(2)};
@@ -233,7 +262,8 @@ inline std::vector<ColumnExpr> RandomProjection(Random* rng) {
 /// Runs the plan derived from `plan_seed` over `src` (and `build`, the
 /// second table joins draw their build side from) at `threads`.
 inline FuzzPlanResult RunFuzzPlan(uint64_t plan_seed, const FuzzSource& src,
-                                  Table* build_table, int threads) {
+                                  Table* build_table, int threads,
+                                  bool zone_hints = true) {
   using fuzz_internal::RandomPredicate;
   using fuzz_internal::RandomProjection;
   Random rng(plan_seed);
@@ -245,6 +275,22 @@ inline FuzzPlanResult RunFuzzPlan(uint64_t plan_seed, const FuzzSource& src,
   so.morsel_rows = morsel_choices[rng.Uniform(5)];
   const bool ordered = rng.Bernoulli(0.5);
   so.ordered = ordered;
+
+  // Zone-map pruning fuzz: sometimes pair an inclusive key-range
+  // predicate with the matching ScanOptions hint so whole chunks get
+  // skipped. The rng draws happen unconditionally so a reference run
+  // with zone_hints == false makes identical plan decisions but scans
+  // every chunk — any result difference is a pruning bug.
+  bool zoned = false;
+  int64_t zlo = 0, zhi = 0;
+  if (rng.Bernoulli(0.35)) {
+    zoned = true;
+    zlo = static_cast<int64_t>(rng.Uniform(2000));
+    zhi = zlo + 1 + static_cast<int64_t>(rng.UniformRange(0, 3000));
+    if (zone_hints) {
+      so.zone_filters.push_back({0, Value(zlo), Value(zhi)});
+    }
+  }
 
   const std::vector<ColumnId> cols{0, 1, 2, 3};
   // Serial tree at 1 thread, pipeline otherwise — mirroring how the
@@ -272,6 +318,10 @@ inline FuzzPlanResult RunFuzzPlan(uint64_t plan_seed, const FuzzSource& src,
           std::make_unique<ProjectNode>(std::move(serial), std::move(e));
     }
   };
+
+  // The predicate that justifies the pruning hint goes first so the
+  // hint is always implied by the plan's filters.
+  if (zoned) add_filter(Int64Between(0, zlo, zhi));
 
   // Multi-predicate filters: the serial tree chains one FilterNode per
   // predicate (materializing each intermediate), while stacked
@@ -304,9 +354,11 @@ inline FuzzPlanResult RunFuzzPlan(uint64_t plan_seed, const FuzzSource& src,
     std::vector<ColumnExpr> build_exprs{
         [m](const Batch& b) {
           ColumnVector out(TypeId::kInt64);
-          const auto& v = b.column(1).ints();
-          out.ints().resize(v.size());
-          for (size_t i = 0; i < v.size(); ++i) out.ints()[i] = v[i] % m;
+          const size_t n = b.column(1).size();
+          const int64_t* v = b.column(1).ints_data();
+          auto& vals = out.ints();
+          vals.resize(n);
+          for (size_t i = 0; i < n; ++i) vals[i] = v[i] % m;
           return out;
         },
         ColumnRef(0)};
@@ -323,11 +375,11 @@ inline FuzzPlanResult RunFuzzPlan(uint64_t plan_seed, const FuzzSource& src,
       return {ColumnRef(0),
               [m](const Batch& b) {
                 ColumnVector out(TypeId::kInt64);
-                const auto& v = b.column(1).ints();
-                out.ints().resize(v.size());
-                for (size_t i = 0; i < v.size(); ++i) {
-                  out.ints()[i] = v[i] % m;
-                }
+                const size_t n = b.column(1).size();
+                const int64_t* v = b.column(1).ints_data();
+                auto& vals = out.ints();
+                vals.resize(n);
+                for (size_t i = 0; i < n; ++i) vals[i] = v[i] % m;
                 return out;
               },
               ColumnRef(2)};
@@ -338,6 +390,10 @@ inline FuzzPlanResult RunFuzzPlan(uint64_t plan_seed, const FuzzSource& src,
     std::shared_ptr<JoinBuildHandle> handle;
     if (parallel) {
       ScanOptions bso = so;
+      // The zone hint is justified by the probe side's key predicate;
+      // the build scan has no such filter, so pruning there would be
+      // an unsound (contract-violating) hint.
+      bso.zone_filters.clear();
       auto bpipe =
           std::make_unique<Pipeline>(build_table->PlanMorsels(bcols, nullptr,
                                                               bso));
