@@ -88,6 +88,9 @@ void PrintHelp() {
       "                            replays its WAL and continues where it left off\n"
       "  .save                     durable checkpoint of the open database\n"
       "                            (atomic manifest swap, then WAL truncation)\n"
+      "  .stats                    write-path statistics: per-table PDT layer\n"
+      "                            sizes, pending deltas, WAL syncs/txn, and\n"
+      "                            buffer-pool I/O counters\n"
       "  help | quit\n");
 }
 
@@ -161,6 +164,53 @@ class Shell {
     if (cmd == ".save") {
       PDT_RETURN_NOT_OK(db_->Save());
       std::printf("  checkpoint committed\n");
+      return Status::OK();
+    }
+    if (cmd == ".stats") {
+      for (const auto& name : db_->TableNames()) {
+        Table* tbl = *db_->GetTable(name);
+        TxnManager* mgr = db_->FindTxn(name);
+        if (mgr == nullptr) {
+          // No transactions ran against this table yet.
+          std::printf("  %-16s read_pdt=%zu (no transaction manager)\n",
+                      name.c_str(),
+                      tbl->pdt() != nullptr ? tbl->pdt()->EntryCount() : 0);
+          continue;
+        }
+        TxnManagerStats s = mgr->GetStats();
+        std::printf(
+            "  %-16s read_pdt=%zu write_pdt=%zu merge_pending=%zu%s\n"
+            "    txns: committed=%llu aborted=%llu active=%zu\n"
+            "    write path: pending_deltas=%zu fold_batches=%llu "
+            "folded=%llu bg_merges=%llu lock_us/commit=%.2f\n",
+            name.c_str(), s.read_pdt_entries, s.write_pdt_entries,
+            s.merge_pending_entries, s.merge_inflight ? " (merging)" : "",
+            static_cast<unsigned long long>(s.committed),
+            static_cast<unsigned long long>(s.aborted), s.active,
+            s.pending_deltas,
+            static_cast<unsigned long long>(s.fold_batches),
+            static_cast<unsigned long long>(s.folded_records),
+            static_cast<unsigned long long>(s.background_merges),
+            s.committed > 0
+                ? static_cast<double>(s.commit_lock_ns) / 1e3 /
+                      static_cast<double>(s.committed)
+                : 0.0);
+        if (s.wal_records > 0 || s.wal_syncs > 0) {
+          const uint64_t txns = s.committed + s.aborted;
+          std::printf("    wal: records=%llu syncs=%llu syncs/txn=%.3f\n",
+                      static_cast<unsigned long long>(s.wal_records),
+                      static_cast<unsigned long long>(s.wal_syncs),
+                      txns > 0 ? static_cast<double>(s.wal_syncs) /
+                                     static_cast<double>(txns)
+                               : 0.0);
+        }
+      }
+      const IoStats& io = db_->io_stats();
+      std::printf("  buffer pool: bytes_read=%llu chunks_read=%llu "
+                  "hits=%llu\n",
+                  static_cast<unsigned long long>(io.bytes_read),
+                  static_cast<unsigned long long>(io.chunks_read),
+                  static_cast<unsigned long long>(io.hits));
       return Status::OK();
     }
     if (cmd == "io") {

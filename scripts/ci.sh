@@ -59,6 +59,12 @@ echo "== bench smoke (tiny sizes) =="
     --threads=1,2,4,8 --json="$BUILD_DIR/BENCH_fig19_smoke.json"
 "$BUILD_DIR/bench_wal_group_commit" --txns=800 --threads=1,4 \
     --json="$BUILD_DIR/BENCH_wal.json"
+# bench_write_path doubles as the key-loss check: after every workload it
+# re-counts the table through a fresh snapshot and aborts if any
+# committed insert went missing (lock-free publication + batched fold
+# must never drop a record).
+"$BUILD_DIR/bench_write_path" --txns=400 --writers=1,2,4,8 \
+    --json="$BUILD_DIR/BENCH_write_smoke.json"
 
 echo "== bench key check =="
 # The committed BENCH_exec.json is the record of what the exec benches
@@ -79,6 +85,19 @@ while IFS= read -r name; do
     keys_ok=0
   fi
 done <<<"$(grep -o '"name": "[^"]*"' BENCH_exec.json \
+             | sed -E 's/"name": "([^"]*)"/\1/' | sort -u)"
+# Same contract for the committed write-path artifact: every recorded
+# (mode, writer-count) cell must still be produced by bench_write_path.
+produced_write="$(grep -o '"name": "[^"]*"' "$BUILD_DIR/BENCH_write_smoke.json" \
+                    | sed -E 's/"name": "([^"]*)"/\1/' | sort -u)"
+while IFS= read -r name; do
+  [[ -z "$name" ]] && continue
+  if ! grep -qxF "$name" <<<"$produced_write"; then
+    echo "bench key check FAILED: committed BENCH_write.json entry '$name'" \
+         "is no longer produced by bench_write_path"
+    keys_ok=0
+  fi
+done <<<"$(grep -o '"name": "[^"]*"' BENCH_write.json \
              | sed -E 's/"name": "([^"]*)"/\1/' | sort -u)"
 [[ "$keys_ok" == 1 ]] || exit 1
 echo "bench keys OK"

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "util/thread_pool.h"
+
 namespace pdtstore {
 
 Database::Database(DatabaseOptions options)
@@ -171,7 +173,7 @@ Status Database::Save() {
     // Absorb the delta into the stable image, then write it out. Images
     // get fresh epoch-stamped names: an old image is never overwritten,
     // so a crash below leaves the previous checkpoint intact.
-    PDT_RETURN_NOT_OK(table->Checkpoint());
+    PDT_RETURN_NOT_OK(table->Checkpoint(ThreadPool::DefaultThreads()));
     ManifestTable t;
     t.name = name;
     t.backend = table->options().backend;
@@ -294,6 +296,11 @@ StatusOr<TxnManager*> Database::Txn(const std::string& name) {
   TxnManager* ptr = mgr.get();
   managers_[name] = std::move(mgr);
   return ptr;
+}
+
+TxnManager* Database::FindTxn(const std::string& name) const {
+  auto it = managers_.find(name);
+  return it != managers_.end() ? it->second.get() : nullptr;
 }
 
 std::vector<std::string> Database::TableNames() const {

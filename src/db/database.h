@@ -88,6 +88,11 @@ class Database {
   /// WAL; all managers share one transaction-id space.
   StatusOr<TxnManager*> Txn(const std::string& name);
 
+  /// The transaction manager for `name` if one was already created by
+  /// Txn(); null otherwise. Read-only lookup for observability (the
+  /// shell's `.stats`) — never instantiates a manager as a side effect.
+  TxnManager* FindTxn(const std::string& name) const;
+
   bool persistent() const { return !dir_.empty(); }
   /// True when recovery degraded the database (see recovery_status()).
   bool read_only() const { return read_only_; }

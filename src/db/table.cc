@@ -15,7 +15,7 @@ Table::Table(std::string name, std::shared_ptr<const Schema> schema,
       pool_(pool ? std::move(pool) : std::make_shared<BufferPool>()) {
   store_ = std::make_unique<ColumnStore>(*schema_, options_.store, pool_);
   if (options_.backend == DeltaBackend::kPdt) {
-    pdt_ = std::make_unique<Pdt>(schema_, options_.pdt);
+    pdt_ = std::make_shared<Pdt>(schema_, options_.pdt);
   } else {
     vdt_ = std::make_unique<Vdt>(schema_);
   }
@@ -324,12 +324,18 @@ MorselPlan Table::PlanMorsels(std::vector<ColumnId> projection,
 // Checkpoint.
 // ---------------------------------------------------------------------
 
-Status Table::Checkpoint() {
+Status Table::Checkpoint(int num_threads) {
   if (read_only_) return ReadOnlyError(name_);
-  // Materialize the merged image column-wise...
+  // Materialize the merged image column-wise. With num_threads > 1 the
+  // merge runs as ordered morsels on the shared worker pool — the
+  // ordered exchange reproduces the serial scan's exact row sequence,
+  // so the rebuilt image is byte-identical to the serial one.
   std::vector<ColumnId> all_cols(schema_->num_columns());
   for (ColumnId i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
-  auto scan = Scan(all_cols);
+  ScanOptions scan_opts;
+  scan_opts.num_threads = num_threads;
+  scan_opts.ordered = true;
+  auto scan = Scan(all_cols, nullptr, scan_opts);
   std::vector<ColumnVector> cols;
   cols.reserve(all_cols.size());
   for (ColumnId c = 0; c < all_cols.size(); ++c) {

@@ -54,6 +54,16 @@ class Table {
   BufferPool* buffer_pool() const { return pool_.get(); }
   Pdt* pdt() { return pdt_.get(); }
   const Pdt* pdt() const { return pdt_.get(); }
+  /// Shared ownership of the PDT (the Read-PDT of the transaction
+  /// layers). Snapshots hold this so a concurrent ReplacePdt — the
+  /// background merge installing a freshly folded Read-PDT — never
+  /// pulls the layer out from under a running scan: the old PDT stays
+  /// alive until its last snapshot drops it.
+  std::shared_ptr<const Pdt> SharedPdt() const { return pdt_; }
+  /// Swaps in a replacement Read-PDT (background Write→Read merge).
+  /// Caller must serialize against Begin()/SharedPdt() readers (the
+  /// transaction manager does both under its own lock).
+  void ReplacePdt(std::shared_ptr<Pdt> pdt) { pdt_ = std::move(pdt); }
   Vdt* vdt() { return vdt_.get(); }
   const Vdt* vdt() const { return vdt_.get(); }
 
@@ -131,8 +141,11 @@ class Table {
 
   /// Rebuilds the stable image from the merged state, resets the delta
   /// and re-derives the sparse index ("create a new image of the table
-  /// with all updates applied", Sec. 2).
-  Status Checkpoint();
+  /// with all updates applied", Sec. 2). With `num_threads > 1` the
+  /// merged image is materialized by the ordered morsel-parallel scan on
+  /// the shared worker pool; the output is byte-identical to the serial
+  /// rebuild.
+  Status Checkpoint(int num_threads = 1);
 
   /// Heap footprint of the differential structure.
   size_t DeltaMemoryBytes() const;
@@ -158,7 +171,7 @@ class Table {
   std::shared_ptr<BufferPool> pool_;
   std::unique_ptr<ColumnStore> store_;
   SparseIndex sparse_index_;
-  std::unique_ptr<Pdt> pdt_;
+  std::shared_ptr<Pdt> pdt_;
   std::unique_ptr<Vdt> vdt_;
   bool loaded_ = false;
   bool read_only_ = false;

@@ -196,6 +196,16 @@ class Pdt {
   /// PDT's RID domain) into this PDT.
   Status Propagate(const Pdt& w);
 
+  /// Incremental Algorithm 7: folds up to `max_entries` of `w` into this
+  /// PDT, resuming from `*cursor` (pass `w.Begin()` to start) and
+  /// leaving the cursor at the first unapplied entry. Sets `*done` when
+  /// `w` is exhausted. Left-to-right prefixes of a Propagate are
+  /// themselves valid states (the RID domain evolves entry by entry), so
+  /// a background merge can interleave chunks with other work as long as
+  /// `w` and this PDT stay otherwise unmodified between steps.
+  Status PropagateStep(const Pdt& w, Cursor* cursor, size_t max_entries,
+                       bool* done);
+
   /// Algorithm 8: makes this (newer, aligned) PDT consecutive to `ty` by
   /// converting its SIDs into ty's RID domain. Returns Status::Conflict
   /// on a write-write conflict (caller aborts the transaction).

@@ -99,5 +99,52 @@ Status ApplyUpdateStream(const UpdateStream& stream, TpchTables* tables) {
   return Status::OK();
 }
 
+Status ApplyUpdateStreamTxn(const UpdateStream& stream, TxnManager* orders,
+                            TxnManager* lineitem, size_t orders_per_txn) {
+  if (orders_per_txn == 0) orders_per_txn = 1;
+  // Walk inserts then deletes in groups; each group is one transaction
+  // per table (two commits riding the same group-commit fsync when the
+  // managers share a WAL).
+  auto commit_group = [&](size_t begin, size_t end,
+                          bool inserts) -> Status {
+    auto otxn = orders->Begin();
+    auto ltxn = lineitem->Begin();
+    for (size_t i = begin; i < end; ++i) {
+      const GeneratedOrder& o =
+          inserts ? stream.inserts[i] : stream.deletes[i];
+      if (inserts) {
+        PDT_RETURN_NOT_OK(otxn->Insert(o.order));
+        for (const Tuple& l : o.lineitems) {
+          PDT_RETURN_NOT_OK(ltxn->Insert(l));
+        }
+      } else {
+        Status st = otxn->DeleteByKey(
+            {o.order[kOOrderdate], o.order[kOOrderkey]});
+        if (st.code() == StatusCode::kNotFound) continue;  // already gone
+        PDT_RETURN_NOT_OK(st);
+        for (const Tuple& l : o.lineitems) {
+          PDT_RETURN_NOT_OK(ltxn->DeleteByKey(
+              {l[kLOrderkey], l[kLLinenumber]}));
+        }
+      }
+    }
+    // Publish both lock-free, then await the verdicts: the fold batches
+    // the pair, and both ride one fsync.
+    PDT_RETURN_NOT_OK(otxn->Publish());
+    PDT_RETURN_NOT_OK(ltxn->Publish());
+    PDT_RETURN_NOT_OK(otxn->AwaitCommit());
+    return ltxn->AwaitCommit();
+  };
+  for (size_t i = 0; i < stream.inserts.size(); i += orders_per_txn) {
+    PDT_RETURN_NOT_OK(commit_group(
+        i, std::min(i + orders_per_txn, stream.inserts.size()), true));
+  }
+  for (size_t i = 0; i < stream.deletes.size(); i += orders_per_txn) {
+    PDT_RETURN_NOT_OK(commit_group(
+        i, std::min(i + orders_per_txn, stream.deletes.size()), false));
+  }
+  return Status::OK();
+}
+
 }  // namespace tpch
 }  // namespace pdtstore

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "tpch/tpch_gen.h"
+#include "txn/txn_manager.h"
 
 namespace pdtstore {
 namespace tpch {
@@ -30,6 +31,16 @@ StatusOr<std::vector<UpdateStream>> MakeUpdateStreams(
 /// Applies one stream to the tables (inserts into orders+lineitem, then
 /// deletes). Works with either delta backend through the Table facade.
 Status ApplyUpdateStream(const UpdateStream& stream, TpchTables* tables);
+
+/// Applies one stream through the transactional write path, grouping
+/// `orders_per_txn` refresh orders per commit on each table's manager.
+/// Several streams on distinct threads then exercise the lock-free delta
+/// publication + batched fold path concurrently (the paper's Fig. 19
+/// update load as an HTAP writer). Atomicity is per table: the orders
+/// and lineitem updates of a group commit as two transactions (the
+/// cross-table refresh is MultiTxnManager's job; see ROADMAP).
+Status ApplyUpdateStreamTxn(const UpdateStream& stream, TxnManager* orders,
+                            TxnManager* lineitem, size_t orders_per_txn = 8);
 
 }  // namespace tpch
 }  // namespace pdtstore

@@ -37,7 +37,9 @@ StatusOr<MultiTransaction::TableView*> MultiTransaction::View(
   }
   TableView view;
   view.table = st.table;
-  view.read = std::shared_ptr<const Pdt>(st.table->pdt(), [](const Pdt*) {});
+  // Pin the Read-PDT: shared ownership keeps the layer alive even if a
+  // per-table manager's background merge installs a replacement.
+  view.read = st.table->SharedPdt();
   view.write = st.write_snapshot;
   view.trans = std::make_unique<Pdt>(st.table->shared_schema(),
                                      st.table->options().pdt);

@@ -13,10 +13,22 @@
 // transaction's serialized Trans-PDT (conflict => abort), then propagate
 // into the master Write-PDT; serialized PDTs are kept alive by reference
 // counts while overlapping transactions still run.
+//
+// Concurrent write path (see DESIGN.md "Concurrent write path"): the
+// build phase of a commit — positioning updates, building the Trans-PDT,
+// encoding WAL payloads — runs entirely outside the manager lock. A
+// committing transaction publishes a *delta record* onto a lock-free
+// chain (atomic prepend); whichever committer takes the manager lock
+// first folds the whole chain in publication order under one short
+// critical section, then every member of the batch rides the WAL's
+// group-commit fsync. Write→Read propagation under load runs as an
+// incremental background task on the shared worker pool, with scans
+// pinning the pre-merge Read-PDT via shared snapshots.
 #ifndef PDTSTORE_TXN_TXN_MANAGER_H_
 #define PDTSTORE_TXN_TXN_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -28,6 +40,10 @@
 namespace pdtstore {
 
 class TxnManager;
+
+namespace internal {
+struct DeltaRecord;
+}  // namespace internal
 
 /// A snapshot-isolated transaction over one table. Not thread-safe
 /// itself; distinct transactions may run on distinct threads.
@@ -61,11 +77,27 @@ class Transaction {
   StatusOr<Tuple> GetByKey(const std::vector<Value>& key) const;
   uint64_t RowCount() const;
 
-  /// Algorithm 9. On conflict returns Status::Conflict and the
-  /// transaction is aborted. The transaction is finished either way.
+  /// Algorithm 9; equivalent to Publish() + AwaitCommit(). On conflict
+  /// returns Status::Conflict and the transaction is aborted. The
+  /// transaction is finished either way.
   Status Commit();
 
-  /// Discards all buffered updates.
+  /// First half of a two-phase commit: seals the transaction's updates
+  /// into a delta record and publishes it onto the manager's lock-free
+  /// commit chain — no lock is taken and no verdict is produced yet.
+  /// After Publish() the transaction accepts no further updates or
+  /// reads; the only legal follow-ups are AwaitCommit() and Abort()
+  /// (which unlinks the record if no fold claimed it yet).
+  Status Publish();
+
+  /// Second half: drives or awaits the fold that decides this record,
+  /// then waits for WAL durability (group commit). Returns the commit
+  /// verdict exactly as Commit() would.
+  Status AwaitCommit();
+
+  /// Discards all buffered updates. After Publish(), unlinks the
+  /// published record if it has not been folded; if a fold already
+  /// committed it, the commit stands and Abort is a no-op.
   void Abort();
 
   // ------------------------------------------------------------------
@@ -84,16 +116,23 @@ class Transaction {
 
   uint64_t id() const { return id_; }
   bool finished() const { return finished_; }
+  /// True between Publish() and the verdict (or unlink).
+  bool published() const { return rec_ != nullptr && !finished_; }
   const Pdt& trans_pdt() const { return *trans_; }
 
  private:
   friend class TxnManager;
   Transaction(TxnManager* mgr, uint64_t id, uint64_t start_time,
               std::shared_ptr<const Pdt> read_snapshot,
+              std::shared_ptr<const Pdt> pending_snapshot,
               std::shared_ptr<const Pdt> write_snapshot);
 
-  // Layer stacks: scans see [read, write, trans]; update positioning
-  // additionally sees the Query-PDT when one is active.
+  // Layer stacks: scans see [read, pending?, write, trans] — the
+  // optional pending layer is a claimed Write-PDT an in-flight
+  // background merge is folding into the Read-PDT; until the merged
+  // Read-PDT is installed, snapshots keep seeing those updates through
+  // this extra immutable layer. Update positioning additionally sees
+  // the Query-PDT when one is active.
   std::vector<const Pdt*> Layers() const;
   std::vector<const Pdt*> UpdateLayers() const;
   // The PDT that receives updates (Query-PDT when active, else Trans).
@@ -106,12 +145,16 @@ class Transaction {
   TxnManager* mgr_;
   uint64_t id_;
   uint64_t start_time_;
-  std::shared_ptr<const Pdt> read_;   // shared Read-PDT snapshot
-  std::shared_ptr<const Pdt> write_;  // Write-PDT snapshot (copy/shared)
-  std::unique_ptr<Pdt> trans_;        // private Trans-PDT
-  std::unique_ptr<Pdt> query_;        // optional Query-PDT (footnote 5)
-  // Logical redo records for the WAL, in op order.
+  std::shared_ptr<const Pdt> read_;     // shared Read-PDT snapshot
+  std::shared_ptr<const Pdt> pending_;  // in-flight merge layer (or null)
+  std::shared_ptr<const Pdt> write_;    // Write-PDT snapshot (copy/shared)
+  std::unique_ptr<Pdt> trans_;          // private Trans-PDT (until Publish)
+  std::unique_ptr<Pdt> query_;          // optional Query-PDT (footnote 5)
+  // Logical redo records for the WAL, in op order (until Publish).
   std::vector<WalRecord> redo_;
+  // The published delta record; owned here, linked into the manager's
+  // chain until a fold (or an abort-unlink) takes it out.
+  std::unique_ptr<internal::DeltaRecord> rec_;
   bool finished_ = false;
 };
 
@@ -128,6 +171,15 @@ struct TxnManagerOptions {
   /// behalf of every waiter. When false, each commit flushes and fsyncs
   /// its own frames before returning (the ablation baseline).
   bool group_commit = true;
+  /// Single-lock ablation baseline: every commit takes the manager lock
+  /// itself and runs the full Algorithm 9 — conflict check, WAL record
+  /// encoding + append, Write-PDT fold — under it, exactly the
+  /// pre-delta-chain write path. Off by default: commits publish to the
+  /// lock-free delta chain and are folded in batches.
+  bool serial_commit = false;
+  /// Entries a background Write→Read merge folds per worker-pool task
+  /// before yielding the worker (so foreground scan morsels interleave).
+  size_t merge_chunk_entries = 2048;
   /// When several per-table managers share one WAL, they must also share
   /// a transaction-id source — concurrent transactions with colliding
   /// ids would be merged by replay. Database wires all its managers to
@@ -136,11 +188,32 @@ struct TxnManagerOptions {
   std::atomic<uint64_t>* txn_id_counter = nullptr;
 };
 
+/// Observability counters for the write path (see shell `.stats`).
+struct TxnManagerStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  size_t active = 0;
+  size_t pending_deltas = 0;      ///< published, not yet folded
+  uint64_t fold_batches = 0;      ///< chain claims that found records
+  uint64_t folded_records = 0;    ///< records decided through folds
+  uint64_t commit_lock_ns = 0;    ///< total ns commit work held the lock
+  size_t read_pdt_entries = 0;
+  size_t write_pdt_entries = 0;
+  size_t merge_pending_entries = 0;  ///< claimed layer a bg merge is folding
+  bool merge_inflight = false;
+  uint64_t background_merges = 0;  ///< completed background propagations
+  uint64_t wal_syncs = 0;          ///< fsyncs through the attached writer
+  uint64_t wal_records = 0;
+};
+
 /// Manages transactions over one PDT-backed Table.
 class TxnManager {
  public:
   /// `wal` is optional; when given, commits append logical redo records.
   TxnManager(Table* table, Wal* wal = nullptr, TxnManagerOptions opts = {});
+  /// Drains the in-flight background merge, if any (its worker-pool task
+  /// holds a pointer to this manager).
+  ~TxnManager();
 
   /// Starts a snapshot-isolated transaction.
   std::unique_ptr<Transaction> Begin();
@@ -168,7 +241,8 @@ class TxnManager {
 
   /// Propagates Write-PDT -> Read-PDT and, if the Read-PDT is large,
   /// checkpoints the table. Requires no active transactions (returns
-  /// InvalidArgument otherwise).
+  /// InvalidArgument otherwise; a published-but-unfolded commit still
+  /// counts as active). Drains any in-flight background merge first.
   Status PropagateAndMaybeCheckpoint();
 
   Table* table() const { return table_; }
@@ -177,18 +251,56 @@ class TxnManager {
   uint64_t committed_count() const { return committed_count_; }
   uint64_t aborted_count() const { return aborted_count_; }
 
+  /// Snapshot of the write-path counters (consistent under the lock).
+  TxnManagerStats GetStats() const;
+
  private:
   friend class Transaction;
+  struct MergeJob;
 
-  // Commit path (Alg. 9), called under lock from Transaction::Commit.
-  // On success `*durable_upto` is the WAL offset this commit must see
-  // durable before acknowledging (0 = nothing to wait for).
-  Status CommitLocked(Transaction* txn, uint64_t* durable_upto);
+  // --- delta-chain commit path ---
+  // Lock-free: prepends the record to the commit chain (release CAS).
+  void PublishRecord(internal::DeltaRecord* rec);
+  // Blocks until `rec` has a verdict: takes the lock and, if the record
+  // is still undecided, folds the whole published chain (this committer
+  // is the fold leader; everyone folded rides the same fsync). In
+  // serial_commit mode folds just this record — the single-lock
+  // baseline. Returns the verdict; `*durable_upto` is the WAL offset to
+  // sync outside the lock (0 = nothing to wait for).
+  Status AwaitVerdict(internal::DeltaRecord* rec, uint64_t* durable_upto);
+  // Claims the chain (atomic exchange) and commits every record in
+  // publication order. Caller holds mu_.
+  void FoldChainLocked();
+  // Algorithm 9 for one record: conflict check against TZ, WAL append,
+  // fold into the Write-PDT, TZ bookkeeping. Verdict lands in the
+  // record. Caller holds mu_.
+  void CommitRecordLocked(internal::DeltaRecord* rec);
+  // Abort of a published transaction: unlink from the chain if still
+  // there, else honor the fold's verdict. Caller is the owning thread.
+  void AbortPublished(Transaction* txn);
+  // Removes `rec` from the chain, preserving the others' order (they are
+  // spliced back; concurrent lock-free publishes keep their records).
+  // Caller holds mu_. Returns false if a fold already claimed it.
+  bool UnlinkLocked(internal::DeltaRecord* rec);
+
   // Blocks until the WAL is durable through `upto` (group-commit wait:
   // the first waiter becomes the flush leader).
   Status SyncWal(uint64_t upto);
+  // TZ refcount release + active_ decrement for a finishing txn.
+  void FinishActiveLocked(uint64_t start_time);
   void FinishLocked(Transaction* txn);
-  void ReleaseOverlapsLocked(Transaction* txn, size_t upto);
+
+  // --- background Write→Read merge ---
+  // Called after a commit folded: inline quiet-point propagate (the
+  // deterministic serial behavior) or kick off a background merge when
+  // readers are pinning snapshots. Caller holds mu_.
+  Status MaybePropagateWriteLocked();
+  // Claims write_ as the immutable pending layer and schedules the
+  // incremental fold on the global worker pool. Caller holds mu_.
+  void StartBackgroundMergeLocked();
+  // One incremental merge step; re-submits itself until done, then
+  // installs the merged Read-PDT. Runs on a pool worker.
+  void MergeStep(std::shared_ptr<MergeJob> job);
 
   // An entry of TZ: a committed, serialized Trans-PDT kept while
   // overlapping transactions still run.
@@ -205,17 +317,35 @@ class TxnManager {
   // shared) Wal, so managers logging to one file agree on durability.
   WalWriter* writer_ = nullptr;
   bool recovered_ = false;
+
+  // The lock-free commit chain: newest record first; only PublishRecord
+  // runs without mu_ (claims and splices happen under it).
+  std::atomic<internal::DeltaRecord*> delta_head_{nullptr};
+  std::atomic<size_t> pending_deltas_{0};
+
   mutable std::mutex mu_;
   std::unique_ptr<Pdt> write_;           // master Write-PDT
   std::shared_ptr<const Pdt> write_snapshot_;  // cache: copy of write_
   uint64_t write_snapshot_time_ = 0;     // logical time of that copy
-  std::shared_ptr<const Pdt> read_view_;  // immutable view of Read-PDT
   uint64_t clock_ = 1;                   // logical commit clock
   uint64_t next_txn_id_ = 1;
   size_t active_ = 0;
   uint64_t committed_count_ = 0;
   uint64_t aborted_count_ = 0;
   std::deque<CommittedTxn> tz_;          // commit-ordered
+
+  // Background merge state (under mu_; the pending layer itself is
+  // immutable and shared with snapshots).
+  std::shared_ptr<const Pdt> merge_pending_;  // claimed Write-PDT
+  bool merge_inflight_ = false;
+  Status merge_error_ = Status::OK();  // abandoned merge (folded inline later)
+  std::condition_variable merge_cv_;   // signals merge completion
+  uint64_t background_merges_ = 0;
+
+  // Write-path counters (under mu_).
+  uint64_t fold_batches_ = 0;
+  uint64_t folded_records_ = 0;
+  uint64_t commit_lock_ns_ = 0;
 };
 
 }  // namespace pdtstore

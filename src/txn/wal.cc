@@ -284,6 +284,10 @@ uint64_t Wal::Append(const WalRecord& record) {
   std::string payload;
   EncodePayload(&payload, record);
   std::lock_guard<std::mutex> lock(mu_);
+  return AppendPayloadLocked(payload);
+}
+
+uint64_t Wal::AppendPayloadLocked(const std::string& payload) {
   const uint64_t lsn = buffer_.size();
   PutFixed32(&buffer_, static_cast<uint32_t>(payload.size()));
   // CRC spans (lsn || payload) so a frame also vouches for its position.
@@ -295,6 +299,18 @@ uint64_t Wal::Append(const WalRecord& record) {
   buffer_.append(checked);
   ++record_count_;
   return lsn;
+}
+
+std::string Wal::EncodeRecordPayload(const WalRecord& record) {
+  std::string payload;
+  EncodePayload(&payload, record);
+  return payload;
+}
+
+uint64_t Wal::AppendEncoded(const std::vector<std::string>& payloads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& payload : payloads) AppendPayloadLocked(payload);
+  return buffer_.size();
 }
 
 uint64_t Wal::LogBegin(uint64_t txn_id) {

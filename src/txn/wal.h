@@ -106,6 +106,20 @@ class Wal {
   /// flushing is explicit and separate.
   uint64_t Append(const WalRecord& record);
 
+  /// Encodes a record's logical payload (everything but the frame
+  /// header) without touching any log. Byte-identical to what Append
+  /// would write, so a committer can do the value encoding — the bulk
+  /// of the append cost — outside every lock and hand the finished
+  /// payloads to AppendEncoded under the commit critical section.
+  static std::string EncodeRecordPayload(const WalRecord& record);
+
+  /// Appends pre-encoded payloads (from EncodeRecordPayload) as
+  /// consecutive frames under one buffer-lock acquisition; LSNs and
+  /// frame CRCs are assigned here, where the offsets become known.
+  /// Returns the log size the frames extend to (the batch's durability
+  /// target for SyncTo).
+  uint64_t AppendEncoded(const std::vector<std::string>& payloads);
+
   /// Convenience appenders.
   uint64_t LogBegin(uint64_t txn_id);
   uint64_t LogInsert(uint64_t txn_id, const std::string& table,
@@ -183,6 +197,9 @@ class Wal {
   size_t RecordCount() const;
 
  private:
+  // Frames one payload at the current end of the buffer. Caller holds mu_.
+  uint64_t AppendPayloadLocked(const std::string& payload);
+
   // Buffer state. Held only for short, non-blocking operations.
   mutable std::mutex mu_;
   std::string buffer_;

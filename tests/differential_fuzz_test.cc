@@ -21,10 +21,15 @@
 //   PDT_FUZZ_SEED=<seed> PDT_FUZZ_ITERS=1 ./differential_fuzz_test
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "fuzz_util.h"
+#include "txn/txn_manager.h"
 
 namespace pdtstore {
 namespace {
@@ -119,6 +124,166 @@ TEST(DifferentialFuzz, SerialAndParallelPlansAgree) {
       FAIL() << "differential fuzz failed at seed " << seed
              << " — repro: PDT_FUZZ_SEED=" << seed
              << " PDT_FUZZ_ITERS=1 ./differential_fuzz_test";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Concurrent write path: N writer threads publish seeded update batches
+// lock-free while reader threads scan pinned snapshots. The WAL is the
+// committed sequence in fold order, so replaying it serially into a
+// fresh table must reproduce the concurrent final state exactly — any
+// lost delta record, mis-ordered fold, or torn snapshot diverges.
+
+std::shared_ptr<const Schema> WriteFuzzSchema() {
+  auto s = Schema::Make({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}}, {0});
+  return std::make_shared<const Schema>(std::move(*s));
+}
+
+std::vector<Tuple> SnapshotRows(const Transaction& txn) {
+  auto src = txn.Scan({0, 1});
+  auto rows = CollectRows(src.get());
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  return rows.ok() ? *rows : std::vector<Tuple>{};
+}
+
+void RunConcurrentWriteIteration(uint64_t seed) {
+  Random rng(seed);
+  const int writers = 2 + static_cast<int>(rng.Uniform(3));       // 2..4
+  const int txns_per_writer = 4 + static_cast<int>(rng.Uniform(5));
+  const int64_t init_rows = 20 + static_cast<int64_t>(rng.Uniform(40));
+  const int64_t key_domain = init_rows * 2;  // evens exist, odds do not
+
+  // Initial load: every even key in the domain, so deletes/modifies on
+  // random keys hit about half the time and conflict across writers.
+  std::vector<Tuple> init;
+  init.reserve(init_rows);
+  for (int64_t i = 0; i < init_rows; ++i) init.push_back({i * 2, i});
+
+  TxnManagerOptions opts;
+  opts.group_commit = true;
+  // Small Write-PDT cap + tiny merge chunks: background merges fire
+  // mid-workload, so readers cross the four-layer snapshot stack.
+  opts.write_pdt_max_entries = 4 + rng.Uniform(28);
+  opts.merge_chunk_entries = 1 + rng.Uniform(8);
+
+  Table table("fuzz_write", WriteFuzzSchema(), TableOptions{});
+  ASSERT_TRUE(table.Load(init).ok());
+  Wal wal;
+  TxnManager mgr(&table, &wal, opts);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> committed{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(writers + 1);
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      Random wr(seed ^ (0xA24BAED4963EE407ULL * (t + 1)));
+      // Fresh-insert keys are disjoint per writer; deletes/modifies
+      // target the shared domain, so first-committer-wins conflicts
+      // abort some transactions (the WAL then omits them).
+      int64_t next_key = 1'000'000 + static_cast<int64_t>(t) * 100'000;
+      for (int i = 0; i < txns_per_writer; ++i) {
+        auto txn = mgr.Begin();
+        const int ops = 1 + static_cast<int>(wr.Uniform(4));
+        for (int k = 0; k < ops; ++k) {
+          switch (wr.Uniform(3)) {
+            case 0:
+              ASSERT_TRUE(txn->Insert({next_key, next_key}).ok());
+              ++next_key;
+              break;
+            case 1:
+              // Missing key (odd) or already-deleted -> NotFound; skip.
+              (void)txn->DeleteByKey(
+                  {Value(static_cast<int64_t>(wr.Uniform(key_domain)))});
+              break;
+            default:
+              (void)txn->ModifyByKey(
+                  {Value(static_cast<int64_t>(wr.Uniform(key_domain)))}, 1,
+                  Value(static_cast<int64_t>(wr.Uniform(1 << 20))));
+              break;
+          }
+        }
+        switch (wr.Uniform(10)) {
+          case 0:
+            txn->Abort();
+            break;
+          case 1:
+            // Abort after lock-free publication: the record must be
+            // unlinked from the chain (or already folded; either way
+            // the WAL stays the ground truth).
+            (void)txn->Publish();
+            txn->Abort();
+            break;
+          default: {
+            Status st = wr.Uniform(2) == 0
+                            ? txn->Commit()
+                            : [&] {
+                                Status p = txn->Publish();
+                                return p.ok() ? txn->AwaitCommit() : p;
+                              }();
+            if (st.ok()) committed.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  // Reader: each snapshot must be internally consistent (RowCount and
+  // two scans agree) no matter how folds/merges land around it.
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto r = mgr.Begin();
+      const uint64_t n = r->RowCount();
+      std::vector<Tuple> a = SnapshotRows(*r);
+      std::vector<Tuple> b = SnapshotRows(*r);
+      EXPECT_EQ(a.size(), n);
+      EXPECT_EQ(a, b);
+      r->Abort();
+      if (::testing::Test::HasFailure()) return;
+    }
+  });
+  for (int t = 0; t < writers; ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  threads.back().join();
+  if (::testing::Test::HasFailure()) return;
+
+  // Serial replay of the committed sequence: recover the WAL into a
+  // fresh copy of the initial table and compare final states.
+  std::vector<Tuple> final_rows;
+  {
+    auto check = mgr.Begin();
+    final_rows = SnapshotRows(*check);
+    check->Abort();
+  }
+  Table replay("fuzz_write", WriteFuzzSchema(), TableOptions{});
+  ASSERT_TRUE(replay.Load(init).ok());
+  Wal replay_wal;
+  TxnManager replay_mgr(&replay, &replay_wal);
+  ASSERT_TRUE(replay_mgr.Recover(wal).ok());
+  std::vector<Tuple> replay_rows;
+  {
+    auto check = replay_mgr.Begin();
+    replay_rows = SnapshotRows(*check);
+    check->Abort();
+  }
+  EXPECT_EQ(final_rows, replay_rows)
+      << "concurrent final state diverges from serial WAL replay ("
+      << committed.load() << " committed txns)";
+}
+
+TEST(DifferentialFuzz, ConcurrentWritersMatchSerialReplay) {
+  const uint64_t base = EnvOr("PDT_FUZZ_SEED", 20260731);
+  const uint64_t iters = EnvOr("PDT_FUZZ_ITERS", 40);
+  for (uint64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = base + i;
+    SCOPED_TRACE("repro: PDT_FUZZ_SEED=" + std::to_string(seed) +
+                 " PDT_FUZZ_ITERS=1 ./differential_fuzz_test"
+                 " --gtest_filter='*ConcurrentWriters*'");
+    RunConcurrentWriteIteration(seed);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "concurrent write fuzz failed at seed " << seed;
     }
   }
 }

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "test_util.h"
 #include "util/random.h"
 
@@ -368,6 +372,199 @@ TEST_F(TxnTest, QueryPdtUpdatesCompose) {
   ASSERT_TRUE(chair.ok());
   EXPECT_EQ((*chair)[3], Value(2));
   EXPECT_FALSE(check->GetByKey({Value("Paris"), Value("rug")}).ok());
+}
+
+// ---------------------------------------------------------------------
+// Concurrent write path: delta publication, batched fold, background
+// Write->Read propagation.
+// ---------------------------------------------------------------------
+
+TEST_F(TxnTest, PublishedBatchFoldsUnderOneLeader) {
+  // Two transactions publish lock-free; the first AwaitCommit becomes
+  // the fold leader and decides BOTH records in one batch.
+  auto a = mgr_->Begin();
+  auto b = mgr_->Begin();
+  ASSERT_TRUE(a->Insert({"Berlin", "table", "Y", 10}).ok());
+  ASSERT_TRUE(b->Insert({"Berlin", "cloth", "Y", 5}).ok());
+  ASSERT_TRUE(a->Publish().ok());
+  ASSERT_TRUE(b->Publish().ok());
+  EXPECT_EQ(mgr_->GetStats().pending_deltas, 2u);
+  // After Publish the transaction is sealed.
+  EXPECT_FALSE(a->Insert({"X", "x", "N", 1}).ok());
+  EXPECT_EQ(a->Scan({0}), nullptr);
+  ASSERT_TRUE(a->AwaitCommit().ok());
+  TxnManagerStats s = mgr_->GetStats();
+  EXPECT_EQ(s.pending_deltas, 0u);
+  EXPECT_EQ(s.fold_batches, 1u);
+  EXPECT_EQ(s.folded_records, 2u);
+  // b's verdict was decided by a's fold; AwaitCommit just reads it.
+  ASSERT_TRUE(b->AwaitCommit().ok());
+  EXPECT_EQ(mgr_->committed_count(), 2u);
+  auto check = mgr_->Begin();
+  EXPECT_EQ(TxnScan(*check, *schema_).size(), 7u);
+}
+
+TEST_F(TxnTest, ConflictDecidedAcrossFoldBoundary) {
+  // Both sides of a write-write conflict publish before either folds:
+  // the leader commits the first record and aborts the second, in
+  // publication order.
+  auto a = mgr_->Begin();
+  auto b = mgr_->Begin();
+  ASSERT_TRUE(
+      a->ModifyByKey({Value("Paris"), Value("rug")}, 3, Value(2)).ok());
+  ASSERT_TRUE(
+      b->ModifyByKey({Value("Paris"), Value("rug")}, 3, Value(3)).ok());
+  ASSERT_TRUE(a->Publish().ok());
+  ASSERT_TRUE(b->Publish().ok());
+  ASSERT_TRUE(a->AwaitCommit().ok());
+  EXPECT_EQ(b->AwaitCommit().code(), StatusCode::kConflict);
+  EXPECT_EQ(mgr_->aborted_count(), 1u);
+  auto check = mgr_->Begin();
+  auto got = check->GetByKey({Value("Paris"), Value("rug")});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[3], Value(2));
+}
+
+TEST_F(TxnTest, AbortUnlinksPublishedRecordBeforeFold) {
+  // A published-but-unfolded record withdraws cleanly: the neighbours
+  // it was chained with still commit.
+  auto a = mgr_->Begin();
+  auto b = mgr_->Begin();
+  auto c = mgr_->Begin();
+  ASSERT_TRUE(a->Insert({"A1", "p", "Y", 1}).ok());
+  ASSERT_TRUE(b->Insert({"B1", "p", "Y", 2}).ok());
+  ASSERT_TRUE(c->Insert({"C1", "p", "Y", 3}).ok());
+  ASSERT_TRUE(a->Publish().ok());
+  ASSERT_TRUE(b->Publish().ok());
+  ASSERT_TRUE(c->Publish().ok());
+  b->Abort();  // unlink from the middle of the chain
+  EXPECT_TRUE(b->finished());
+  EXPECT_EQ(mgr_->GetStats().pending_deltas, 2u);
+  ASSERT_TRUE(a->AwaitCommit().ok());
+  ASSERT_TRUE(c->AwaitCommit().ok());
+  EXPECT_EQ(mgr_->committed_count(), 2u);
+  EXPECT_EQ(mgr_->aborted_count(), 1u);
+  auto check = mgr_->Begin();
+  auto rows = TxnScan(*check, *schema_);
+  EXPECT_EQ(rows.size(), 7u);
+  EXPECT_FALSE(check->GetByKey({Value("B1"), Value("p")}).ok());
+}
+
+TEST_F(TxnTest, AbortAfterFoldIsANoOp) {
+  // If a fold already committed the record, the commit stands: Abort
+  // afterwards must not undo it or double-release TZ references.
+  auto a = mgr_->Begin();
+  auto b = mgr_->Begin();
+  ASSERT_TRUE(a->Insert({"A2", "p", "Y", 1}).ok());
+  ASSERT_TRUE(b->Insert({"B2", "p", "Y", 2}).ok());
+  ASSERT_TRUE(a->Publish().ok());
+  ASSERT_TRUE(b->Publish().ok());
+  ASSERT_TRUE(a->AwaitCommit().ok());  // folds b's record too
+  b->Abort();                          // verdict already committed
+  EXPECT_TRUE(b->finished());
+  EXPECT_EQ(mgr_->committed_count(), 2u);
+  EXPECT_EQ(mgr_->aborted_count(), 0u);
+  auto check = mgr_->Begin();
+  EXPECT_TRUE(check->GetByKey({Value("B2"), Value("p")}).ok());
+}
+
+TEST_F(TxnTest, SerialCommitModeMatchesDeltaChain) {
+  // The single-lock ablation baseline produces the same state and WAL
+  // byte sequence as the delta chain for a serial workload.
+  Wal serial_wal;
+  Table serial_table("inventory", schema_, TableOptions{});
+  ASSERT_TRUE(serial_table.Load(InventoryRows()).ok());
+  TxnManagerOptions opts;
+  opts.serial_commit = true;
+  TxnManager serial_mgr(&serial_table, &serial_wal, opts);
+  for (int i = 0; i < 4; ++i) {
+    auto chain_txn = mgr_->Begin();
+    auto serial_txn = serial_mgr.Begin();
+    Tuple row = {"S" + std::to_string(i), "p", "Y", i};
+    ASSERT_TRUE(chain_txn->Insert(row).ok());
+    ASSERT_TRUE(serial_txn->Insert(row).ok());
+    ASSERT_TRUE(chain_txn->Commit().ok());
+    ASSERT_TRUE(serial_txn->Commit().ok());
+  }
+  auto a = mgr_->Begin();
+  auto b = serial_mgr.Begin();
+  EXPECT_EQ(TxnScan(*a, *schema_), TxnScan(*b, *schema_));
+  EXPECT_EQ(wal_.RecordCount(), serial_wal.RecordCount());
+  EXPECT_EQ(wal_.SizeBytes(), serial_wal.SizeBytes());
+}
+
+TEST_F(TxnTest, BackgroundMergeKeepsReaderSnapshotStable) {
+  // A long-running reader pins its snapshot while commits overflow the
+  // Write-PDT; the merge must run in the background (the reader keeps
+  // the Read-PDT pinned) and the reader's view must not change.
+  TxnManagerOptions opts;
+  opts.write_pdt_max_entries = 2;  // overflow quickly
+  opts.merge_chunk_entries = 1;    // force many incremental steps
+  auto mgr = std::make_unique<TxnManager>(table_.get(), nullptr, opts);
+  auto reader = mgr->Begin();
+  EXPECT_EQ(TxnScan(*reader, *schema_).size(), 5u);
+  for (int i = 0; i < 12; ++i) {
+    auto txn = mgr->Begin();
+    ASSERT_TRUE(txn->Insert({"M" + std::to_string(i), "p", "Y", i}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+    // The reader's snapshot stays at 5 rows throughout.
+    EXPECT_EQ(TxnScan(*reader, *schema_).size(), 5u);
+  }
+  // At least one background merge must have been scheduled (the reader
+  // kept every commit away from the inline quiet-point path).
+  for (int spins = 0; spins < 1000; ++spins) {
+    TxnManagerStats s = mgr->GetStats();
+    if (!s.merge_inflight && s.background_merges > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  TxnManagerStats stats = mgr->GetStats();
+  EXPECT_GT(stats.background_merges, 0u);
+  EXPECT_EQ(TxnScan(*reader, *schema_).size(), 5u);
+  ASSERT_TRUE(reader->Commit().ok());
+  // New snapshots see everything, through whatever layer stack the
+  // merge left behind.
+  auto check = mgr->Begin();
+  EXPECT_EQ(TxnScan(*check, *schema_).size(), 17u);
+  ASSERT_TRUE(check->Commit().ok());
+  // Quiesce and verify the layers collapsed into the Read-PDT.
+  ASSERT_TRUE(mgr->PropagateAndMaybeCheckpoint().ok());
+  EXPECT_EQ(mgr->GetStats().merge_pending_entries, 0u);
+  auto after = mgr->Begin();
+  EXPECT_EQ(TxnScan(*after, *schema_).size(), 17u);
+}
+
+TEST_F(TxnTest, RecoveryReplaysInterleavedGroupCommitBatches) {
+  // Concurrent writers publish into shared fold batches (group commit);
+  // the WAL those folds wrote must replay to exactly the same state.
+  constexpr int kWriters = 4;
+  constexpr int kTxnsPerWriter = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kTxnsPerWriter; ++i) {
+        auto txn = mgr_->Begin();
+        const std::string key =
+            "W" + std::to_string(w) + "_" + std::to_string(i);
+        if (!txn->Insert({key, "p", "Y", w * 100 + i}).ok() ||
+            !txn->Commit().ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  ASSERT_EQ(mgr_->committed_count(),
+            static_cast<uint64_t>(kWriters * kTxnsPerWriter));
+  // Replay the interleaved log into a fresh table.
+  Table fresh("inventory", schema_, TableOptions{});
+  ASSERT_TRUE(fresh.Load(InventoryRows()).ok());
+  TxnManager fresh_mgr(&fresh, nullptr);
+  ASSERT_TRUE(fresh_mgr.Recover(wal_).ok());
+  auto replayed = fresh_mgr.Begin();
+  auto original = mgr_->Begin();
+  EXPECT_EQ(TxnScan(*replayed, *schema_), TxnScan(*original, *schema_));
 }
 
 }  // namespace
