@@ -195,6 +195,13 @@ class Shell {
                 ? static_cast<double>(s.commit_lock_ns) / 1e3 /
                       static_cast<double>(s.committed)
                 : 0.0);
+        if (!s.last_merge_error.ok()) {
+          // A failed background merge parks its layer until a
+          // quiet-point fold; without this line the failure is
+          // invisible and merge_pending just keeps growing.
+          std::printf("    merge error: %s\n",
+                      s.last_merge_error.message().c_str());
+        }
         if (s.wal_records > 0 || s.wal_syncs > 0) {
           const uint64_t txns = s.committed + s.aborted;
           std::printf("    wal: records=%llu syncs=%llu syncs/txn=%.3f\n",

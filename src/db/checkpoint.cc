@@ -9,7 +9,7 @@ namespace pdtstore {
 
 bool ShouldCheckpoint(const Table& table, const CheckpointPolicy& policy) {
   size_t updates = 0;
-  if (const Pdt* pdt = table.pdt()) {
+  if (auto pdt = table.SharedPdt()) {  // pinned vs a racing ReplacePdt
     updates = pdt->EntryCount();
   } else if (const Vdt* vdt = table.vdt()) {
     updates = vdt->InsertCount() + vdt->DeleteCount();

@@ -44,8 +44,11 @@ StatusOr<JoinIndex> JoinIndex::Build(const Table* fact, const Table* dim,
 }
 
 StatusOr<Rid> JoinIndex::DimRidForFactRid(Rid fact_rid) const {
-  const Pdt* fact_pdt = fact_->pdt();
-  if (fact_pdt == nullptr) {
+  // Pin both PDTs for the duration of the lookup: a background merge
+  // may ReplacePdt either table concurrently with this read.
+  std::shared_ptr<const Pdt> fact_pdt = fact_->SharedPdt();
+  std::shared_ptr<const Pdt> dim_pdt = dim_->SharedPdt();
+  if (fact_pdt == nullptr || dim_pdt == nullptr) {
     return Status::InvalidArgument("join index requires PDT tables");
   }
   Sid dim_sid;
@@ -68,7 +71,7 @@ StatusOr<Rid> JoinIndex::DimRidForFactRid(Rid fact_rid) const {
     dim_sid = dim_sids_[lk.sid];
   }
   // SID -> current RID through the dimension's PDT.
-  Pdt::SidLookup dim_lk = dim_->pdt()->SidToRid(dim_sid);
+  Pdt::SidLookup dim_lk = dim_pdt->SidToRid(dim_sid);
   if (dim_lk.deleted) {
     return Status::NotFound("dimension tuple deleted");
   }

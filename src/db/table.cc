@@ -38,45 +38,64 @@ Status Table::LoadColumns(std::vector<ColumnVector> columns) {
 }
 
 uint64_t Table::RowCount() const {
-  int64_t delta = pdt_ ? pdt_->TotalDelta() : vdt_->TotalDelta();
+  auto pdt = PinPdt();
+  int64_t delta = pdt ? pdt->TotalDelta() : vdt_->TotalDelta();
   return static_cast<uint64_t>(static_cast<int64_t>(store_->num_rows()) +
                                delta);
 }
 
 // ---------------------------------------------------------------------
-// Merged-image access (PDT).
+// Merged-image access (PDT). The public entry points pin the Read-PDT
+// once and run every probe against that snapshot (see PinPdt()).
 // ---------------------------------------------------------------------
 
-StatusOr<Tuple> Table::GetMergedTuple(Rid rid) const {
-  if (!pdt_) return Status::InvalidArgument("positional access needs PDT");
-  if (rid >= RowCount()) return Status::OutOfRange("rid out of range");
-  Pdt::RidLookup lookup = pdt_->LookupRid(rid);
+uint64_t Table::RowCountIn(const Pdt& pdt) const {
+  return static_cast<uint64_t>(static_cast<int64_t>(store_->num_rows()) +
+                               pdt.TotalDelta());
+}
+
+StatusOr<Tuple> Table::GetMergedTupleIn(const Pdt& pdt, Rid rid) const {
+  if (rid >= RowCountIn(pdt)) return Status::OutOfRange("rid out of range");
+  Pdt::RidLookup lookup = pdt.LookupRid(rid);
   if (lookup.is_insert) {
-    return pdt_->value_space().GetInsertTuple(lookup.insert_offset);
+    return pdt.value_space().GetInsertTuple(lookup.insert_offset);
   }
   PDT_ASSIGN_OR_RETURN(Tuple t, store_->GetTuple(lookup.sid));
   for (auto [col, off] : lookup.mods) {
-    t[col] = pdt_->value_space().GetModifyValue(col, off);
+    t[col] = pdt.value_space().GetModifyValue(col, off);
   }
   return t;
 }
 
-StatusOr<std::vector<Value>> Table::MergedSortKey(Rid rid) const {
-  if (!pdt_) return Status::InvalidArgument("positional access needs PDT");
-  Pdt::RidLookup lookup = pdt_->LookupRid(rid);
+StatusOr<Tuple> Table::GetMergedTuple(Rid rid) const {
+  auto pdt = PinPdt();
+  if (!pdt) return Status::InvalidArgument("positional access needs PDT");
+  return GetMergedTupleIn(*pdt, rid);
+}
+
+StatusOr<std::vector<Value>> Table::MergedSortKeyIn(const Pdt& pdt,
+                                                    Rid rid) const {
+  Pdt::RidLookup lookup = pdt.LookupRid(rid);
   if (lookup.is_insert) {
-    return pdt_->value_space().GetInsertSortKey(lookup.insert_offset);
+    return pdt.value_space().GetInsertSortKey(lookup.insert_offset);
   }
   // SK columns are never modified in place (SK modifies are delete +
   // insert), so the stable key is authoritative.
   return store_->GetSortKey(lookup.sid);
 }
 
-StatusOr<Rid> Table::UpperBoundRid(const std::vector<Value>& key) const {
-  Rid lo = 0, hi = RowCount();
+StatusOr<std::vector<Value>> Table::MergedSortKey(Rid rid) const {
+  auto pdt = PinPdt();
+  if (!pdt) return Status::InvalidArgument("positional access needs PDT");
+  return MergedSortKeyIn(*pdt, rid);
+}
+
+StatusOr<Rid> Table::UpperBoundRidIn(const Pdt& pdt,
+                                     const std::vector<Value>& key) const {
+  Rid lo = 0, hi = RowCountIn(pdt);
   while (lo < hi) {
     Rid mid = lo + (hi - lo) / 2;
-    PDT_ASSIGN_OR_RETURN(auto mid_key, MergedSortKey(mid));
+    PDT_ASSIGN_OR_RETURN(auto mid_key, MergedSortKeyIn(pdt, mid));
     // Compare on the shorter prefix; ties resolve upward (upper bound).
     int cmp = 0;
     for (size_t i = 0; i < mid_key.size() && i < key.size(); ++i) {
@@ -92,19 +111,32 @@ StatusOr<Rid> Table::UpperBoundRid(const std::vector<Value>& key) const {
   return lo;
 }
 
-StatusOr<Rid> Table::FindRidByKey(const std::vector<Value>& key) const {
-  PDT_ASSIGN_OR_RETURN(Rid ub, UpperBoundRid(key));
+StatusOr<Rid> Table::UpperBoundRid(const std::vector<Value>& key) const {
+  auto pdt = PinPdt();
+  if (!pdt) return Status::InvalidArgument("positional access needs PDT");
+  return UpperBoundRidIn(*pdt, key);
+}
+
+StatusOr<Rid> Table::FindRidByKeyIn(const Pdt& pdt,
+                                    const std::vector<Value>& key) const {
+  PDT_ASSIGN_OR_RETURN(Rid ub, UpperBoundRidIn(pdt, key));
   if (ub == 0) return Status::NotFound("key not found");
-  PDT_ASSIGN_OR_RETURN(auto prev_key, MergedSortKey(ub - 1));
+  PDT_ASSIGN_OR_RETURN(auto prev_key, MergedSortKeyIn(pdt, ub - 1));
   if (CompareTuples(prev_key, key) != 0) {
     return Status::NotFound("key not found");
   }
   return ub - 1;
 }
 
+StatusOr<Rid> Table::FindRidByKey(const std::vector<Value>& key) const {
+  auto pdt = PinPdt();
+  if (!pdt) return Status::InvalidArgument("positional access needs PDT");
+  return FindRidByKeyIn(*pdt, key);
+}
+
 StatusOr<bool> Table::ContainsKey(const std::vector<Value>& key) const {
-  if (pdt_) {
-    auto rid = FindRidByKey(key);
+  if (auto pdt = PinPdt()) {
+    auto rid = FindRidByKeyIn(*pdt, key);
     if (rid.ok()) return true;
     if (rid.status().code() == StatusCode::kNotFound) return false;
     return rid.status();
@@ -140,9 +172,9 @@ StatusOr<bool> Table::StableHasKey(const std::vector<Value>& key) const {
 }
 
 StatusOr<Tuple> Table::GetTupleByKey(const std::vector<Value>& key) const {
-  if (pdt_) {
-    PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
-    return GetMergedTuple(rid);
+  if (auto pdt = PinPdt()) {
+    PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKeyIn(*pdt, key));
+    return GetMergedTupleIn(*pdt, rid);
   }
   if (const Tuple* t = vdt_->FindInsert(key)) return *t;
   if (vdt_->IsDeleted(key)) return Status::NotFound("key deleted");
@@ -170,47 +202,56 @@ Status Table::Insert(const Tuple& tuple) {
   if (read_only_) return ReadOnlyError(name_);
   PDT_RETURN_NOT_OK(schema_->ValidateTuple(tuple));
   std::vector<Value> key = schema_->ExtractSortKey(tuple);
+  if (auto pdt = PinPdt()) {
+    auto existing = FindRidByKeyIn(*pdt, key);
+    if (existing.ok()) {
+      return Status::AlreadyExists("duplicate sort key on insert");
+    }
+    if (existing.status().code() != StatusCode::kNotFound) {
+      return existing.status();
+    }
+    // The paper's positioning query: min RID whose tuple has a larger SK,
+    // then Algorithm 6 to respect ghost order.
+    PDT_ASSIGN_OR_RETURN(Rid rid, UpperBoundRidIn(*pdt, key));
+    Sid sid = pdt->SKRidToSid(key, rid);
+    return pdt->AddInsert(sid, rid, tuple);
+  }
   PDT_ASSIGN_OR_RETURN(bool exists, ContainsKey(key));
   if (exists) {
     return Status::AlreadyExists("duplicate sort key on insert");
-  }
-  if (pdt_) {
-    // The paper's positioning query: min RID whose tuple has a larger SK,
-    // then Algorithm 6 to respect ghost order.
-    PDT_ASSIGN_OR_RETURN(Rid rid, UpperBoundRid(key));
-    Sid sid = pdt_->SKRidToSid(key, rid);
-    return pdt_->AddInsert(sid, rid, tuple);
   }
   return vdt_->AddInsert(tuple);
 }
 
 Status Table::DeleteAt(Rid rid) {
   if (read_only_) return ReadOnlyError(name_);
-  if (!pdt_) return Status::InvalidArgument("positional delete needs PDT");
-  if (rid >= RowCount()) return Status::OutOfRange("rid out of range");
-  PDT_ASSIGN_OR_RETURN(auto key, MergedSortKey(rid));
-  return pdt_->AddDelete(rid, key);
+  auto pdt = PinPdt();
+  if (!pdt) return Status::InvalidArgument("positional delete needs PDT");
+  if (rid >= RowCountIn(*pdt)) return Status::OutOfRange("rid out of range");
+  PDT_ASSIGN_OR_RETURN(auto key, MergedSortKeyIn(*pdt, rid));
+  return pdt->AddDelete(rid, key);
 }
 
 Status Table::ModifyAt(Rid rid, ColumnId col, const Value& v) {
   if (read_only_) return ReadOnlyError(name_);
-  if (!pdt_) return Status::InvalidArgument("positional modify needs PDT");
-  if (rid >= RowCount()) return Status::OutOfRange("rid out of range");
+  auto pdt = PinPdt();
+  if (!pdt) return Status::InvalidArgument("positional modify needs PDT");
+  if (rid >= RowCountIn(*pdt)) return Status::OutOfRange("rid out of range");
   if (schema_->IsSortKeyColumn(col)) {
     // SK modify = delete + insert (Sec. 2.1).
-    PDT_ASSIGN_OR_RETURN(Tuple t, GetMergedTuple(rid));
+    PDT_ASSIGN_OR_RETURN(Tuple t, GetMergedTupleIn(*pdt, rid));
     PDT_RETURN_NOT_OK(DeleteAt(rid));
     t[col] = v;
     return Insert(t);
   }
-  return pdt_->AddModify(rid, col, v);
+  return pdt->AddModify(rid, col, v);
 }
 
 Status Table::DeleteByKey(const std::vector<Value>& key) {
   if (read_only_) return ReadOnlyError(name_);
-  if (pdt_) {
-    PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
-    return pdt_->AddDelete(rid, key);
+  if (auto pdt = PinPdt()) {
+    PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKeyIn(*pdt, key));
+    return pdt->AddDelete(rid, key);
   }
   PDT_ASSIGN_OR_RETURN(bool exists, ContainsKey(key));
   if (!exists) return Status::NotFound("key not found");
@@ -221,8 +262,8 @@ Status Table::DeleteByKey(const std::vector<Value>& key) {
 Status Table::ModifyByKey(const std::vector<Value>& key, ColumnId col,
                           const Value& v) {
   if (read_only_) return ReadOnlyError(name_);
-  if (pdt_) {
-    PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(key));
+  if (auto pdt = PinPdt()) {
+    PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKeyIn(*pdt, key));
     return ModifyAt(rid, col, v);
   }
   PDT_ASSIGN_OR_RETURN(Tuple t, GetTupleByKey(key));
@@ -254,19 +295,24 @@ MorselPlan Table::PlanMorsels(std::vector<ColumnId> projection,
   if (bounds != nullptr) {
     ranges = sparse_index_.LookupRange(bounds->lo, bounds->hi);
   }
-  if (!pdt_) {
+  // Pin the Read-PDT for the whole plan: the plan's sources carry the
+  // pin (LayeredMorselPlan's `pins`), so a background merge installing
+  // a replacement mid-scan cannot free the layer under the cursors.
+  std::shared_ptr<const Pdt> pdt = SharedPdt();
+  if (!pdt) {
     // VDT: zone pruning needs no entry check — the insert map carries
     // full tuples and its drain is key-fenced, never positional (the
     // PDT path prunes inside LayeredMorselPlan, entry-checked).
     ranges = PruneRangesWithZoneMaps(*store_, {}, std::move(ranges),
                                      scan_opts.zone_filters, projection);
   }
-  if (pdt_) {
+  if (pdt) {
     // Serial or morsel-parallel over the single-layer stack — the same
     // shared planning step the transaction scan paths use.
-    return internal::LayeredMorselPlan(*store_, {pdt_.get()},
+    return internal::LayeredMorselPlan(*store_, {pdt.get()},
                                        std::move(projection),
-                                       std::move(ranges), scan_opts);
+                                       std::move(ranges), scan_opts,
+                                       {pdt});
   }
   // Parallel VDT path (ResolveMorselPlan: an empty range list means "no
   // pruning" — both the unbounded scan and the conservative LookupRange
@@ -355,13 +401,14 @@ Status Table::Checkpoint(int num_threads) {
   PDT_RETURN_NOT_OK(fresh->BulkLoadColumns(std::move(cols)));
   store_ = std::move(fresh);
   PDT_ASSIGN_OR_RETURN(sparse_index_, SparseIndex::Build(*store_));
-  if (pdt_) pdt_->Clear();
+  if (auto pdt = PinPdt()) pdt->Clear();
   if (vdt_) vdt_->Clear();
   return Status::OK();
 }
 
 size_t Table::DeltaMemoryBytes() const {
-  return pdt_ ? pdt_->MemoryBytes() : vdt_->MemoryBytes();
+  auto pdt = PinPdt();
+  return pdt ? pdt->MemoryBytes() : vdt_->MemoryBytes();
 }
 
 }  // namespace pdtstore

@@ -7,7 +7,9 @@
 #ifndef PDTSTORE_DB_TABLE_H_
 #define PDTSTORE_DB_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,18 +54,40 @@ class Table {
   const ColumnStore& store() const { return *store_; }
   const SparseIndex& sparse_index() const { return sparse_index_; }
   BufferPool* buffer_pool() const { return pool_.get(); }
+  /// Raw Read-PDT pointer. Unsynchronized: legal only when the caller
+  /// excludes a concurrent ReplacePdt — it is the table's transaction
+  /// driver acting under its own lock (ReplacePdt runs under that same
+  /// lock), or no driver is attached at all. Every other reader must
+  /// pin a SharedPdt() snapshot instead.
   Pdt* pdt() { return pdt_.get(); }
   const Pdt* pdt() const { return pdt_.get(); }
   /// Shared ownership of the PDT (the Read-PDT of the transaction
   /// layers). Snapshots hold this so a concurrent ReplacePdt — the
   /// background merge installing a freshly folded Read-PDT — never
   /// pulls the layer out from under a running scan: the old PDT stays
-  /// alive until its last snapshot drops it.
-  std::shared_ptr<const Pdt> SharedPdt() const { return pdt_; }
+  /// alive until its last snapshot drops it. The copy itself is taken
+  /// under the table's own pointer lock, so it is safe against a
+  /// racing ReplacePdt from any thread.
+  std::shared_ptr<const Pdt> SharedPdt() const {
+    std::lock_guard<std::mutex> lock(pdt_mu_);
+    return pdt_;
+  }
   /// Swaps in a replacement Read-PDT (background Write→Read merge).
-  /// Caller must serialize against Begin()/SharedPdt() readers (the
-  /// transaction manager does both under its own lock).
-  void ReplacePdt(std::shared_ptr<Pdt> pdt) { pdt_ = std::move(pdt); }
+  /// Synchronized against SharedPdt() pinners by the pointer lock; the
+  /// transaction driver additionally serializes it against its own
+  /// Begin()/commit paths under the driver lock.
+  void ReplacePdt(std::shared_ptr<Pdt> pdt) {
+    std::lock_guard<std::mutex> lock(pdt_mu_);
+    pdt_ = std::move(pdt);
+  }
+
+  /// At most one transaction driver (TxnManager or MultiTxnManager) may
+  /// manage a table at a time: drivers mutate the PDT layer stack under
+  /// their own lock, and two drivers would install/mutate it under
+  /// different locks. Returns false if another driver already holds the
+  /// claim. Released by the driver's destructor.
+  bool AcquireTxnDriver() { return !txn_driver_.exchange(true); }
+  void ReleaseTxnDriver() { txn_driver_.store(false); }
   Vdt* vdt() { return vdt_.get(); }
   const Vdt* vdt() const { return vdt_.get(); }
 
@@ -158,6 +182,28 @@ class Table {
   bool read_only() const { return read_only_; }
 
  private:
+  // Pins the current Read-PDT for the duration of one table operation
+  // (null on the VDT backend). Table methods never touch pdt_ directly
+  // beyond this: a background merge may ReplacePdt concurrently with
+  // non-transactional reads, and the pin keeps the pointer read atomic
+  // and the old layer alive until the operation finishes.
+  std::shared_ptr<Pdt> PinPdt() const {
+    std::lock_guard<std::mutex> lock(pdt_mu_);
+    return pdt_;
+  }
+
+  // Per-operation variants working on one pinned PDT snapshot (so a
+  // multi-probe binary search resolves every probe against the same
+  // layer, and pins once instead of per probe).
+  StatusOr<Tuple> GetMergedTupleIn(const Pdt& pdt, Rid rid) const;
+  StatusOr<std::vector<Value>> MergedSortKeyIn(const Pdt& pdt,
+                                               Rid rid) const;
+  StatusOr<Rid> UpperBoundRidIn(const Pdt& pdt,
+                                const std::vector<Value>& key) const;
+  StatusOr<Rid> FindRidByKeyIn(const Pdt& pdt,
+                               const std::vector<Value>& key) const;
+  uint64_t RowCountIn(const Pdt& pdt) const;
+
   // First stable SID with SK >= key (binary search over stable storage).
   StatusOr<Sid> StableLowerBound(const std::vector<Value>& key) const;
   // True if the *stable* image contains this exact key.
@@ -171,8 +217,14 @@ class Table {
   std::shared_ptr<BufferPool> pool_;
   std::unique_ptr<ColumnStore> store_;
   SparseIndex sparse_index_;
+  // Guards the pdt_ pointer itself (not the Pdt's contents): ReplacePdt
+  // stores and SharedPdt/PinPdt copies happen under it, so the
+  // shared_ptr is never copied concurrently with a reassignment.
+  mutable std::mutex pdt_mu_;
   std::shared_ptr<Pdt> pdt_;
   std::unique_ptr<Vdt> vdt_;
+  // Set while a TxnManager/MultiTxnManager drives this table.
+  std::atomic<bool> txn_driver_{false};
   bool loaded_ = false;
   bool read_only_ = false;
 };

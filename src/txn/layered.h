@@ -72,6 +72,24 @@ inline uint64_t LayeredRowCount(uint64_t stable_rows,
   return static_cast<uint64_t>(static_cast<int64_t>(stable_rows) + delta);
 }
 
+/// BatchSource wrapper that keeps a set of PDT layers alive exactly as
+/// long as the wrapped source. Table-level (non-transactional) scans
+/// pin the Read-PDT this way: a background merge's ReplacePdt then
+/// never frees the layer under a running serial cursor.
+class PinnedLayerSource : public BatchSource {
+ public:
+  PinnedLayerSource(std::unique_ptr<BatchSource> inner,
+                    std::vector<std::shared_ptr<const Pdt>> pins)
+      : inner_(std::move(inner)), pins_(std::move(pins)) {}
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override {
+    return inner_->Next(out, max_rows);
+  }
+
+ private:
+  std::unique_ptr<BatchSource> inner_;
+  std::vector<std::shared_ptr<const Pdt>> pins_;
+};
+
 /// Plans the merge scan over a snapshot layer stack: the serial merge
 /// cursor at one thread, or morsels + a per-morsel source factory for
 /// the parallel pipelines — the shared planning step of the transaction
@@ -79,11 +97,19 @@ inline uint64_t LayeredRowCount(uint64_t stable_rows,
 /// the granularity from the chunk size and the stack's delta entry
 /// density (AutoMorselRows). All layers must stay unmodified while the
 /// plan's sources are consumed.
-inline MorselPlan LayeredMorselPlan(const ColumnStore& store,
-                                    std::vector<const Pdt*> layers,
-                                    std::vector<ColumnId> projection,
-                                    std::vector<SidRange> ranges,
-                                    const ScanOptions& scan_opts) {
+///
+/// `pins` carries shared ownership of any `layers` whose lifetime is
+/// not otherwise tied to the plan's consumer: the serial source is
+/// wrapped to hold them and the parallel factory captures them, so the
+/// layers live as long as anything built from this plan. Transaction
+/// scans pass none (the transaction object owns its snapshot for the
+/// scan's duration); Table::PlanMorsels pins the Read-PDT against a
+/// concurrent background-merge ReplacePdt.
+inline MorselPlan LayeredMorselPlan(
+    const ColumnStore& store, std::vector<const Pdt*> layers,
+    std::vector<ColumnId> projection, std::vector<SidRange> ranges,
+    const ScanOptions& scan_opts,
+    std::vector<std::shared_ptr<const Pdt>> pins = {}) {
   MorselPlan plan;
   plan.options = scan_opts;
   size_t entries = 0;
@@ -101,16 +127,20 @@ inline MorselPlan LayeredMorselPlan(const ColumnStore& store,
       // end directly — it emits exactly the trailing inserts.
       plan.serial = MakeMorselMergeScan(store, layers, projection,
                                         ranges[0], /*final_morsel=*/true);
-      return plan;
+    } else {
+      plan.serial = MakeMergeScan(store, std::move(layers),
+                                  std::move(projection), std::move(ranges));
     }
-    plan.serial = MakeMergeScan(store, std::move(layers),
-                                std::move(projection), std::move(ranges));
+    if (!pins.empty()) {
+      plan.serial = std::make_unique<PinnedLayerSource>(
+          std::move(plan.serial), std::move(pins));
+    }
     return plan;
   }
   const ColumnStore* store_ptr = &store;
   plan.factory =
       [store_ptr, layers = std::move(layers),
-       projection = std::move(projection)](
+       projection = std::move(projection), pins = std::move(pins)](
           size_t, const SidRange& morsel, bool final_morsel) {
         return MakeMorselMergeScan(*store_ptr, layers, projection, morsel,
                                    final_morsel);

@@ -37,8 +37,12 @@ StatusOr<MultiTransaction::TableView*> MultiTransaction::View(
   }
   TableView view;
   view.table = st.table;
-  // Pin the Read-PDT: shared ownership keeps the layer alive even if a
-  // per-table manager's background merge installs a replacement.
+  // Pin the Read-PDT for the view's lifetime. No background merge can
+  // replace it concurrently — this manager holds the table's exclusive
+  // driver claim (see the constructor) and never merges in the
+  // background — but the pin keeps the layer alive across this
+  // manager's own quiet-point propagation bookkeeping and makes the
+  // pointer read safe against any future ReplacePdt caller.
   view.read = st.table->SharedPdt();
   view.write = st.write_snapshot;
   view.trans = std::make_unique<Pdt>(st.table->shared_schema(),
@@ -196,11 +200,23 @@ MultiTxnManager::MultiTxnManager(std::vector<Table*> tables, Wal* wal,
     : opts_(opts), wal_(wal) {
   for (Table* t : tables) {
     assert(t->pdt() != nullptr && "multi-table txns require PDT tables");
+    // A table is driven by exactly one manager: this one claims the
+    // driver slot, so no per-table TxnManager (whose background merge
+    // would ReplacePdt under a different lock) can coexist with the
+    // in-place PDT mutation CommitLocked performs under mu_.
+    bool claimed = t->AcquireTxnDriver();
+    assert(claimed &&
+           "table is already driven by another transaction manager");
+    if (claimed) claimed_.push_back(t);
     TableState st;
     st.table = t;
     st.write = std::make_unique<Pdt>(t->shared_schema(), t->options().pdt);
     state_.emplace(t->name(), std::move(st));
   }
+}
+
+MultiTxnManager::~MultiTxnManager() {
+  for (Table* t : claimed_) t->ReleaseTxnDriver();
 }
 
 std::unique_ptr<MultiTransaction> MultiTxnManager::Begin() {

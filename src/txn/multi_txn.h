@@ -86,10 +86,18 @@ class MultiTransaction {
 };
 
 /// Coordinates transactions across a set of PDT-backed tables.
+///
+/// Exclusive driver rule: a table is driven by exactly one manager at a
+/// time — either a per-table TxnManager or one MultiTxnManager. The
+/// constructor claims each table's driver slot (asserting if a
+/// TxnManager already holds it) and the destructor releases them;
+/// mixing managers on one table would mutate the PDT layer stack under
+/// two unrelated locks.
 class MultiTxnManager {
  public:
   MultiTxnManager(std::vector<Table*> tables, Wal* wal = nullptr,
                   TxnManagerOptions opts = {});
+  ~MultiTxnManager();
 
   std::unique_ptr<MultiTransaction> Begin();
 
@@ -129,6 +137,8 @@ class MultiTxnManager {
   mutable std::mutex mu_;
   TxnManagerOptions opts_;
   Wal* wal_;
+  // Tables whose driver slot this manager claimed (released in dtor).
+  std::vector<Table*> claimed_;
   std::map<std::string, TableState> state_;
   uint64_t clock_ = 1;
   uint64_t next_txn_id_ = 1;

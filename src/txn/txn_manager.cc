@@ -43,6 +43,23 @@ struct DeltaRecord {
 
 using internal::DeltaRecord;
 
+namespace {
+
+// Returned by Scan()/PlanMorsels() on a published (sealed) transaction:
+// the Trans-PDT has moved into the delta record (where a concurrent
+// fold may be serializing it), so reads fail loudly at Next() instead
+// of handing back a null source — Scan() never returned null before
+// the two-phase commit split, and callers do not check.
+class SealedTxnSource : public BatchSource {
+ public:
+  StatusOr<bool> Next(Batch*, size_t) override {
+    return Status::InvalidArgument(
+        "transaction is published: no reads until the commit verdict");
+  }
+};
+
+}  // namespace
+
 // State for one incremental background Write→Read merge. Shared between
 // the successive worker-pool tasks that advance it.
 struct TxnManager::MergeJob {
@@ -94,7 +111,9 @@ Pdt* Transaction::UpdateTarget() const {
 }
 
 uint64_t Transaction::RowCount() const {
-  if (trans_ == nullptr) return 0;  // sealed by Publish()
+  // Sealed by Publish(): report the snapshot's count as of sealing (the
+  // Trans-PDT itself is off-limits — a fold may be serializing it).
+  if (trans_ == nullptr) return sealed_row_count_;
   int64_t delta = read_->TotalDelta() + write_->TotalDelta() +
                   trans_->TotalDelta();
   if (pending_ != nullptr) delta += pending_->TotalDelta();
@@ -213,7 +232,9 @@ Status Transaction::ModifyByKey(const std::vector<Value>& key, ColumnId col,
 std::unique_ptr<BatchSource> Transaction::Scan(
     std::vector<ColumnId> projection, const KeyBounds* bounds,
     const ScanOptions& scan_opts) const {
-  if (trans_ == nullptr) return nullptr;  // sealed by Publish()
+  if (trans_ == nullptr) {  // sealed by Publish()
+    return std::make_unique<SealedTxnSource>();
+  }
   std::vector<SidRange> ranges;
   if (bounds != nullptr) {
     ranges = mgr_->table()->sparse_index().LookupRange(bounds->lo,
@@ -227,7 +248,11 @@ std::unique_ptr<BatchSource> Transaction::Scan(
 MorselPlan Transaction::PlanMorsels(std::vector<ColumnId> projection,
                                     const KeyBounds* bounds,
                                     const ScanOptions& scan_opts) const {
-  if (trans_ == nullptr) return MorselPlan{};  // sealed by Publish()
+  if (trans_ == nullptr) {  // sealed by Publish()
+    MorselPlan plan;
+    plan.serial = std::make_unique<SealedTxnSource>();
+    return plan;
+  }
   std::vector<SidRange> ranges;
   if (bounds != nullptr) {
     ranges = mgr_->table()->sparse_index().LookupRange(bounds->lo,
@@ -278,6 +303,7 @@ Status Transaction::Publish() {
     return Status::InvalidArgument(
         "finish the active Query-PDT before committing");
   }
+  sealed_row_count_ = RowCount();
   rec_ = std::make_unique<DeltaRecord>();
   rec_->txn_id = id_;
   rec_->start_time = start_time_;
@@ -349,14 +375,24 @@ TxnManager::TxnManager(Table* table, Wal* wal, TxnManagerOptions opts)
     : table_(table), wal_(wal), opts_(opts) {
   assert(table_->pdt() != nullptr &&
          "transaction management requires the PDT backend");
+  // Claim the table's single transaction-driver slot: this manager
+  // mutates the PDT layer stack (and installs merged Read-PDTs) under
+  // mu_, which is only sound if no other manager does so under a
+  // different lock.
+  driver_claimed_ = table_->AcquireTxnDriver();
+  assert(driver_claimed_ &&
+         "table is already driven by another transaction manager");
   write_ = std::make_unique<Pdt>(table_->shared_schema(),
                                  table_->options().pdt);
 }
 
 TxnManager::~TxnManager() {
-  // The background merge task captures `this`; wait it out.
-  std::unique_lock<std::mutex> lock(mu_);
-  merge_cv_.wait(lock, [this] { return !merge_inflight_; });
+  {
+    // The background merge task captures `this`; wait it out.
+    std::unique_lock<std::mutex> lock(mu_);
+    merge_cv_.wait(lock, [this] { return !merge_inflight_; });
+  }
+  if (driver_claimed_) table_->ReleaseTxnDriver();
 }
 
 size_t TxnManager::active_transactions() const {
@@ -693,9 +729,10 @@ void TxnManager::StartBackgroundMergeLocked() {
 void TxnManager::MergeStep(std::shared_ptr<MergeJob> job) {
   if (!job->merged) {
     // First step: clone the pinned Read-PDT. The table's PDT cannot
-    // change while the merge is in flight (inline propagate and
-    // checkpoint both exclude merge_inflight_), so the clone is a
-    // faithful base.
+    // change while the merge is in flight: this manager's inline
+    // propagate and checkpoint both exclude merge_inflight_, and no
+    // other manager can touch the table (exclusive driver claim, taken
+    // in the constructor) — so the clone is a faithful base.
     job->merged = job->source_read->Clone();
     job->cursor = job->pending->Begin();
   }
@@ -744,6 +781,7 @@ TxnManagerStats TxnManager::GetStats() const {
       merge_pending_ != nullptr ? merge_pending_->EntryCount() : 0;
   s.merge_inflight = merge_inflight_;
   s.background_merges = background_merges_;
+  s.last_merge_error = merge_error_;
   if (wal_ != nullptr) s.wal_records = wal_->RecordCount();
   if (writer_ != nullptr) s.wal_syncs = writer_->sync_count();
   return s;

@@ -64,17 +64,22 @@ class Transaction {
   /// worker threads, so the transaction must not apply updates while one
   /// is being consumed (route updates through the Query-PDT, which the
   /// scan stack deliberately excludes, or drain the scan first).
+  /// After Publish() the snapshot is sealed: the returned source (never
+  /// null) fails with InvalidArgument on its first Next().
   std::unique_ptr<BatchSource> Scan(std::vector<ColumnId> projection,
                                     const KeyBounds* bounds = nullptr,
                                     const ScanOptions& scan_opts = {}) const;
   /// The same snapshot scan as a morsel plan, feeding the parallel
   /// pipelines (exec/pipeline.h) — operator fragments then run inside
   /// the scan workers over the immutable layer stack. The update
-  /// caveats of Scan() apply.
+  /// caveats of Scan() apply (after Publish(), the plan's serial source
+  /// fails with InvalidArgument).
   MorselPlan PlanMorsels(std::vector<ColumnId> projection,
                          const KeyBounds* bounds = nullptr,
                          const ScanOptions& scan_opts = {}) const;
   StatusOr<Tuple> GetByKey(const std::vector<Value>& key) const;
+  /// Visible row count; after Publish() it reports the snapshot's count
+  /// as of sealing.
   uint64_t RowCount() const;
 
   /// Algorithm 9; equivalent to Publish() + AwaitCommit(). On conflict
@@ -155,6 +160,9 @@ class Transaction {
   // The published delta record; owned here, linked into the manager's
   // chain until a fold (or an abort-unlink) takes it out.
   std::unique_ptr<internal::DeltaRecord> rec_;
+  // RowCount() as of Publish() — the sealed Trans-PDT itself may be
+  // concurrently serialized by a fold, so it is off-limits afterwards.
+  uint64_t sealed_row_count_ = 0;
   bool finished_ = false;
 };
 
@@ -202,11 +210,21 @@ struct TxnManagerStats {
   size_t merge_pending_entries = 0;  ///< claimed layer a bg merge is folding
   bool merge_inflight = false;
   uint64_t background_merges = 0;  ///< completed background propagations
+  /// Why the last background merge was abandoned (OK if none was): its
+  /// claimed layer stays parked in merge_pending until a quiet-point
+  /// inline fold absorbs it, so operators can see merge_pending grow.
+  Status last_merge_error = Status::OK();
   uint64_t wal_syncs = 0;          ///< fsyncs through the attached writer
   uint64_t wal_records = 0;
 };
 
 /// Manages transactions over one PDT-backed Table.
+///
+/// Exclusive driver rule: a table is driven by exactly one manager at a
+/// time (a TxnManager or a MultiTxnManager). The constructor claims the
+/// table's driver slot (Table::AcquireTxnDriver, asserting on a double
+/// claim) and the destructor releases it — every PDT layer mutation and
+/// every ReplacePdt install then happens under this manager's mu_.
 class TxnManager {
  public:
   /// `wal` is optional; when given, commits append logical redo records.
@@ -313,6 +331,9 @@ class TxnManager {
   Table* table_;
   Wal* wal_;
   TxnManagerOptions opts_;
+  // Whether this manager holds the table's exclusive driver claim
+  // (Table::AcquireTxnDriver; released by the destructor).
+  bool driver_claimed_ = false;
   // Durable sink; the group-commit state itself lives in the (possibly
   // shared) Wal, so managers logging to one file agree on durability.
   WalWriter* writer_ = nullptr;

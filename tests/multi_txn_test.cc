@@ -157,6 +157,7 @@ TEST_F(MultiTxnTest, RecoveryReplaysMultiTableCommits) {
 }
 
 TEST_F(MultiTxnTest, WritePdtMigrationAtQuietPoints) {
+  mgr_.reset();  // a table has exactly one driver at a time
   TxnManagerOptions opts;
   opts.write_pdt_max_entries = 1;
   MultiTxnManager mgr({orders_.get(), lines_.get()}, nullptr, opts);

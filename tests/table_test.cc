@@ -119,6 +119,34 @@ INSTANTIATE_TEST_SUITE_P(Backends, TableBackendTest,
                                                                    : "Vdt";
                          });
 
+TEST(TxnDriverClaimTest, ExclusiveClaimAndRelease) {
+  auto schema = InventorySchema();
+  Table table("inv", schema, {});
+  ASSERT_TRUE(table.Load(InventoryRows()).ok());
+  EXPECT_TRUE(table.AcquireTxnDriver());
+  EXPECT_FALSE(table.AcquireTxnDriver());  // second driver refused
+  table.ReleaseTxnDriver();
+  EXPECT_TRUE(table.AcquireTxnDriver());  // claimable again after release
+  table.ReleaseTxnDriver();
+}
+
+TEST(PdtReplacementTest, OpenScanKeepsItsPinnedSnapshot) {
+  auto schema = InventorySchema();
+  Table table("inv", schema, {});
+  ASSERT_TRUE(table.Load(InventoryRows()).ok());
+  ASSERT_TRUE(table.Insert({"Berlin", "table", "Y", 10}).ok());
+  // Open a scan, then swap in a fresh empty Read-PDT underneath it —
+  // what the background Write->Read merge does via ReplacePdt. The
+  // open scan pinned the pre-replacement layer and must keep seeing it.
+  auto src = table.Scan(AllColumns(table.schema()));
+  table.ReplacePdt(std::make_shared<Pdt>(schema, table.options().pdt));
+  auto rows = CollectRows(src.get());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 6u);  // 5 stable + the pinned layer's insert
+  // A new scan resolves against the replaced (empty) delta.
+  EXPECT_EQ(ScanAll(table).size(), 5u);
+}
+
 TEST(TablePositionalTest, DeleteAtAndModifyAt) {
   auto schema = InventorySchema();
   Table table("inv", schema, {});

@@ -146,6 +146,7 @@ TEST_F(TxnTest, Figure15Timeline) {
 }
 
 TEST_F(TxnTest, WritePdtPropagatesToReadPdtAtQuietPoint) {
+  mgr_.reset();  // a table has exactly one driver at a time
   TxnManagerOptions opts;
   opts.write_pdt_max_entries = 2;  // force frequent propagation
   auto mgr = std::make_unique<TxnManager>(table_.get(), nullptr, opts);
@@ -389,14 +390,22 @@ TEST_F(TxnTest, PublishedBatchFoldsUnderOneLeader) {
   ASSERT_TRUE(a->Publish().ok());
   ASSERT_TRUE(b->Publish().ok());
   EXPECT_EQ(mgr_->GetStats().pending_deltas, 2u);
-  // After Publish the transaction is sealed.
+  // After Publish the transaction is sealed: reads fail loudly instead
+  // of silently returning nothing, and RowCount is frozen at Publish.
   EXPECT_FALSE(a->Insert({"X", "x", "N", 1}).ok());
-  EXPECT_EQ(a->Scan({0}), nullptr);
+  auto sealed = a->Scan({0});
+  ASSERT_NE(sealed, nullptr);
+  Batch scratch;
+  auto next = sealed->Next(&scratch, 1024);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(a->RowCount(), 6u);  // 5 seed rows + a's insert, cached
   ASSERT_TRUE(a->AwaitCommit().ok());
   TxnManagerStats s = mgr_->GetStats();
   EXPECT_EQ(s.pending_deltas, 0u);
   EXPECT_EQ(s.fold_batches, 1u);
   EXPECT_EQ(s.folded_records, 2u);
+  EXPECT_TRUE(s.last_merge_error.ok()) << s.last_merge_error.ToString();
   // b's verdict was decided by a's fold; AwaitCommit just reads it.
   ASSERT_TRUE(b->AwaitCommit().ok());
   EXPECT_EQ(mgr_->committed_count(), 2u);
@@ -497,6 +506,7 @@ TEST_F(TxnTest, BackgroundMergeKeepsReaderSnapshotStable) {
   // A long-running reader pins its snapshot while commits overflow the
   // Write-PDT; the merge must run in the background (the reader keeps
   // the Read-PDT pinned) and the reader's view must not change.
+  mgr_.reset();  // a table has exactly one driver at a time
   TxnManagerOptions opts;
   opts.write_pdt_max_entries = 2;  // overflow quickly
   opts.merge_chunk_entries = 1;    // force many incremental steps
