@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "db/database.h"
+#include "tpch/htap_driver.h"  // LatencyPercentile
+#include "util/stopwatch.h"
 
 using namespace pdtstore;
 
@@ -89,8 +91,9 @@ void PrintHelp() {
       "  .save                     durable checkpoint of the open database\n"
       "                            (atomic manifest swap, then WAL truncation)\n"
       "  .stats                    write-path statistics: per-table PDT layer\n"
-      "                            sizes, pending deltas, WAL syncs/txn, and\n"
-      "                            buffer-pool I/O counters\n"
+      "                            sizes, pending deltas, WAL syncs/txn,\n"
+      "                            buffer-pool I/O counters, and this shell's\n"
+      "                            reader/writer latency (selects vs updates)\n"
       "  help | quit\n");
 }
 
@@ -218,6 +221,8 @@ class Shell {
                   static_cast<unsigned long long>(io.bytes_read),
                   static_cast<unsigned long long>(io.chunks_read),
                   static_cast<unsigned long long>(io.hits));
+      PrintLatency("reads (select/count)", read_lat_ms_);
+      PrintLatency("writes (commits)", write_lat_ms_);
       return Status::OK();
     }
     if (cmd == "io") {
@@ -231,15 +236,35 @@ class Shell {
     if (t.size() < 2) return Status::InvalidArgument("missing table name");
     if (cmd == "create") return Create(t);
     PDT_ASSIGN_OR_RETURN(Table * table, db_->GetTable(t[1]));
-    if (cmd == "load") return Load(table, t);
-    if (cmd == "insert") return Insert(table, t);
-    if (cmd == "delete") return Delete(table, t);
-    if (cmd == "modify") return Modify(table, t);
-    if (cmd == "select") return Select(table);
+    // End-to-end command latency, recorded per side so `.stats` can
+    // show the HTAP picture: reads (scans) against writes (commits).
+    auto timed = [](std::vector<double>* lat, auto&& fn) {
+      Stopwatch sw;
+      Status st = fn();
+      if (st.ok()) lat->push_back(sw.ElapsedMillis());
+      return st;
+    };
+    if (cmd == "load") {
+      return timed(&write_lat_ms_, [&] { return Load(table, t); });
+    }
+    if (cmd == "insert") {
+      return timed(&write_lat_ms_, [&] { return Insert(table, t); });
+    }
+    if (cmd == "delete") {
+      return timed(&write_lat_ms_, [&] { return Delete(table, t); });
+    }
+    if (cmd == "modify") {
+      return timed(&write_lat_ms_, [&] { return Modify(table, t); });
+    }
+    if (cmd == "select") {
+      return timed(&read_lat_ms_, [&] { return Select(table); });
+    }
     if (cmd == "count") {
-      std::printf("  %llu\n",
-                  static_cast<unsigned long long>(table->RowCount()));
-      return Status::OK();
+      return timed(&read_lat_ms_, [&] {
+        std::printf("  %llu\n",
+                    static_cast<unsigned long long>(table->RowCount()));
+        return Status::OK();
+      });
     }
     if (cmd == "pdt") {
       if (table->pdt() == nullptr) {
@@ -419,8 +444,25 @@ class Shell {
     return Status::OK();
   }
 
+  static void PrintLatency(const char* label,
+                           const std::vector<double>& samples) {
+    if (samples.empty()) {
+      std::printf("  %s: none yet\n", label);
+      return;
+    }
+    double sum = 0;
+    for (double v : samples) sum += v;
+    std::vector<double> sorted = samples;  // percentile sorts in place
+    std::printf("  %s: n=%zu avg=%.3fms p50=%.3fms p99=%.3fms\n", label,
+                samples.size(), sum / static_cast<double>(samples.size()),
+                tpch::LatencyPercentile(&sorted, 0.50),
+                tpch::LatencyPercentile(&sorted, 0.99));
+  }
+
   std::unique_ptr<Database> db_ = std::make_unique<Database>();
   int threads_ = 1;
+  // This session's command latencies (successful commands only).
+  std::vector<double> read_lat_ms_, write_lat_ms_;
 };
 
 }  // namespace

@@ -65,6 +65,13 @@ echo "== bench smoke (tiny sizes) =="
 # must never drop a record).
 "$BUILD_DIR/bench_write_path" --txns=400 --writers=1,2,4,8 \
     --json="$BUILD_DIR/BENCH_write_smoke.json"
+# The HTAP scenario is its own key-loss check: the driver verifies that
+# equal insert/delete refresh loads return orders to its starting row
+# count and fails the run on any torn or lost refresh group. Note: CI
+# machines may be single-core, so the reader/writer overlap is
+# time-sliced and the latency numbers are upper bounds only.
+"$BUILD_DIR/bench_htap" --sf=0.01 --configs=1x2,2x2,4x4 --streams=1 \
+    --fraction=0.002 --json="$BUILD_DIR/BENCH_htap_smoke.json"
 
 echo "== bench key check =="
 # The committed BENCH_exec.json is the record of what the exec benches
@@ -98,6 +105,19 @@ while IFS= read -r name; do
     keys_ok=0
   fi
 done <<<"$(grep -o '"name": "[^"]*"' BENCH_write.json \
+             | sed -E 's/"name": "([^"]*)"/\1/' | sort -u)"
+# And for the committed HTAP artifact: every recorded (writers, readers)
+# configuration must still be produced by bench_htap's smoke run.
+produced_htap="$(grep -o '"name": "[^"]*"' "$BUILD_DIR/BENCH_htap_smoke.json" \
+                   | sed -E 's/"name": "([^"]*)"/\1/' | sort -u)"
+while IFS= read -r name; do
+  [[ -z "$name" ]] && continue
+  if ! grep -qxF "$name" <<<"$produced_htap"; then
+    echo "bench key check FAILED: committed BENCH_htap.json entry '$name'" \
+         "is no longer produced by bench_htap"
+    keys_ok=0
+  fi
+done <<<"$(grep -o '"name": "[^"]*"' BENCH_htap.json \
              | sed -E 's/"name": "([^"]*)"/\1/' | sort -u)"
 [[ "$keys_ok" == 1 ]] || exit 1
 echo "bench keys OK"
@@ -136,12 +156,15 @@ if [[ "${PDTSTORE_SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
       -DPDTSTORE_BUILD_BENCHES=OFF -DPDTSTORE_BUILD_EXAMPLES=OFF
+  # htap_test runs the full HTAP driver (writer/reader/maintenance
+  # threads over the multi-table commit chain) at small scale — the
+  # densest cross-thread interleaving in the tree, so it belongs here.
   cmake --build "$TSAN_DIR" -j "$(nproc)" \
       --target parallel_scan_test pipeline_test parallel_sort_join_test \
-      differential_fuzz_test
+      htap_test differential_fuzz_test
   (cd "$TSAN_DIR" && \
       ctest --output-on-failure \
-          -R "parallel_scan_test|pipeline_test|parallel_sort_join_test")
+          -R "parallel_scan_test|pipeline_test|parallel_sort_join_test|htap_test")
   (cd "$TSAN_DIR" && \
       PDT_FUZZ_SEED="$FUZZ_SEED" PDT_FUZZ_ITERS="$FUZZ_ITERS" \
           ./differential_fuzz_test)

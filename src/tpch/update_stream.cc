@@ -56,6 +56,19 @@ StatusOr<std::vector<UpdateStream>> MakeUpdateStreams(const GenOptions& gen,
       std::max<int64_t>(1, static_cast<int64_t>(
                                static_cast<double>(ks.order_count) *
                                fraction));
+  // Deletes walk the used keys with a fixed stride; the streams'
+  // documented disjointness requires the whole walk to fit in the key
+  // space. With stride = floor(order_count / total_deletes) >= 1, the
+  // last index (total_deletes - 1) * stride is < order_count, so every
+  // delete key is distinct — no clamping (which would silently alias
+  // the tail keys across streams and shrink the delete load).
+  int64_t total_deletes = per_stream * num_streams;
+  if (total_deletes > ks.order_count) {
+    return Status::InvalidArgument(
+        "update streams cannot be disjoint: requested " +
+        std::to_string(total_deletes) + " delete keys but only " +
+        std::to_string(ks.order_count) + " orders exist");
+  }
   std::vector<UpdateStream> streams(num_streams);
   // Inserts: consecutive hole keys, partitioned across streams.
   int64_t hole_idx = 0;
@@ -66,14 +79,12 @@ StatusOr<std::vector<UpdateStream>> MakeUpdateStreams(const GenOptions& gen,
     }
   }
   // Deletes: evenly spread, disjoint across streams.
-  int64_t total_deletes = per_stream * num_streams;
-  int64_t stride = std::max<int64_t>(1, ks.order_count / total_deletes);
+  int64_t stride = ks.order_count / total_deletes;
   int64_t g = 0;
   for (int s = 0; s < num_streams; ++s) {
     streams[s].deletes.reserve(per_stream);
     for (int64_t i = 0; i < per_stream; ++i, ++g) {
-      int64_t idx = std::min(g * stride, ks.order_count - 1);
-      streams[s].deletes.push_back(Regenerate(gen, ks.UsedKey(idx)));
+      streams[s].deletes.push_back(Regenerate(gen, ks.UsedKey(g * stride)));
     }
   }
   return streams;
@@ -109,31 +120,50 @@ Status ApplyUpdateStreamTxn(const UpdateStream& stream, TxnManager* orders,
                           bool inserts) -> Status {
     auto otxn = orders->Begin();
     auto ltxn = lineitem->Begin();
+    // Any mid-build error must resolve BOTH transactions before it
+    // propagates; neither is published yet, so Abort suffices.
+    auto fail = [&](Status st) -> Status {
+      otxn->Abort();
+      ltxn->Abort();
+      return st;
+    };
     for (size_t i = begin; i < end; ++i) {
       const GeneratedOrder& o =
           inserts ? stream.inserts[i] : stream.deletes[i];
       if (inserts) {
-        PDT_RETURN_NOT_OK(otxn->Insert(o.order));
+        if (Status st = otxn->Insert(o.order); !st.ok()) return fail(st);
         for (const Tuple& l : o.lineitems) {
-          PDT_RETURN_NOT_OK(ltxn->Insert(l));
+          if (Status st = ltxn->Insert(l); !st.ok()) return fail(st);
         }
       } else {
         Status st = otxn->DeleteByKey(
             {o.order[kOOrderdate], o.order[kOOrderkey]});
         if (st.code() == StatusCode::kNotFound) continue;  // already gone
-        PDT_RETURN_NOT_OK(st);
+        if (!st.ok()) return fail(st);
         for (const Tuple& l : o.lineitems) {
-          PDT_RETURN_NOT_OK(ltxn->DeleteByKey(
-              {l[kLOrderkey], l[kLLinenumber]}));
+          if (Status lst = ltxn->DeleteByKey({l[kLOrderkey],
+                                              l[kLLinenumber]});
+              !lst.ok()) {
+            return fail(lst);
+          }
         }
       }
     }
-    // Publish both lock-free, then await the verdicts: the fold batches
-    // the pair, and both ride one fsync.
-    PDT_RETURN_NOT_OK(otxn->Publish());
-    PDT_RETURN_NOT_OK(ltxn->Publish());
-    PDT_RETURN_NOT_OK(otxn->AwaitCommit());
-    return ltxn->AwaitCommit();
+    // Publish both lock-free, then await BOTH verdicts before
+    // propagating any failure: returning on the first error would
+    // abandon the other published record on the delta chain with no
+    // waiter (its transaction would only be aborted by its destructor,
+    // mis-ordering the resolution and the error report).
+    if (Status st = otxn->Publish(); !st.ok()) return fail(st);
+    if (Status st = ltxn->Publish(); !st.ok()) {
+      otxn->Abort();  // unlinks the published record
+      ltxn->Abort();
+      return st;
+    }
+    Status ost = otxn->AwaitCommit();
+    Status lst = ltxn->AwaitCommit();
+    if (!ost.ok()) return ost;
+    return lst;
   };
   for (size_t i = 0; i < stream.inserts.size(); i += orders_per_txn) {
     PDT_RETURN_NOT_OK(commit_group(
@@ -142,6 +172,107 @@ Status ApplyUpdateStreamTxn(const UpdateStream& stream, TxnManager* orders,
   for (size_t i = 0; i < stream.deletes.size(); i += orders_per_txn) {
     PDT_RETURN_NOT_OK(commit_group(
         i, std::min(i + orders_per_txn, stream.deletes.size()), false));
+  }
+  return Status::OK();
+}
+
+std::vector<RefreshGroup> PlanRefreshGroups(const UpdateStream& stream,
+                                            size_t orders_per_txn) {
+  if (orders_per_txn == 0) orders_per_txn = 1;
+  std::vector<RefreshGroup> groups;
+  for (size_t i = 0; i < stream.inserts.size(); i += orders_per_txn) {
+    groups.push_back(RefreshGroup{
+        i, std::min(i + orders_per_txn, stream.inserts.size()), true});
+  }
+  for (size_t i = 0; i < stream.deletes.size(); i += orders_per_txn) {
+    groups.push_back(RefreshGroup{
+        i, std::min(i + orders_per_txn, stream.deletes.size()), false});
+  }
+  return groups;
+}
+
+Status ApplyRefreshGroupMultiTxn(const UpdateStream& stream,
+                                 const RefreshGroup& group,
+                                 MultiTxnManager* mgr,
+                                 const MultiTxnApplyOptions& opts,
+                                 MultiTxnApplyStats* stats) {
+  const int attempts = std::max(1, opts.max_conflict_retries + 1);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    auto txn = mgr->Begin();
+    uint64_t inserted = 0;
+    uint64_t deleted = 0;
+    for (size_t i = group.begin; i < group.end; ++i) {
+      const GeneratedOrder& o =
+          group.inserts ? stream.inserts[i] : stream.deletes[i];
+      if (group.inserts) {
+        if (Status st = txn->Insert(opts.orders_table, o.order); !st.ok()) {
+          txn->Abort();
+          return st;
+        }
+        for (const Tuple& l : o.lineitems) {
+          if (Status st = txn->Insert(opts.lineitem_table, l); !st.ok()) {
+            txn->Abort();
+            return st;
+          }
+        }
+        inserted += 1 + o.lineitems.size();
+      } else {
+        Status st = txn->DeleteByKey(
+            opts.orders_table,
+            {o.order[kOOrderdate], o.order[kOOrderkey]});
+        if (st.code() == StatusCode::kNotFound) continue;  // already gone
+        if (!st.ok()) {
+          txn->Abort();
+          return st;
+        }
+        for (const Tuple& l : o.lineitems) {
+          if (Status lst = txn->DeleteByKey(
+                  opts.lineitem_table, {l[kLOrderkey], l[kLLinenumber]});
+              !lst.ok()) {
+            txn->Abort();
+            return lst;
+          }
+        }
+        deleted += 1 + o.lineitems.size();
+      }
+    }
+    if (inserted == 0 && deleted == 0) {
+      // Every delete of the group was already applied (a retried or
+      // overlapping stream got there first): nothing to commit.
+      txn->Abort();
+      return Status::OK();
+    }
+    if (Status st = txn->Publish(); !st.ok()) {
+      txn->Abort();
+      return st;
+    }
+    Status st = txn->AwaitCommit();
+    if (st.ok()) {
+      if (stats != nullptr) {
+        ++stats->groups_committed;
+        stats->rows_inserted += inserted;
+        stats->rows_deleted += deleted;
+      }
+      return Status::OK();
+    }
+    if (st.code() != StatusCode::kConflict) return st;
+    // Lost a write-write race: rebuild the group from a fresh snapshot
+    // (deletes that landed meanwhile turn into NotFound skips).
+    last = st;
+    if (stats != nullptr) ++stats->conflict_retries;
+  }
+  return last;
+}
+
+Status ApplyUpdateStreamMultiTxn(const UpdateStream& stream,
+                                 MultiTxnManager* mgr,
+                                 const MultiTxnApplyOptions& opts,
+                                 MultiTxnApplyStats* stats) {
+  for (const RefreshGroup& g : PlanRefreshGroups(stream,
+                                                 opts.orders_per_txn)) {
+    PDT_RETURN_NOT_OK(ApplyRefreshGroupMultiTxn(stream, g, mgr, opts,
+                                                stats));
   }
   return Status::OK();
 }

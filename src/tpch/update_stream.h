@@ -6,9 +6,11 @@
 #ifndef PDTSTORE_TPCH_UPDATE_STREAM_H_
 #define PDTSTORE_TPCH_UPDATE_STREAM_H_
 
+#include <string>
 #include <vector>
 
 #include "tpch/tpch_gen.h"
+#include "txn/multi_txn.h"
 #include "txn/txn_manager.h"
 
 namespace pdtstore {
@@ -24,7 +26,9 @@ struct UpdateStream {
 /// Builds `num_streams` refresh streams, each covering `fraction` of the
 /// order count (TPC-H uses 2 streams x 0.1%). Insert keys come from the
 /// generator's holes; delete keys sample existing orders. Streams are
-/// disjoint.
+/// disjoint; when the requested delete load exceeds the order count (so
+/// disjointness is impossible) this returns InvalidArgument instead of
+/// silently reusing keys.
 StatusOr<std::vector<UpdateStream>> MakeUpdateStreams(
     const GenOptions& gen, int num_streams, double fraction);
 
@@ -37,10 +41,59 @@ Status ApplyUpdateStream(const UpdateStream& stream, TpchTables* tables);
 /// Several streams on distinct threads then exercise the lock-free delta
 /// publication + batched fold path concurrently (the paper's Fig. 19
 /// update load as an HTAP writer). Atomicity is per table: the orders
-/// and lineitem updates of a group commit as two transactions (the
-/// cross-table refresh is MultiTxnManager's job; see ROADMAP).
+/// and lineitem updates of a group commit as two transactions (for the
+/// cross-table refresh the paper's RF1/RF2 demand, use
+/// ApplyUpdateStreamMultiTxn). On any error both in-flight transactions
+/// are resolved (awaited or aborted) before the error propagates.
 Status ApplyUpdateStreamTxn(const UpdateStream& stream, TxnManager* orders,
                             TxnManager* lineitem, size_t orders_per_txn = 8);
+
+/// A slice of one stream that commits as one transaction: orders
+/// [begin, end) of either the insert or the delete list.
+struct RefreshGroup {
+  size_t begin = 0;
+  size_t end = 0;
+  bool inserts = true;
+};
+
+/// Splits a stream into refresh groups of `orders_per_txn` orders each
+/// (inserts first, then deletes — the RF1/RF2 order).
+std::vector<RefreshGroup> PlanRefreshGroups(const UpdateStream& stream,
+                                            size_t orders_per_txn);
+
+struct MultiTxnApplyOptions {
+  size_t orders_per_txn = 8;
+  /// A refresh group that loses a write-write conflict is retried from a
+  /// fresh snapshot up to this many times before the conflict surfaces.
+  int max_conflict_retries = 8;
+  std::string orders_table = "orders";
+  std::string lineitem_table = "lineitem";
+};
+
+struct MultiTxnApplyStats {
+  uint64_t groups_committed = 0;
+  uint64_t conflict_retries = 0;
+  uint64_t rows_inserted = 0;  ///< orders + lineitem rows
+  uint64_t rows_deleted = 0;
+};
+
+/// Applies one refresh group as ONE transaction touching orders *and*
+/// lineitem — all-or-nothing under conflict, exactly the atomicity the
+/// TPC-H refresh functions demand. Deletes whose order is already gone
+/// are skipped (their lineitems too). Conflicts are retried from a
+/// fresh snapshot per `opts.max_conflict_retries`.
+Status ApplyRefreshGroupMultiTxn(const UpdateStream& stream,
+                                 const RefreshGroup& group,
+                                 MultiTxnManager* mgr,
+                                 const MultiTxnApplyOptions& opts = {},
+                                 MultiTxnApplyStats* stats = nullptr);
+
+/// Applies a whole stream as a sequence of cross-table refresh groups
+/// (PlanRefreshGroups + ApplyRefreshGroupMultiTxn).
+Status ApplyUpdateStreamMultiTxn(const UpdateStream& stream,
+                                 MultiTxnManager* mgr,
+                                 const MultiTxnApplyOptions& opts = {},
+                                 MultiTxnApplyStats* stats = nullptr);
 
 }  // namespace tpch
 }  // namespace pdtstore

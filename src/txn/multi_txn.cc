@@ -2,10 +2,74 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "txn/layered.h"
+#include "util/thread_pool.h"
 
 namespace pdtstore {
+
+namespace internal {
+
+// A sealed multi-table transaction on the lock-free commit chain. The
+// owner thread fills every field before the release-CAS in
+// PublishRecord; afterwards all fields except `next` are touched only
+// under the manager lock (the fold leader that claims the chain, or the
+// owner's abort-unlink).
+struct MultiDeltaRecord {
+  enum State { kPublished, kCommitted, kAborted };
+
+  uint64_t txn_id = 0;
+  uint64_t start_time = 0;
+  // The sealed Trans-PDTs, keyed by table name. The verdict covers all
+  // of them together: a conflict on any table aborts every table.
+  std::map<std::string, std::unique_ptr<Pdt>> trans;
+
+  // Chain mode pre-encodes the WAL frames (begin, ops, commit) outside
+  // every lock; the fold appends the finished bytes in one batch. The
+  // serial_commit baseline keeps the logical records instead and
+  // encodes them under the lock.
+  std::vector<std::string> payloads;
+  std::vector<WalRecord> redo;
+  bool preencoded = false;
+
+  std::atomic<MultiDeltaRecord*> next{nullptr};
+  bool enqueued = false;  ///< still linked into the chain
+
+  State state = kPublished;
+  Status result = Status::OK();
+  uint64_t durable_upto = 0;  ///< WAL offset the owner must sync to
+};
+
+}  // namespace internal
+
+using internal::MultiDeltaRecord;
+
+namespace {
+
+// Returned by Scan() on a published (sealed) transaction: the Trans-PDT
+// has moved into the delta record (where a concurrent fold may be
+// serializing it), so reads fail loudly at Next() instead of handing
+// back a null source.
+class SealedMultiTxnSource : public BatchSource {
+ public:
+  StatusOr<bool> Next(Batch*, size_t) override {
+    return Status::InvalidArgument(
+        "transaction is published: no reads until the commit verdict");
+  }
+};
+
+}  // namespace
+
+// State for one incremental background Write→Read merge of one table.
+// Shared between the successive worker-pool tasks that advance it.
+struct MultiTxnManager::MergeJob {
+  TableState* st = nullptr;                // owned by state_ (stable map)
+  std::shared_ptr<const Pdt> source_read;  ///< pinned pre-merge Read-PDT
+  std::shared_ptr<const Pdt> pending;      ///< the claimed Write-PDT
+  std::unique_ptr<Pdt> merged;             ///< private clone being built
+  Pdt::Cursor cursor;                      ///< next unapplied entry
+};
 
 // ---------------------------------------------------------------------
 // MultiTransaction.
@@ -19,36 +83,37 @@ MultiTransaction::~MultiTransaction() {
   if (!finished_) Abort();
 }
 
+MultiTransaction::TableView MultiTxnManager::MakeViewLocked(
+    TableState* st) {
+  // Caller holds mu_. Share the Write-PDT copy when no commit happened
+  // since it was taken ("copying is not always required", Sec. 3.3).
+  if (!st->write_snapshot || st->write_snapshot_time != clock_) {
+    st->write_snapshot =
+        std::shared_ptr<const Pdt>(st->write->Clone().release());
+    st->write_snapshot_time = clock_;
+  }
+  MultiTransaction::TableView view;
+  view.table = st->table;
+  // Pin the Read-PDT (and, when a background merge is folding a claimed
+  // Write-PDT, that immutable pending layer): the merge installs a
+  // replacement via ReplacePdt while this snapshot lives, and the
+  // shared_ptrs keep the pre-merge layers — which this snapshot's RIDs
+  // are defined over — alive.
+  view.read = st->table->SharedPdt();
+  view.pending = st->merge_pending;
+  view.write = st->write_snapshot;
+  view.trans = std::make_unique<Pdt>(st->table->shared_schema(),
+                                     st->table->options().pdt);
+  return view;
+}
+
 StatusOr<MultiTransaction::TableView*> MultiTransaction::View(
     const std::string& table) const {
+  // All views were materialized together at Begin() — the snapshot is
+  // one instant across every managed table.
   auto it = views_.find(table);
   if (it != views_.end()) return &it->second;
-  // First touch: snapshot under the manager lock.
-  std::lock_guard<std::mutex> lock(mgr_->mu_);
-  auto sit = mgr_->state_.find(table);
-  if (sit == mgr_->state_.end()) {
-    return Status::NotFound("table not managed: " + table);
-  }
-  MultiTxnManager::TableState& st = sit->second;
-  if (!st.write_snapshot || st.write_snapshot_time != mgr_->clock_) {
-    st.write_snapshot =
-        std::shared_ptr<const Pdt>(st.write->Clone().release());
-    st.write_snapshot_time = mgr_->clock_;
-  }
-  TableView view;
-  view.table = st.table;
-  // Pin the Read-PDT for the view's lifetime. No background merge can
-  // replace it concurrently — this manager holds the table's exclusive
-  // driver claim (see the constructor) and never merges in the
-  // background — but the pin keeps the layer alive across this
-  // manager's own quiet-point propagation bookkeeping and makes the
-  // pointer read safe against any future ReplacePdt caller.
-  view.read = st.table->SharedPdt();
-  view.write = st.write_snapshot;
-  view.trans = std::make_unique<Pdt>(st.table->shared_schema(),
-                                     st.table->options().pdt);
-  auto [vit, unused] = views_.emplace(table, std::move(view));
-  return &vit->second;
+  return Status::NotFound("table not managed: " + table);
 }
 
 StatusOr<Rid> MultiTransaction::UpperBoundRid(
@@ -89,7 +154,9 @@ StatusOr<Rid> MultiTransaction::FindRidByKey(
 
 Status MultiTransaction::Insert(const std::string& table,
                                 const Tuple& tuple) {
-  if (finished_) return Status::InvalidArgument("transaction finished");
+  if (finished_ || rec_ != nullptr) {
+    return Status::InvalidArgument("transaction finished or published");
+  }
   PDT_ASSIGN_OR_RETURN(TableView * v, View(table));
   const Schema& schema = v->table->schema();
   PDT_RETURN_NOT_OK(schema.ValidateTuple(tuple));
@@ -112,7 +179,9 @@ Status MultiTransaction::Insert(const std::string& table,
 
 Status MultiTransaction::DeleteByKey(const std::string& table,
                                      const std::vector<Value>& key) {
-  if (finished_) return Status::InvalidArgument("transaction finished");
+  if (finished_ || rec_ != nullptr) {
+    return Status::InvalidArgument("transaction finished or published");
+  }
   PDT_ASSIGN_OR_RETURN(TableView * v, View(table));
   PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(*v, key));
   PDT_RETURN_NOT_OK(v->trans->AddDelete(rid, key));
@@ -127,7 +196,9 @@ Status MultiTransaction::DeleteByKey(const std::string& table,
 Status MultiTransaction::ModifyByKey(const std::string& table,
                                      const std::vector<Value>& key,
                                      ColumnId col, const Value& value) {
-  if (finished_) return Status::InvalidArgument("transaction finished");
+  if (finished_ || rec_ != nullptr) {
+    return Status::InvalidArgument("transaction finished or published");
+  }
   PDT_ASSIGN_OR_RETURN(TableView * v, View(table));
   const Schema& schema = v->table->schema();
   if (schema.IsSortKeyColumn(col)) {
@@ -152,6 +223,9 @@ Status MultiTransaction::ModifyByKey(const std::string& table,
 
 StatusOr<Tuple> MultiTransaction::GetByKey(
     const std::string& table, const std::vector<Value>& key) const {
+  if (finished_ || rec_ != nullptr) {
+    return Status::InvalidArgument("transaction finished or published");
+  }
   PDT_ASSIGN_OR_RETURN(TableView * v, View(table));
   PDT_ASSIGN_OR_RETURN(Rid rid, FindRidByKey(*v, key));
   return internal::LayeredTuple(v->table->store(), Layers(*v), rid);
@@ -160,6 +234,9 @@ StatusOr<Tuple> MultiTransaction::GetByKey(
 std::unique_ptr<BatchSource> MultiTransaction::Scan(
     const std::string& table, std::vector<ColumnId> projection,
     const KeyBounds* bounds, const ScanOptions& scan_opts) const {
+  if (finished_ || rec_ != nullptr) {  // sealed by Publish()
+    return std::make_unique<SealedMultiTxnSource>();
+  }
   auto view = View(table);
   if (!view.ok()) return nullptr;
   TableView* v = *view;
@@ -174,20 +251,89 @@ std::unique_ptr<BatchSource> MultiTransaction::Scan(
 
 StatusOr<uint64_t> MultiTransaction::RowCount(
     const std::string& table) const {
+  if (finished_ || rec_ != nullptr) {
+    // Sealed by Publish(): report the count as of sealing for tables
+    // the transaction touched (their Trans-PDTs are off-limits — a
+    // fold may be serializing them).
+    auto it = sealed_counts_.find(table);
+    if (it == sealed_counts_.end()) {
+      return Status::InvalidArgument("transaction finished or published");
+    }
+    return it->second;
+  }
   PDT_ASSIGN_OR_RETURN(TableView * v, View(table));
   return internal::LayeredRowCount(v->table->store().num_rows(), Layers(*v));
 }
 
-Status MultiTransaction::Commit() {
+Status MultiTransaction::Publish() {
   if (finished_) return Status::InvalidArgument("transaction finished");
-  return mgr_->CommitLocked(this);
+  if (rec_ != nullptr) return Status::InvalidArgument("already published");
+  rec_ = std::make_unique<MultiDeltaRecord>();
+  rec_->txn_id = id_;
+  rec_->start_time = start_time_;
+  // Seal: record per-table row counts, then move every touched table's
+  // Trans-PDT into the record (a fold may serialize them concurrently).
+  for (auto& [name, v] : views_) {
+    sealed_counts_[name] = internal::LayeredRowCount(
+        v.table->store().num_rows(), Layers(v));
+    rec_->trans.emplace(name, std::move(v.trans));
+  }
+  if (!mgr_->opts_.serial_commit && mgr_->wal_ != nullptr) {
+    // Encode the commit's WAL frames here, outside every lock; the fold
+    // leader appends the finished bytes in one batch under the lock.
+    rec_->payloads.reserve(redo_.size() + 2);
+    WalRecord b;
+    b.type = WalRecordType::kBegin;
+    b.txn_id = id_;
+    rec_->payloads.push_back(Wal::EncodeRecordPayload(b));
+    for (WalRecord& r : redo_) {
+      r.txn_id = id_;
+      rec_->payloads.push_back(Wal::EncodeRecordPayload(r));
+    }
+    WalRecord c;
+    c.type = WalRecordType::kCommit;
+    c.txn_id = id_;
+    rec_->payloads.push_back(Wal::EncodeRecordPayload(c));
+    rec_->preencoded = true;
+    redo_.clear();
+  } else {
+    rec_->redo = std::move(redo_);
+  }
+  // The serial_commit baseline skips the chain: the committer folds its
+  // own record under the lock in AwaitCommit, like the legacy path.
+  if (!mgr_->opts_.serial_commit) mgr_->PublishRecord(rec_.get());
+  return Status::OK();
+}
+
+Status MultiTransaction::AwaitCommit() {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  if (rec_ == nullptr) {
+    return Status::InvalidArgument("transaction not published");
+  }
+  uint64_t durable_upto = 0;
+  Status st = mgr_->AwaitVerdict(rec_.get(), &durable_upto);
+  finished_ = true;
+  if (!st.ok()) return st;
+  // Group commit: wait for the WAL to reach disk outside the commit
+  // lock, so concurrent committers pile into one fsync.
+  if (durable_upto > 0) return mgr_->SyncWal(durable_upto);
+  return Status::OK();
+}
+
+Status MultiTransaction::Commit() {
+  PDT_RETURN_NOT_OK(Publish());
+  return AwaitCommit();
 }
 
 void MultiTransaction::Abort() {
   if (finished_) return;
+  if (rec_ != nullptr) {
+    mgr_->AbortPublished(this);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mgr_->mu_);
   mgr_->FinishLocked(this);
-  ++mgr_->aborted_count_;
+  mgr_->aborted_count_.fetch_add(1, std::memory_order_relaxed);
   if (mgr_->wal_ != nullptr) mgr_->wal_->LogAbort(id_);
 }
 
@@ -201,9 +347,8 @@ MultiTxnManager::MultiTxnManager(std::vector<Table*> tables, Wal* wal,
   for (Table* t : tables) {
     assert(t->pdt() != nullptr && "multi-table txns require PDT tables");
     // A table is driven by exactly one manager: this one claims the
-    // driver slot, so no per-table TxnManager (whose background merge
-    // would ReplacePdt under a different lock) can coexist with the
-    // in-place PDT mutation CommitLocked performs under mu_.
+    // driver slot, so every layer swap (background merge installs,
+    // quiet-point folds, checkpoints) happens under this manager's mu_.
     bool claimed = t->AcquireTxnDriver();
     assert(claimed &&
            "table is already driven by another transaction manager");
@@ -216,43 +361,153 @@ MultiTxnManager::MultiTxnManager(std::vector<Table*> tables, Wal* wal,
 }
 
 MultiTxnManager::~MultiTxnManager() {
+  {
+    // Background merge tasks capture `this`; wait them out.
+    std::unique_lock<std::mutex> lock(mu_);
+    merge_cv_.wait(lock, [this] { return merges_inflight_ == 0; });
+  }
   for (Table* t : claimed_) t->ReleaseTxnDriver();
 }
 
 std::unique_ptr<MultiTransaction> MultiTxnManager::Begin() {
   std::lock_guard<std::mutex> lock(mu_);
   ++active_;
-  return std::unique_ptr<MultiTransaction>(
-      new MultiTransaction(this, next_txn_id_++, clock_));
+  uint64_t id = opts_.txn_id_counter != nullptr
+                    ? opts_.txn_id_counter->fetch_add(1) + 1
+                    : next_txn_id_++;
+  auto txn = std::unique_ptr<MultiTransaction>(
+      new MultiTransaction(this, id, clock_));
+  // Snapshot every managed table NOW, at the same clock the conflict
+  // check will serialize against. Lazy per-table snapshots would let
+  // one transaction observe the tables at different commit horizons —
+  // a reader could see a child-table row whose parent-table row isn't
+  // visible yet — and would double-translate commits that landed
+  // between Begin and the first touch.
+  for (auto& [name, st] : state_) {
+    txn->views_.emplace(name, MakeViewLocked(&st));
+  }
+  return txn;
 }
 
-void MultiTxnManager::FinishLocked(MultiTransaction* txn) {
+void MultiTxnManager::SetWalWriter(WalWriter* writer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer_ = writer;
+  if (wal_ != nullptr) wal_->SetWriter(writer);
+}
+
+Status MultiTxnManager::wal_status() const {
+  return wal_ != nullptr ? wal_->health() : Status::OK();
+}
+
+Status MultiTxnManager::SyncWal(uint64_t upto) {
+  return wal_->SyncTo(upto);
+}
+
+void MultiTxnManager::FinishActiveLocked(uint64_t start_time) {
   for (auto& z : tz_) {
-    if (txn->start_time_ < z.commit_time) --z.refcnt;
+    if (start_time < z.commit_time) --z.refcnt;
   }
   tz_.erase(std::remove_if(
                 tz_.begin(), tz_.end(),
                 [](const CommittedTxn& z) { return z.refcnt <= 0; }),
             tz_.end());
   --active_;
+}
+
+void MultiTxnManager::FinishLocked(MultiTransaction* txn) {
+  FinishActiveLocked(txn->start_time_);
   txn->finished_ = true;
 }
 
-Status MultiTxnManager::CommitLocked(MultiTransaction* txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+void MultiTxnManager::PublishRecord(MultiDeltaRecord* rec) {
+  rec->enqueued = true;
+  MultiDeltaRecord* cur = delta_head_.load(std::memory_order_relaxed);
+  do {
+    rec->next.store(cur, std::memory_order_relaxed);
+  } while (!delta_head_.compare_exchange_weak(cur, rec,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed));
+  pending_deltas_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status MultiTxnManager::AwaitVerdict(MultiDeltaRecord* rec,
+                                     uint64_t* durable_upto) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (rec->state == MultiDeltaRecord::kPublished) {
+    // Undecided under the lock means the record is still on the chain
+    // (folds run entirely under mu_): this committer is the fold leader
+    // and decides the whole published batch.
+    const auto t0 = std::chrono::steady_clock::now();
+    if (opts_.serial_commit) {
+      CommitRecordLocked(rec);
+    } else {
+      FoldChainLocked();
+    }
+    commit_lock_ns_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  *durable_upto = rec->durable_upto;
+  return rec->result;
+}
+
+void MultiTxnManager::FoldChainLocked() {
+  MultiDeltaRecord* head =
+      delta_head_.exchange(nullptr, std::memory_order_acquire);
+  if (head == nullptr) return;
+  // The chain is newest-first; reverse it so records fold in
+  // publication order (their WAL frames then appear in verdict order).
+  MultiDeltaRecord* chain = nullptr;
+  while (head != nullptr) {
+    MultiDeltaRecord* next = head->next.load(std::memory_order_relaxed);
+    head->next.store(chain, std::memory_order_relaxed);
+    chain = head;
+    head = next;
+  }
+  ++fold_batches_;
+  while (chain != nullptr) {
+    MultiDeltaRecord* next = chain->next.load(std::memory_order_relaxed);
+    chain->enqueued = false;
+    CommitRecordLocked(chain);
+    ++folded_records_;
+    pending_deltas_.fetch_sub(1, std::memory_order_relaxed);
+    chain = next;
+  }
+}
+
+void MultiTxnManager::CommitRecordLocked(MultiDeltaRecord* rec) {
+  rec->durable_upto = 0;
+  if (writer_ != nullptr) {
+    // A manager whose WAL sink failed can no longer promise durability:
+    // refuse the commit up front.
+    Status health = wal_->health();
+    if (!health.ok()) {
+      FinishActiveLocked(rec->start_time);
+      aborted_count_.fetch_add(1, std::memory_order_relaxed);
+      rec->result = health;
+      rec->state = MultiDeltaRecord::kAborted;
+      return;
+    }
+  }
+  // Serialize against every overlapping committed transaction, in
+  // commit order (Alg. 9 lines 2-9), per overlapping table. A conflict
+  // on any table aborts the whole record — the all-or-nothing verdict.
   Status conflict = Status::OK();
   for (auto& z : tz_) {
-    if (txn->start_time_ >= z.commit_time) continue;
+    if (rec->start_time >= z.commit_time) continue;  // not overlapping
     if (!conflict.ok()) continue;
-    // Serialize per overlapping table; any conflict aborts everything.
-    for (auto& [name, view] : txn->views_) {
+    for (auto& [name, trans] : rec->trans) {
       auto zit = z.pdts.find(name);
       if (zit == z.pdts.end()) continue;
-      Status st = view.trans->SerializeAgainst(*zit->second);
+      Status st = trans->SerializeAgainst(*zit->second);
       if (!st.ok()) {
         if (st.code() != StatusCode::kConflict) {
-          FinishLocked(txn);
-          return st;
+          // Internal failure, not a write-write conflict: surface as-is.
+          FinishActiveLocked(rec->start_time);
+          rec->result = st;
+          rec->state = MultiDeltaRecord::kAborted;
+          return;
         }
         conflict = st;
         break;
@@ -260,68 +515,292 @@ Status MultiTxnManager::CommitLocked(MultiTransaction* txn) {
     }
   }
   if (!conflict.ok()) {
-    FinishLocked(txn);
-    ++aborted_count_;
-    if (wal_ != nullptr) wal_->LogAbort(txn->id_);
-    return conflict;
+    FinishActiveLocked(rec->start_time);
+    aborted_count_.fetch_add(1, std::memory_order_relaxed);
+    if (wal_ != nullptr) wal_->LogAbort(rec->txn_id);
+    rec->result = conflict;
+    rec->state = MultiDeltaRecord::kAborted;
+    return;
   }
+  // Durability first: the WAL append is the commit point. One begin /
+  // ops / commit frame sequence covers every table of the group, so
+  // replay reapplies it atomically too.
   if (wal_ != nullptr) {
-    wal_->LogBegin(txn->id_);
-    for (WalRecord& r : txn->redo_) {
-      r.txn_id = txn->id_;
-      wal_->Append(r);
+    if (rec->preencoded) {
+      wal_->AppendEncoded(rec->payloads);
+      rec->payloads.clear();
+    } else {
+      wal_->LogBegin(rec->txn_id);
+      for (WalRecord& r : rec->redo) {
+        r.txn_id = rec->txn_id;
+        wal_->Append(r);
+      }
+      wal_->LogCommit(rec->txn_id);
     }
-    wal_->LogCommit(txn->id_);
+    if (writer_ != nullptr) {
+      if (opts_.group_commit) {
+        // Publish the frames now; the owner waits for durability up to
+        // this offset outside the commit lock (SyncWal).
+        rec->durable_upto = wal_->SizeBytes();
+      } else {
+        Status st = wal_->SyncTo(wal_->SizeBytes());
+        if (!st.ok()) {
+          // Not durable: fail the commit without applying it in memory.
+          FinishActiveLocked(rec->start_time);
+          aborted_count_.fetch_add(1, std::memory_order_relaxed);
+          rec->result = st;
+          rec->state = MultiDeltaRecord::kAborted;
+          return;
+        }
+      }
+    }
   }
-  // Atomic visibility: propagate every touched table's Trans-PDT into
-  // its master Write-PDT under this one lock.
-  for (auto& [name, view] : txn->views_) {
-    if (view.trans->Empty()) continue;
-    PDT_RETURN_NOT_OK(state_.at(name).write->Propagate(*view.trans));
+  // Atomic visibility: fold every touched table's Trans-PDT into that
+  // table's master Write-PDT under this one lock (Alg. 9 line 12).
+  for (auto& [name, trans] : rec->trans) {
+    if (trans->Empty()) continue;
+    Status st = state_.at(name).write->Propagate(*trans);
+    if (!st.ok()) {
+      // Invariant failure; state may be inconsistent.
+      FinishActiveLocked(rec->start_time);
+      rec->result = st;
+      rec->state = MultiDeltaRecord::kAborted;
+      return;
+    }
   }
   ++clock_;
-  ++committed_count_;
+  committed_count_.fetch_add(1, std::memory_order_relaxed);
   uint64_t commit_time = clock_;
-  FinishLocked(txn);
+  // Release this transaction's own references first, so its freshly
+  // committed Trans-PDTs are not self-decremented below.
+  FinishActiveLocked(rec->start_time);
+  // Keep the serialized Trans-PDTs alive for the transactions that are
+  // still running (they overlap this commit) — including the later
+  // members of this fold batch, which are still counted active.
   int refs = static_cast<int>(active_);
   if (refs > 0) {
     CommittedTxn entry;
     entry.commit_time = commit_time;
     entry.refcnt = refs;
-    for (auto& [name, view] : txn->views_) {
-      if (view.trans->Empty()) continue;
-      entry.pdts.emplace(name, std::shared_ptr<Pdt>(view.trans.release()));
+    for (auto& [name, trans] : rec->trans) {
+      if (trans == nullptr || trans->Empty()) continue;
+      entry.pdts.emplace(name, std::shared_ptr<Pdt>(trans.release()));
     }
     if (!entry.pdts.empty()) tz_.push_back(std::move(entry));
+  } else {
+    rec->trans.clear();
   }
-  // Opportunistic Write->Read migration at quiet points.
-  if (active_ == 0) {
-    for (auto& [name, st] : state_) {
-      if (st.write->EntryCount() > opts_.write_pdt_max_entries) {
-        PDT_RETURN_NOT_OK(st.table->pdt()->Propagate(*st.write));
-        st.write->Clear();
-        st.write_snapshot.reset();
-        st.write_snapshot_time = 0;
+  // Write->Read propagation: inline clone+install at quiet points, in
+  // the background on the worker pool while transactions are running.
+  rec->result = MaybePropagateLocked();
+  rec->state = MultiDeltaRecord::kCommitted;
+}
+
+bool MultiTxnManager::UnlinkLocked(MultiDeltaRecord* rec) {
+  if (!rec->enqueued) return false;
+  // Folds run under mu_ and we hold it, so the record is still on the
+  // chain. Claim the chain, drop the record, splice the rest back in
+  // their original relative order.
+  MultiDeltaRecord* head =
+      delta_head_.exchange(nullptr, std::memory_order_acquire);
+  MultiDeltaRecord* keep_head = nullptr;
+  MultiDeltaRecord* keep_tail = nullptr;
+  while (head != nullptr) {
+    MultiDeltaRecord* next = head->next.load(std::memory_order_relaxed);
+    if (head == rec) {
+      rec->enqueued = false;
+    } else {
+      head->next.store(nullptr, std::memory_order_relaxed);
+      if (keep_tail == nullptr) {
+        keep_head = head;
+      } else {
+        keep_tail->next.store(head, std::memory_order_relaxed);
       }
+      keep_tail = head;
+    }
+    head = next;
+  }
+  assert(!rec->enqueued && "published record missing from the chain");
+  if (keep_head != nullptr) {
+    MultiDeltaRecord* cur = delta_head_.load(std::memory_order_relaxed);
+    do {
+      keep_tail->next.store(cur, std::memory_order_relaxed);
+    } while (!delta_head_.compare_exchange_weak(cur, keep_head,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed));
+  }
+  return true;
+}
+
+void MultiTxnManager::AbortPublished(MultiTransaction* txn) {
+  MultiDeltaRecord* rec = txn->rec_.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rec->state == MultiDeltaRecord::kPublished) {
+    // No fold claimed it: withdraw the record and abort normally.
+    if (UnlinkLocked(rec)) {
+      pending_deltas_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    FinishActiveLocked(rec->start_time);
+    aborted_count_.fetch_add(1, std::memory_order_relaxed);
+    if (wal_ != nullptr) wal_->LogAbort(rec->txn_id);
+    rec->result = Status::InvalidArgument("transaction aborted");
+    rec->state = MultiDeltaRecord::kAborted;
+  }
+  // Otherwise a fold already decided it; the verdict stands.
+  txn->finished_ = true;
+}
+
+Status MultiTxnManager::FoldIntoReadLocked(TableState* st) {
+  // Never mutate the live Read-PDT: driverless analytic readers (the
+  // HTAP harness's query threads) may be scanning it right now. Fold
+  // into a clone and install it; their pins keep the old layer alive.
+  auto merged = st->table->SharedPdt()->Clone();
+  if (st->merge_pending != nullptr) {
+    // A layer parked by a failed background merge folds first — the
+    // Write-PDT's SID domain is defined over Read ▷ pending.
+    PDT_RETURN_NOT_OK(merged->Propagate(*st->merge_pending));
+  }
+  if (!st->write->Empty()) {
+    PDT_RETURN_NOT_OK(merged->Propagate(*st->write));
+  }
+  st->table->ReplacePdt(std::shared_ptr<Pdt>(merged.release()));
+  st->merge_pending.reset();
+  st->merge_error = Status::OK();
+  st->write->Clear();
+  st->write_snapshot.reset();
+  st->write_snapshot_time = 0;
+  return Status::OK();
+}
+
+Status MultiTxnManager::MaybePropagateLocked() {
+  for (auto& [name, st] : state_) {
+    if (st.merge_inflight) continue;
+    const bool oversized =
+        st.write->EntryCount() > opts_.write_pdt_max_entries;
+    if (!oversized && st.merge_pending == nullptr) continue;
+    if (active_ == 0) {
+      // Quiet point: fold synchronously (still install-based).
+      PDT_RETURN_NOT_OK(FoldIntoReadLocked(&st));
+    } else if (oversized && st.merge_pending == nullptr) {
+      // Transactions are running: merge into a private clone on the
+      // worker pool instead of blocking this commit on an O(Read-PDT)
+      // fold.
+      StartBackgroundMergeLocked(&st);
     }
   }
   return Status::OK();
 }
 
-Status MultiTxnManager::PropagateAndMaybeCheckpoint() {
+void MultiTxnManager::StartBackgroundMergeLocked(TableState* st) {
+  auto job = std::make_shared<MergeJob>();
+  job->st = st;
+  // The claimed Write-PDT becomes an immutable shared layer: commits
+  // fold into a fresh Write-PDT (whose SID domain is Read ▷ pending),
+  // and new snapshots stack [read, pending, write] until the merged
+  // Read-PDT absorbs it.
+  job->pending = std::shared_ptr<const Pdt>(st->write.release());
+  st->merge_pending = job->pending;
+  st->write = std::make_unique<Pdt>(st->table->shared_schema(),
+                                    st->table->options().pdt);
+  st->write_snapshot.reset();
+  st->write_snapshot_time = 0;
+  job->source_read = st->table->SharedPdt();
+  st->merge_inflight = true;
+  ++merges_inflight_;
+  ThreadPool::Global().Submit([this, job] { MergeStep(job); });
+}
+
+void MultiTxnManager::MergeStep(std::shared_ptr<MergeJob> job) {
+  if (!job->merged) {
+    // First step: clone the pinned Read-PDT. The table's PDT cannot
+    // change while this merge is in flight: every install path of this
+    // manager excludes tables with merge_inflight set, and no other
+    // manager can touch the table (exclusive driver claim).
+    job->merged = job->source_read->Clone();
+    job->cursor = job->pending->Begin();
+  }
+  bool done = false;
+  Status st = job->merged->PropagateStep(*job->pending, &job->cursor,
+                                         opts_.merge_chunk_entries, &done);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!st.ok()) {
+    // Abandon the clone; the pending layer stays parked in the snapshot
+    // stack and the next quiet point folds it inline.
+    job->st->merge_error = st;
+    last_merge_error_ = st;
+    job->st->merge_inflight = false;
+    --merges_inflight_;
+    merge_cv_.notify_all();
+    return;
+  }
+  if (!done) {
+    // Yield the worker between chunks so foreground scan morsels and
+    // pipeline tasks interleave with the merge.
+    lock.unlock();
+    ThreadPool::Global().Submit([this, job] { MergeStep(job); });
+    return;
+  }
+  // Install the merged Read-PDT. Snapshots (and driverless scans) taken
+  // before this instant keep the pre-merge layers alive through their
+  // shared_ptrs; new ones see [merged, write] — the same image.
+  job->st->table->ReplacePdt(std::shared_ptr<Pdt>(job->merged.release()));
+  job->st->merge_pending.reset();
+  ++job->st->background_merges;
+  job->st->merge_inflight = false;
+  --merges_inflight_;
+  merge_cv_.notify_all();
+}
+
+MultiTxnStats MultiTxnManager::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
+  MultiTxnStats s;
+  s.committed = committed_count_.load(std::memory_order_relaxed);
+  s.aborted = aborted_count_.load(std::memory_order_relaxed);
+  s.active = active_;
+  s.pending_deltas = pending_deltas_.load(std::memory_order_relaxed);
+  s.fold_batches = fold_batches_;
+  s.folded_records = folded_records_;
+  s.commit_lock_ns = commit_lock_ns_;
+  s.last_merge_error = last_merge_error_;
+  if (wal_ != nullptr) s.wal_records = wal_->RecordCount();
+  if (writer_ != nullptr) s.wal_syncs = writer_->sync_count();
+  for (const auto& [name, st] : state_) {
+    MultiTxnTableStats t;
+    t.table = name;
+    t.read_pdt_entries = st.table->pdt()->EntryCount();
+    t.write_pdt_entries = st.write->EntryCount();
+    t.merge_pending_entries =
+        st.merge_pending != nullptr ? st.merge_pending->EntryCount() : 0;
+    t.merge_inflight = st.merge_inflight;
+    t.background_merges = st.background_merges;
+    s.tables.push_back(std::move(t));
+  }
+  return s;
+}
+
+Status MultiTxnManager::PropagateAndMaybeCheckpoint() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Drain in-flight background merges: they own clones mid-fold, and
+  // the inline paths below replace the very layers they read.
+  merge_cv_.wait(lock, [this] { return merges_inflight_ == 0; });
   if (active_ > 0) {
+    // Published-but-unfolded commits still count as active, so a
+    // pending delta chain also lands here.
     return Status::InvalidArgument(
         "cannot propagate/checkpoint with active transactions");
   }
   for (auto& [name, st] : state_) {
-    if (!st.write->Empty()) {
-      PDT_RETURN_NOT_OK(st.table->pdt()->Propagate(*st.write));
-      st.write->Clear();
-      st.write_snapshot.reset();
-      st.write_snapshot_time = 0;
+    if (st.merge_pending != nullptr || !st.write->Empty()) {
+      PDT_RETURN_NOT_OK(FoldIntoReadLocked(&st));
     }
-    if (st.table->pdt()->EntryCount() > opts_.read_pdt_max_entries) {
+    // With a durable WAL attached, in-place checkpointing here would
+    // rewrite the stable image without the manifest commit protocol —
+    // replaying the (still durable) log over the new image would apply
+    // every absorbed update twice. Durable checkpointing is
+    // Database::Save's job; this fast path is for in-memory managers.
+    // The shared log is NOT truncated: other tables' redo lives in it.
+    if (writer_ == nullptr &&
+        st.table->pdt()->EntryCount() > opts_.read_pdt_max_entries) {
       PDT_RETURN_NOT_OK(st.table->Checkpoint());
       if (wal_ != nullptr) wal_->LogCheckpoint(name);
     }
@@ -330,6 +809,15 @@ Status MultiTxnManager::PropagateAndMaybeCheckpoint() {
 }
 
 Status MultiTxnManager::Recover(const Wal& wal) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (&wal == wal_) {
+      // Replaying a WAL through a manager that appends to that same WAL
+      // would grow the log under the replay cursor.
+      return Status::InvalidArgument(
+          "cannot recover from the manager's own WAL");
+    }
+  }
   std::map<uint64_t, std::vector<WalRecord>> pending;
   return wal.Replay([&](const WalRecord& r) -> Status {
     switch (r.type) {

@@ -8,9 +8,24 @@
 // table aborts the whole transaction, and on success every table's
 // Trans-PDT propagates into that table's master Write-PDT under one
 // commit lock, giving all-or-nothing visibility.
+//
+// Concurrent write path: like TxnManager, commits are two-phase. The
+// build phase (positioning updates, encoding WAL frames) runs outside
+// the manager lock; Publish() seals the transaction's per-table
+// Trans-PDTs into a delta record on a lock-free chain, and the first
+// AwaitCommit() to take the lock folds the whole chain in publication
+// order — one short critical section per batch, with every member
+// riding the WAL's group-commit fsync. Write→Read propagation always
+// installs a merged clone via Table::ReplacePdt (inline at quiet
+// points, incrementally on the worker pool under load): unlike the
+// per-table TxnManager, a MultiTxnManager is built for HTAP drivers
+// whose analytic readers scan the tables directly (outside any
+// transaction), so the live Read-PDT is never mutated in place.
 #ifndef PDTSTORE_TXN_MULTI_TXN_H_
 #define PDTSTORE_TXN_MULTI_TXN_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
@@ -25,6 +40,36 @@
 namespace pdtstore {
 
 class MultiTxnManager;
+
+namespace internal {
+struct MultiDeltaRecord;
+}  // namespace internal
+
+/// Per-table layer counters of a MultiTxnManager (see GetStats()).
+struct MultiTxnTableStats {
+  std::string table;
+  size_t read_pdt_entries = 0;
+  size_t write_pdt_entries = 0;
+  size_t merge_pending_entries = 0;  ///< claimed layer a bg merge is folding
+  bool merge_inflight = false;
+  uint64_t background_merges = 0;  ///< completed background propagations
+};
+
+/// Observability counters for the multi-table write path.
+struct MultiTxnStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  size_t active = 0;
+  size_t pending_deltas = 0;    ///< published, not yet folded
+  uint64_t fold_batches = 0;    ///< chain claims that found records
+  uint64_t folded_records = 0;  ///< records decided through folds
+  uint64_t commit_lock_ns = 0;  ///< total ns commit work held the lock
+  uint64_t wal_syncs = 0;       ///< fsyncs through the attached writer
+  uint64_t wal_records = 0;
+  /// Why the last background merge was abandoned (OK if none was).
+  Status last_merge_error = Status::OK();
+  std::vector<MultiTxnTableStats> tables;
+};
 
 /// A snapshot-isolated transaction over a fixed set of tables.
 class MultiTransaction {
@@ -41,34 +86,66 @@ class MultiTransaction {
                            const std::vector<Value>& key) const;
   /// `scan_opts` enables the morsel-parallel scan; same caveat as
   /// Transaction::Scan (no updates to this table while consuming it).
+  /// After Publish() the snapshot is sealed: the returned source (never
+  /// null) fails with InvalidArgument on its first Next().
   std::unique_ptr<BatchSource> Scan(const std::string& table,
                                     std::vector<ColumnId> projection,
                                     const KeyBounds* bounds = nullptr,
                                     const ScanOptions& scan_opts = {}) const;
+  /// Visible row count; after Publish() it reports the sealed count for
+  /// tables the transaction touched (others fail with InvalidArgument).
   StatusOr<uint64_t> RowCount(const std::string& table) const;
 
   /// Commits all tables atomically; Status::Conflict aborts everything.
+  /// Equivalent to Publish() + AwaitCommit().
   Status Commit();
+
+  /// First half of the two-phase commit: seals every touched table's
+  /// Trans-PDT into one delta record and publishes it onto the
+  /// manager's lock-free commit chain — no lock is taken and no verdict
+  /// is produced yet. After Publish() the transaction accepts no
+  /// further updates or reads; the only legal follow-ups are
+  /// AwaitCommit() and Abort() (which unlinks the record if no fold
+  /// claimed it yet).
+  Status Publish();
+
+  /// Second half: drives or awaits the fold that decides this record
+  /// (all tables together — the verdict is all-or-nothing), then waits
+  /// for WAL durability (group commit).
+  Status AwaitCommit();
+
+  /// Discards all buffered updates. After Publish(), unlinks the
+  /// published record if it has not been folded; if a fold already
+  /// committed it, the commit stands and Abort is a no-op.
   void Abort();
 
   uint64_t id() const { return id_; }
   bool finished() const { return finished_; }
+  /// True between Publish() and the verdict (or unlink).
+  bool published() const { return rec_ != nullptr && !finished_; }
 
  private:
   friend class MultiTxnManager;
 
   struct TableView {
     Table* table = nullptr;
-    std::shared_ptr<const Pdt> read;   // alias of the table's Read-PDT
-    std::shared_ptr<const Pdt> write;  // Write-PDT snapshot
-    std::unique_ptr<Pdt> trans;        // private Trans-PDT
+    std::shared_ptr<const Pdt> read;     // alias of the table's Read-PDT
+    std::shared_ptr<const Pdt> pending;  // in-flight merge layer (or null)
+    std::shared_ptr<const Pdt> write;    // Write-PDT snapshot
+    std::unique_ptr<Pdt> trans;          // private Trans-PDT (until Publish)
   };
 
   MultiTransaction(MultiTxnManager* mgr, uint64_t id, uint64_t start_time);
 
   StatusOr<TableView*> View(const std::string& table) const;
   std::vector<const Pdt*> Layers(const TableView& v) const {
-    return {v.read.get(), v.write.get(), v.trans.get()};
+    std::vector<const Pdt*> layers;
+    layers.reserve(4);
+    layers.push_back(v.read.get());
+    if (v.pending != nullptr) layers.push_back(v.pending.get());
+    layers.push_back(v.write.get());
+    layers.push_back(v.trans.get());
+    return layers;
   }
   StatusOr<Rid> UpperBoundRid(const TableView& v,
                               const std::vector<Value>& key) const;
@@ -78,10 +155,18 @@ class MultiTransaction {
   MultiTxnManager* mgr_;
   uint64_t id_;
   uint64_t start_time_;
-  // Keyed by table name; mutable because views are materialized lazily
-  // on first touch (const reads may be the first touch).
+  // Keyed by table name; every managed table is snapshot together at
+  // Begin(), so the transaction sees one instant across tables (lazy
+  // per-table snapshots would let a reader observe, say, a lineitem row
+  // whose order isn't visible yet).
   mutable std::map<std::string, TableView> views_;
   std::vector<WalRecord> redo_;
+  // The published delta record; owned here, linked into the manager's
+  // chain until a fold (or an abort-unlink) takes it out.
+  std::unique_ptr<internal::MultiDeltaRecord> rec_;
+  // RowCount() per touched table as of Publish() — the sealed Trans-PDTs
+  // may be concurrently serialized by a fold, so they are off-limits.
+  std::map<std::string, uint64_t> sealed_counts_;
   bool finished_ = false;
 };
 
@@ -97,31 +182,62 @@ class MultiTxnManager {
  public:
   MultiTxnManager(std::vector<Table*> tables, Wal* wal = nullptr,
                   TxnManagerOptions opts = {});
+  /// Drains in-flight background merges (their worker-pool tasks hold a
+  /// pointer to this manager).
   ~MultiTxnManager();
 
   std::unique_ptr<MultiTransaction> Begin();
+
+  /// Attaches the durable sink commits must reach before returning OK.
+  /// Same contract as TxnManager::SetWalWriter: the writer must outlive
+  /// the manager (or be detached with nullptr), the Wal's durability
+  /// watermark is not touched, and a later flush or fsync failure is
+  /// sticky — every subsequent commit is refused with that status.
+  void SetWalWriter(WalWriter* writer);
+
+  /// The sticky WAL health status: OK until a flush or fsync failed.
+  Status wal_status() const;
 
   /// Replays a WAL of committed multi-table transactions.
   Status Recover(const Wal& wal);
 
   /// Write->Read propagation (and checkpointing) for every table, at a
-  /// quiet point only.
+  /// quiet point only (returns InvalidArgument otherwise; a
+  /// published-but-unfolded commit still counts as active). Drains any
+  /// in-flight background merges first. Like TxnManager, the in-place
+  /// checkpoint fast path is reserved for managers without a durable
+  /// writer — durable checkpointing is Database::Save's manifest
+  /// protocol.
   Status PropagateAndMaybeCheckpoint();
 
-  uint64_t committed_count() const { return committed_count_; }
-  uint64_t aborted_count() const { return aborted_count_; }
+  uint64_t committed_count() const {
+    return committed_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t aborted_count() const {
+    return aborted_count_.load(std::memory_order_relaxed);
+  }
   const Pdt& write_pdt(const std::string& table) const {
     return *state_.at(table).write;
   }
 
+  /// Snapshot of the write-path counters (consistent under the lock).
+  MultiTxnStats GetStats() const;
+
  private:
   friend class MultiTransaction;
+  struct MergeJob;
 
   struct TableState {
     Table* table = nullptr;
-    std::unique_ptr<Pdt> write;              // master Write-PDT
+    std::unique_ptr<Pdt> write;  // master Write-PDT
     std::shared_ptr<const Pdt> write_snapshot;
     uint64_t write_snapshot_time = 0;
+    // Background merge state (under mu_; the pending layer itself is
+    // immutable and shared with snapshots).
+    std::shared_ptr<const Pdt> merge_pending;  // claimed Write-PDT
+    bool merge_inflight = false;
+    Status merge_error = Status::OK();
+    uint64_t background_merges = 0;
   };
 
   struct CommittedTxn {
@@ -131,21 +247,68 @@ class MultiTxnManager {
     int refcnt = 0;
   };
 
-  Status CommitLocked(MultiTransaction* txn);
+  // Snapshot one table's layer stack for a transaction beginning now.
+  // Caller holds mu_.
+  MultiTransaction::TableView MakeViewLocked(TableState* st);
+
+  // --- delta-chain commit path (mirrors TxnManager) ---
+  void PublishRecord(internal::MultiDeltaRecord* rec);
+  Status AwaitVerdict(internal::MultiDeltaRecord* rec,
+                      uint64_t* durable_upto);
+  void FoldChainLocked();
+  // Algorithm 9 for one record, across all its tables: per-table
+  // conflict check against TZ, WAL append, fold into each table's
+  // Write-PDT — all-or-nothing. Caller holds mu_.
+  void CommitRecordLocked(internal::MultiDeltaRecord* rec);
+  void AbortPublished(MultiTransaction* txn);
+  bool UnlinkLocked(internal::MultiDeltaRecord* rec);
+  Status SyncWal(uint64_t upto);
+  void FinishActiveLocked(uint64_t start_time);
   void FinishLocked(MultiTransaction* txn);
+
+  // --- background Write→Read merge (install-based; see file comment) ---
+  // Per table: inline clone+install at quiet points, or an incremental
+  // background merge when transactions are running. Caller holds mu_.
+  Status MaybePropagateLocked();
+  // Folds pending + write into a clone of `st`'s Read-PDT and installs
+  // it via ReplacePdt. Caller holds mu_ and guarantees no merge is in
+  // flight for `st`.
+  Status FoldIntoReadLocked(TableState* st);
+  void StartBackgroundMergeLocked(TableState* st);
+  void MergeStep(std::shared_ptr<MergeJob> job);
 
   mutable std::mutex mu_;
   TxnManagerOptions opts_;
   Wal* wal_;
+  // Durable sink; the group-commit state itself lives in the (possibly
+  // shared) Wal.
+  WalWriter* writer_ = nullptr;
   // Tables whose driver slot this manager claimed (released in dtor).
   std::vector<Table*> claimed_;
   std::map<std::string, TableState> state_;
+
+  // The lock-free commit chain: newest record first; only PublishRecord
+  // runs without mu_ (claims and splices happen under it).
+  std::atomic<internal::MultiDeltaRecord*> delta_head_{nullptr};
+  std::atomic<size_t> pending_deltas_{0};
+
   uint64_t clock_ = 1;
   uint64_t next_txn_id_ = 1;
   size_t active_ = 0;
-  uint64_t committed_count_ = 0;
-  uint64_t aborted_count_ = 0;
+  // Atomic so monitor threads can poll counts without taking mu_.
+  std::atomic<uint64_t> committed_count_{0};
+  std::atomic<uint64_t> aborted_count_{0};
   std::deque<CommittedTxn> tz_;
+
+  // Background merge bookkeeping across tables (under mu_).
+  size_t merges_inflight_ = 0;
+  std::condition_variable merge_cv_;  // signals merge completion
+  Status last_merge_error_ = Status::OK();
+
+  // Write-path counters (under mu_).
+  uint64_t fold_batches_ = 0;
+  uint64_t folded_records_ = 0;
+  uint64_t commit_lock_ns_ = 0;
 };
 
 }  // namespace pdtstore

@@ -272,7 +272,7 @@ Status WalWriter::Append(std::string_view bytes) {
 }
 
 Status WalWriter::Sync() {
-  ++sync_count_;
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
   return file_->Sync();
 }
 

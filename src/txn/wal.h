@@ -22,6 +22,7 @@
 #define PDTSTORE_TXN_WAL_H_
 
 #include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -71,7 +72,11 @@ class WalWriter {
   Status Append(std::string_view bytes);
   Status Sync();
 
-  uint64_t sync_count() const { return sync_count_; }
+  // Atomic: monitor threads (shell .stats, the HTAP driver's report)
+  // poll this while committers sync.
+  uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
   const std::string& path() const { return path_; }
 
  private:
@@ -80,7 +85,7 @@ class WalWriter {
 
   std::unique_ptr<WritableFile> file_;
   std::string path_;
-  uint64_t sync_count_ = 0;
+  std::atomic<uint64_t> sync_count_{0};
 };
 
 /// What loading a WAL segment from disk found.

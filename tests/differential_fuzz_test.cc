@@ -24,11 +24,13 @@
 #include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fuzz_util.h"
+#include "txn/multi_txn.h"
 #include "txn/txn_manager.h"
 
 namespace pdtstore {
@@ -284,6 +286,188 @@ TEST(DifferentialFuzz, ConcurrentWritersMatchSerialReplay) {
     RunConcurrentWriteIteration(seed);
     if (::testing::Test::HasFailure()) {
       FAIL() << "concurrent write fuzz failed at seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Multi-table writer mode: N threads drive cross-table transactions
+// (parent row + child rows inserted or deleted together) through one
+// MultiTxnManager while a reader checks referential integrity on every
+// snapshot — an orphaned child row means a transaction tore. The WAL is
+// the committed sequence in fold order; replaying it serially into
+// fresh tables must reproduce both final states exactly.
+
+std::shared_ptr<const Schema> ParentFuzzSchema() {
+  auto s = Schema::Make({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}}, {0});
+  return std::make_shared<const Schema>(std::move(*s));
+}
+
+std::shared_ptr<const Schema> ChildFuzzSchema() {
+  auto s = Schema::Make({{"k", TypeId::kInt64},
+                         {"line", TypeId::kInt64},
+                         {"q", TypeId::kInt64}},
+                        {0, 1});
+  return std::make_shared<const Schema>(std::move(*s));
+}
+
+std::vector<Tuple> MultiSnapshotRows(const MultiTransaction& txn,
+                                     const std::string& table,
+                                     std::vector<ColumnId> proj) {
+  auto src = txn.Scan(table, std::move(proj));
+  auto rows = CollectRows(src.get());
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  return rows.ok() ? *rows : std::vector<Tuple>{};
+}
+
+void RunMultiTableWriteIteration(uint64_t seed) {
+  Random rng(seed);
+  const int writers = 2 + static_cast<int>(rng.Uniform(3));  // 2..4
+  const int txns_per_writer = 4 + static_cast<int>(rng.Uniform(5));
+  const int64_t init_parents = 16 + static_cast<int64_t>(rng.Uniform(24));
+  const int64_t key_domain = init_parents * 2;  // evens exist
+
+  std::vector<Tuple> parent_init;
+  std::vector<Tuple> child_init;
+  for (int64_t i = 0; i < init_parents; ++i) {
+    parent_init.push_back({i * 2, i});
+    child_init.push_back({i * 2, 0, i});
+    child_init.push_back({i * 2, 1, i + 1});
+  }
+
+  TxnManagerOptions opts;
+  opts.group_commit = true;
+  opts.write_pdt_max_entries = 4 + rng.Uniform(28);
+  opts.merge_chunk_entries = 1 + rng.Uniform(8);
+
+  Table parent("parent", ParentFuzzSchema(), TableOptions{});
+  Table child("child", ChildFuzzSchema(), TableOptions{});
+  ASSERT_TRUE(parent.Load(parent_init).ok());
+  ASSERT_TRUE(child.Load(child_init).ok());
+  Wal wal;
+  MultiTxnManager mgr({&parent, &child}, &wal, opts);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> committed{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(writers + 1);
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      Random wr(seed ^ (0xA24BAED4963EE407ULL * (t + 1)));
+      int64_t next_key = 1'000'001 + static_cast<int64_t>(t) * 100'000;
+      for (int i = 0; i < txns_per_writer; ++i) {
+        auto txn = mgr.Begin();
+        const int ops = 1 + static_cast<int>(wr.Uniform(3));
+        for (int k = 0; k < ops; ++k) {
+          if (wr.Uniform(2) == 0) {
+            // Insert a fresh parent with 1..3 child lines, atomically.
+            const int64_t key = next_key++;
+            ASSERT_TRUE(txn->Insert("parent", {key, key}).ok());
+            const int lines = 1 + static_cast<int>(wr.Uniform(3));
+            for (int l = 0; l < lines; ++l) {
+              ASSERT_TRUE(txn->Insert("child", {key, l, key + l}).ok());
+            }
+          } else {
+            // Cascade-delete a random key: parent plus every line it
+            // could have (missing lines are NotFound skips), so a
+            // committed delete can never strand a child row.
+            const int64_t key =
+                static_cast<int64_t>(wr.Uniform(key_domain));
+            Status st = txn->DeleteByKey("parent", {Value(key)});
+            if (!st.ok()) continue;  // missing or already gone
+            for (int64_t l = 0; l < 3; ++l) {
+              (void)txn->DeleteByKey("child", {Value(key), Value(l)});
+            }
+          }
+        }
+        switch (wr.Uniform(10)) {
+          case 0:
+            txn->Abort();
+            break;
+          case 1:
+            (void)txn->Publish();  // then withdraw from the chain
+            txn->Abort();
+            break;
+          default: {
+            Status st = wr.Uniform(2) == 0
+                            ? txn->Commit()
+                            : [&] {
+                                Status p = txn->Publish();
+                                return p.ok() ? txn->AwaitCommit() : p;
+                              }();
+            if (st.ok()) committed.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  // Reader: every snapshot must be internally consistent AND
+  // referentially intact across the two tables.
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto r = mgr.Begin();
+      std::vector<Tuple> parents = MultiSnapshotRows(*r, "parent", {0, 1});
+      std::vector<Tuple> children =
+          MultiSnapshotRows(*r, "child", {0, 1, 2});
+      std::set<int64_t> parent_keys;
+      for (const Tuple& row : parents) {
+        parent_keys.insert(row[0].AsInt64());
+      }
+      for (const Tuple& row : children) {
+        EXPECT_TRUE(parent_keys.count(row[0].AsInt64()))
+            << "orphan child of parent " << row[0].AsInt64()
+            << " (torn cross-table transaction)";
+      }
+      auto n = r->RowCount("parent");
+      ASSERT_TRUE(n.ok());
+      EXPECT_EQ(parents.size(), *n);
+      r->Abort();
+      if (::testing::Test::HasFailure()) return;
+    }
+  });
+  for (int t = 0; t < writers; ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  threads.back().join();
+  if (::testing::Test::HasFailure()) return;
+
+  // Serial replay into fresh tables must reproduce both final states.
+  std::vector<Tuple> parent_final, child_final;
+  {
+    auto check = mgr.Begin();
+    parent_final = MultiSnapshotRows(*check, "parent", {0, 1});
+    child_final = MultiSnapshotRows(*check, "child", {0, 1, 2});
+    check->Abort();
+  }
+  Table parent2("parent", ParentFuzzSchema(), TableOptions{});
+  Table child2("child", ChildFuzzSchema(), TableOptions{});
+  ASSERT_TRUE(parent2.Load(parent_init).ok());
+  ASSERT_TRUE(child2.Load(child_init).ok());
+  MultiTxnManager replay_mgr({&parent2, &child2}, nullptr);
+  ASSERT_TRUE(replay_mgr.Recover(wal).ok());
+  {
+    auto check = replay_mgr.Begin();
+    EXPECT_EQ(parent_final, MultiSnapshotRows(*check, "parent", {0, 1}))
+        << "parent diverges from serial WAL replay (" << committed.load()
+        << " committed txns)";
+    EXPECT_EQ(child_final, MultiSnapshotRows(*check, "child", {0, 1, 2}))
+        << "child diverges from serial WAL replay";
+    check->Abort();
+  }
+}
+
+TEST(DifferentialFuzz, MultiTableWritersMatchSerialReplay) {
+  const uint64_t base = EnvOr("PDT_FUZZ_SEED", 20260731);
+  const uint64_t iters = EnvOr("PDT_FUZZ_ITERS", 40);
+  for (uint64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = base + i;
+    SCOPED_TRACE("repro: PDT_FUZZ_SEED=" + std::to_string(seed) +
+                 " PDT_FUZZ_ITERS=1 ./differential_fuzz_test"
+                 " --gtest_filter='*MultiTableWriters*'");
+    RunMultiTableWriteIteration(seed);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "multi-table write fuzz failed at seed " << seed;
     }
   }
 }
