@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "db/database.h"
+#include "exec/shared_scan.h"
+#include "exec/workload.h"
 #include "tpch/htap_driver.h"  // LatencyPercentile
 #include "util/stopwatch.h"
 
@@ -86,14 +88,18 @@ void PrintHelp() {
       "  tables\n"
       "  .threads [N]              scan worker threads for select\n"
       "                            (1 = serial; shows current when bare)\n"
+      "  .workload [C [MB]]        admission control: C concurrent queries,\n"
+      "                            optional per-query memory cap in MiB\n"
+      "                            (bare shows the current configuration)\n"
       "  .open <dir>               open (or create) a persistent database;\n"
       "                            replays its WAL and continues where it left off\n"
       "  .save                     durable checkpoint of the open database\n"
       "                            (atomic manifest swap, then WAL truncation)\n"
       "  .stats                    write-path statistics: per-table PDT layer\n"
       "                            sizes, pending deltas, WAL syncs/txn,\n"
-      "                            buffer-pool I/O counters, and this shell's\n"
-      "                            reader/writer latency (selects vs updates)\n"
+      "                            buffer-pool I/O counters, workload manager\n"
+      "                            and shared-scan hub counters, and this\n"
+      "                            shell's reader/writer latency\n"
       "  help | quit\n");
 }
 
@@ -149,6 +155,32 @@ class Shell {
       std::printf("  threads=%d%s\n", threads_,
                   threads_ > 1 ? " (selects run the parallel pipeline)"
                                : " (serial)");
+      return Status::OK();
+    }
+    if (cmd == ".workload") {
+      WorkloadManager& wm = WorkloadManager::Global();
+      if (t.size() < 2) {
+        const WorkloadOptions& o = wm.options();
+        std::printf("  max_concurrent=%d (0 = 2x hardware) "
+                    "per_query_cap=%zu MiB (0 = uncapped)\n",
+                    o.max_concurrent, o.per_query_memory_cap >> 20);
+        return Status::OK();
+      }
+      errno = 0;
+      char* end = nullptr;
+      long c = std::strtol(t[1].c_str(), &end, 10);
+      if (errno != 0 || end == t[1].c_str() || *end != '\0' || c < 0) {
+        return Status::InvalidArgument("usage: .workload [C [MB]]");
+      }
+      WorkloadOptions o = wm.options();
+      o.max_concurrent = static_cast<int>(c);
+      if (t.size() > 2) {
+        long mb = std::strtol(t[2].c_str(), nullptr, 10);
+        if (mb < 0) return Status::InvalidArgument("usage: .workload [C [MB]]");
+        o.per_query_memory_cap = static_cast<size_t>(mb) << 20;
+      }
+      wm.Configure(o);
+      std::printf("  workload reconfigured\n");
       return Status::OK();
     }
     if (cmd == ".open") {
@@ -221,6 +253,25 @@ class Shell {
                   static_cast<unsigned long long>(io.bytes_read),
                   static_cast<unsigned long long>(io.chunks_read),
                   static_cast<unsigned long long>(io.hits));
+      WorkloadStats ws = WorkloadManager::Global().GetStats();
+      std::printf("  workload: admitted=%llu completed=%llu rejected=%llu "
+                  "active=%llu queued=%llu (peak %llu)\n"
+                  "    memory: used=%zu peak=%zu cap=%s\n",
+                  static_cast<unsigned long long>(ws.admitted),
+                  static_cast<unsigned long long>(ws.completed),
+                  static_cast<unsigned long long>(ws.rejected),
+                  static_cast<unsigned long long>(ws.active),
+                  static_cast<unsigned long long>(ws.queued),
+                  static_cast<unsigned long long>(ws.queued_peak),
+                  ws.memory_used, ws.memory_peak,
+                  ws.memory_cap > 0 ? std::to_string(ws.memory_cap).c_str()
+                                    : "unlimited");
+      SharedScanHubStats ss = SharedScanHub::Global().GetStats();
+      std::printf("  shared scans: streams=%llu attaches=%llu "
+                  "ride_alongs=%llu\n",
+                  static_cast<unsigned long long>(ss.streams_created),
+                  static_cast<unsigned long long>(ss.attaches),
+                  static_cast<unsigned long long>(ss.ride_alongs));
       PrintLatency("reads (select/count)", read_lat_ms_);
       PrintLatency("writes (commits)", write_lat_ms_);
       return Status::OK();
@@ -428,6 +479,12 @@ class Shell {
   }
 
   Status Select(Table* table) {
+    // Every select runs as an admitted query: it waits its FIFO turn
+    // when the shell's workload cap is saturated, and its scan/operator
+    // memory is charged to a per-query budget.
+    PDT_ASSIGN_OR_RETURN(auto ticket,
+                         WorkloadManager::Global().Admit("shell-select"));
+    ScopedQuery scope(ticket);
     std::vector<ColumnId> all(table->schema().num_columns());
     for (ColumnId c = 0; c < all.size(); ++c) all[c] = c;
     // `.threads N` (N > 1) exercises the morsel-driven parallel scan;

@@ -72,6 +72,11 @@ echo "== bench smoke (tiny sizes) =="
 # time-sliced and the latency numbers are upper bounds only.
 "$BUILD_DIR/bench_htap" --sf=0.01 --configs=1x2,2x2,4x4 --streams=1 \
     --fraction=0.002 --json="$BUILD_DIR/BENCH_htap_smoke.json"
+# Workload-management smoke: all four client fleets (so every committed
+# BENCH_workload.json key is produced) over a small table. The binary
+# itself fails if any query is lost or rejected with an oversized queue.
+"$BUILD_DIR/bench_workload" --queries=64 --clients=1,8,64,256 \
+    --rows=50000 --json="$BUILD_DIR/BENCH_workload_smoke.json"
 
 echo "== bench key check =="
 # The committed BENCH_exec.json is the record of what the exec benches
@@ -119,6 +124,21 @@ while IFS= read -r name; do
   fi
 done <<<"$(grep -o '"name": "[^"]*"' BENCH_htap.json \
              | sed -E 's/"name": "([^"]*)"/\1/' | sort -u)"
+# And for the committed workload artifact: every recorded
+# (client-count, shared-scan) cell must still be produced by
+# bench_workload's smoke run.
+produced_workload="$(grep -o '"name": "[^"]*"' \
+                       "$BUILD_DIR/BENCH_workload_smoke.json" \
+                       | sed -E 's/"name": "([^"]*)"/\1/' | sort -u)"
+while IFS= read -r name; do
+  [[ -z "$name" ]] && continue
+  if ! grep -qxF "$name" <<<"$produced_workload"; then
+    echo "bench key check FAILED: committed BENCH_workload.json entry '$name'" \
+         "is no longer produced by bench_workload"
+    keys_ok=0
+  fi
+done <<<"$(grep -o '"name": "[^"]*"' BENCH_workload.json \
+             | sed -E 's/"name": "([^"]*)"/\1/' | sort -u)"
 [[ "$keys_ok" == 1 ]] || exit 1
 echo "bench keys OK"
 
@@ -161,13 +181,19 @@ if [[ "${PDTSTORE_SKIP_TSAN:-0}" != "1" ]]; then
   # densest cross-thread interleaving in the tree, so it belongs here.
   cmake --build "$TSAN_DIR" -j "$(nproc)" \
       --target parallel_scan_test pipeline_test parallel_sort_join_test \
-      htap_test differential_fuzz_test
+      htap_test differential_fuzz_test workload_stress_test
   (cd "$TSAN_DIR" && \
       ctest --output-on-failure \
           -R "parallel_scan_test|pipeline_test|parallel_sort_join_test|htap_test")
   (cd "$TSAN_DIR" && \
       PDT_FUZZ_SEED="$FUZZ_SEED" PDT_FUZZ_ITERS="$FUZZ_ITERS" \
           ./differential_fuzz_test)
+  # The workload stress batch belongs under TSan: 16 driver threads
+  # through the admission gate, shared scans merging across queries, and
+  # budget charges racing on the shared pool. A smaller batch than the
+  # default — TSan's interleaving checks, not query volume, are the
+  # point here.
+  (cd "$TSAN_DIR" && PDT_WORKLOAD_QUERIES=150 ./workload_stress_test)
 fi
 
 if [[ "${PDTSTORE_SKIP_ASAN:-0}" != "1" ]]; then
@@ -184,12 +210,15 @@ if [[ "${PDTSTORE_SKIP_ASAN:-0}" != "1" ]]; then
   # The compressed-execution suite also runs here: borrowed spans over
   # pool-owned chunk memory and dictionary-code reads are exactly the
   # pointer arithmetic ASan exists to check.
+  # memory_budget_test runs here too: budget-triggered teardown paths
+  # (aborted sorts, failed join builds, spill restore) free buffers on
+  # error edges that the happy path never takes — use-after-free bait.
   cmake --build "$ASAN_DIR" -j "$(nproc)" \
       --target wal_test durability_test crash_recovery_fuzz_test \
-      compressed_exec_test
+      compressed_exec_test memory_budget_test
   (cd "$ASAN_DIR" && \
       ctest --output-on-failure \
-          -R "wal_test|durability_test|compressed_exec_test")
+          -R "wal_test|durability_test|compressed_exec_test|memory_budget_test")
   (cd "$ASAN_DIR" && \
       PDT_CRASH_SEED="$CRASH_SEED" PDT_CRASH_ITERS="$CRASH_ITERS" \
           ./crash_recovery_fuzz_test)

@@ -49,6 +49,14 @@ class Batch {
   /// Position of table column `cid` within this batch, or -1.
   int IndexOfColumn(ColumnId cid) const;
 
+  /// Approximate heap footprint (sum of the columns' ByteSize) — the
+  /// unit the memory budgets charge (util/mem_budget.h).
+  size_t ByteSize() const {
+    size_t sum = 0;
+    for (const ColumnVector& c : columns_) sum += c.ByteSize();
+    return sum;
+  }
+
   void Clear();
 
   /// Resets this batch to `like`'s layout (column types and ids) with

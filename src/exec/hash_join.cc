@@ -188,9 +188,14 @@ JoinBuildHandle::JoinBuildHandle(std::unique_ptr<BatchSource> build_source,
                                  std::vector<size_t> build_keys) {
   // Shared-ptr capture: std::function requires copyability.
   std::shared_ptr<BatchSource> src = std::move(build_source);
-  producer_ = [src, keys = std::move(build_keys)]()
+  // Constructed on the query thread: capture its budget now, charge
+  // when the build actually materializes. The lease lives on the handle
+  // (lease_), so the charge spans the cached table's lifetime.
+  lease_ = std::make_shared<BudgetLease>(CurrentBudget());
+  producer_ = [src, lease = lease_, keys = std::move(build_keys)]()
       -> StatusOr<PartitionedJoinTable> {
     PDT_ASSIGN_OR_RETURN(Batch rows, MaterializeAll(src.get()));
+    PDT_RETURN_NOT_OK(lease->Charge(rows.ByteSize()));
     PartitionedJoinTable t;
     t.parts.push_back(JoinTable::Build(std::move(rows), keys));
     return t;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "columnstore/batch.h"
+#include "util/mem_budget.h"
 
 namespace pdtstore {
 
@@ -114,8 +115,16 @@ class JoinBuildHandle {
   /// (or the cached failure).
   StatusOr<const PartitionedJoinTable*> Resolve();
 
+  /// Ties `lease` (the build side's memory-budget charges) to this
+  /// handle: the bytes stay charged exactly as long as the cached table
+  /// they cover is alive.
+  void RetainLease(std::shared_ptr<BudgetLease> lease) {
+    lease_ = std::move(lease);
+  }
+
  private:
   std::function<StatusOr<PartitionedJoinTable>()> producer_;
+  std::shared_ptr<BudgetLease> lease_;
   bool resolved_ = false;
   Status error_ = Status::OK();
   PartitionedJoinTable table_;

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "exec/pipeline.h"
+#include "exec/shared_scan.h"
+#include "util/mem_budget.h"
 
 namespace pdtstore {
 
@@ -66,7 +68,11 @@ bool ResolveMorselPlan(std::vector<SidRange>* ranges, uint64_t table_rows,
   }
   if (plan->options.num_threads <= 1) {
     plan->options.num_threads = 1;
-    return false;
+    // A serial query opting into shared scans still takes the morsel
+    // path: the morsel geometry is what makes its scan attachable to
+    // (or shareable with) concurrent queries. The serial-identity
+    // promise only applies when shared_scan is unset.
+    if (!plan->options.shared_scan) return false;
   }
   if (ranges->empty()) ranges->push_back(SidRange{0, table_rows});
   if (plan->options.morsel_rows == 0) {
@@ -135,8 +141,11 @@ void ParallelScanSource::Start() {
     }
   }
   std::shared_ptr<Shared> sh = sh_;
+  // Tag the tasks with the query's scheduling token so the pool's
+  // round-robin rotation keeps concurrent queries' scans fair.
+  const uint64_t token = CurrentQueryToken();
   for (size_t i = 0; i < sh_->num_workers; ++i) {
-    ThreadPool::Global().Submit([sh] { sh->RunWorker(); });
+    ThreadPool::Global().Submit(token, [sh] { sh->RunWorker(); });
   }
 }
 
@@ -332,6 +341,11 @@ StatusOr<bool> ParallelScanSource::Next(Batch* out, size_t max_rows) {
 
 std::unique_ptr<BatchSource> MakeScanSource(MorselPlan plan) {
   if (plan.serial != nullptr) return std::move(plan.serial);
+  if (plan.shared != nullptr && !plan.options.ordered) {
+    // Ride the shared merge stream. Ordered consumers never share: the
+    // stream delivers morsels in a per-consumer rotated order.
+    return MakeSharedScanSource(std::move(plan.shared));
+  }
   return std::make_unique<ParallelScanSource>(
       std::move(plan.morsels), std::move(plan.factory), plan.options,
       plan.renumber_rids);

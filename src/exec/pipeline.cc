@@ -1,11 +1,17 @@
 #include "exec/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <numeric>
 
 #include "exec/operator.h"
+#include "exec/shared_scan.h"
+#include "storage/encoding.h"
+#include "util/file.h"
+#include "util/mem_budget.h"
 #include "util/thread_pool.h"
 
 namespace pdtstore {
@@ -235,6 +241,37 @@ Status RunPipeline(MorselPlan* plan,
     return sink->Combine(sink_state.get());
   }
 
+  if (plan->shared != nullptr) {
+    // Shared-scan ride: this thread alone pulls completed morsels from
+    // the shared merge stream (the stream's workers and co-riding
+    // consumers provide the scan parallelism) and runs the per-query
+    // fragment ops + sink privately. Units carry the true morsel index,
+    // so a sort breaker's sequence tags — and therefore its output —
+    // are byte-identical to the isolated run despite the rotated
+    // delivery order.
+    std::vector<std::unique_ptr<PipelineOpState>> op_states;
+    op_states.reserve(ops.size());
+    for (const auto& op : ops) op_states.push_back(op->MakeState());
+    std::unique_ptr<PipelineOpState> sink_state = sink->MakeState();
+    SharedMorselUnit unit;
+    while (true) {
+      PDT_ASSIGN_OR_RETURN(bool more, plan->shared->NextUnit(&unit));
+      if (!more) break;
+      for (const std::shared_ptr<const Batch>& shared_b : unit.batches) {
+        Batch local = *shared_b;  // private copy: ops mutate in place
+        Status st = Status::OK();
+        for (size_t i = 0; i < ops.size() && st.ok(); ++i) {
+          st = ops[i]->Execute(&local, op_states[i].get());
+        }
+        PDT_RETURN_NOT_OK(st);
+        if (local.num_rows() == 0) continue;
+        PDT_RETURN_NOT_OK(sink->Sink(&local, sink_state.get(), unit.morsel));
+      }
+    }
+    PDT_RETURN_NOT_OK(sink->Finish(sink_state.get()));
+    return sink->Combine(sink_state.get());
+  }
+
   auto rs = std::make_shared<RunShared>();
   rs->plan = plan;
   rs->ops = &ops;
@@ -244,7 +281,8 @@ Status RunPipeline(MorselPlan* plan,
   const size_t helpers = std::min<size_t>(
       threads > 0 ? static_cast<size_t>(threads - 1) : 0,
       plan->morsels.size());
-  ThreadPool::Global().SubmitMany(helpers, [rs] { RunPipelineWorker(rs); });
+  ThreadPool::Global().SubmitMany(CurrentQueryToken(), helpers,
+                                  [rs] { RunPipelineWorker(rs); });
   // The driver always participates, so the pipeline finishes even when
   // the shared pool is saturated by concurrent queries.
   RunPipelineWorker(rs);
@@ -310,15 +348,22 @@ namespace {
 
 class PartialAggSink : public PipelineSink {
  public:
-  PartialAggSink(std::vector<size_t> group_by, std::vector<AggSpec> aggs)
+  PartialAggSink(std::vector<size_t> group_by, std::vector<AggSpec> aggs,
+                 BudgetLease* lease = nullptr)
       : group_by_(std::move(group_by)),
         aggs_(std::move(aggs)),
-        merged_(group_by_, aggs_) {}
+        merged_(group_by_, aggs_),
+        lease_(lease),
+        // Per-group estimate: the key values + hash + slot + count +
+        // one accumulator per aggregate. The budgets account growth,
+        // not exact heap bytes.
+        group_bytes_(48 + 16 * aggs_.size()) {}
 
   struct State : PipelineOpState {
     State(const std::vector<size_t>& gb, const std::vector<AggSpec>& aggs)
         : partial(gb, aggs) {}
     AggregationState partial;
+    size_t charged_groups = 0;
   };
 
   std::unique_ptr<PipelineOpState> MakeState() const override {
@@ -326,7 +371,18 @@ class PartialAggSink : public PipelineSink {
   }
 
   Status Sink(Batch* batch, PipelineOpState* state, size_t) override {
-    return static_cast<State*>(state)->partial.Absorb(*batch);
+    State* s = static_cast<State*>(state);
+    PDT_RETURN_NOT_OK(s->partial.Absorb(*batch));
+    if (lease_ != nullptr) {
+      // Charge table growth (monotone): new groups since the last batch.
+      const size_t groups = s->partial.num_groups();
+      if (groups > s->charged_groups) {
+        PDT_RETURN_NOT_OK(
+            lease_->Charge((groups - s->charged_groups) * group_bytes_));
+        s->charged_groups = groups;
+      }
+    }
+    return Status::OK();
   }
 
   Status Combine(PipelineOpState* state) override {
@@ -339,6 +395,8 @@ class PartialAggSink : public PipelineSink {
   std::vector<size_t> group_by_;
   std::vector<AggSpec> aggs_;
   AggregationState merged_;
+  BudgetLease* lease_;
+  size_t group_bytes_;
 };
 
 /// Lazy parallel aggregation: runs the pipeline into per-worker partial
@@ -355,7 +413,7 @@ class ParallelAggSource : public BatchSource {
 
   StatusOr<bool> Next(Batch* out, size_t max_rows) override {
     if (!built_) {
-      PartialAggSink sink(group_by_, aggs_);
+      PartialAggSink sink(group_by_, aggs_, &lease_);
       PDT_RETURN_NOT_OK(RunPipeline(&plan_, ops_, &sink));
       emitter_ = std::make_unique<VectorSource>(sink.TakeResult());
       built_ = true;
@@ -368,6 +426,10 @@ class ParallelAggSource : public BatchSource {
   std::vector<std::unique_ptr<PipelineOp>> ops_;
   std::vector<size_t> group_by_;
   std::vector<AggSpec> aggs_;
+  // Captured at construction, on the query thread (charge discipline:
+  // see util/mem_budget.h); released when this source dies — the
+  // materialized result's lifetime.
+  BudgetLease lease_{CurrentBudget()};
   bool built_ = false;
   std::unique_ptr<BatchSource> emitter_;
 };
@@ -392,6 +454,132 @@ size_t AutoJoinPartitions(int num_threads) {
   return std::min<size_t>(p, 64);
 }
 
+// --- join-build partition spill ---------------------------------------
+// When a collect charge hits the memory budget and the query has a spill
+// directory, the worker's partition slices go to disk (one file per
+// partition slice) and their bytes return to the budget; Finalize reads
+// them back partition-at-a-time. Row-at-a-time Value encoding: the spill
+// path trades speed for simplicity — it only runs once the query is
+// over budget.
+
+Status WriteSpillSlice(const std::string& path, const Batch& rows,
+                       const std::vector<uint64_t>& hashes) {
+  std::string buf;
+  const size_t cols = rows.num_columns();
+  const bool has_ids = rows.column_ids().size() == cols;
+  PutFixed32(&buf, static_cast<uint32_t>(cols));
+  for (size_t c = 0; c < cols; ++c) {
+    PutFixed32(&buf, has_ids ? rows.column_ids()[c]
+                             : static_cast<uint32_t>(c));
+    PutFixed32(&buf, static_cast<uint32_t>(rows.column(c).type()));
+  }
+  PutFixed64(&buf, rows.num_rows());
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const Value v = rows.column(c).GetValue(r);
+      switch (v.type()) {
+        case TypeId::kInt64:
+          PutFixed64(&buf, static_cast<uint64_t>(v.AsInt64()));
+          break;
+        case TypeId::kDouble: {
+          uint64_t u;
+          const double d = v.AsDouble();
+          std::memcpy(&u, &d, sizeof(u));
+          PutFixed64(&buf, u);
+          break;
+        }
+        case TypeId::kString: {
+          const std::string& s = v.AsString();
+          PutFixed32(&buf, static_cast<uint32_t>(s.size()));
+          buf.append(s);
+          break;
+        }
+      }
+    }
+  }
+  PutFixed64(&buf, hashes.size());
+  for (uint64_t h : hashes) PutFixed64(&buf, h);
+  PDT_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> file,
+      FileSystem::Default()->NewWritableFile(path, /*truncate=*/true));
+  PDT_RETURN_NOT_OK(file->Append(buf));
+  // No Sync: spill files are scratch, not durable state — a crash loses
+  // the query anyway.
+  return file->Close();
+}
+
+Status ReadSpillSlice(const std::string& path, Batch* rows,
+                      std::vector<uint64_t>* hashes) {
+  std::string buf;
+  PDT_RETURN_NOT_OK(FileSystem::Default()->ReadFileToString(path, &buf));
+  size_t pos = 0;
+  auto need = [&](size_t n) {
+    return pos + n <= buf.size()
+               ? Status::OK()
+               : Status::Corruption("truncated spill slice " + path);
+  };
+  PDT_RETURN_NOT_OK(need(4));
+  const size_t cols = DecodeFixed32(buf.data() + pos);
+  pos += 4;
+  *rows = Batch();
+  std::vector<ColumnId> ids;
+  for (size_t c = 0; c < cols; ++c) {
+    PDT_RETURN_NOT_OK(need(8));
+    ids.push_back(DecodeFixed32(buf.data() + pos));
+    const TypeId type =
+        static_cast<TypeId>(DecodeFixed32(buf.data() + pos + 4));
+    pos += 8;
+    rows->columns().emplace_back(type);
+  }
+  rows->set_column_ids(std::move(ids));
+  PDT_RETURN_NOT_OK(need(8));
+  const size_t n = static_cast<size_t>(DecodeFixed64(buf.data() + pos));
+  pos += 8;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      ColumnVector& col = rows->column(c);
+      switch (col.type()) {
+        case TypeId::kInt64: {
+          PDT_RETURN_NOT_OK(need(8));
+          col.Append(Value(
+              static_cast<int64_t>(DecodeFixed64(buf.data() + pos))));
+          pos += 8;
+          break;
+        }
+        case TypeId::kDouble: {
+          PDT_RETURN_NOT_OK(need(8));
+          double d;
+          const uint64_t u = DecodeFixed64(buf.data() + pos);
+          std::memcpy(&d, &u, sizeof(d));
+          col.Append(Value(d));
+          pos += 8;
+          break;
+        }
+        case TypeId::kString: {
+          PDT_RETURN_NOT_OK(need(4));
+          const size_t len = DecodeFixed32(buf.data() + pos);
+          pos += 4;
+          PDT_RETURN_NOT_OK(need(len));
+          col.Append(Value(buf.substr(pos, len)));
+          pos += len;
+          break;
+        }
+      }
+    }
+  }
+  PDT_RETURN_NOT_OK(need(8));
+  const size_t nh = static_cast<size_t>(DecodeFixed64(buf.data() + pos));
+  pos += 8;
+  PDT_RETURN_NOT_OK(need(8 * nh));
+  hashes->clear();
+  hashes->reserve(nh);
+  for (size_t i = 0; i < nh; ++i) {
+    hashes->push_back(DecodeFixed64(buf.data() + pos));
+    pos += 8;
+  }
+  return Status::OK();
+}
+
 /// Workers hash each collected batch's key columns once and route the
 /// rows into P per-worker partition batches (gathers). Combine hands
 /// the per-worker slices over; Finalize then concatenates and hashes
@@ -399,8 +587,13 @@ size_t AutoJoinPartitions(int num_threads) {
 /// PartitionedJoinTable, reusing the collect-time hashes.
 class PartitionedCollectSink : public PipelineSink {
  public:
-  PartitionedCollectSink(std::vector<size_t> keys, size_t num_partitions)
-      : keys_(std::move(keys)), num_partitions_(num_partitions) {}
+  PartitionedCollectSink(std::vector<size_t> keys, size_t num_partitions,
+                         BudgetLease* lease = nullptr,
+                         std::string spill_dir = {})
+      : keys_(std::move(keys)),
+        num_partitions_(num_partitions),
+        lease_(lease),
+        spill_dir_(std::move(spill_dir)) {}
 
   struct State : PipelineOpState {
     bool init = false;
@@ -408,6 +601,7 @@ class PartitionedCollectSink : public PipelineSink {
     std::vector<std::vector<uint64_t>> part_hashes;
     std::vector<uint64_t> row_hashes;  // scratch
     std::vector<SelVector> route;      // scratch
+    size_t charged = 0;  // budget bytes held for this worker's slices
   };
 
   std::unique_ptr<PipelineOpState> MakeState() const override {
@@ -426,6 +620,29 @@ class PartitionedCollectSink : public PipelineSink {
       s->route.resize(num_partitions_);
       s->init = true;
     }
+    // Spill the routed batch straight back out after this call: set when
+    // the budget has no headroom even after shedding this worker's own
+    // slices (peers hold the cap), so progress never waits on them.
+    bool spill_through = false;
+    if (lease_ != nullptr) {
+      // Charge the copy before making it: rows + their hashes. A
+      // rejected charge either spills this worker's slices (spill_dir
+      // configured) or fails the build fast with ResourceExhausted.
+      const size_t bytes = batch->ByteSize() + 8 * n;
+      Status st = lease_->Charge(bytes);
+      if (!st.ok() && !spill_dir_.empty()) {
+        if (s->charged > 0) {
+          PDT_RETURN_NOT_OK(SpillState(s));
+          st = lease_->Charge(bytes);
+        }
+        if (!st.ok()) {
+          st = Status::OK();
+          spill_through = true;  // route uncharged, then write out
+        }
+      }
+      PDT_RETURN_NOT_OK(st);
+      if (!spill_through) s->charged += bytes;
+    }
     s->row_hashes.assign(n, kHashSeed);
     for (size_t k : keys_) {
       batch->column(k).HashColumn(s->row_hashes.data());
@@ -434,20 +651,21 @@ class PartitionedCollectSink : public PipelineSink {
       AppendRows(&s->parts[0], *batch);
       s->part_hashes[0].insert(s->part_hashes[0].end(),
                                s->row_hashes.begin(), s->row_hashes.end());
-      return Status::OK();
-    }
-    for (SelVector& r : s->route) r.clear();
-    for (size_t row = 0; row < n; ++row) {
-      s->route[JoinPartitionOf(s->row_hashes[row], num_partitions_)]
-          .push_back(static_cast<uint32_t>(row));
-    }
-    for (size_t p = 0; p < num_partitions_; ++p) {
-      if (s->route[p].empty()) continue;
-      s->parts[p].AppendGather(*batch, s->route[p]);
-      for (uint32_t row : s->route[p].indices()) {
-        s->part_hashes[p].push_back(s->row_hashes[row]);
+    } else {
+      for (SelVector& r : s->route) r.clear();
+      for (size_t row = 0; row < n; ++row) {
+        s->route[JoinPartitionOf(s->row_hashes[row], num_partitions_)]
+            .push_back(static_cast<uint32_t>(row));
+      }
+      for (size_t p = 0; p < num_partitions_; ++p) {
+        if (s->route[p].empty()) continue;
+        s->parts[p].AppendGather(*batch, s->route[p]);
+        for (uint32_t row : s->route[p].indices()) {
+          s->part_hashes[p].push_back(s->row_hashes[row]);
+        }
       }
     }
+    if (spill_through) return SpillState(s);
     return Status::OK();
   }
 
@@ -455,21 +673,50 @@ class PartitionedCollectSink : public PipelineSink {
     State* s = static_cast<State*>(state);
     if (!s->init) return Status::OK();
     // The per-worker state dies here: move, don't copy — this runs
-    // under the runner's serializing mutex.
+    // under the runner's serializing mutex. The charged bytes stay held
+    // by the shared lease (the slices live on in slices_).
     slices_.push_back({std::move(s->parts), std::move(s->part_hashes)});
     return Status::OK();
   }
 
+  bool spilled() const { return !spill_files_.empty(); }
+
   /// Builds the published table: for each partition, concatenate every
-  /// worker's slice and hash it into a JoinTable — independent per
-  /// partition, so the partitions build in parallel.
-  PartitionedJoinTable Finalize(int num_threads) {
+  /// worker's slice (disk spills first, then the in-memory ones) and
+  /// hash it into a JoinTable — independent per partition, so the
+  /// partitions build in parallel.
+  StatusOr<PartitionedJoinTable> Finalize(int num_threads) {
     PartitionedJoinTable t;
     t.parts.resize(num_partitions_);
+    std::vector<Status> errs(num_partitions_);
     ParallelFor(num_threads, 0, num_partitions_, [&](size_t p) {
       Batch rows;
       std::vector<uint64_t> hashes;
       bool first = true;
+      if (!spill_files_.empty()) {
+        // Restored spill bytes are not re-charged: the spill's job is
+        // to bound collect-time pressure; the final table's in-memory
+        // slices remain covered by the lease.
+        for (const std::string& path : spill_files_[p]) {
+          Batch sr;
+          std::vector<uint64_t> sh;
+          Status st = ReadSpillSlice(path, &sr, &sh);
+          if (!st.ok()) {
+            errs[p] = st;
+            return;
+          }
+          if (first) {
+            rows = std::move(sr);
+            hashes = std::move(sh);
+            first = false;
+          } else {
+            AppendRows(&rows, sr);
+            hashes.insert(hashes.end(), sh.begin(), sh.end());
+          }
+          // Best-effort cleanup; a leftover scratch file is harmless.
+          (void)FileSystem::Default()->DeleteFile(path);
+        }
+      }
       for (WorkerSlices& ws : slices_) {
         if (ws.parts[p].num_rows() == 0 && !first) continue;
         if (first) {
@@ -486,6 +733,9 @@ class PartitionedCollectSink : public PipelineSink {
                                               std::move(hashes));
     });
     slices_.clear();
+    for (const Status& st : errs) {
+      PDT_RETURN_NOT_OK(st);
+    }
     return t;
   }
 
@@ -495,8 +745,39 @@ class PartitionedCollectSink : public PipelineSink {
     std::vector<std::vector<uint64_t>> hashes;
   };
 
+  // Writes this worker's non-empty partition slices to disk, registers
+  // the files, and returns the worker's charged bytes to the budget.
+  // Runs on the worker that owns `s` — only the file registry is shared.
+  Status SpillState(State* s) {
+    PDT_RETURN_NOT_OK(FileSystem::Default()->CreateDir(spill_dir_));
+    for (size_t p = 0; p < num_partitions_; ++p) {
+      if (s->parts[p].num_rows() == 0) continue;
+      const uint64_t id =
+          spill_counter_.fetch_add(1, std::memory_order_relaxed);
+      std::string path = spill_dir_ + "/joinbuild_p" + std::to_string(p) +
+                         "_" + std::to_string(id) + ".spill";
+      PDT_RETURN_NOT_OK(
+          WriteSpillSlice(path, s->parts[p], s->part_hashes[p]));
+      {
+        std::lock_guard<std::mutex> lock(spill_mu_);
+        if (spill_files_.empty()) spill_files_.resize(num_partitions_);
+        spill_files_[p].push_back(std::move(path));
+      }
+      s->parts[p].Clear();  // keeps the layout for further appends
+      s->part_hashes[p].clear();
+    }
+    lease_->Release(s->charged);
+    s->charged = 0;
+    return Status::OK();
+  }
+
   std::vector<size_t> keys_;
   size_t num_partitions_;
+  BudgetLease* lease_;
+  std::string spill_dir_;
+  std::mutex spill_mu_;
+  std::vector<std::vector<std::string>> spill_files_;  // per partition
+  std::atomic<uint64_t> spill_counter_{0};
   std::vector<WorkerSlices> slices_;
 };
 
@@ -511,8 +792,9 @@ class PartitionedCollectSink : public PipelineSink {
 /// for the consumer's loser-tree merge.
 class SortBuildSink : public PipelineSink {
  public:
-  SortBuildSink(std::vector<SortKey> keys, size_t limit)
-      : keys_(std::move(keys)), limit_(limit) {}
+  SortBuildSink(std::vector<SortKey> keys, size_t limit,
+                BudgetLease* lease = nullptr)
+      : keys_(std::move(keys)), limit_(limit), lease_(lease) {}
 
   struct State : PipelineOpState {
     Batch rows;
@@ -529,6 +811,12 @@ class SortBuildSink : public PipelineSink {
 
   Status Sink(Batch* batch, PipelineOpState* state, size_t morsel) override {
     State* s = static_cast<State*>(state);
+    if (lease_ != nullptr) {
+      // Charge the materialized copy (rows + 8-byte seq tags) before
+      // making it; an over-budget sort fails fast here.
+      PDT_RETURN_NOT_OK(
+          lease_->Charge(batch->ByteSize() + 8 * batch->num_rows()));
+    }
     if (morsel != s->cur_morsel) {
       // A morsel is processed by exactly one worker, contiguously, so a
       // fresh row counter per morsel yields globally unique tags in
@@ -588,6 +876,7 @@ class SortBuildSink : public PipelineSink {
  private:
   std::vector<SortKey> keys_;
   size_t limit_;
+  BudgetLease* lease_;
   std::vector<SortedRun> runs_;
 };
 
@@ -605,7 +894,7 @@ class ParallelSortSource : public BatchSource {
 
   StatusOr<bool> Next(Batch* out, size_t max_rows) override {
     if (!merger_) {
-      SortBuildSink sink(keys_, limit_);
+      SortBuildSink sink(keys_, limit_, &lease_);
       PDT_RETURN_NOT_OK(RunPipeline(&plan_, ops_, &sink));
       merger_ = std::make_unique<RunMerger>(sink.TakeRuns(), keys_, limit_);
     }
@@ -617,6 +906,9 @@ class ParallelSortSource : public BatchSource {
   std::vector<std::unique_ptr<PipelineOp>> ops_;
   std::vector<SortKey> keys_;
   size_t limit_;
+  // Captured at construction on the query thread; the charged bytes
+  // cover the materialized runs until this source (and its merger) die.
+  BudgetLease lease_{CurrentBudget()};
   std::unique_ptr<RunMerger> merger_;
 };
 
@@ -654,6 +946,11 @@ std::unique_ptr<BatchSource> Pipeline::Exchange() && {
     return std::make_unique<OpChainSource>(std::move(plan_.serial),
                                            std::move(ops_));
   }
+  if (plan_.shared != nullptr && !plan_.options.ordered) {
+    // Ride the shared merge stream; the fragment ops run on the pulling
+    // thread over private copies of the shared batches.
+    return MakeSharedScanSource(std::move(plan_.shared), std::move(ops_));
+  }
   return std::make_unique<ParallelScanSource>(
       std::move(plan_.morsels), std::move(plan_.factory), plan_.options,
       plan_.renumber_rids, std::move(ops_));
@@ -690,7 +987,11 @@ std::shared_ptr<JoinBuildHandle> Pipeline::IntoJoinBuild(
     std::unique_ptr<Pipeline> pipeline, std::vector<size_t> build_keys,
     size_t num_partitions) {
   std::shared_ptr<Pipeline> pipe = std::move(pipeline);
-  auto producer = [pipe, keys = std::move(build_keys),
+  // Budget + spill config captured here, on the query thread (the
+  // producer may run later, possibly deep inside Prepare).
+  auto lease = std::make_shared<BudgetLease>(CurrentBudget());
+  std::string spill_dir = CurrentQueryContext().spill_dir;
+  auto producer = [pipe, lease, spill_dir, keys = std::move(build_keys),
                    num_partitions]() -> StatusOr<PartitionedJoinTable> {
     if (pipe->plan_.serial != nullptr) {
       // One thread: materialize and hash a single partition — the
@@ -698,6 +999,7 @@ std::shared_ptr<JoinBuildHandle> Pipeline::IntoJoinBuild(
       OpChainSource chain(std::move(pipe->plan_.serial),
                           std::move(pipe->ops_));
       PDT_ASSIGN_OR_RETURN(Batch rows, MaterializeAll(&chain));
+      PDT_RETURN_NOT_OK(lease->Charge(rows.ByteSize()));
       PartitionedJoinTable t;
       t.parts.push_back(JoinTable::Build(std::move(rows), keys));
       return t;
@@ -705,11 +1007,15 @@ std::shared_ptr<JoinBuildHandle> Pipeline::IntoJoinBuild(
     const int threads = pipe->plan_.options.num_threads;
     const size_t parts =
         num_partitions > 0 ? num_partitions : AutoJoinPartitions(threads);
-    PartitionedCollectSink sink(keys, parts);
+    PartitionedCollectSink sink(keys, parts, lease.get(), spill_dir);
     PDT_RETURN_NOT_OK(RunPipeline(&pipe->plan_, pipe->ops_, &sink));
     return sink.Finalize(threads);
   };
-  return std::make_shared<JoinBuildHandle>(std::move(producer));
+  auto handle = std::make_shared<JoinBuildHandle>(std::move(producer));
+  // The lease outlives the producer: the cached table's bytes stay
+  // charged until the handle (and with it the table) is destroyed.
+  handle->RetainLease(std::move(lease));
+  return handle;
 }
 
 }  // namespace pdtstore

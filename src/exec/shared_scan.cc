@@ -1,0 +1,375 @@
+#include "exec/shared_scan.h"
+
+#include <algorithm>
+
+#include "exec/pipeline.h"
+#include "util/mem_budget.h"
+#include "util/thread_pool.h"
+
+namespace pdtstore {
+
+// ---------------------------------------------------------------------
+// SharedScanConsumer.
+// ---------------------------------------------------------------------
+
+SharedScanConsumer::~SharedScanConsumer() { stream_->Detach(id_); }
+
+StatusOr<bool> SharedScanConsumer::NextUnit(SharedMorselUnit* out) {
+  return stream_->NextUnitFor(id_, out);
+}
+
+size_t SharedScanConsumer::num_morsels() const {
+  return stream_->morsels_.size();
+}
+
+size_t SharedScanConsumer::batch_rows() const {
+  return stream_->batch_rows_;
+}
+
+// ---------------------------------------------------------------------
+// SharedScanStream.
+// ---------------------------------------------------------------------
+
+SharedScanStream::SharedScanStream(std::vector<SidRange> morsels,
+                                   MorselSourceFactory factory,
+                                   size_t batch_rows, size_t num_workers,
+                                   uint64_t creator_token)
+    : morsels_(std::move(morsels)),
+      factory_(std::move(factory)),
+      batch_rows_(batch_rows == 0 ? kDefaultBatchSize : batch_rows),
+      num_workers_(std::min(num_workers, morsels_.size())),
+      token_(creator_token),
+      ready_cap_(std::max<size_t>(2 * (num_workers_ + 1), 4)) {}
+
+SharedScanStream::~SharedScanStream() = default;
+
+void SharedScanStream::Start() {
+  // Worker tasks own the stream via shared_ptr: a stream abandoned by
+  // every consumer stays alive until queued tasks get their start check.
+  std::shared_ptr<SharedScanStream> self = shared_from_this();
+  for (size_t i = 0; i < num_workers_; ++i) {
+    ThreadPool::Global().Submit(token_, [self] { self->RunWorker(); });
+  }
+}
+
+std::unique_ptr<SharedScanConsumer> SharedScanStream::Attach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t id = next_consumer_id_++;
+  ConsumerState& cs = consumers_[id];
+  // Complete the circle: morsels claimed before this attach and no
+  // longer in flight were already delivered (or retired) without us —
+  // re-run them privately. In-flight morsels deliver to us on
+  // completion; unclaimed morsels flow through the shared queue.
+  for (size_t m = 0; m < next_claim_; ++m) {
+    if (in_flight_.find(m) == in_flight_.end()) cs.backlog.push_back(m);
+  }
+  for (auto& [m, inf] : in_flight_) inf.pending.push_back(id);
+  return std::unique_ptr<SharedScanConsumer>(
+      new SharedScanConsumer(shared_from_this(), id));
+}
+
+bool SharedScanStream::ExhaustedForNewcomers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abort_ || next_claim_ >= morsels_.size();
+}
+
+bool SharedScanStream::AnyConsumerHasRoom() const {
+  for (const auto& [id, cs] : consumers_) {
+    if (cs.ready.size() < ready_cap_) return true;
+  }
+  return false;
+}
+
+void SharedScanStream::RunWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (abort_) return;  // stream already over: don't touch the factory
+    ++active_workers_;
+  }
+  while (true) {
+    size_t m;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Claim gate: pause while every rider's buffer is full (the
+      // train waits for the slowest consumer only until shedding kicks
+      // in — see delivery). Claiming and gating are atomic, so a
+      // claimed morsel is always actively being merged.
+      worker_cv_.wait(lock, [this] {
+        return abort_ || next_claim_ >= morsels_.size() ||
+               AnyConsumerHasRoom();
+      });
+      if (abort_ || next_claim_ >= morsels_.size()) break;
+      m = next_claim_++;
+      InFlight& inf = in_flight_[m];
+      inf.pending.reserve(consumers_.size());
+      for (const auto& [id, cs] : consumers_) inf.pending.push_back(id);
+    }
+    if (!ProcessShared(m)) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_workers_;
+}
+
+bool SharedScanStream::ProcessShared(size_t m) {
+  std::unique_ptr<BatchSource> src =
+      factory_(m, morsels_[m], m + 1 == morsels_.size());
+  std::vector<std::shared_ptr<const Batch>> batches;
+  while (true) {
+    auto b = std::make_shared<Batch>();
+    StatusOr<bool> more = src->Next(b.get(), batch_rows_);
+    if (!more.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_.ok()) error_ = more.status();
+      abort_ = true;
+      consumer_cv_.notify_all();
+      worker_cv_.notify_all();
+      return false;
+    }
+    if (!*more) break;
+    batches.push_back(std::move(b));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (abort_) return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (abort_) return false;
+  auto it = in_flight_.find(m);
+  if (it != in_flight_.end()) {
+    for (uint32_t id : it->second.pending) {
+      auto cit = consumers_.find(id);
+      if (cit == consumers_.end()) continue;  // rider detached meanwhile
+      ConsumerState& cs = cit->second;
+      if (cs.ready.size() >= ready_cap_) {
+        // Straggler shedding: this rider is too far behind the train —
+        // it re-merges the morsel itself later, so the stream's buffered
+        // footprint stays bounded no matter how slow one query is.
+        cs.backlog.push_back(m);
+      } else {
+        cs.ready.push_back(SharedMorselUnit{m, batches});
+      }
+    }
+    in_flight_.erase(it);
+  }
+  consumer_cv_.notify_all();
+  return true;
+}
+
+StatusOr<SharedMorselUnit> SharedScanStream::ProcessPrivate(size_t m) {
+  std::unique_ptr<BatchSource> src =
+      factory_(m, morsels_[m], m + 1 == morsels_.size());
+  SharedMorselUnit unit;
+  unit.morsel = m;
+  while (true) {
+    auto b = std::make_shared<Batch>();
+    PDT_ASSIGN_OR_RETURN(bool more, src->Next(b.get(), batch_rows_));
+    if (!more) break;
+    unit.batches.push_back(std::move(b));
+  }
+  return unit;
+}
+
+StatusOr<bool> SharedScanStream::NextUnitFor(uint32_t id,
+                                             SharedMorselUnit* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto cit = consumers_.find(id);
+  if (cit == consumers_.end()) {
+    return Status::Internal("shared scan consumer already detached");
+  }
+  ConsumerState& cs = cit->second;  // std::map: reference stays valid
+  while (true) {
+    if (!error_.ok()) return error_;
+    if (!cs.ready.empty()) {
+      *out = std::move(cs.ready.front());
+      cs.ready.pop_front();
+      ++cs.consumed;
+      worker_cv_.notify_all();  // room opened up
+      return true;
+    }
+    if (cs.consumed + cs.backlog.size() >= morsels_.size() &&
+        cs.backlog.empty()) {
+      return false;  // every morsel delivered and consumed
+    }
+    // Would block: help the shared flow first (benefits every rider),
+    // then fall back to the private backlog. Helpers skip the claim
+    // gate — the scan's progress never depends on pool workers.
+    if (!abort_ && next_claim_ < morsels_.size()) {
+      const size_t m = next_claim_++;
+      InFlight& inf = in_flight_[m];
+      inf.pending.reserve(consumers_.size());
+      for (const auto& [cid, c] : consumers_) inf.pending.push_back(cid);
+      lock.unlock();
+      ProcessShared(m);
+      lock.lock();
+      continue;  // our copy of the unit (or the error) is now visible
+    }
+    if (!cs.backlog.empty()) {
+      const size_t m = cs.backlog.front();
+      cs.backlog.pop_front();
+      lock.unlock();
+      StatusOr<SharedMorselUnit> unit = ProcessPrivate(m);
+      if (!unit.ok()) return unit.status();  // fails this rider only
+      *out = std::move(*unit);
+      lock.lock();
+      ++cs.consumed;
+      return true;
+    }
+    if (abort_) {
+      return error_.ok()
+                 ? Status::Internal("shared scan stream aborted")
+                 : error_;
+    }
+    consumer_cv_.wait(lock);
+  }
+}
+
+void SharedScanStream::Detach(uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  consumers_.erase(id);
+  for (auto& [m, inf] : in_flight_) {
+    inf.pending.erase(
+        std::remove(inf.pending.begin(), inf.pending.end(), id),
+        inf.pending.end());
+  }
+  if (consumers_.empty()) abort_ = true;  // nobody left to deliver to
+  consumer_cv_.notify_all();
+  worker_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// SharedScanHub.
+// ---------------------------------------------------------------------
+
+SharedScanHub& SharedScanHub::Global() {
+  static SharedScanHub hub;
+  return hub;
+}
+
+size_t SharedScanHub::KeyHash::operator()(const SharedScanKey& k) const {
+  size_t h = std::hash<const void*>()(k.table);
+  h = h * 1315423911u ^ std::hash<const void*>()(k.snapshot);
+  h = h * 1315423911u ^ k.morsel_rows;
+  h = h * 1315423911u ^ k.batch_rows;
+  for (ColumnId c : k.projection) h = h * 1315423911u ^ (c + 1);
+  return h;
+}
+
+std::unique_ptr<SharedScanConsumer> SharedScanHub::AttachOrCreate(
+    const SharedScanKey& key, std::vector<SidRange> morsels,
+    const MorselSourceFactory& factory, const ScanOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.attaches;
+  auto it = streams_.find(key);
+  if (it != streams_.end()) {
+    std::shared_ptr<SharedScanStream> live = it->second.lock();
+    if (live != nullptr && !live->ExhaustedForNewcomers()) {
+      ++stats_.ride_alongs;
+      return live->Attach();
+    }
+    streams_.erase(it);  // dead or fully claimed: start fresh
+  }
+  size_t workers = opts.num_threads <= 0
+                       ? static_cast<size_t>(ThreadPool::DefaultThreads())
+                       : static_cast<size_t>(opts.num_threads);
+  auto stream = std::make_shared<SharedScanStream>(
+      std::move(morsels), factory, opts.batch_rows, workers,
+      CurrentQueryToken());
+  // Attach the creator before the workers start: every claimed morsel
+  // then has at least one subscriber, so nothing is merged into the
+  // void.
+  std::unique_ptr<SharedScanConsumer> consumer = stream->Attach();
+  stream->Start();
+  streams_[key] = stream;
+  ++stats_.streams_created;
+  return consumer;
+}
+
+SharedScanHubStats SharedScanHub::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------
+// MakeSharedScanSource.
+// ---------------------------------------------------------------------
+
+namespace {
+
+class SharedScanBatchSource : public BatchSource {
+ public:
+  SharedScanBatchSource(std::shared_ptr<SharedScanConsumer> consumer,
+                        std::vector<std::unique_ptr<PipelineOp>> ops)
+      : consumer_(std::move(consumer)), ops_(std::move(ops)) {}
+
+  StatusOr<bool> Next(Batch* out, size_t max_rows) override {
+    if (max_rows == 0) max_rows = kDefaultBatchSize;
+    if (!prepared_) {
+      for (const auto& op : ops_) {
+        PDT_RETURN_NOT_OK(op->Prepare());
+      }
+      states_.reserve(ops_.size());
+      for (const auto& op : ops_) states_.push_back(op->MakeState());
+      prepared_ = true;
+    }
+    while (true) {
+      if (pending_off_ < pending_.num_rows()) {
+        return EmitSlice(out, max_rows);
+      }
+      if (!queue_.empty()) {
+        pending_ = std::move(queue_.front());
+        queue_.pop_front();
+        pending_off_ = 0;
+        continue;
+      }
+      SharedMorselUnit unit;
+      PDT_ASSIGN_OR_RETURN(bool more, consumer_->NextUnit(&unit));
+      if (!more) return false;
+      for (const std::shared_ptr<const Batch>& shared : unit.batches) {
+        // Private copy: the unit's batches are shared read-only across
+        // riders, the fragment ops mutate in place.
+        Batch local = *shared;
+        Status st = Status::OK();
+        for (size_t i = 0; i < ops_.size() && st.ok(); ++i) {
+          st = ops_[i]->Execute(&local, states_[i].get());
+        }
+        PDT_RETURN_NOT_OK(st);
+        if (local.num_rows() > 0) queue_.push_back(std::move(local));
+      }
+    }
+  }
+
+ private:
+  bool EmitSlice(Batch* out, size_t max_rows) {
+    const size_t take =
+        std::min(max_rows, pending_.num_rows() - pending_off_);
+    out->ResetLike(pending_);
+    out->set_start_rid(pending_.start_rid() + pending_off_);
+    for (size_t i = 0; i < pending_.num_columns(); ++i) {
+      out->column(i).AppendRange(pending_.column(i), pending_off_,
+                                 pending_off_ + take);
+    }
+    pending_off_ += take;
+    if (pending_off_ >= pending_.num_rows()) {
+      pending_ = Batch();
+      pending_off_ = 0;
+    }
+    return true;
+  }
+
+  std::shared_ptr<SharedScanConsumer> consumer_;
+  std::vector<std::unique_ptr<PipelineOp>> ops_;
+  std::vector<std::unique_ptr<PipelineOpState>> states_;
+  bool prepared_ = false;
+  std::deque<Batch> queue_;
+  Batch pending_;
+  size_t pending_off_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<BatchSource> MakeSharedScanSource(
+    std::shared_ptr<SharedScanConsumer> consumer,
+    std::vector<std::unique_ptr<PipelineOp>> ops) {
+  return std::make_unique<SharedScanBatchSource>(std::move(consumer),
+                                                 std::move(ops));
+}
+
+}  // namespace pdtstore

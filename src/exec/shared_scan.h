@@ -1,0 +1,221 @@
+// Cooperative shared scans (Zukowski-style): concurrent queries that
+// scan the same table snapshot with the same morsel geometry ride ONE
+// merge stream instead of each running a private MergeScan. The morsel
+// queue is the attachment point: stream workers (and helping consumers)
+// claim morsels, run the per-morsel merge cursor once, and broadcast the
+// completed morsel — all its batches together — to every attached
+// consumer. Per-query work (filters, projections, probes, sinks) stays
+// private: consumers copy the shared read-only batches before their
+// fragment ops touch them.
+//
+// Late attachment ("complete the circle"): a query that attaches
+// mid-stream receives every morsel still in flight or unclaimed from the
+// shared flow, and re-runs the already-retired prefix privately from its
+// own cursor — so each consumer sees every morsel exactly once, in a
+// rotated order. That rotation is why ordered-exchange consumers never
+// share (Table::Scan's default ordered delivery bypasses the hub) while
+// sink-driven pipelines share freely: the sort breaker's sequence tags
+// carry the true morsel index, so sort output is byte-identical to the
+// isolated run, and aggregation / join build are order-insensitive.
+//
+// Straggler shedding bounds memory: a consumer whose ready queue is full
+// stops receiving broadcast units — the morsel index goes to its private
+// backlog instead (it re-runs those morsels itself later). Stream
+// workers pause claiming when every consumer is saturated; a consumer
+// that would block always helps (claims and merges a morsel itself), so
+// progress never depends on the shared pool.
+//
+// Snapshot soundness: the stream is keyed by (table, pinned PDT layer,
+// projection, morsel geometry) and its morsel factory carries the PDT
+// pin (Table::PlanMorsels pins before planning), so every rider reads
+// the same immutable snapshot and the layer outlives the stream.
+#ifndef PDTSTORE_EXEC_SHARED_SCAN_H_
+#define PDTSTORE_EXEC_SHARED_SCAN_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/parallel_scan.h"
+
+namespace pdtstore {
+
+class PipelineOp;
+class PipelineOpState;
+
+/// One completed morsel as delivered to a consumer: the true morsel
+/// index (sort sequence tags depend on it) plus the morsel's batches in
+/// scan order, shared read-only across consumers.
+struct SharedMorselUnit {
+  size_t morsel = 0;
+  std::vector<std::shared_ptr<const Batch>> batches;
+};
+
+class SharedScanStream;
+
+/// One query's subscription to a shared scan stream. Not thread-safe —
+/// exactly one thread (the query's driver) pulls from it. Destruction
+/// detaches; the last consumer's detach aborts the stream's workers.
+class SharedScanConsumer {
+ public:
+  ~SharedScanConsumer();
+
+  SharedScanConsumer(const SharedScanConsumer&) = delete;
+  SharedScanConsumer& operator=(const SharedScanConsumer&) = delete;
+
+  /// The consumer's next completed morsel (arbitrary order; each morsel
+  /// exactly once). Helps the stream — claims and merges morsels on
+  /// this thread — whenever it would otherwise block. Returns false
+  /// after all morsels were delivered; errors (from any worker) fail
+  /// every consumer.
+  StatusOr<bool> NextUnit(SharedMorselUnit* out);
+
+  size_t num_morsels() const;
+  /// Rows per batch the stream's cursors pull (the shared geometry).
+  size_t batch_rows() const;
+
+ private:
+  friend class SharedScanStream;
+  SharedScanConsumer(std::shared_ptr<SharedScanStream> stream, uint32_t id)
+      : stream_(std::move(stream)), id_(id) {}
+
+  std::shared_ptr<SharedScanStream> stream_;
+  uint32_t id_;
+};
+
+/// The shared merge stream: morsels + factory from the first query's
+/// plan, worker tasks on the global pool, and the subscriber registry.
+/// Created via SharedScanHub; queries hold it only through consumers.
+class SharedScanStream
+    : public std::enable_shared_from_this<SharedScanStream> {
+ public:
+  SharedScanStream(std::vector<SidRange> morsels,
+                   MorselSourceFactory factory, size_t batch_rows,
+                   size_t num_workers, uint64_t creator_token);
+  ~SharedScanStream();
+
+  /// Spawns the stream's worker tasks (once, by the hub, right after
+  /// construction — needs shared_from_this, so not in the constructor).
+  void Start();
+
+  /// Subscribes a new consumer; it will receive every morsel exactly
+  /// once (shared flow for unclaimed/in-flight morsels, private re-run
+  /// for the retired prefix).
+  std::unique_ptr<SharedScanConsumer> Attach();
+
+  /// True once no future attacher could share any morsel (everything
+  /// already claimed) — the hub then starts a fresh stream instead.
+  bool ExhaustedForNewcomers() const;
+
+ private:
+  friend class SharedScanConsumer;
+
+  struct ConsumerState {
+    std::deque<SharedMorselUnit> ready;
+    std::deque<size_t> backlog;  // morsels this consumer re-runs privately
+    size_t consumed = 0;         // units popped from NextUnit
+  };
+
+  // A claimed, not-yet-completed morsel: which consumers get it on
+  // completion (attachers add themselves while it is in flight).
+  struct InFlight {
+    std::vector<uint32_t> pending;
+  };
+
+  void RunWorker();
+  // Merges morsel `m` and broadcasts it. Returns false on abort/error.
+  bool ProcessShared(size_t m);
+  // Merges morsel `m` for one consumer only (backlog re-run).
+  StatusOr<SharedMorselUnit> ProcessPrivate(size_t m);
+  StatusOr<bool> NextUnitFor(uint32_t id, SharedMorselUnit* out);
+  void Detach(uint32_t id);
+  bool AnyConsumerHasRoom() const;  // caller holds mu_
+
+  const std::vector<SidRange> morsels_;
+  const MorselSourceFactory factory_;
+  const size_t batch_rows_;
+  const size_t num_workers_;
+  const uint64_t token_;
+  /// Broadcast units a consumer may hold buffered before it is shed to
+  /// backlog (bounds the slowest rider's footprint).
+  const size_t ready_cap_;
+
+  mutable std::mutex mu_;
+  std::condition_variable consumer_cv_;  // unit delivered / error / done
+  std::condition_variable worker_cv_;    // room to claim again
+  std::map<uint32_t, ConsumerState> consumers_;
+  std::unordered_map<size_t, InFlight> in_flight_;  // by morsel index
+  size_t next_claim_ = 0;
+  uint32_t next_consumer_id_ = 0;
+  size_t active_workers_ = 0;
+  Status error_ = Status::OK();
+  bool abort_ = false;
+};
+
+/// Hub counters (shell `.stats`).
+struct SharedScanHubStats {
+  uint64_t streams_created = 0;  // distinct merge streams started
+  uint64_t attaches = 0;         // total subscriptions (incl. creators)
+  uint64_t ride_alongs = 0;      // subscriptions that joined a live stream
+};
+
+/// Identity of a shareable scan: same table, same pinned snapshot
+/// layer, same projection and morsel geometry. Pointer identity is what
+/// makes the snapshot-sharing sound: a background merge installing a new
+/// Read-PDT changes `snapshot`, so post-merge queries start a new stream
+/// instead of riding a stale one.
+struct SharedScanKey {
+  const void* table = nullptr;
+  const void* snapshot = nullptr;
+  std::vector<ColumnId> projection;
+  size_t morsel_rows = 0;
+  size_t batch_rows = 0;
+
+  bool operator==(const SharedScanKey& o) const {
+    return table == o.table && snapshot == o.snapshot &&
+           morsel_rows == o.morsel_rows && batch_rows == o.batch_rows &&
+           projection == o.projection;
+  }
+};
+
+/// Registry of live streams keyed by SharedScanKey. Process-global.
+class SharedScanHub {
+ public:
+  /// Attaches to the live stream for `key`, or starts one from this
+  /// query's plan (morsels + factory become the shared stream; the
+  /// factory's captured pins keep the snapshot alive for all riders).
+  std::unique_ptr<SharedScanConsumer> AttachOrCreate(
+      const SharedScanKey& key, std::vector<SidRange> morsels,
+      const MorselSourceFactory& factory, const ScanOptions& opts);
+
+  SharedScanHubStats GetStats() const;
+
+  static SharedScanHub& Global();
+
+ private:
+  struct KeyHash {
+    size_t operator()(const SharedScanKey& k) const;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<SharedScanKey, std::weak_ptr<SharedScanStream>,
+                     KeyHash> streams_;
+  SharedScanHubStats stats_;
+};
+
+/// Wraps a consumer (plus an optional per-query fragment op chain run on
+/// the pulling thread) as a plain BatchSource — the shared counterpart
+/// of the unordered exchange. Batches are copied out of the shared units
+/// before ops touch them.
+std::unique_ptr<BatchSource> MakeSharedScanSource(
+    std::shared_ptr<SharedScanConsumer> consumer,
+    std::vector<std::unique_ptr<PipelineOp>> ops = {});
+
+}  // namespace pdtstore
+
+#endif  // PDTSTORE_EXEC_SHARED_SCAN_H_

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "columnstore/batch.h"
+#include "util/mem_budget.h"
 
 namespace pdtstore {
 
@@ -100,6 +101,10 @@ class SortNode : public BatchSource {
   std::vector<SortKey> keys_;
   size_t limit_;
   bool built_ = false;
+  // Memory-budget charge for the materialized input, captured from the
+  // query context at construction (query thread) and released when the
+  // node dies — error paths included.
+  BudgetLease lease_{CurrentBudget()};
   Batch all_;         // materialized input; emitted via gathers
   SelVector order_;   // sorted (limit-truncated) row order
   SelVector slice_;   // per-pull gather scratch (reused)

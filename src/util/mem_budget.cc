@@ -1,0 +1,26 @@
+#include "util/mem_budget.h"
+
+namespace pdtstore {
+
+namespace {
+thread_local QueryContext g_query_context;
+}  // namespace
+
+const QueryContext& CurrentQueryContext() { return g_query_context; }
+
+std::shared_ptr<MemoryBudget> CurrentBudget() {
+  return g_query_context.budget;
+}
+
+uint64_t CurrentQueryToken() { return g_query_context.token; }
+
+ScopedQueryContext::ScopedQueryContext(QueryContext ctx)
+    : prev_(std::move(g_query_context)) {
+  g_query_context = std::move(ctx);
+}
+
+ScopedQueryContext::~ScopedQueryContext() {
+  g_query_context = std::move(prev_);
+}
+
+}  // namespace pdtstore

@@ -23,6 +23,7 @@ enum class StatusCode {
   kCorruption,     ///< internal invariant violated in persistent state
   kNotImplemented,
   kInternal,
+  kResourceExhausted,  ///< memory budget / admission queue / pool cap hit
 };
 
 /// Human-readable name of a StatusCode (e.g. "Conflict").
@@ -66,6 +67,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
